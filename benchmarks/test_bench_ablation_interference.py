@@ -1,0 +1,78 @@
+"""Ablation — electromagnetic interference episodes.
+
+The paper blames part of its packet losses on 2.4 GHz interference.
+This ablation attaches a shared interferer (episodes every ~20 min,
+~10 min long, 60x burst rate) to the random-workload lab and measures
+how the packet-loss intensity responds — inside episodes vs outside.
+"""
+
+import pytest
+
+from repro.collection.repository import CentralRepository
+from repro.core.classification import classify_user_record
+from repro.core.failure_model import UserFailureType
+from repro.recovery.masking import MaskingPolicy
+from repro.reporting import format_table
+from repro.sim import RandomStreams, Simulator
+from repro.testbed.testbed import Testbed
+from repro.workload.traffic import RandomWorkload
+
+from conftest import HOURS, save_artifact
+
+DURATION = 12 * HOURS
+SEED = 1301
+
+
+@pytest.fixture(scope="module")
+def interfered_run():
+    sim = Simulator()
+    repo = CentralRepository()
+    bed = Testbed(
+        sim, "random", RandomWorkload, repo, RandomStreams(SEED),
+        masking=MaskingPolicy.all_off(),
+    )
+    source = bed.enable_interference(
+        mean_interval=1200.0, mean_duration=600.0, factor=60.0
+    )
+    bed.start()
+    sim.run_until(DURATION)
+    bed.final_collection()
+    return repo, source
+
+
+def test_interference_ablation(benchmark, interfered_run):
+    repo, source = interfered_run
+
+    def analyse():
+        losses = [
+            r for r in repo.test_records()
+            if classify_user_record(r) is UserFailureType.PACKET_LOSS
+        ]
+        inside = sum(1 for r in losses if source.was_active_at(r.time))
+        return losses, inside
+
+    losses, inside = benchmark(analyse)
+
+    active = source.total_active_time
+    quiet = DURATION - active
+    rate_inside = inside / (active / 3600.0) if active else 0.0
+    rate_outside = (len(losses) - inside) / (quiet / 3600.0) if quiet else 0.0
+    table = format_table(
+        ["Regime", "time (h)", "packet losses", "losses/h"],
+        [
+            ["interference episodes", f"{active / 3600:.1f}", str(inside),
+             f"{rate_inside:.1f}"],
+            ["quiet air", f"{quiet / 3600:.1f}", str(len(losses) - inside),
+             f"{rate_outside:.1f}"],
+        ],
+        title="Packet losses during interference episodes (random WL, 12 h)",
+    )
+    save_artifact(
+        "ablation_interference",
+        table + f"\n\nepisodes: {source.episodes}, burst-rate factor 60x",
+    )
+
+    assert source.episodes > 5
+    assert active > 0
+    # Interference must visibly raise the loss intensity.
+    assert rate_inside > 1.5 * rate_outside

@@ -1,0 +1,38 @@
+"""Figure 3b — packet loss vs number of packets sent before the loss.
+
+Reruns the paper's special experiment: the random workload with N fixed
+to 10000 packets and L_S = L_R = 1691 bytes (the BNEP MTU), on Verde
+and Win only.  Young connections must fail more — the latent setup
+defects of the connection-establishment process.
+"""
+
+from repro.core.distributions import packet_loss_by_connection_age
+from repro.reporting import format_bar_chart
+
+from conftest import save_artifact
+
+BINS = (0, 100, 250, 500, 1000, 2000, 4000, 7000, 10000)
+
+
+def test_fig3b_connection_age(benchmark, fig3b_campaign):
+    records = fig3b_campaign.repository.test_records()
+
+    series = benchmark(packet_loss_by_connection_age, records, BINS)
+
+    chart = format_bar_chart(
+        series,
+        title="Packet-loss failures vs packets sent before the loss "
+        "(N=10000, L=1691 B, Verde+Win)",
+    )
+    save_artifact("fig3b_connection_age", chart)
+
+    values = dict(series)
+    assert sum(values.values()) > 0, "the experiment produced no losses"
+    # Young connections fail more: per-packet loss density in the first
+    # 500 packets must exceed the density in the last 3000.
+    young = (values["0-100"] + values["100-250"] + values["250-500"]) / 500.0
+    old = values["7000-10000"] / 3000.0
+    assert young > old
+
+    nodes = {r.node.split(":", 1)[-1] for r in records}
+    assert nodes <= {"Verde", "Win"}

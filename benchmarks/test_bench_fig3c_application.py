@@ -1,0 +1,29 @@
+"""Figure 3c — packet-loss distribution per networked application.
+
+Realistic-workload data.  P2P and streaming — long sessions with
+continuous transfer — must dominate; Web/Mail/FTP's intermittent
+transfers must experience fewer losses.
+"""
+
+from repro.core.distributions import packet_loss_by_application
+from repro.reporting import format_bar_chart
+
+from conftest import save_artifact
+
+
+def test_fig3c_loss_by_application(benchmark, baseline_campaign):
+    records = baseline_campaign.repository.test_records(testbed="realistic")
+
+    result = benchmark(packet_loss_by_application, records)
+
+    order = sorted(result, key=result.get, reverse=True)
+    chart = format_bar_chart(
+        [(app, result[app]) for app in order],
+        title="Packet-loss failures per networked application (Realistic WL)",
+    )
+    save_artifact("fig3c_application", chart)
+
+    # Paper: P2P worst, streaming second, intermittent apps least.
+    assert result.get("p2p", 0) == max(result.values())
+    assert result.get("p2p", 0) > result.get("web", 0)
+    assert result.get("streaming", 0) > result.get("mail", 0)

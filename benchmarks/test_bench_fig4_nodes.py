@@ -1,0 +1,44 @@
+"""Figure 4 — user-failure frequency distribution per host.
+
+Realistic-workload data, no masking.  Giallo (the NAP) never appears —
+it records only system-level data; bind failures appear only on Azzurro
+and Win; switch-role-command failures concentrate on the PDAs.
+"""
+
+from repro.core.distributions import failures_by_node
+from repro.core.failure_model import UserFailureType
+from repro.reporting import format_table, percent
+
+from conftest import save_artifact
+
+SHOWN_TYPES = [
+    UserFailureType.SDP_SEARCH_FAILED,
+    UserFailureType.NAP_NOT_FOUND,
+    UserFailureType.PACKET_LOSS,
+    UserFailureType.PAN_CONNECT_FAILED,
+    UserFailureType.BIND_FAILED,
+    UserFailureType.SW_ROLE_COMMAND_FAILED,
+]
+
+
+def test_fig4_failures_by_node(benchmark, baseline_campaign):
+    records = baseline_campaign.repository.test_records(testbed="realistic")
+
+    result = benchmark(failures_by_node, records)
+
+    headers = ["Host"] + [t.value for t in SHOWN_TYPES]
+    rows = [
+        [host] + [percent(result[host].get(t.value, 0.0)) for t in SHOWN_TYPES]
+        for host in sorted(result)
+    ]
+    text = format_table(
+        headers, rows,
+        title="User failures per node, % of each type (Realistic WL)",
+    )
+    save_artifact("fig4_nodes", text)
+
+    assert "Giallo" not in result  # the NAP records only system data
+    bind = UserFailureType.BIND_FAILED.value
+    for host, shares in result.items():
+        if shares.get(bind, 0) > 0:
+            assert host in ("Azzurro", "Win")

@@ -1,0 +1,32 @@
+"""Infrastructure benchmark — campaign simulation throughput.
+
+Not a paper artifact: measures how fast the substrate simulates testbed
+time (simulated seconds per wall second), which bounds how long a
+paper-scale (18-month) campaign would take.
+"""
+
+from repro.core.campaign import run_campaign
+
+from conftest import HOURS, save_artifact
+
+
+def test_campaign_throughput(benchmark):
+    duration = 2 * HOURS
+
+    result = benchmark.pedantic(
+        lambda: run_campaign(duration=duration, seed=31337),
+        rounds=3,
+        iterations=1,
+    )
+
+    wall = benchmark.stats["mean"]
+    speedup = duration / wall
+    save_artifact(
+        "simulator_throughput",
+        f"Simulated {duration:.0f} s of both testbeds in {wall:.2f} s wall "
+        f"({speedup:,.0f}x real time).\n"
+        f"An 18-month campaign (the paper's span) would take "
+        f"~{18 * 30 * 86400 / speedup / 60:.1f} minutes.",
+    )
+    assert speedup > 100.0
+    assert result.repository.total_items > 0

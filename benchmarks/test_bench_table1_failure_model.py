@@ -1,0 +1,45 @@
+"""Table 1 — the Bluetooth PAN failure model.
+
+Regenerates the taxonomy and benchmarks the classification stage that
+produces it: every raw message of the campaign is classified into the
+model's user/system types.
+"""
+
+from repro.core.classification import (
+    classification_report,
+    classify_system_record,
+    classify_user_record,
+)
+from repro.core.failure_model import FailureModel
+
+from conftest import save_artifact
+
+
+def test_table1_failure_model(benchmark, baseline_campaign):
+    repo = baseline_campaign.repository
+    user_records = repo.test_records()
+    system_records = repo.system_records()
+
+    def classify_all():
+        users = [classify_user_record(r) for r in user_records]
+        systems = [classify_system_record(r) for r in system_records]
+        return users, systems
+
+    users, systems = benchmark(classify_all)
+
+    report = classification_report(user_records, system_records)
+    lines = [
+        FailureModel.as_table(),
+        "",
+        f"Collected failure data items: {repo.total_items} "
+        f"({report['user_total']} user-level reports, "
+        f"{report['system_total']} system-level entries)",
+        f"Classified: {report['user_classified']}/{report['user_total']} user, "
+        f"{report['system_classified']}/{report['system_total']} system",
+    ]
+    save_artifact("table1_failure_model", "\n".join(lines))
+
+    # Every user report must classify; system entries include noise.
+    assert report["user_classified"] == report["user_total"]
+    assert report["system_classified"] > 0
+    assert len(users) == report["user_total"]

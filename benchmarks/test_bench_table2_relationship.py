@@ -1,0 +1,33 @@
+"""Table 2 — the error-failure relationship.
+
+Benchmarks the full merge-and-coalesce mining pass (time-based merge,
+tupling at the 330 s window, evidence counting) and prints the resulting
+relationship table with its TOT column and Total row.
+"""
+
+from repro.core.failure_model import UserFailureType
+from repro.core.relationship import build_relationship_table
+from repro.reporting import render_relationship_table
+
+from conftest import save_artifact
+
+
+def test_table2_error_failure_relationship(benchmark, baseline_campaign):
+    repo = baseline_campaign.repository
+    pairs = baseline_campaign.node_nap_pairs()
+
+    table = benchmark(build_relationship_table, repo, pairs)
+
+    text = render_relationship_table(table)
+    folded = table.component_totals()
+    summary = ", ".join(f"{k} {v:.1f}%" for k, v in
+                        sorted(folded.items(), key=lambda kv: -kv[1]))
+    save_artifact("table2_relationship", text + "\n\nComponent totals: " + summary)
+
+    # Shape checks against the paper's readable anchors.
+    pan_row = table.row_percentages(UserFailureType.PAN_CONNECT_FAILED)
+    sdp_share = pan_row.get("SDP:NAP", 0) + pan_row.get("SDP:local", 0)
+    assert sdp_share > 50.0  # paper: 96.5 % of PAN-connect failures are SDP
+    shares = table.shares()
+    assert shares[UserFailureType.SDP_SEARCH_FAILED] > 25.0
+    assert shares[UserFailureType.PACKET_LOSS] > 20.0

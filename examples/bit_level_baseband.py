@@ -1,0 +1,72 @@
+"""Bit-accurate Baseband demo: CRC, FEC and ARQ on a bursty channel.
+
+Usage::
+
+    python examples/bit_level_baseband.py [n_packets] [seed]
+
+Transmits real framed packets — CRC-16 appended, DMx payloads encoded
+with the (15,10) shortened Hamming code, headers rate-1/3 protected —
+over a Gilbert-Elliott channel with deliberately violent bursts, and
+tallies what each integrity mechanism did: errors corrected by the FEC,
+corruption caught by the CRC (retransmissions), payloads dropped at the
+ARQ limit (user-visible packet loss), and the rare CRC escapes (data
+mismatch).  This is the bit-level path behind the campaign statistics.
+"""
+
+import random
+import sys
+
+from repro.bluetooth.baseband import Baseband, TxStatus
+from repro.bluetooth.channel import Channel, ChannelConfig
+from repro.bluetooth.packets import AclPacket, PacketType
+
+
+def run_type(ptype: PacketType, n_packets: int, seed: int) -> dict:
+    config = ChannelConfig(
+        burst_rate=20.0,  # bursts every ~50 ms: violent, for the demo
+        mean_burst=0.006,
+        ber_bad=0.03,
+        retransmit_limit=3,
+    )
+    channel = Channel(config, random.Random(seed))
+    baseband = Baseband(channel, random.Random(seed + 1))
+    rng = random.Random(seed + 2)
+    tally = {"delivered": 0, "corrupted": 0, "dropped": 0, "retx": 0}
+    now = 0.0
+    for _ in range(n_packets):
+        payload = bytes(rng.randrange(256) for _ in range(ptype.max_payload))
+        outcome = baseband.transmit(AclPacket(ptype, payload), now=now)
+        now += outcome.attempts * ptype.spec.duration
+        tally["retx"] += outcome.attempts - 1
+        if outcome.status is TxStatus.DELIVERED:
+            tally["delivered"] += 1
+        elif outcome.status is TxStatus.DELIVERED_CORRUPTED:
+            tally["corrupted"] += 1
+        else:
+            tally["dropped"] += 1
+    return tally
+
+
+def main() -> None:
+    n_packets = int(sys.argv[1]) if len(sys.argv) > 1 else 2000
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 3
+
+    print(f"Transmitting {n_packets} packets per type over a stormy channel\n")
+    print(f"{'type':>5s} {'delivered':>10s} {'retransmit':>11s} "
+          f"{'dropped':>8s} {'CRC escapes':>12s}")
+    for ptype in PacketType:
+        tally = run_type(ptype, n_packets, seed)
+        print(f"{ptype.value:>5s} {tally['delivered']:>10d} {tally['retx']:>11d} "
+              f"{tally['dropped']:>8d} {tally['corrupted']:>12d}")
+
+    print(
+        "\nReading the table: DMx types (FEC) need fewer retransmissions\n"
+        "than their DHx siblings, but all types drop payloads when a\n"
+        "burst outlives the ARQ retry window - the packet losses the\n"
+        "paper observed despite the Baseband's error control (its 'Data\n"
+        "Transfer' failure group)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Dependability improvement study (the paper's §5, Table 4).
+
+Usage::
+
+    python examples/dependability_improvement.py [hours] [seed]
+
+Runs two campaigns — one plain, one with the three masking strategies
+integrated — and estimates the four usage scenarios: a user who reboots
+on every failure, a user who tries an application restart first, the
+automated SIRA cascade, and SIRAs plus masking.  Prints Table 4 and the
+headline improvement percentages.
+"""
+
+import sys
+
+from repro import run_campaign
+from repro.core.dependability import build_dependability_report
+from repro.core.sira_analysis import build_sira_table
+from repro.recovery.masking import MaskingPolicy
+from repro.reporting import render_dependability_table, render_sira_table
+
+
+def main() -> None:
+    hours = float(sys.argv[1]) if len(sys.argv) > 1 else 24.0
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 21
+
+    print(f"Campaign 1/2: masking OFF ({hours:.0f} h, seed {seed})...")
+    baseline = run_campaign(duration=hours * 3600.0, seed=seed)
+    print(f"Campaign 2/2: masking ON  ({hours:.0f} h, seed {seed + 1})...")
+    masked = run_campaign(
+        duration=hours * 3600.0, seed=seed + 1, masking=MaskingPolicy.all_on()
+    )
+
+    # --- Table 3: which SIRA fixes what -------------------------------
+    table3 = build_sira_table(baseline.unmasked_failures())
+    print()
+    print(render_sira_table(table3))
+    print(f"\nFailure-mode coverage (SIRA 1-3): {table3.coverage():.1f}% "
+          "(paper: 58.4%)")
+
+    # --- Table 4: the four scenarios -----------------------------------
+    report = build_dependability_report(
+        baseline.unmasked_failures(),
+        masked.unmasked_failures(),
+        masked.masked_count(),
+    )
+    print()
+    print(render_dependability_table(report))
+
+    masked_total = masked.masked_count() + len(masked.unmasked_failures())
+    print()
+    print(f"Masked incidents: {masked.masked_count()}/{masked_total} "
+          f"({100.0 * masked.masked_count() / masked_total:.1f}%; paper: 58%)")
+    print(f"Availability improvement vs reboot-only:    "
+          f"{report.availability_improvement_vs_reboot:6.1f}%  (paper: up to 36.6%)")
+    print(f"Availability improvement vs app-restart:    "
+          f"{report.availability_improvement_vs_app_restart:6.2f}%  (paper: 3.64%)")
+    print(f"Reliability (MTTF) improvement:             "
+          f"{report.reliability_improvement:6.0f}%  (paper: 202%)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Error-failure relationship study (the paper's §4 analysis).
+
+Usage::
+
+    python examples/error_failure_analysis.py [hours] [seed]
+
+Runs a campaign, then walks the full merge-and-coalesce pipeline by
+hand: merges one node's Test and System logs with the NAP's log, sweeps
+the coalescence window to find the knee (fig. 2), mines the
+error-failure relationship (Table 2), and prints what each user failure
+is most strongly related to — the evidence the paper's masking
+strategies were designed from.
+"""
+
+import sys
+
+from repro import run_campaign
+from repro.core.coalescence import coalesce, sensitivity_analysis
+from repro.core.failure_model import UserFailureType
+from repro.core.merge import merge_node_logs
+from repro.core.relationship import build_relationship_table
+from repro.reporting import format_bar_chart, render_relationship_table
+
+
+def main() -> None:
+    hours = float(sys.argv[1]) if len(sys.argv) > 1 else 24.0
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 11
+
+    print(f"Running campaign ({hours:.0f} h, seed {seed})...")
+    result = run_campaign(duration=hours * 3600.0, seed=seed)
+    repo = result.repository
+    pairs = result.node_nap_pairs()
+
+    # --- Step 1+2: merge one node's logs, sweep the window (fig. 2) ----
+    node, nap = max(
+        pairs, key=lambda p: len(repo.test_records(node=p[0]))
+    )
+    merged = merge_node_logs(repo, node, nap)
+    print(f"\nMerged log of {node}: {len(merged)} entries "
+          f"(user reports + local system log + NAP system log)")
+
+    sweep = sensitivity_analysis(merged)
+    series = [(f"{p.window:>6.0f}s", p.tuples_pct) for p in sweep.points]
+    print()
+    print(format_bar_chart(series, title="Tuples (% of entries) vs window"))
+    print(f"knee at ~{sweep.knee_window:.0f} s (paper selected 330 s)")
+
+    tuples = coalesce(merged, 330.0)
+    multi = sum(1 for t in tuples if len(t) > 1)
+    print(f"330 s window -> {len(tuples)} tuples ({multi} with >1 entry)")
+
+    # --- Step 3: mine the relationship over all nodes (Table 2) --------
+    table = build_relationship_table(repo, pairs)
+    print()
+    print(render_relationship_table(table))
+
+    print("\nStrongest cause per user failure:")
+    for failure in UserFailureType:
+        cause = table.strongest_cause(failure)
+        if cause is not None:
+            print(f"  {failure.value:<28s} -> {cause}")
+
+    print("\nShare of user failures per component (Total row, folded):")
+    for component, share in sorted(
+        table.component_totals().items(), key=lambda kv: -kv[1]
+    ):
+        print(f"  {component:<10s} {share:5.1f}%")
+
+
+if __name__ == "__main__":
+    main()

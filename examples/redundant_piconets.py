@@ -1,0 +1,76 @@
+"""Redundant overlapped piconets — the paper's future-work proposal, run.
+
+Usage::
+
+    python examples/redundant_piconets.py [hours] [seed]
+
+The paper closes §5 warning that an MTTF of ~30 minutes "represents a
+major reliability issue in all those scenarios in which piconets are
+permanently deployed and used continuously, such as wireless remote
+control systems for robots, and aircraft maintenance systems", and
+recommends "using redundant, overlapped piconets, other than SIRAs and
+masking".
+
+This example runs the random-workload testbed twice — once plain, once
+with every PANU in range of two NAPs — and quantifies the gain both
+ways: live (failovers actually performed) and by replaying the plain
+run's failure stream with failovers substituted (noise-free, same
+failures).
+"""
+
+import sys
+
+from repro.core.campaign import run_campaign
+from repro.core.dependability import compute_scenario
+from repro.core.sira_analysis import record_severity
+from repro.extensions import FAILOVER_ACTION, run_redundant_campaign
+from repro.extensions.redundant import failover_replay_mttr
+from repro.reporting import format_table
+
+
+def main() -> None:
+    hours = float(sys.argv[1]) if len(sys.argv) > 1 else 12.0
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 77
+
+    print(f"Plain testbed     ({hours:.0f} h, seed {seed})...")
+    plain = run_campaign(duration=hours * 3600.0, seed=seed, workloads=("random",))
+    print(f"Redundant testbed ({hours:.0f} h, seed {seed})...")
+    redundant = run_redundant_campaign(duration=hours * 3600.0, seed=seed)
+
+    plain_records = plain.unmasked_failures()
+    plain_metrics = compute_scenario(plain_records, "siras")
+    replay_mttr = failover_replay_mttr(plain_records)
+    replay_avail = plain_metrics.mttf / (plain_metrics.mttf + replay_mttr)
+    red_metrics = compute_scenario(redundant.unmasked_failures(), "siras")
+
+    print()
+    print(format_table(
+        ["Configuration", "MTTF (s)", "MTTR (s)", "Availability"],
+        [
+            ["single piconet", f"{plain_metrics.mttf:.0f}",
+             f"{plain_metrics.mttr:.1f}", f"{plain_metrics.availability:.4f}"],
+            ["redundant (same-stream replay)", f"{plain_metrics.mttf:.0f}",
+             f"{replay_mttr:.1f}", f"{replay_avail:.4f}"],
+            ["redundant (live)", f"{red_metrics.mttf:.0f}",
+             f"{red_metrics.mttr:.1f}", f"{red_metrics.availability:.4f}"],
+        ],
+        title="Redundant overlapped piconets",
+    ))
+
+    bed = redundant.testbeds["random"]
+    records = redundant.unmasked_failures()
+    failover_count = sum(1 for r in records if r.recovered_by == FAILOVER_ACTION)
+    deep = sum(1 for r in records if (record_severity(r) or 0) > 3)
+    print()
+    print(f"Live failovers: {bed.total_failovers()} "
+          f"({failover_count} recorded reports, ~2 s each)")
+    print(f"Failures too deep for redundancy (app/OS damage): {deep} "
+          "-> SIRA cascade")
+    print("\nConclusion: a second overlapped piconet absorbs the "
+          "link/stack-scoped failure mass in seconds, but host-level "
+          "damage still needs SIRAs - redundancy complements, not "
+          "replaces, the paper's recovery machinery.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""repro — reproduction of "Collecting and Analyzing Failure Data of
+Bluetooth Personal Area Networks" (Cinque, Cotroneo, Russo; DSN 2006).
+
+The package simulates the paper's two Bluetooth PAN testbeds end to end
+— protocol stack, radio channel, fault injection, BlueTest workloads,
+log collection — and re-implements the paper's analysis pipeline on the
+generated failure data: merge-and-coalesce, failure classification,
+error-failure relationships (Table 2), SIRA effectiveness (Table 3),
+dependability improvement (Table 4) and the §6 failure distributions.
+
+Quickstart::
+
+    from repro import run_campaign, build_relationship_table
+    from repro.reporting import render_relationship_table
+
+    result = run_campaign(duration=86_400, seed=7)
+    table = build_relationship_table(result.repository, result.node_nap_pairs())
+    print(render_relationship_table(table))
+"""
+
+from .core import (
+    CampaignResult,
+    DAY,
+    DependabilityReport,
+    FailureModel,
+    PAPER_WINDOW,
+    RelationshipTable,
+    SiraTable,
+    SystemFailureType,
+    UserFailureType,
+    build_dependability_report,
+    build_relationship_table,
+    build_sira_table,
+    coalesce,
+    run_campaign,
+    run_connection_length_experiment,
+    sensitivity_analysis,
+)
+from .core.scorecard import Scorecard, evaluate as evaluate_scorecard
+from .core.summary import AnalysisSummary, summarize_repository
+from .recovery import MaskingPolicy, RecoveryEngine
+from .sim import RandomStreams, Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "run_campaign",
+    "run_connection_length_experiment",
+    "CampaignResult",
+    "DAY",
+    "FailureModel",
+    "UserFailureType",
+    "SystemFailureType",
+    "RelationshipTable",
+    "build_relationship_table",
+    "SiraTable",
+    "build_sira_table",
+    "DependabilityReport",
+    "build_dependability_report",
+    "coalesce",
+    "sensitivity_analysis",
+    "PAPER_WINDOW",
+    "MaskingPolicy",
+    "RecoveryEngine",
+    "Simulator",
+    "RandomStreams",
+    "Scorecard",
+    "evaluate_scorecard",
+    "AnalysisSummary",
+    "summarize_repository",
+]

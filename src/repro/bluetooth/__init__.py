@@ -1,0 +1,87 @@
+"""From-scratch simulated Bluetooth protocol stack (v1.1-era, PAN profile)."""
+
+from .packets import (
+    AclPacket,
+    PACKET_SPECS,
+    PACKET_TYPE_ORDER,
+    PacketType,
+    effective_throughput,
+    packets_needed,
+    segment,
+)
+from .channel import Channel, ChannelConfig, PathLoss
+from .baseband import Baseband, TransferStatus, TxStatus, sample_transfer
+from .errors import (
+    BTError,
+    BindError,
+    ConnectError,
+    DataMismatchError,
+    InquiryScanError,
+    NapNotFoundError,
+    PacketLossError,
+    PanConnectError,
+    SdpSearchError,
+    SwitchRoleCommandError,
+    SwitchRoleRequestError,
+    PACKET_LOSS_TIMEOUT,
+)
+from .hci import HciLayer
+from .l2cap import L2capLayer, PSM_BNEP, PSM_SDP
+from .lmp import LmpLayer
+from .sdp import SdpClient, SdpServer, ServiceRecord, UUID_NAP, make_nap_record
+from .bnep import BNEP_MTU, BnepLayer
+from .host import HostOs
+from .pan import NapService, PanConnection, PanProfile, Piconet
+from .stack import BluetoothStack
+from .transport import BcspTransport, UartTransport, UsbTransport, make_transport
+
+__all__ = [
+    "AclPacket",
+    "PacketType",
+    "PACKET_SPECS",
+    "PACKET_TYPE_ORDER",
+    "segment",
+    "packets_needed",
+    "effective_throughput",
+    "Channel",
+    "ChannelConfig",
+    "PathLoss",
+    "Baseband",
+    "TxStatus",
+    "TransferStatus",
+    "sample_transfer",
+    "BTError",
+    "InquiryScanError",
+    "SdpSearchError",
+    "NapNotFoundError",
+    "ConnectError",
+    "PanConnectError",
+    "BindError",
+    "SwitchRoleRequestError",
+    "SwitchRoleCommandError",
+    "PacketLossError",
+    "DataMismatchError",
+    "PACKET_LOSS_TIMEOUT",
+    "HciLayer",
+    "L2capLayer",
+    "PSM_SDP",
+    "PSM_BNEP",
+    "LmpLayer",
+    "SdpClient",
+    "SdpServer",
+    "ServiceRecord",
+    "UUID_NAP",
+    "make_nap_record",
+    "BnepLayer",
+    "BNEP_MTU",
+    "HostOs",
+    "Piconet",
+    "NapService",
+    "PanConnection",
+    "PanProfile",
+    "BluetoothStack",
+    "BcspTransport",
+    "UartTransport",
+    "UsbTransport",
+    "make_transport",
+]

@@ -1,0 +1,174 @@
+"""Bluetooth Network Encapsulation Protocol (BNEP).
+
+BNEP encapsulates Ethernet (and thus IP) frames into L2CAP packets,
+exposing a virtual network interface (``bnep0``) to the host OS.  The
+interface has a *lifecycle*: after the L2CAP channel opens, the BNEP
+connection is added and the OS hotplug machinery must configure the
+interface before an IP socket can bind it — the T_C / T_H race behind
+"Bind failed" (paper §4).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.collection.logs import SystemLog
+from repro.core.failure_model import SystemFailureType
+from .l2cap import L2capChannel
+
+#: The BNEP MTU — 1691 bytes (the value the paper fixes L_S/L_R to in
+#: the connection-length experiment of figure 3b).
+BNEP_MTU = 1691
+#: BNEP protocol overhead per Ethernet frame (header + control).
+BNEP_HEADER = 15
+
+
+class InterfaceState(enum.Enum):
+    """Lifecycle of the bnepN virtual network interface."""
+
+    ABSENT = "absent"  # no bnep0 device exists
+    CREATED = "created"  # connection added, not yet configured
+    CONFIGURED = "configured"  # hotplug has brought it up; bindable
+
+
+@dataclass
+class BnepInterface:
+    """The virtual ``bnepN`` network interface of one PAN connection."""
+
+    name: str
+    channel: L2capChannel
+    state: InterfaceState = InterfaceState.CREATED
+    frames_sent: int = 0
+
+    @property
+    def bindable(self) -> bool:
+        return self.state is InterfaceState.CONFIGURED
+
+
+class BnepLayer:
+    """BNEP connection manager of one host."""
+
+    def __init__(self, system_log: SystemLog) -> None:
+        self._log = system_log
+        self._counter = 0
+        self.interface: Optional[BnepInterface] = None
+
+    def add_connection(self, channel: L2capChannel) -> BnepInterface:
+        """Add a BNEP connection over an open L2CAP channel.
+
+        Creates the ``bnepN`` interface in CREATED state; the host's
+        hotplug machinery is responsible for moving it to CONFIGURED.
+        Fails (logging the characteristic error) when an interface is
+        already occupied.
+        """
+        if self.interface is not None and self.interface.state is not InterfaceState.ABSENT:
+            self._log.error(SystemFailureType.BNEP, "occupied")
+            raise BnepError("bnep device occupied")
+        interface = BnepInterface(name=f"bnep{self._counter}", channel=channel)
+        self._counter += 1
+        self.interface = interface
+        return interface
+
+    def remove_connection(self) -> None:
+        """Tear the BNEP connection down (idempotent)."""
+        if self.interface is not None:
+            self.interface.state = InterfaceState.ABSENT
+            self.interface = None
+
+    def frames_for(self, payload_len: int) -> int:
+        """Ethernet frames needed for ``payload_len`` bytes of user data."""
+        usable = BNEP_MTU - BNEP_HEADER
+        if payload_len <= 0:
+            return 1
+        return -(-payload_len // usable)
+
+    def reset(self) -> None:
+        self.remove_connection()
+        self._counter = 0
+
+
+class BnepError(Exception):
+    """BNEP-layer operation failed."""
+
+
+# ---------------------------------------------------------------------------
+# Frame encapsulation (BNEP v1.0 packet formats)
+# ---------------------------------------------------------------------------
+
+#: BNEP packet type values (Bluetooth PAN profile spec).
+GENERAL_ETHERNET = 0x00
+COMPRESSED_ETHERNET = 0x02
+
+_MAC_LEN = 6
+
+
+def encapsulate(
+    payload: bytes,
+    protocol: int = 0x0800,  # IPv4
+    src: bytes = b"\x00" * _MAC_LEN,
+    dst: bytes = b"\x00" * _MAC_LEN,
+    compressed: bool = True,
+) -> bytes:
+    """Build a BNEP frame around an IP ``payload``.
+
+    Compressed-Ethernet frames omit both MAC addresses (they are implied
+    by the L2CAP channel) — the common case on a PAN link; General-
+    Ethernet frames carry both.
+    """
+    if not 0 <= protocol <= 0xFFFF:
+        raise ValueError(f"protocol out of range: {protocol:#x}")
+    if len(src) != _MAC_LEN or len(dst) != _MAC_LEN:
+        raise ValueError("MAC addresses must be 6 bytes")
+    proto = protocol.to_bytes(2, "big")
+    if compressed:
+        header = bytes([COMPRESSED_ETHERNET]) + proto
+    else:
+        header = bytes([GENERAL_ETHERNET]) + dst + src + proto
+    frame = header + payload
+    if len(frame) > BNEP_MTU:
+        raise ValueError(f"frame of {len(frame)} B exceeds the BNEP MTU")
+    return frame
+
+
+def decapsulate(frame: bytes) -> dict:
+    """Parse a BNEP frame; returns type/protocol/addresses/payload.
+
+    Raises :class:`BnepError` on malformed frames.
+    """
+    if not frame:
+        raise BnepError("empty BNEP frame")
+    packet_type = frame[0] & 0x7F
+    if packet_type == COMPRESSED_ETHERNET:
+        if len(frame) < 3:
+            raise BnepError("truncated compressed-ethernet frame")
+        return {
+            "type": COMPRESSED_ETHERNET,
+            "protocol": int.from_bytes(frame[1:3], "big"),
+            "src": None,
+            "dst": None,
+            "payload": frame[3:],
+        }
+    if packet_type == GENERAL_ETHERNET:
+        header_len = 1 + 2 * _MAC_LEN + 2
+        if len(frame) < header_len:
+            raise BnepError("truncated general-ethernet frame")
+        return {
+            "type": GENERAL_ETHERNET,
+            "dst": frame[1 : 1 + _MAC_LEN],
+            "src": frame[1 + _MAC_LEN : 1 + 2 * _MAC_LEN],
+            "protocol": int.from_bytes(frame[13:15], "big"),
+            "payload": frame[15:],
+        }
+    raise BnepError(f"unsupported BNEP packet type {packet_type:#x}")
+
+
+__all__ = [
+    "BnepLayer",
+    "BnepInterface",
+    "BnepError",
+    "InterfaceState",
+    "BNEP_MTU",
+    "BNEP_HEADER",
+]

@@ -1,0 +1,124 @@
+"""Typed errors raised by the simulated Bluetooth stack.
+
+Every error that a workload can observe maps onto one user-level
+failure type of the failure model (Table 1).  The *system-level*
+evidence of the error is not carried on the exception: stack layers
+write their own entries to the node's system log as the error unfolds,
+exactly as BlueZ/Broadcom components log independently on a real host.
+The analysis pipeline later has to rediscover the error-failure
+relationship from the two logs — it gets no oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.failure_model import UserFailureType
+
+
+class BTError(Exception):
+    """Base class of all simulated Bluetooth failures."""
+
+    #: User-level failure type this error manifests as (None on the base
+    #: class, which is only used for protocol-invariant violations).
+    user_failure: Optional[UserFailureType] = None
+
+    def __init__(self, detail: str = "", scope: Optional[int] = None) -> None:
+        label = self.user_failure.value if self.user_failure else "bluetooth error"
+        super().__init__(detail or label)
+        self.detail = detail
+        #: Damage depth (1..7): the minimal recovery-action level that can
+        #: clear the underlying damage.  Hidden from the workload and the
+        #: analysis; consumed only by the recovery engine's success check.
+        self.scope = scope if scope is not None else 1
+
+
+class InquiryScanError(BTError):
+    """The inquiry procedure terminated abnormally."""
+
+    user_failure = UserFailureType.INQUIRY_SCAN_FAILED
+
+
+class SdpSearchError(BTError):
+    """The SDP search transaction terminated abnormally."""
+
+    user_failure = UserFailureType.SDP_SEARCH_FAILED
+
+
+class NapNotFoundError(BTError):
+    """SDP completed but did not return the NAP service record."""
+
+    user_failure = UserFailureType.NAP_NOT_FOUND
+
+
+class ConnectError(BTError):
+    """L2CAP connection establishment with the NAP failed."""
+
+    user_failure = UserFailureType.CONNECT_FAILED
+
+
+class PanConnectError(BTError):
+    """The BNEP/PAN connection could not be established."""
+
+    user_failure = UserFailureType.PAN_CONNECT_FAILED
+
+
+class BindError(BTError):
+    """An IP socket could not bind the BNEP network interface."""
+
+    user_failure = UserFailureType.BIND_FAILED
+
+
+class SwitchRoleRequestError(BTError):
+    """The master/slave switch request never reached the master."""
+
+    user_failure = UserFailureType.SW_ROLE_REQUEST_FAILED
+
+
+class SwitchRoleCommandError(BTError):
+    """The switch request was accepted but the command completed abnormally."""
+
+    user_failure = UserFailureType.SW_ROLE_COMMAND_FAILED
+
+
+class PacketLossError(BTError):
+    """An expected packet never arrived (30 s receive timeout)."""
+
+    user_failure = UserFailureType.PACKET_LOSS
+
+    def __init__(
+        self,
+        detail: str = "",
+        scope: Optional[int] = None,
+        packets_sent: int = 0,
+    ) -> None:
+        super().__init__(detail, scope)
+        #: Number of packets successfully exchanged before the loss —
+        #: the "connection length" of figure 3b.
+        self.packets_sent = packets_sent
+
+
+class DataMismatchError(BTError):
+    """A packet arrived with corrupted content despite CRC/FEC."""
+
+    user_failure = UserFailureType.DATA_MISMATCH
+
+
+#: Receive timeout after which a missing packet is declared lost (paper, Table 1).
+PACKET_LOSS_TIMEOUT = 30.0
+
+
+__all__ = [
+    "BTError",
+    "InquiryScanError",
+    "SdpSearchError",
+    "NapNotFoundError",
+    "ConnectError",
+    "PanConnectError",
+    "BindError",
+    "SwitchRoleRequestError",
+    "SwitchRoleCommandError",
+    "PacketLossError",
+    "DataMismatchError",
+    "PACKET_LOSS_TIMEOUT",
+]

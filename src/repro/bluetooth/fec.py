@@ -1,0 +1,168 @@
+"""Forward error correction codes of the Bluetooth Baseband.
+
+Two codes exist in the Baseband:
+
+* **Rate 1/3** — each header bit repeated three times; majority decoding.
+  Used for the 18-bit packet header of every packet.
+* **Rate 2/3** — a (15, 10) shortened Hamming code: every block of 10
+  information bits is encoded into 15 bits.  It corrects all single bit
+  errors and detects all double errors in each block.  Used for the
+  payload of DM1/DM3/DM5 packets.
+
+The generator polynomial of the (15,10) code is
+``g(D) = (D + 1)(D^4 + D + 1) = D^5 + D^4 + D^2 + 1`` (0b110101), per the
+Bluetooth core specification v1.1 — the version the paper's devices run.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+_GEN = 0b110101  # g(D) = D^5 + D^4 + D^2 + 1
+_PARITY_BITS = 5
+_INFO_BITS = 10
+_BLOCK_BITS = _INFO_BITS + _PARITY_BITS
+
+
+def _poly_mod(value: int, width: int) -> int:
+    """Remainder of ``value`` (a bit-polynomial) modulo the generator."""
+    for shift in range(width - 1, _PARITY_BITS - 1, -1):
+        if value & (1 << shift):
+            value ^= _GEN << (shift - _PARITY_BITS)
+    return value
+
+
+def encode_block(info: int) -> int:
+    """Encode 10 information bits into a 15-bit systematic codeword."""
+    if not 0 <= info < (1 << _INFO_BITS):
+        raise ValueError(f"info word out of range: {info}")
+    shifted = info << _PARITY_BITS
+    parity = _poly_mod(shifted, _BLOCK_BITS)
+    return shifted | parity
+
+
+def _build_syndrome_table() -> dict:
+    """Map syndrome -> single-bit error position (0 = LSB of codeword)."""
+    table = {}
+    for pos in range(_BLOCK_BITS):
+        err = 1 << pos
+        syndrome = _poly_mod(err, _BLOCK_BITS)
+        table[syndrome] = pos
+    return table
+
+
+_SYNDROMES = _build_syndrome_table()
+
+
+def decode_block(codeword: int) -> Tuple[int, bool]:
+    """Decode a 15-bit codeword.
+
+    Returns ``(info, ok)``.  Single-bit errors are corrected
+    transparently.  Multi-bit errors either produce an unknown syndrome
+    (``ok=False``) or are *miscorrected* into a wrong but valid word —
+    exactly the behaviour that lets correlated bursts defeat the FEC, as
+    the paper observes for "Data mismatch" failures.
+    """
+    if not 0 <= codeword < (1 << _BLOCK_BITS):
+        raise ValueError(f"codeword out of range: {codeword}")
+    syndrome = _poly_mod(codeword, _BLOCK_BITS)
+    if syndrome == 0:
+        return codeword >> _PARITY_BITS, True
+    pos = _SYNDROMES.get(syndrome)
+    if pos is None:
+        # Detected but uncorrectable error pattern.
+        return codeword >> _PARITY_BITS, False
+    corrected = codeword ^ (1 << pos)
+    return corrected >> _PARITY_BITS, True
+
+
+def bits_from_bytes(data: bytes) -> List[int]:
+    """Explode bytes into a list of bits, MSB first."""
+    bits = []
+    for byte in data:
+        for shift in range(7, -1, -1):
+            bits.append((byte >> shift) & 1)
+    return bits
+
+
+def bytes_from_bits(bits: List[int]) -> bytes:
+    """Pack a bit list (MSB first) back into bytes; pads the tail with 0."""
+    out = bytearray()
+    for start in range(0, len(bits), 8):
+        byte = 0
+        chunk = bits[start : start + 8]
+        for bit in chunk:
+            byte = (byte << 1) | (bit & 1)
+        byte <<= 8 - len(chunk)
+        out.append(byte)
+    return bytes(out)
+
+
+def encode_rate23(data: bytes) -> List[int]:
+    """Encode a byte payload with the (15,10) code.
+
+    Returns the list of 15-bit codewords.  The final block is
+    zero-padded, as the Baseband does.
+    """
+    bits = bits_from_bytes(data)
+    while len(bits) % _INFO_BITS:
+        bits.append(0)
+    blocks = []
+    for start in range(0, len(bits), _INFO_BITS):
+        info = 0
+        for bit in bits[start : start + _INFO_BITS]:
+            info = (info << 1) | bit
+        blocks.append(encode_block(info))
+    return blocks
+
+
+def decode_rate23(blocks: List[int], payload_len: int) -> Tuple[bytes, bool]:
+    """Decode codeword blocks back to ``payload_len`` bytes.
+
+    Returns ``(payload, ok)`` where ``ok`` is False if any block had a
+    detected-uncorrectable error.
+    """
+    bits: List[int] = []
+    ok = True
+    for block in blocks:
+        info, block_ok = decode_block(block)
+        ok = ok and block_ok
+        for shift in range(_INFO_BITS - 1, -1, -1):
+            bits.append((info >> shift) & 1)
+    return bytes_from_bits(bits)[:payload_len], ok
+
+
+def encode_rate13(bits: List[int]) -> List[int]:
+    """Rate-1/3 repetition encode (header FEC)."""
+    out: List[int] = []
+    for bit in bits:
+        out.extend((bit, bit, bit))
+    return out
+
+
+def decode_rate13(coded: List[int]) -> List[int]:
+    """Majority-vote decode of a rate-1/3 stream."""
+    if len(coded) % 3:
+        raise ValueError("rate-1/3 stream length must be a multiple of 3")
+    out = []
+    for start in range(0, len(coded), 3):
+        triple = coded[start : start + 3]
+        out.append(1 if sum(triple) >= 2 else 0)
+    return out
+
+
+BLOCK_BITS = _BLOCK_BITS
+INFO_BITS = _INFO_BITS
+
+__all__ = [
+    "encode_block",
+    "decode_block",
+    "encode_rate23",
+    "decode_rate23",
+    "encode_rate13",
+    "decode_rate13",
+    "bits_from_bytes",
+    "bytes_from_bits",
+    "BLOCK_BITS",
+    "INFO_BITS",
+]

@@ -1,0 +1,139 @@
+"""Host Controller Interface (HCI) layer.
+
+The HCI is the API boundary between host software and the Baseband
+controller: commands go down, events come back, and data flows through
+*connection handles*.  Its two characteristic failures (Table 1) are a
+timeout transmitting a command to the firmware, and a command issued
+for an unknown (stale) connection handle — both of which this layer
+detects and logs itself, as the BlueZ ``hcid`` does.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Dict, Generator, Optional
+
+from repro.collection.logs import SystemLog
+from repro.core.failure_model import SystemFailureType
+from repro.sim import Timeout
+from .transport import Transport
+
+
+class HciCommandError(Exception):
+    """An HCI command failed at the HCI layer (timeout / bad handle)."""
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+class ConnectionState(enum.Enum):
+    """Lifecycle of one ACL connection handle."""
+
+    CONNECTING = "connecting"
+    CONNECTED = "connected"
+    DISCONNECTING = "disconnecting"
+    CLOSED = "closed"
+
+
+@dataclass
+class HciConnection:
+    """One ACL connection tracked by its HCI handle."""
+
+    handle: int
+    peer: str
+    state: ConnectionState = ConnectionState.CONNECTING
+
+
+#: Default HCI command timeout — BlueZ uses 10 s for most commands.
+COMMAND_TIMEOUT = 10.0
+#: Latency of a successfully completed command round-trip.
+COMMAND_LATENCY = 0.020
+
+
+class HciLayer:
+    """HCI command/event engine of one host."""
+
+    def __init__(
+        self,
+        system_log: SystemLog,
+        transport: Transport,
+        rng: random.Random,
+    ) -> None:
+        self._log = system_log
+        self._transport = transport
+        self._rng = rng
+        self._handles = itertools.count(1)
+        self.connections: Dict[int, HciConnection] = {}
+        self.commands_completed = 0
+        self.command_timeouts = 0
+        self.invalid_handle_errors = 0
+
+    # -- command path -------------------------------------------------------
+
+    def command(
+        self, opcode: str, handle: Optional[int] = None
+    ) -> Generator:
+        """Issue one HCI command; yields simulated time, returns nothing.
+
+        Raises :class:`HciCommandError` when the referenced connection
+        handle is unknown (and logs the characteristic error line).
+        """
+        if handle is not None and handle not in self.connections:
+            self.invalid_handle_errors += 1
+            self._log.error(SystemFailureType.HCI, "invalid_handle")
+            raise HciCommandError(f"unknown connection handle {handle}")
+        yield Timeout(self._transport.send_command() + COMMAND_LATENCY)
+        self.commands_completed += 1
+        return None
+
+    def fail_command_timeout(self) -> Generator:
+        """Simulate a command that never reaches the firmware.
+
+        Waits the full command timeout, logs the HCI error and raises.
+        """
+        self.command_timeouts += 1
+        yield Timeout(COMMAND_TIMEOUT)
+        self._log.error(SystemFailureType.HCI, "timeout")
+        raise HciCommandError("command tx timeout")
+
+    # -- connection bookkeeping ------------------------------------------------
+
+    def open_connection(self, peer: str) -> HciConnection:
+        """Allocate a handle for a new ACL connection to ``peer``."""
+        connection = HciConnection(handle=next(self._handles), peer=peer)
+        self.connections[connection.handle] = connection
+        return connection
+
+    def complete_connection(self, handle: int) -> None:
+        """Mark an ACL connection as established."""
+        self.connections[handle].state = ConnectionState.CONNECTED
+
+    def close_connection(self, handle: int) -> None:
+        """Release a connection handle (idempotent)."""
+        connection = self.connections.pop(handle, None)
+        if connection is not None:
+            connection.state = ConnectionState.CLOSED
+
+    def valid_handle(self, handle: int) -> bool:
+        connection = self.connections.get(handle)
+        return connection is not None and connection.state is ConnectionState.CONNECTED
+
+    def reset(self) -> None:
+        """Drop every connection and counter (BT stack reset)."""
+        for handle in list(self.connections):
+            self.close_connection(handle)
+        self.connections.clear()
+
+
+__all__ = [
+    "HciLayer",
+    "HciConnection",
+    "HciCommandError",
+    "ConnectionState",
+    "COMMAND_TIMEOUT",
+    "COMMAND_LATENCY",
+]

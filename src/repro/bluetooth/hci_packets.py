@@ -1,0 +1,244 @@
+"""Byte-level HCI packet encoding/decoding (UART transport layer H4).
+
+The Host Controller Interface defines a binary packet format carried
+over the host transport: command packets (opcode = OGF/OCF, parameter
+block), event packets (event code, parameters), and ACL data packets
+(handle + flags, payload).  The simulated stack works at the operation
+level for speed, but the codecs here are exact — they are what the
+bit-accurate path and the tests use, and what makes the HCI layer's
+"command for unknown connection handle" failure a real, parseable
+artefact rather than a string.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+#: H4 packet-type indicator bytes.
+H4_COMMAND = 0x01
+H4_ACL_DATA = 0x02
+H4_EVENT = 0x04
+
+
+class Ogf(enum.IntEnum):
+    """Opcode Group Fields used by the PAN path."""
+
+    LINK_CONTROL = 0x01
+    LINK_POLICY = 0x02
+    CONTROLLER = 0x03
+    INFORMATIONAL = 0x04
+
+
+class Ocf(enum.IntEnum):
+    """Opcode Command Fields (subset used by this stack)."""
+
+    INQUIRY = 0x0001
+    CREATE_CONNECTION = 0x0005
+    DISCONNECT = 0x0006
+    SWITCH_ROLE = 0x000B  # link-policy group
+    RESET = 0x0003  # controller group
+
+
+class EventCode(enum.IntEnum):
+    """HCI event codes (subset)."""
+
+    INQUIRY_COMPLETE = 0x01
+    CONNECTION_COMPLETE = 0x03
+    DISCONNECTION_COMPLETE = 0x05
+    COMMAND_COMPLETE = 0x0E
+    COMMAND_STATUS = 0x0F
+    ROLE_CHANGE = 0x12
+
+
+class HciStatus(enum.IntEnum):
+    """HCI status/error codes (subset the failure model touches)."""
+
+    SUCCESS = 0x00
+    UNKNOWN_CONNECTION = 0x02  # "command for unknown connection handle"
+    HARDWARE_FAILURE = 0x03
+    PAGE_TIMEOUT = 0x04
+    CONNECTION_TIMEOUT = 0x08
+    COMMAND_DISALLOWED = 0x0C
+
+
+def make_opcode(ogf: int, ocf: int) -> int:
+    """Pack OGF (6 bits) and OCF (10 bits) into a 16-bit opcode."""
+    if not 0 <= ogf < (1 << 6):
+        raise ValueError(f"OGF out of range: {ogf}")
+    if not 0 <= ocf < (1 << 10):
+        raise ValueError(f"OCF out of range: {ocf}")
+    return (ogf << 10) | ocf
+
+
+def split_opcode(opcode: int) -> "tuple[int, int]":
+    """Inverse of :func:`make_opcode`: returns (ogf, ocf)."""
+    if not 0 <= opcode <= 0xFFFF:
+        raise ValueError(f"opcode out of range: {opcode}")
+    return opcode >> 10, opcode & 0x03FF
+
+
+@dataclass(frozen=True)
+class CommandPacket:
+    """One HCI command packet."""
+
+    opcode: int
+    parameters: bytes = b""
+
+    def encode(self) -> bytes:
+        """Serialise to the H4 wire format."""
+        if len(self.parameters) > 0xFF:
+            raise ValueError("HCI command parameters exceed 255 bytes")
+        return (
+            bytes([H4_COMMAND])
+            + self.opcode.to_bytes(2, "little")
+            + bytes([len(self.parameters)])
+            + self.parameters
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "CommandPacket":
+        if len(data) < 4 or data[0] != H4_COMMAND:
+            raise ValueError("not an HCI command packet")
+        opcode = int.from_bytes(data[1:3], "little")
+        length = data[3]
+        parameters = data[4:]
+        if len(parameters) != length:
+            raise ValueError(
+                f"command length mismatch: header says {length}, got {len(parameters)}"
+            )
+        return cls(opcode=opcode, parameters=parameters)
+
+
+@dataclass(frozen=True)
+class EventPacket:
+    """One HCI event packet."""
+
+    event: int
+    parameters: bytes = b""
+
+    def encode(self) -> bytes:
+        """Serialise to the H4 wire format."""
+        if len(self.parameters) > 0xFF:
+            raise ValueError("HCI event parameters exceed 255 bytes")
+        return (
+            bytes([H4_EVENT, self.event, len(self.parameters)]) + self.parameters
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "EventPacket":
+        if len(data) < 3 or data[0] != H4_EVENT:
+            raise ValueError("not an HCI event packet")
+        event = data[1]
+        length = data[2]
+        parameters = data[3:]
+        if len(parameters) != length:
+            raise ValueError("event length mismatch")
+        return cls(event=event, parameters=parameters)
+
+
+@dataclass(frozen=True)
+class AclDataPacket:
+    """One HCI ACL data packet (handle + packet-boundary flags)."""
+
+    handle: int
+    pb_flag: int  # 0b10 = start of L2CAP PDU, 0b01 = continuation
+    payload: bytes = b""
+
+    def encode(self) -> bytes:
+        """Serialise to the H4 wire format."""
+        if not 0 <= self.handle < (1 << 12):
+            raise ValueError(f"ACL handle out of range: {self.handle}")
+        if not 0 <= self.pb_flag <= 0b11:
+            raise ValueError(f"PB flag out of range: {self.pb_flag}")
+        word = self.handle | (self.pb_flag << 12)
+        return (
+            bytes([H4_ACL_DATA])
+            + word.to_bytes(2, "little")
+            + len(self.payload).to_bytes(2, "little")
+            + self.payload
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "AclDataPacket":
+        if len(data) < 5 or data[0] != H4_ACL_DATA:
+            raise ValueError("not an HCI ACL data packet")
+        word = int.from_bytes(data[1:3], "little")
+        length = int.from_bytes(data[3:5], "little")
+        payload = data[5:]
+        if len(payload) != length:
+            raise ValueError("ACL length mismatch")
+        return cls(handle=word & 0x0FFF, pb_flag=(word >> 12) & 0b11, payload=payload)
+
+
+# -- convenience builders for the commands the PAN path issues --------------
+
+
+def create_connection(bd_addr: bytes) -> CommandPacket:
+    """HCI_Create_Connection toward ``bd_addr`` (6 bytes)."""
+    if len(bd_addr) != 6:
+        raise ValueError("BD_ADDR must be 6 bytes")
+    # bd_addr, packet types (DM1|DH1|DM3|DH3|DM5|DH5), page scan modes,
+    # clock offset, allow role switch.
+    params = bd_addr + (0xCC18).to_bytes(2, "little") + bytes([0x01, 0x00]) + b"\x00\x00" + b"\x01"
+    return CommandPacket(make_opcode(Ogf.LINK_CONTROL, Ocf.CREATE_CONNECTION), params)
+
+
+def switch_role(bd_addr: bytes, to_master: bool) -> CommandPacket:
+    """HCI_Switch_Role."""
+    if len(bd_addr) != 6:
+        raise ValueError("BD_ADDR must be 6 bytes")
+    return CommandPacket(
+        make_opcode(Ogf.LINK_POLICY, Ocf.SWITCH_ROLE),
+        bd_addr + bytes([0x00 if to_master else 0x01]),
+    )
+
+
+def command_status(status: int, opcode: int) -> EventPacket:
+    """HCI_Command_Status event for ``opcode``."""
+    return EventPacket(
+        EventCode.COMMAND_STATUS,
+        bytes([status, 0x01]) + opcode.to_bytes(2, "little"),
+    )
+
+
+def connection_complete(status: int, handle: int, bd_addr: bytes) -> EventPacket:
+    """HCI_Connection_Complete event."""
+    if len(bd_addr) != 6:
+        raise ValueError("BD_ADDR must be 6 bytes")
+    return EventPacket(
+        EventCode.CONNECTION_COMPLETE,
+        bytes([status]) + handle.to_bytes(2, "little") + bd_addr + bytes([0x01, 0x00]),
+    )
+
+
+def parse_connection_complete(event: EventPacket) -> "tuple[int, int, bytes]":
+    """Returns (status, handle, bd_addr) from a Connection Complete event."""
+    if event.event != EventCode.CONNECTION_COMPLETE:
+        raise ValueError("not a Connection Complete event")
+    params = event.parameters
+    if len(params) < 11:
+        raise ValueError("truncated Connection Complete event")
+    return params[0], int.from_bytes(params[1:3], "little"), params[3:9]
+
+
+__all__ = [
+    "H4_COMMAND",
+    "H4_ACL_DATA",
+    "H4_EVENT",
+    "Ogf",
+    "Ocf",
+    "EventCode",
+    "HciStatus",
+    "make_opcode",
+    "split_opcode",
+    "CommandPacket",
+    "EventPacket",
+    "AclDataPacket",
+    "create_connection",
+    "switch_role",
+    "command_status",
+    "connection_complete",
+    "parse_connection_complete",
+]

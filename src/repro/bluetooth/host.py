@@ -1,0 +1,118 @@
+"""Host operating-system glue: hotplug/HAL and IP sockets.
+
+Two OS services participate in the PAN data path:
+
+* the **hotplug/HAL machinery**, which notices the new ``bnep0`` device
+  and configures it.  The time it needs (T_H) is not synchronised with
+  the PAN-connect API returning — the race behind "Bind failed".  On
+  hosts with the problematic HAL version (Azzurro's Fedora Core, and
+  the Windows box), T_H is heavy-tailed.
+* the **IP socket layer**, where the workload binds a socket to the
+  BNEP interface.
+
+The host also keeps the reboot bookkeeping used by the recovery engine.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Generator, Optional
+
+from repro.collection.logs import SystemLog
+from repro.core.failure_model import SystemFailureType
+from repro.sim import Simulator, Timeout
+from .bnep import BnepInterface, InterfaceState
+
+#: T_H distribution: log-normal.  Normal hosts configure in well under a
+#: second; bind-prone hosts have a fat tail reaching many seconds.
+TH_MU_NORMAL = -1.8  # median ~0.17 s, tight
+TH_SIGMA_NORMAL = 0.20
+TH_MU_PRONE = -1.8  # same median, but a tail that reaches seconds
+TH_SIGMA_PRONE = 0.36
+
+#: Time a bind() call itself takes.
+BIND_DELAY = 0.02
+
+
+class SocketError(Exception):
+    """The IP socket layer refused an operation."""
+
+
+class HostOs:
+    """Hotplug/HAL emulation and socket layer of one host."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        system_log: SystemLog,
+        rng: random.Random,
+        bind_prone: bool = False,
+    ) -> None:
+        self._sim = sim
+        self._log = system_log
+        self._rng = rng
+        self.bind_prone = bind_prone
+        self.reboots = 0
+        self.sockets_bound = 0
+        self.last_th: float = 0.0
+
+    # -- hotplug -----------------------------------------------------------
+
+    def sample_th(self) -> float:
+        """Sample the hotplug configuration time T_H for a new interface."""
+        if self.bind_prone:
+            return self._rng.lognormvariate(TH_MU_PRONE, TH_SIGMA_PRONE)
+        return self._rng.lognormvariate(TH_MU_NORMAL, TH_SIGMA_NORMAL)
+
+    def configure_interface(self, interface: BnepInterface) -> float:
+        """Schedule hotplug configuration of ``interface``.
+
+        Returns the sampled T_H.  The interface flips to CONFIGURED
+        after T_H, unless it was torn down in the meantime.
+        """
+        th = self.sample_th()
+        self.last_th = th
+
+        def complete() -> None:
+            if interface.state is InterfaceState.CREATED:
+                interface.state = InterfaceState.CONFIGURED
+
+        self._sim.schedule(th, complete)
+        return th
+
+    def wait_interface_ready(self, interface: BnepInterface, poll: float = 0.05) -> Generator:
+        """Wait until hotplug has configured ``interface`` (masking aid).
+
+        This is the instrumented-hotplug notification the paper proposes
+        to prevent bind failures: the application blocks until both T_C
+        and T_H have elapsed instead of racing them.
+        """
+        while interface.state is InterfaceState.CREATED:
+            yield Timeout(poll)
+        return None
+
+    # -- sockets -----------------------------------------------------------
+
+    def bind_socket(self, interface: Optional[BnepInterface]) -> Generator:
+        """Bind an IP socket to ``interface``.
+
+        Raises :class:`SocketError` when the interface is missing or not
+        configured yet (the failed bind also makes the HAL daemon's
+        timeout visible in the system log).
+        """
+        yield Timeout(BIND_DELAY)
+        if interface is None or interface.state is InterfaceState.ABSENT:
+            raise SocketError("no bnep interface present")
+        if not interface.bindable:
+            self._log.error(SystemFailureType.HOTPLUG, "timeout")
+            raise SocketError("bnep interface not configured yet")
+        self.sockets_bound += 1
+        return None
+
+    # -- reboot bookkeeping ----------------------------------------------------
+
+    def note_reboot(self) -> None:
+        self.reboots += 1
+
+
+__all__ = ["HostOs", "SocketError", "BIND_DELAY"]

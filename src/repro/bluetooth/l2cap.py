@@ -1,0 +1,230 @@
+"""Logical Link Control and Adaptation Protocol (L2CAP).
+
+L2CAP provides connection-oriented channels over the ACL link, with
+multiplexing (PSMs/CIDs), segmentation/reassembly toward the Baseband
+MTU, and group abstractions.  Its characteristic failure signature is
+the reception of unexpected start/continuation frames when reassembly
+state desynchronises (Table 1).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional
+
+from repro.collection.logs import SystemLog
+from repro.core.failure_model import SystemFailureType
+from repro.sim import Timeout
+from .hci import HciLayer
+from .packets import PacketType, packets_needed
+
+#: Well-known Protocol/Service Multiplexer values.
+PSM_SDP = 0x0001
+PSM_BNEP = 0x000F
+
+#: L2CAP signalling round-trip (connect req/rsp + configure req/rsp).
+SIGNALLING_DELAY = 0.060
+
+
+class ChannelState(enum.Enum):
+    """Lifecycle of one L2CAP channel."""
+
+    WAIT_CONNECT = "wait_connect"
+    OPEN = "open"
+    CLOSED = "closed"
+
+
+@dataclass
+class L2capChannel:
+    """One connection-oriented L2CAP channel."""
+
+    cid: int
+    psm: int
+    hci_handle: int
+    peer: str
+    state: ChannelState = ChannelState.WAIT_CONNECT
+    mtu: int = 672  # default L2CAP MTU
+    sdus_sent: int = 0
+
+    def segment_count(self, sdu_len: int, packet_type: PacketType) -> int:
+        """Baseband packets needed to carry one SDU of ``sdu_len`` bytes."""
+        return packets_needed(sdu_len, packet_type)
+
+
+class L2capLayer:
+    """L2CAP channel manager of one host."""
+
+    def __init__(
+        self, system_log: SystemLog, hci: HciLayer, rng: random.Random
+    ) -> None:
+        self._log = system_log
+        self._hci = hci
+        self._rng = rng
+        self._cids = itertools.count(0x0040)  # dynamic CID space
+        self.channels: Dict[int, L2capChannel] = {}
+        self.unexpected_frames = 0
+
+    def connect(self, psm: int, hci_handle: int, peer: str) -> Generator:
+        """Open a channel on ``psm`` over an existing ACL connection.
+
+        Returns the open :class:`L2capChannel`.  The ACL handle must be
+        valid; a stale handle surfaces as an HCI error at the layer
+        below (raised by :meth:`HciLayer.command`).
+        """
+        yield from self._hci.command("l2cap_connect_req", handle=hci_handle)
+        channel = L2capChannel(
+            cid=next(self._cids), psm=psm, hci_handle=hci_handle, peer=peer
+        )
+        self.channels[channel.cid] = channel
+        yield Timeout(SIGNALLING_DELAY)
+        channel.state = ChannelState.OPEN
+        return channel
+
+    def disconnect(self, cid: int) -> Generator:
+        """Close a channel (idempotent)."""
+        channel = self.channels.pop(cid, None)
+        if channel is not None and channel.state is ChannelState.OPEN:
+            channel.state = ChannelState.CLOSED
+            if self._hci.valid_handle(channel.hci_handle):
+                yield from self._hci.command("l2cap_disconnect_req", handle=channel.hci_handle)
+            else:
+                yield Timeout(0.0)
+        else:
+            yield Timeout(0.0)
+        return None
+
+    def note_unexpected_frame(self, start: bool) -> None:
+        """Reassembly desync: log the unexpected start/continuation frame."""
+        self.unexpected_frames += 1
+        variant = "unexpected_start" if start else "unexpected_cont"
+        self._log.error(SystemFailureType.L2CAP, variant)
+
+    def open_channels(self) -> int:
+        return sum(1 for c in self.channels.values() if c.state is ChannelState.OPEN)
+
+    def reset(self) -> None:
+        """Drop all channels (BT stack reset)."""
+        for channel in self.channels.values():
+            channel.state = ChannelState.CLOSED
+        self.channels.clear()
+
+
+# ---------------------------------------------------------------------------
+# B-frame framing and segmentation/reassembly
+# ---------------------------------------------------------------------------
+
+#: Basic-mode L2CAP header: 2-byte payload length + 2-byte channel id.
+BFRAME_HEADER = 4
+
+
+def build_bframe(cid: int, payload: bytes) -> bytes:
+    """Frame one L2CAP basic-mode PDU."""
+    if not 0 <= cid <= 0xFFFF:
+        raise ValueError(f"cid out of range: {cid}")
+    if len(payload) > 0xFFFF:
+        raise ValueError("L2CAP payload too large")
+    return len(payload).to_bytes(2, "little") + cid.to_bytes(2, "little") + payload
+
+
+def parse_bframe(data: bytes) -> "tuple[int, bytes]":
+    """Parse a B-frame; returns (cid, payload).  Raises ValueError."""
+    if len(data) < BFRAME_HEADER:
+        raise ValueError("truncated L2CAP frame")
+    length = int.from_bytes(data[0:2], "little")
+    cid = int.from_bytes(data[2:4], "little")
+    payload = data[BFRAME_HEADER:]
+    if len(payload) != length:
+        raise ValueError(
+            f"L2CAP length mismatch: header says {length}, got {len(payload)}"
+        )
+    return cid, payload
+
+
+def segment_sdu(sdu: bytes, fragment_size: int) -> List["tuple[bool, bytes]"]:
+    """Split an SDU into (is_start, fragment) pairs of ``fragment_size``.
+
+    This models the Baseband-facing fragmentation: the first fragment is
+    flagged as a *start* (L_CH = start of L2CAP PDU), the rest are
+    continuations — the distinction whose violation produces the
+    "unexpected start/continuation frame" errors of the failure model.
+    """
+    if fragment_size <= 0:
+        raise ValueError("fragment size must be positive")
+    if not sdu:
+        return [(True, b"")]
+    fragments = []
+    for offset in range(0, len(sdu), fragment_size):
+        fragments.append((offset == 0, sdu[offset : offset + fragment_size]))
+    return fragments
+
+
+class Reassembler:
+    """Reassembles start/continuation fragments back into SDUs.
+
+    Desynchronisation (a continuation with no SDU in progress, or a new
+    start mid-SDU) is reported through the owning layer's
+    :meth:`L2capLayer.note_unexpected_frame`, producing the exact
+    system-log signature of Table 1.
+    """
+
+    def __init__(self, expected_length: Optional[int] = None,
+                 layer: Optional[L2capLayer] = None) -> None:
+        self.expected_length = expected_length
+        self._layer = layer
+        self._buffer: Optional[bytearray] = None
+        self.completed: List[bytes] = []
+        self.errors = 0
+
+    def push(self, is_start: bool, fragment: bytes) -> Optional[bytes]:
+        """Feed one fragment; returns the SDU when it completes."""
+        if is_start:
+            if self._buffer is not None:
+                self._note(start=True)
+            self._buffer = bytearray(fragment)
+        else:
+            if self._buffer is None:
+                self._note(start=False)
+                return None
+            self._buffer.extend(fragment)
+        if (
+            self.expected_length is not None
+            and self._buffer is not None
+            and len(self._buffer) >= self.expected_length
+        ):
+            sdu = bytes(self._buffer[: self.expected_length])
+            self._buffer = None
+            self.completed.append(sdu)
+            return sdu
+        return None
+
+    def flush(self) -> Optional[bytes]:
+        """Close the current SDU regardless of expected length."""
+        if self._buffer is None:
+            return None
+        sdu = bytes(self._buffer)
+        self._buffer = None
+        self.completed.append(sdu)
+        return sdu
+
+    def _note(self, start: bool) -> None:
+        self.errors += 1
+        if self._layer is not None:
+            self._layer.note_unexpected_frame(start=start)
+
+
+__all__ = [
+    "L2capLayer",
+    "L2capChannel",
+    "ChannelState",
+    "PSM_SDP",
+    "PSM_BNEP",
+    "SIGNALLING_DELAY",
+    "BFRAME_HEADER",
+    "build_bframe",
+    "parse_bframe",
+    "segment_sdu",
+    "Reassembler",
+]

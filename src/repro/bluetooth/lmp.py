@@ -1,0 +1,71 @@
+"""Link Manager Protocol (LMP) procedures.
+
+The LMP is responsible for connection establishment between BT devices
+and provides the inquiry/scan procedure (paper §2).  Here it owns the
+*timing* of those procedures — inquiry sweeps the 32-channel inquiry
+hopping train and takes on the order of ten seconds; paging a known
+device is much faster — plus the master/slave switch primitive used by
+the PAN profile.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Generator, List
+
+from repro.sim import Timeout
+
+#: A standard inquiry lasts up to 10.24 s (4 × 1.28 s trains, repeated).
+INQUIRY_DURATION_MIN = 5.12
+INQUIRY_DURATION_MAX = 10.24
+#: Paging a device whose clock estimate is fresh.
+PAGE_DURATION_MIN = 0.08
+PAGE_DURATION_MAX = 0.64
+#: A master/slave role switch is a short Baseband procedure.
+ROLE_SWITCH_DURATION = 0.2
+
+
+class LmpLayer:
+    """Inquiry, paging and role-switch procedures of one device."""
+
+    def __init__(self, rng: random.Random) -> None:
+        self._rng = rng
+        self.inquiries = 0
+        self.pages = 0
+        self.role_switches = 0
+
+    def inquiry(self, neighbourhood: List[str]) -> Generator:
+        """Run an inquiry; returns the list of discovered device names.
+
+        Discovery of each present device is probabilistic within one
+        inquiry (backoff collisions), but a NAP sitting a few metres
+        away is found essentially always.
+        """
+        self.inquiries += 1
+        duration = self._rng.uniform(INQUIRY_DURATION_MIN, INQUIRY_DURATION_MAX)
+        yield Timeout(duration)
+        discovered = [name for name in neighbourhood if self._rng.random() < 0.98]
+        return discovered
+
+    def page(self) -> Generator:
+        """Page (baseband-connect) a known device; returns the delay used."""
+        self.pages += 1
+        duration = self._rng.uniform(PAGE_DURATION_MIN, PAGE_DURATION_MAX)
+        yield Timeout(duration)
+        return duration
+
+    def role_switch(self) -> Generator:
+        """Perform the master/slave switch Baseband procedure."""
+        self.role_switches += 1
+        yield Timeout(ROLE_SWITCH_DURATION)
+        return None
+
+
+__all__ = [
+    "LmpLayer",
+    "INQUIRY_DURATION_MIN",
+    "INQUIRY_DURATION_MAX",
+    "PAGE_DURATION_MIN",
+    "PAGE_DURATION_MAX",
+    "ROLE_SWITCH_DURATION",
+]

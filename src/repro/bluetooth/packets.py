@@ -1,0 +1,180 @@
+"""Baseband ACL packet types and framing.
+
+The six ACL data packet types of Bluetooth v1.1 (the paper's testbeds):
+
+========  =====  =====  ==================  ==========
+Type      Slots  FEC    Max payload (B)     CRC
+========  =====  =====  ==================  ==========
+DM1       1      2/3    17                  16-bit
+DH1       1      none   27                  16-bit
+DM3       3      2/3    121                 16-bit
+DH3       3      none   183                 16-bit
+DM5       5      2/3    224                 16-bit
+DH5       5      none   339                 16-bit
+========  =====  =====  ==================  ==========
+
+Every packet starts with a 72-bit access code and an 18-bit header
+(protected by rate-1/3 FEC); the payload carries a payload header, the
+user payload, and the 16-bit CRC.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+SLOT_SECONDS = 625e-6  # one Baseband time slot
+ACCESS_CODE_BITS = 72
+HEADER_BITS = 18
+HEADER_CODED_BITS = HEADER_BITS * 3  # rate-1/3 FEC
+CRC_BITS = 16
+PAYLOAD_HEADER_BITS = 16  # 2-byte payload header for multi-slot packets
+SYMBOL_RATE = 1_000_000  # 1 Msym/s GFSK
+
+
+class PacketType(enum.Enum):
+    """The six ACL data packet types."""
+
+    DM1 = "DM1"
+    DH1 = "DH1"
+    DM3 = "DM3"
+    DH3 = "DH3"
+    DM5 = "DM5"
+    DH5 = "DH5"
+
+    @property
+    def spec(self) -> "PacketSpec":
+        return PACKET_SPECS[self]
+
+    @property
+    def slots(self) -> int:
+        return self.spec.slots
+
+    @property
+    def fec(self) -> bool:
+        """True when the payload is protected by the (15,10) FEC."""
+        return self.spec.fec
+
+    @property
+    def max_payload(self) -> int:
+        return self.spec.max_payload
+
+
+@dataclass(frozen=True)
+class PacketSpec:
+    """Static properties of one packet type."""
+
+    type: "PacketType"
+    slots: int
+    fec: bool
+    max_payload: int
+
+    @property
+    def air_bits(self) -> int:
+        """Total bits on air for a full packet of this type."""
+        payload_bits = (self.max_payload * 8) + PAYLOAD_HEADER_BITS + CRC_BITS
+        if self.fec:
+            payload_bits = math.ceil(payload_bits / 10) * 15
+        return ACCESS_CODE_BITS + HEADER_CODED_BITS + payload_bits
+
+    @property
+    def duration(self) -> float:
+        """Air time of the packet plus its return slot (for the ACK)."""
+        # ACL is TDD: a packet of n slots is followed by at least one
+        # return slot carrying the acknowledgement.
+        return (self.slots + 1) * SLOT_SECONDS
+
+    def payload_bits(self, payload_len: int) -> int:
+        """Bits on air for a payload of ``payload_len`` bytes."""
+        raw = payload_len * 8 + PAYLOAD_HEADER_BITS + CRC_BITS
+        if self.fec:
+            return math.ceil(raw / 10) * 15
+        return raw
+
+
+PACKET_SPECS: Dict[PacketType, PacketSpec] = {
+    PacketType.DM1: PacketSpec(PacketType.DM1, 1, True, 17),
+    PacketType.DH1: PacketSpec(PacketType.DH1, 1, False, 27),
+    PacketType.DM3: PacketSpec(PacketType.DM3, 3, True, 121),
+    PacketType.DH3: PacketSpec(PacketType.DH3, 3, False, 183),
+    PacketType.DM5: PacketSpec(PacketType.DM5, 5, True, 224),
+    PacketType.DH5: PacketSpec(PacketType.DH5, 5, False, 339),
+}
+
+#: Order used when the Random workload draws the type by a binomial index.
+PACKET_TYPE_ORDER: Tuple[PacketType, ...] = (
+    PacketType.DM1,
+    PacketType.DM3,
+    PacketType.DM5,
+    PacketType.DH1,
+    PacketType.DH3,
+    PacketType.DH5,
+)
+
+
+@dataclass
+class AclPacket:
+    """An ACL data packet in flight.
+
+    ``payload`` is the user payload (bytes); framing (header, payload
+    header, CRC, FEC) is applied by the Baseband at transmission time.
+    """
+
+    type: PacketType
+    payload: bytes
+    seqn: int = 0
+
+    def __post_init__(self) -> None:
+        if len(self.payload) > self.type.max_payload:
+            raise ValueError(
+                f"{self.type.value} payload of {len(self.payload)} B exceeds "
+                f"maximum of {self.type.max_payload} B"
+            )
+
+    @property
+    def air_bits(self) -> int:
+        return (
+            ACCESS_CODE_BITS
+            + HEADER_CODED_BITS
+            + self.type.spec.payload_bits(len(self.payload))
+        )
+
+    @property
+    def duration(self) -> float:
+        return self.type.spec.duration
+
+
+def segment(data: bytes, packet_type: PacketType) -> List[bytes]:
+    """Split ``data`` into chunks that fit one packet of ``packet_type``."""
+    size = packet_type.max_payload
+    if not data:
+        return [b""]
+    return [data[i : i + size] for i in range(0, len(data), size)]
+
+
+def packets_needed(length: int, packet_type: PacketType) -> int:
+    """Number of packets of ``packet_type`` needed for ``length`` bytes."""
+    if length <= 0:
+        return 1
+    return math.ceil(length / packet_type.max_payload)
+
+
+def effective_throughput(packet_type: PacketType) -> float:
+    """Best-case user throughput (bytes/s) for back-to-back packets."""
+    spec = packet_type.spec
+    return spec.max_payload / spec.duration
+
+
+__all__ = [
+    "PacketType",
+    "PacketSpec",
+    "PACKET_SPECS",
+    "PACKET_TYPE_ORDER",
+    "AclPacket",
+    "segment",
+    "packets_needed",
+    "effective_throughput",
+    "SLOT_SECONDS",
+]

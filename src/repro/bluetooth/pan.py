@@ -1,0 +1,391 @@
+"""The PAN profile: NAP, PANU, piconet and the PAN connection.
+
+The PAN profile provides IP networking over Bluetooth: a PAN User
+(PANU) connects to a Network Access Point (NAP) by opening an L2CAP
+channel on the BNEP PSM, adding a BNEP connection (which materialises
+the ``bnep0`` interface), and then performing the master/slave switch —
+the PANU initiated the connection and is therefore master, but the NAP
+must end up master of the piconet to serve up to seven PANUs (paper §2).
+
+Every step can fail in its own way, and each failure mode is one row of
+the failure model: Connect failed, PAN connect failed, Switch role
+request/command failed, and during data transfer Packet loss and Data
+mismatch.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Generator, Optional, Set
+
+from repro.collection.logs import SystemLog
+from repro.core.failure_model import UserFailureType
+from repro.faults.evidence import emit_evidence
+from repro.faults.injector import FaultActivation, FaultInjector, NodeTraits, TransferHazards
+from repro.sim import Simulator, Timeout
+from .baseband import TransferStatus, sample_transfer
+from .bnep import BnepError, BnepLayer
+from .channel import Channel
+from .errors import (
+    PACKET_LOSS_TIMEOUT,
+    BindError,
+    BTError,
+    ConnectError,
+    DataMismatchError,
+    PacketLossError,
+    PanConnectError,
+    SwitchRoleCommandError,
+    SwitchRoleRequestError,
+)
+from .hci import HciCommandError, HciLayer, COMMAND_TIMEOUT
+from .l2cap import L2capLayer, PSM_BNEP
+from .lmp import LmpLayer
+from .host import HostOs, SocketError
+from .packets import PacketType, packets_needed
+from .sdp import SdpServer, make_nap_record
+
+
+class Piconet:
+    """One piconet: a master and up to seven active slaves."""
+
+    MAX_SLAVES = 7
+
+    def __init__(self, master: str) -> None:
+        self.master = master
+        self.slaves: Set[str] = set()
+        self.connecting = 0  # connection attempts currently in progress
+        self.active_transfers = 0  # slaves currently moving data
+
+    @property
+    def busy(self) -> bool:
+        """True when the master is servicing a connection attempt or full."""
+        return self.connecting > 0 or len(self.slaves) >= self.MAX_SLAVES
+
+    # -- TDD slot sharing ------------------------------------------------------
+
+    def begin_transfer(self) -> None:
+        self.active_transfers += 1
+
+    def end_transfer(self) -> None:
+        self.active_transfers = max(0, self.active_transfers - 1)
+
+    @property
+    def slot_share_factor(self) -> float:
+        """Air-time dilation seen by one transferring slave.
+
+        The master polls active slaves round-robin, so n concurrent
+        transfers each progress at ~1/n of the channel rate.
+        """
+        return float(max(1, self.active_transfers))
+
+    def begin_connect(self) -> None:
+        self.connecting += 1
+
+    def end_connect(self) -> None:
+        self.connecting = max(0, self.connecting - 1)
+
+    def add_slave(self, name: str) -> None:
+        """Register an active slave; idempotent, enforces the 7-slave cap."""
+        if name in self.slaves:
+            return  # already an active member
+        if len(self.slaves) >= self.MAX_SLAVES:
+            raise BTError(f"piconet full: cannot add {name}")
+        self.slaves.add(name)
+
+    def remove_slave(self, name: str) -> None:
+        self.slaves.discard(name)
+
+
+class NapService:
+    """The Network Access Point side: SDP record, piconet, system log."""
+
+    def __init__(self, name: str, system_log: SystemLog) -> None:
+        self.name = name
+        self.system_log = system_log
+        self.sdp_server = SdpServer(name)
+        self.sdp_server.register(make_nap_record(name))
+        self.piconet = Piconet(master=name)
+        self.connections_accepted = 0
+
+
+@dataclass
+class PanConnection:
+    """An established PANU-NAP PAN connection."""
+
+    owner: "PanProfile"
+    nap: NapService
+    hci_handle: int
+    cid: int
+    interface_name: str
+    created_at: float
+    hazards: TransferHazards
+    packets_total: int = 0  # cumulative baseband payloads (connection age)
+    cycles_used: int = 0
+    broken: bool = False
+
+    @property
+    def alive(self) -> bool:
+        return not self.broken and self.owner.hci.valid_handle(self.hci_handle)
+
+    def transfer(
+        self,
+        packet_type: PacketType,
+        n_logical: int,
+        send_size: int,
+        recv_size: int,
+        application: str = "random",
+    ) -> Generator:
+        """Exchange ``n_logical`` logical packets with the BlueTest server.
+
+        Each logical packet is ``send_size`` bytes out and ``recv_size``
+        bytes back, segmented into baseband payloads of ``packet_type``.
+        ``application`` names the emulated traffic source, whose usage
+        pattern scales the broken-link hazard (paper fig. 3c).  Raises
+        :class:`PacketLossError` (after the 30 s detection timeout) or
+        :class:`DataMismatchError`.
+        """
+        from repro.faults.calibration import APPLICATION_HAZARD_MULTIPLIERS
+
+        per_logical = packets_needed(send_size, packet_type) + packets_needed(
+            recv_size, packet_type
+        )
+        n_payloads = max(1, n_logical) * per_logical
+        app_multiplier = APPLICATION_HAZARD_MULTIPLIERS.get(application, 1.0)
+        outcome = sample_transfer(
+            self.owner.rng,
+            self.owner.channel,
+            packet_type,
+            n_payloads,
+            break_hazard=self.hazards.break_hazard * app_multiplier,
+            mismatch_hazard=self.hazards.mismatch_hazard,
+            latent_multiplier=(
+                self.hazards.latent_multiplier if self.hazards.latent_defect else 1.0
+            ),
+            latent_tau=self.hazards.latent_packets,
+            start_age=float(self.packets_total),
+        )
+        age_at_event = self.packets_total + outcome.payloads_before_event
+        self.packets_total = age_at_event
+        # The piconet's TDD scheme divides air time among concurrent
+        # transfers: with n slaves moving data, each sees ~n-fold
+        # dilation (snapshot at transfer start).
+        piconet = self.nap.piconet
+        piconet.begin_transfer()
+        dilation = piconet.slot_share_factor
+        try:
+            if outcome.status is TransferStatus.COMPLETED:
+                yield Timeout(outcome.duration * dilation)
+                return None
+            if outcome.status is TransferStatus.MISMATCH:
+                yield Timeout(outcome.duration * dilation)
+                activation = self.owner.injector.activate(
+                    UserFailureType.DATA_MISMATCH, self.owner.traits
+                )
+                self.owner.manifest(activation)  # no evidence in practice
+                raise DataMismatchError(scope=activation.scope)
+            # Packet loss: the link broke; the workload notices after the
+            # 30 s receive timeout.  The connection length reported is in
+            # *logical* (workload-level) packets, as in figure 3b.
+            self.broken = True
+            yield Timeout(outcome.duration * dilation + PACKET_LOSS_TIMEOUT)
+            activation = self.owner.injector.activate(
+                UserFailureType.PACKET_LOSS, self.owner.traits
+            )
+            self.owner.manifest(activation)
+            raise PacketLossError(
+                scope=activation.scope, packets_sent=age_at_event // per_logical
+            )
+        finally:
+            piconet.end_transfer()
+
+    def disconnect(self) -> Generator:
+        """Tear the PAN connection down (idempotent, tolerant of breakage)."""
+        self.nap.piconet.remove_slave(self.owner.traits.name)
+        self.owner.bnep.remove_connection()
+        try:
+            yield from self.owner.l2cap.disconnect(self.cid)
+        except HciCommandError:
+            pass  # stale handle after a link break; nothing more to do
+        self.owner.hci.close_connection(self.hci_handle)
+        self.broken = True
+        return None
+
+    def force_close(self) -> None:
+        """Instantaneous state-only teardown used by recovery actions."""
+        self.nap.piconet.remove_slave(self.owner.traits.name)
+        self.owner.bnep.remove_connection()
+        self.owner.l2cap.channels.pop(self.cid, None)
+        self.owner.hci.close_connection(self.hci_handle)
+        self.broken = True
+
+
+class PanProfile:
+    """PANU-side PAN profile engine for one host."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        traits: NodeTraits,
+        rng: random.Random,
+        hci: HciLayer,
+        l2cap: L2capLayer,
+        bnep: BnepLayer,
+        lmp: LmpLayer,
+        host: HostOs,
+        injector: FaultInjector,
+        system_log: SystemLog,
+        channel: Channel,
+        nap: NapService,
+    ) -> None:
+        self.sim = sim
+        self.traits = traits
+        self.rng = rng
+        self.hci = hci
+        self.l2cap = l2cap
+        self.bnep = bnep
+        self.lmp = lmp
+        self.host = host
+        self.injector = injector
+        self.system_log = system_log
+        self.channel = channel
+        self.nap = nap
+        self.connections_made = 0
+
+    # -- fault plumbing ------------------------------------------------------
+
+    def manifest(self, activation: FaultActivation) -> None:
+        """Emit the system-level evidence of an activated fault."""
+        emit_evidence(
+            self.sim,
+            activation,
+            self.system_log,
+            self.nap.system_log,
+            self.rng,
+            peer_name=self.traits.name,
+        )
+
+    def _draw(
+        self,
+        operation: str,
+        sdp_performed: bool = True,
+        busy: Optional[bool] = None,
+    ) -> Optional[FaultActivation]:
+        if busy is None:
+            busy = self.nap.piconet.busy
+        return self.injector.draw_operation_fault(
+            operation,
+            self.traits,
+            busy=busy,
+            sdp_performed=sdp_performed,
+        )
+
+    # -- connection establishment ---------------------------------------------
+
+    def connect(self, sdp_performed: bool = True) -> Generator:
+        """Establish a PAN connection with the NAP.
+
+        Follows the profile's sequence: page + L2CAP connect on the BNEP
+        PSM, BNEP connection add (interface creation + async hotplug
+        configuration), switch-role request, switch-role command.
+        Returns a :class:`PanConnection`.
+        """
+        piconet = self.nap.piconet
+        # Whether the NAP is busy is judged before our own attempt is
+        # registered — a device is busy because of *other* traffic.
+        busy_before = piconet.busy
+        piconet.begin_connect()
+        try:
+            # --- L2CAP connection (T_C) -------------------------------------
+            activation = self._draw("l2cap_connect", busy=busy_before)
+            if activation is not None:
+                self.manifest(activation)
+                yield Timeout(COMMAND_TIMEOUT)  # HCI command timeout latency
+                raise ConnectError(scope=activation.scope)
+            yield from self.lmp.page()
+            hci_conn = self.hci.open_connection(self.nap.name)
+            channel = yield from self.l2cap.connect(PSM_BNEP, hci_conn.handle, self.nap.name)
+            self.hci.complete_connection(hci_conn.handle)
+
+            # --- BNEP / PAN establishment ------------------------------------
+            activation = self._draw("pan_connect", sdp_performed=sdp_performed)
+            if activation is not None:
+                self.manifest(activation)
+                yield Timeout(2.0)
+                self.hci.close_connection(hci_conn.handle)
+                raise PanConnectError(scope=activation.scope)
+            try:
+                interface = self.bnep.add_connection(channel)
+            except BnepError as exc:
+                activation = self.injector.activate(
+                    UserFailureType.PAN_CONNECT_FAILED, self.traits, detail=str(exc)
+                )
+                self.manifest(activation)
+                self.hci.close_connection(hci_conn.handle)
+                raise PanConnectError(str(exc), scope=activation.scope) from exc
+            self.host.configure_interface(interface)  # T_H runs asynchronously
+
+            # --- master/slave switch ------------------------------------------
+            activation = self._draw("sw_role_request")
+            if activation is not None:
+                self.manifest(activation)
+                yield Timeout(COMMAND_TIMEOUT)
+                self._abort_connection(hci_conn.handle)
+                raise SwitchRoleRequestError(scope=activation.scope)
+            activation = self._draw("sw_role_command")
+            if activation is not None:
+                self.manifest(activation)
+                yield from self.lmp.role_switch()
+                self._abort_connection(hci_conn.handle)
+                raise SwitchRoleCommandError(scope=activation.scope)
+            yield from self.lmp.role_switch()
+
+            piconet.add_slave(self.traits.name)
+            self.nap.connections_accepted += 1
+            self.connections_made += 1
+            return PanConnection(
+                owner=self,
+                nap=self.nap,
+                hci_handle=hci_conn.handle,
+                cid=channel.cid,
+                interface_name=interface.name,
+                created_at=self.sim.now,
+                hazards=self.injector.transfer_hazards(self.traits, "random"),
+            )
+        finally:
+            piconet.end_connect()
+
+    def _abort_connection(self, handle: int) -> None:
+        """Best-effort cleanup after a mid-establishment failure."""
+        self.bnep.remove_connection()
+        self.hci.close_connection(handle)
+
+    # -- socket binding ---------------------------------------------------------
+
+    def bind(self, connection: PanConnection, wait_ready: bool = False) -> Generator:
+        """Bind an IP socket on the connection's BNEP interface.
+
+        ``wait_ready=True`` applies the paper's masking strategy: wait
+        for T_C (valid L2CAP handle) and T_H (configured interface)
+        before binding, which prevents the failure entirely.
+        """
+        interface = self.bnep.interface
+        if wait_ready and interface is not None:
+            yield from self.host.wait_interface_ready(interface)
+        activation = self._draw("bind")
+        if activation is not None:
+            self.manifest(activation)
+            yield Timeout(0.5)
+            raise BindError(scope=activation.scope)
+        try:
+            yield from self.host.bind_socket(interface)
+        except SocketError as exc:
+            activation = self.injector.activate(
+                UserFailureType.BIND_FAILED, self.traits, detail=str(exc)
+            )
+            self.manifest(activation)
+            raise BindError(str(exc), scope=activation.scope) from exc
+        return None
+
+
+__all__ = ["Piconet", "NapService", "PanConnection", "PanProfile"]

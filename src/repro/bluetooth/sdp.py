@@ -1,0 +1,115 @@
+"""Service Discovery Protocol (SDP).
+
+A device publishes *service records*; peers search them by UUID over an
+L2CAP channel on PSM 0x0001.  The NAP publishes the PAN Network Access
+Point service; PANUs search for it before connecting (unless they rely
+on a cached copy — the usage pattern the paper singles out as the main
+source of PAN-connect failures).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional
+
+from repro.sim import Timeout
+
+#: UUIDs of the PAN profile services (Bluetooth assigned numbers).
+UUID_NAP = 0x1116
+UUID_PANU = 0x1115
+UUID_GN = 0x1117
+
+#: An SDP transaction takes a connect + search round-trip.
+SEARCH_DELAY_MIN = 0.3
+SEARCH_DELAY_MAX = 1.8
+
+
+@dataclass(frozen=True)
+class ServiceRecord:
+    """One SDP service record."""
+
+    uuid: int
+    name: str
+    provider: str
+    psm: int
+    version: int = 0x0100
+
+
+class SdpServer:
+    """The SDP daemon of one host (the NAP runs the interesting one)."""
+
+    def __init__(self, provider: str) -> None:
+        self.provider = provider
+        self._records: Dict[int, ServiceRecord] = {}
+        self.searches_served = 0
+
+    def register(self, record: ServiceRecord) -> None:
+        self._records[record.uuid] = record
+
+    def unregister(self, uuid: int) -> None:
+        self._records.pop(uuid, None)
+
+    def lookup(self, uuid: int) -> Optional[ServiceRecord]:
+        self.searches_served += 1
+        return self._records.get(uuid)
+
+    def records(self) -> List[ServiceRecord]:
+        return list(self._records.values())
+
+
+class SdpClient:
+    """SDP search client with the record cache real applications keep."""
+
+    def __init__(self, rng: random.Random) -> None:
+        self._rng = rng
+        self._cache: Dict[int, ServiceRecord] = {}
+        self.searches = 0
+        self.cache_hits = 0
+
+    def search(self, server: SdpServer, uuid: int) -> Generator:
+        """Run an SDP Search transaction against ``server``.
+
+        Returns the :class:`ServiceRecord` or ``None`` when the service
+        is not found.  The result is cached for later cycles that skip
+        the search (SDP flag false).
+        """
+        self.searches += 1
+        yield Timeout(self._rng.uniform(SEARCH_DELAY_MIN, SEARCH_DELAY_MAX))
+        record = server.lookup(uuid)
+        if record is not None:
+            self._cache[uuid] = record
+        return record
+
+    def cached(self, uuid: int) -> Optional[ServiceRecord]:
+        """Return the cached record for ``uuid``, if any (no time cost)."""
+        record = self._cache.get(uuid)
+        if record is not None:
+            self.cache_hits += 1
+        return record
+
+    def invalidate(self) -> None:
+        """Drop the cache (part of application restart / stack reset)."""
+        self._cache.clear()
+
+
+def make_nap_record(provider: str) -> ServiceRecord:
+    """The service record a NAP publishes."""
+    from .l2cap import PSM_BNEP
+
+    return ServiceRecord(
+        uuid=UUID_NAP, name="Network Access Point", provider=provider, psm=PSM_BNEP
+    )
+
+
+__all__ = [
+    "SdpServer",
+    "SdpClient",
+    "ServiceRecord",
+    "make_nap_record",
+    "UUID_NAP",
+    "UUID_PANU",
+    "UUID_GN",
+    "SEARCH_DELAY_MIN",
+    "SEARCH_DELAY_MAX",
+]

@@ -1,0 +1,219 @@
+"""Byte-level SDP protocol data units.
+
+The Service Discovery Protocol runs request/response transactions over
+L2CAP PSM 0x0001.  This module provides exact codecs for the PDUs the
+PAN path uses — ServiceSearchRequest/Response (find the NAP's record
+handles by UUID) and ServiceAttributeRequest/Response — including the
+transaction-id matching and the error-response PDU whose arrival is one
+of the SDP failure signatures ("connection with the SDP server refused
+or timed out").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+
+class PduId(enum.IntEnum):
+    """SDP PDU identifier bytes."""
+
+    ERROR_RESPONSE = 0x01
+    SERVICE_SEARCH_REQUEST = 0x02
+    SERVICE_SEARCH_RESPONSE = 0x03
+    SERVICE_ATTRIBUTE_REQUEST = 0x04
+    SERVICE_ATTRIBUTE_RESPONSE = 0x05
+
+
+class SdpErrorCode(enum.IntEnum):
+    """Error codes carried by an SDP ErrorResponse."""
+
+    INVALID_SYNTAX = 0x0003
+    INVALID_PDU_SIZE = 0x0004
+    INVALID_CONTINUATION = 0x0005
+    INSUFFICIENT_RESOURCES = 0x0006
+
+
+class SdpDecodeError(ValueError):
+    """A PDU failed to parse."""
+
+
+def _header(pdu_id: int, transaction_id: int, body: bytes) -> bytes:
+    if not 0 <= transaction_id <= 0xFFFF:
+        raise ValueError(f"transaction id out of range: {transaction_id}")
+    return bytes([pdu_id]) + transaction_id.to_bytes(2, "big") + len(body).to_bytes(2, "big") + body
+
+
+def _split_header(data: bytes) -> Tuple[int, int, bytes]:
+    if len(data) < 5:
+        raise SdpDecodeError("truncated SDP PDU")
+    pdu_id = data[0]
+    transaction_id = int.from_bytes(data[1:3], "big")
+    length = int.from_bytes(data[3:5], "big")
+    body = data[5:]
+    if len(body) != length:
+        raise SdpDecodeError(
+            f"SDP length mismatch: header says {length}, got {len(body)}"
+        )
+    return pdu_id, transaction_id, body
+
+
+def _encode_uuid_seq(uuids: List[int]) -> bytes:
+    # Data element: sequence (0x35) of 16-bit UUIDs (0x19 xx xx).
+    elements = b"".join(bytes([0x19]) + u.to_bytes(2, "big") for u in uuids)
+    if len(elements) > 0xFF:
+        raise ValueError("UUID list too long")
+    return bytes([0x35, len(elements)]) + elements
+
+
+def _decode_uuid_seq(data: bytes) -> Tuple[List[int], bytes]:
+    if len(data) < 2 or data[0] != 0x35:
+        raise SdpDecodeError("expected a data-element sequence of UUIDs")
+    length = data[1]
+    body = data[2 : 2 + length]
+    if len(body) != length:
+        raise SdpDecodeError("truncated UUID sequence")
+    uuids = []
+    index = 0
+    while index < length:
+        if body[index] != 0x19 or index + 3 > length:
+            raise SdpDecodeError("malformed 16-bit UUID element")
+        uuids.append(int.from_bytes(body[index + 1 : index + 3], "big"))
+        index += 3
+    return uuids, data[2 + length :]
+
+
+@dataclass(frozen=True)
+class ServiceSearchRequest:
+    """Find service record handles matching a UUID pattern."""
+
+    transaction_id: int
+    uuids: List[int]
+    max_records: int = 10
+
+    def encode(self) -> bytes:
+        """Serialise to the SDP wire format."""
+        body = (
+            _encode_uuid_seq(self.uuids)
+            + self.max_records.to_bytes(2, "big")
+            + b"\x00"  # no continuation state
+        )
+        return _header(PduId.SERVICE_SEARCH_REQUEST, self.transaction_id, body)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "ServiceSearchRequest":
+        pdu_id, transaction_id, body = _split_header(data)
+        if pdu_id != PduId.SERVICE_SEARCH_REQUEST:
+            raise SdpDecodeError(f"not a ServiceSearchRequest: {pdu_id:#x}")
+        uuids, rest = _decode_uuid_seq(body)
+        if len(rest) < 3:
+            raise SdpDecodeError("truncated ServiceSearchRequest tail")
+        max_records = int.from_bytes(rest[0:2], "big")
+        return cls(transaction_id=transaction_id, uuids=uuids, max_records=max_records)
+
+
+@dataclass(frozen=True)
+class ServiceSearchResponse:
+    """Record handles matching a prior search."""
+
+    transaction_id: int
+    handles: List[int] = field(default_factory=list)
+
+    def encode(self) -> bytes:
+        """Serialise to the SDP wire format."""
+        total = len(self.handles)
+        body = (
+            total.to_bytes(2, "big")
+            + total.to_bytes(2, "big")
+            + b"".join(h.to_bytes(4, "big") for h in self.handles)
+            + b"\x00"
+        )
+        return _header(PduId.SERVICE_SEARCH_RESPONSE, self.transaction_id, body)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "ServiceSearchResponse":
+        pdu_id, transaction_id, body = _split_header(data)
+        if pdu_id != PduId.SERVICE_SEARCH_RESPONSE:
+            raise SdpDecodeError(f"not a ServiceSearchResponse: {pdu_id:#x}")
+        if len(body) < 5:
+            raise SdpDecodeError("truncated ServiceSearchResponse")
+        current = int.from_bytes(body[2:4], "big")
+        expected = 4 + 4 * current + 1
+        if len(body) != expected:
+            raise SdpDecodeError("handle list length mismatch")
+        handles = [
+            int.from_bytes(body[4 + 4 * i : 8 + 4 * i], "big") for i in range(current)
+        ]
+        return cls(transaction_id=transaction_id, handles=handles)
+
+
+@dataclass(frozen=True)
+class ErrorResponse:
+    """The SDP server refused or could not process a request."""
+
+    transaction_id: int
+    error_code: int
+
+    def encode(self) -> bytes:
+        """Serialise to the SDP wire format."""
+        return _header(
+            PduId.ERROR_RESPONSE,
+            self.transaction_id,
+            int(self.error_code).to_bytes(2, "big"),
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "ErrorResponse":
+        pdu_id, transaction_id, body = _split_header(data)
+        if pdu_id != PduId.ERROR_RESPONSE:
+            raise SdpDecodeError(f"not an ErrorResponse: {pdu_id:#x}")
+        if len(body) != 2:
+            raise SdpDecodeError("bad ErrorResponse body")
+        return cls(transaction_id=transaction_id, error_code=int.from_bytes(body, "big"))
+
+
+def decode_pdu(data: bytes):
+    """Decode any supported SDP PDU by its id byte."""
+    if not data:
+        raise SdpDecodeError("empty SDP PDU")
+    decoders = {
+        PduId.SERVICE_SEARCH_REQUEST: ServiceSearchRequest,
+        PduId.SERVICE_SEARCH_RESPONSE: ServiceSearchResponse,
+        PduId.ERROR_RESPONSE: ErrorResponse,
+    }
+    decoder = decoders.get(data[0])
+    if decoder is None:
+        raise SdpDecodeError(f"unsupported SDP PDU id {data[0]:#x}")
+    return decoder.decode(data)
+
+
+def run_transaction(server, request: ServiceSearchRequest):
+    """Execute a search transaction against an :class:`SdpServer`.
+
+    Returns the response PDU (ServiceSearchResponse or ErrorResponse)
+    with the request's transaction id echoed — the matching rule real
+    clients enforce.
+    """
+    matches: List[int] = []
+    for record in server.records():
+        if record.uuid in request.uuids:
+            # Record handle: stable per (provider, uuid) pair.
+            matches.append(0x0001_0000 | record.uuid)
+    if len(matches) > request.max_records:
+        matches = matches[: request.max_records]
+    return ServiceSearchResponse(
+        transaction_id=request.transaction_id, handles=matches
+    )
+
+
+__all__ = [
+    "PduId",
+    "SdpErrorCode",
+    "SdpDecodeError",
+    "ServiceSearchRequest",
+    "ServiceSearchResponse",
+    "ErrorResponse",
+    "decode_pdu",
+    "run_transaction",
+]

@@ -1,0 +1,150 @@
+"""Per-host Bluetooth stack assembly.
+
+One :class:`BluetoothStack` wires the transport, HCI, L2CAP, SDP, BNEP,
+LMP and host-OS layers of a single device, and exposes the operations
+the BlueTest workload performs: inquiry, SDP search, PAN connect, bind,
+transfer (via the returned connection) and disconnect.  It also exposes
+the state-clearing hooks the recovery engine (SIRAs) relies on.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Generator, List, Optional
+
+from repro.collection.logs import SystemLog
+from repro.core.failure_model import UserFailureType
+from repro.faults.evidence import emit_evidence
+from repro.faults.injector import FaultActivation, FaultInjector, NodeTraits
+from repro.sim import Simulator, Timeout
+from .bnep import BnepLayer
+from .channel import Channel
+from .errors import InquiryScanError, NapNotFoundError, SdpSearchError
+from .hci import HciLayer
+from .host import HostOs
+from .l2cap import L2capLayer
+from .lmp import LmpLayer
+from .pan import NapService, PanProfile
+from .sdp import SdpClient, ServiceRecord, UUID_NAP
+from .transport import make_transport
+
+#: Latency of a failing SDP transaction (connection refused / timeout).
+SDP_FAILURE_LATENCY = 5.0
+
+
+class BluetoothStack:
+    """The complete BT protocol stack of one PANU host."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        traits: NodeTraits,
+        system_log: SystemLog,
+        injector: FaultInjector,
+        rng: random.Random,
+        channel: Channel,
+        nap: NapService,
+        neighbourhood: Optional[List[str]] = None,
+        transport_kind: str = "usb",
+    ) -> None:
+        self.sim = sim
+        self.traits = traits
+        self.system_log = system_log
+        self.injector = injector
+        self.rng = rng
+        self.channel = channel
+        self.nap = nap
+        self.neighbourhood = list(neighbourhood or [nap.name])
+        self.transport = make_transport(transport_kind, system_log, rng)
+        self.hci = HciLayer(system_log, self.transport, rng)
+        self.l2cap = L2capLayer(system_log, self.hci, rng)
+        self.lmp = LmpLayer(rng)
+        self.sdp = SdpClient(rng)
+        self.bnep = BnepLayer(system_log)
+        self.host = HostOs(sim, system_log, rng, bind_prone=traits.bind_prone)
+        self.pan = PanProfile(
+            sim,
+            traits,
+            rng,
+            self.hci,
+            self.l2cap,
+            self.bnep,
+            self.lmp,
+            self.host,
+            injector,
+            system_log,
+            channel,
+            nap,
+        )
+        self.stack_resets = 0
+
+    # -- search phase -----------------------------------------------------------
+
+    def inquiry(self) -> Generator:
+        """Run the inquiry/scan procedure; returns discovered device names.
+
+        Raises :class:`InquiryScanError` when the procedure terminates
+        abnormally (a firmware-internal fault: the paper found no
+        system-level evidence correlated with it).
+        """
+        activation = self.injector.draw_operation_fault("inquiry", self.traits)
+        if activation is not None:
+            self._manifest(activation)
+            yield Timeout(self.rng.uniform(2.0, 8.0))
+            raise InquiryScanError(scope=activation.scope)
+        discovered = yield from self.lmp.inquiry(self.neighbourhood)
+        return discovered
+
+    def sdp_search_nap(self) -> Generator:
+        """SDP-search the NAP service on the access point.
+
+        Returns the :class:`ServiceRecord`.  Raises
+        :class:`SdpSearchError` when the transaction aborts, or
+        :class:`NapNotFoundError` when it completes without returning
+        the NAP record although the NAP publishes it.
+        """
+        activation = self.injector.draw_operation_fault("sdp_search", self.traits)
+        if activation is not None:
+            self._manifest(activation)
+            yield Timeout(SDP_FAILURE_LATENCY)
+            if activation.user_failure is UserFailureType.NAP_NOT_FOUND:
+                raise NapNotFoundError(scope=activation.scope)
+            raise SdpSearchError(scope=activation.scope)
+        record = yield from self.sdp.search(self.nap.sdp_server, UUID_NAP)
+        if record is None:
+            # The NAP always publishes its record; reaching this point
+            # means the daemon genuinely lost it (not modelled today).
+            activation = self.injector.activate(
+                UserFailureType.NAP_NOT_FOUND, self.traits
+            )
+            self._manifest(activation)
+            raise NapNotFoundError(scope=activation.scope)
+        return record
+
+    def cached_nap_record(self) -> Optional[ServiceRecord]:
+        """The cached NAP record used when the SDP flag is false."""
+        return self.sdp.cached(UUID_NAP)
+
+    # -- recovery hooks -----------------------------------------------------------
+
+    def reset(self) -> None:
+        """BT stack reset (SIRA 3): clean every layer's state."""
+        self.hci.reset()
+        self.l2cap.reset()
+        self.bnep.reset()
+        self.sdp.invalidate()
+        self.transport.reset()
+        self.stack_resets += 1
+
+    def _manifest(self, activation: FaultActivation) -> None:
+        emit_evidence(
+            self.sim,
+            activation,
+            self.system_log,
+            self.nap.system_log,
+            self.rng,
+            peer_name=self.traits.name,
+        )
+
+
+__all__ = ["BluetoothStack", "SDP_FAILURE_LATENCY"]

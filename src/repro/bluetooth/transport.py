@@ -1,0 +1,223 @@
+"""Host transports: how HCI traffic reaches the Bluetooth controller.
+
+The BT host talks to the host controller over a serial channel.  The
+paper's PCs use USB dongles (HCI-USB); its PDAs use on-board radios
+driven through the **BlueCore Serial Protocol (BCSP)**, which multiplexes
+parallel flows over one UART link and adds error checking and
+retransmission.  BCSP's extra complexity is precisely why switch-role
+failures concentrate on the PDAs (paper §6), so the transports are
+modelled as distinct classes with real sequencing state.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.collection.logs import SystemLog
+from repro.core.failure_model import SystemFailureType
+
+
+class Transport:
+    """Base class: a serial path between BT host and host controller."""
+
+    #: Name used in diagnostics.
+    kind = "abstract"
+    #: Per-command latency added by the transport (seconds).
+    latency = 0.0005
+
+    def __init__(self, system_log: SystemLog, rng: random.Random) -> None:
+        self._log = system_log
+        self._rng = rng
+        self.commands_sent = 0
+
+    def send_command(self) -> float:
+        """Account one HCI command crossing the transport; returns latency."""
+        self.commands_sent += 1
+        return self.latency
+
+    def reset(self) -> None:
+        """Clear transport state (part of a BT stack reset)."""
+        self.commands_sent = 0
+
+
+class UsbTransport(Transport):
+    """HCI over USB (the commodity-PC dongles of the testbed).
+
+    USB delivers HCI packets over bulk/interrupt endpoints; its
+    characteristic failure is the device refusing to accept a new
+    address after a glitch (``error -71`` in Linux logs).
+    """
+
+    kind = "usb"
+    latency = 0.0008
+
+    def __init__(self, system_log: SystemLog, rng: random.Random) -> None:
+        super().__init__(system_log, rng)
+        self.address_assigned = True
+
+    def fail_address(self) -> None:
+        """Enter the 'not accepting new addresses' failure state."""
+        self.address_assigned = False
+        self._log.error(SystemFailureType.USB, "no_address")
+
+    def reset(self) -> None:
+        super().reset()
+        self.address_assigned = True
+
+
+class UartTransport(Transport):
+    """Plain HCI-UART (H4): no error checking, no retransmission.
+
+    Corruption on the wire is *not* detected at this layer — one of the
+    sources of end-to-end "Data mismatch" failures.
+    """
+
+    kind = "uart"
+    latency = 0.0012
+
+
+class BcspLinkState:
+    """BCSP link-establishment states (named as in the CSR spec)."""
+
+    SHY = "shy"  # sends SYNC, ignores everything else
+    CURIOUS = "curious"  # saw SYNC-RESP, sends CONF
+    GARRULOUS = "garrulous"  # saw CONF-RESP, link usable
+
+
+#: The link-establishment message vocabulary.
+LE_SYNC = "sync"
+LE_SYNC_RESP = "sync-resp"
+LE_CONF = "conf"
+LE_CONF_RESP = "conf-resp"
+
+
+@dataclass
+class BcspState:
+    """Sliding-window sequencing state of one BCSP link."""
+
+    next_seq: int = 0  # next sequence number to transmit (mod 8)
+    expected_ack: int = 0  # next acknowledgement expected
+    link_state: str = BcspLinkState.SHY
+    out_of_order_events: int = 0
+    missing_events: int = 0
+
+    @property
+    def link_established(self) -> bool:
+        return self.link_state == BcspLinkState.GARRULOUS
+
+
+class BcspTransport(Transport):
+    """BlueCore Serial Protocol (the PDAs' on-board transport).
+
+    BCSP carries parallel flows over a single UART link with windowed
+    sequencing (3-bit sequence numbers), error checking and
+    retransmission.  Out-of-order and missing packets are detected and
+    logged — the system-level failure signature of Table 1.
+    """
+
+    kind = "bcsp"
+    latency = 0.0015
+    WINDOW = 4
+
+    def __init__(self, system_log: SystemLog, rng: random.Random) -> None:
+        super().__init__(system_log, rng)
+        self.state = BcspState()
+        self.establish_link()
+
+    def send_command(self) -> float:
+        """Send one command over the established link (advances seq)."""
+        if not self.state.link_established:
+            raise RuntimeError("BCSP link not established")
+        self.state.next_seq = (self.state.next_seq + 1) % 8
+        return super().send_command()
+
+    def receive_sequence(self, seq: int) -> bool:
+        """Process a received packet's sequence number.
+
+        Returns True when in order; logs and counts the anomaly when
+        not (out-of-order) and requests retransmission.
+        """
+        expected = self.state.expected_ack
+        if seq == expected:
+            self.state.expected_ack = (expected + 1) % 8
+            return True
+        self.state.out_of_order_events += 1
+        self._log.error(SystemFailureType.BCSP, "out_of_order")
+        return False
+
+    def report_missing(self) -> None:
+        """A retransmission timer fired: a packet went missing."""
+        self.state.missing_events += 1
+        self._log.error(SystemFailureType.BCSP, "missing")
+
+    def handle_le_message(self, message: str) -> Optional[str]:
+        """Process one link-establishment message; returns the reply.
+
+        Implements the SHY -> CURIOUS -> GARRULOUS progression: a SHY
+        peer answers SYNC with SYNC-RESP; receiving SYNC-RESP makes us
+        CURIOUS (we send CONF); CONF is answered with CONF-RESP, whose
+        reception makes the link GARRULOUS (usable).
+        """
+        state = self.state
+        if message == LE_SYNC:
+            return LE_SYNC_RESP
+        if message == LE_SYNC_RESP:
+            if state.link_state == BcspLinkState.SHY:
+                state.link_state = BcspLinkState.CURIOUS
+            return LE_CONF
+        if message == LE_CONF:
+            if state.link_state == BcspLinkState.SHY:
+                # A CONF before our SYNC completed: peer is ahead of us.
+                state.link_state = BcspLinkState.CURIOUS
+            return LE_CONF_RESP
+        if message == LE_CONF_RESP:
+            state.link_state = BcspLinkState.GARRULOUS
+            return None
+        raise ValueError(f"unknown BCSP LE message: {message!r}")
+
+    def establish_link(self) -> List[str]:
+        """(Re-)run the full link-establishment handshake.
+
+        Plays both ends of the exchange (the controller peer mirrors the
+        same state machine) and returns the message trace.
+        """
+        self.state = BcspState()
+        trace = [LE_SYNC]
+        reply = self.handle_le_message(LE_SYNC)  # peer's SYNC reaches us
+        while reply is not None:
+            trace.append(reply)
+            reply = self.handle_le_message(reply)
+        if not self.state.link_established:
+            raise RuntimeError("BCSP link establishment did not converge")
+        return trace
+
+    def reset(self) -> None:
+        super().reset()
+        self.establish_link()
+
+
+def make_transport(
+    kind: str, system_log: SystemLog, rng: random.Random
+) -> Transport:
+    """Factory: build the transport named ``kind``."""
+    factories = {
+        "usb": UsbTransport,
+        "uart": UartTransport,
+        "bcsp": BcspTransport,
+    }
+    try:
+        return factories[kind](system_log, rng)
+    except KeyError:
+        raise ValueError(f"unknown transport kind: {kind!r}") from None
+
+
+__all__ = [
+    "Transport",
+    "UsbTransport",
+    "UartTransport",
+    "BcspTransport",
+    "BcspState",
+    "make_transport",
+]

@@ -1,0 +1,183 @@
+"""Command-line interface.
+
+Three subcommands::
+
+    repro-bt campaign --hours 24 --seed 7 --out results/   # run + dump
+    repro-bt analyze results/                               # re-analyze a dump
+    repro-bt report --hours 24 --seed 7                     # full paper report
+
+``campaign`` runs the two testbeds and dumps the repository (JSONL) plus
+every rendered table/figure into the output directory; ``analyze``
+rebuilds the analyses from a previous dump without re-simulating;
+``report`` runs baseline + masked campaigns and prints the whole
+evaluation section to stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.collection.repository import CentralRepository
+from repro.core.campaign import CampaignResult, run_campaign
+from repro.core.dependability import build_dependability_report
+from repro.core.distributions import packet_loss_by_connection_age
+from repro.recovery.masking import MaskingPolicy
+from repro.reporting import format_bar_chart, render_dependability_table
+
+
+def infer_node_nap_pairs(repository: CentralRepository) -> List[Tuple[str, str]]:
+    """Recover (PANU, NAP) pairs from a repository's node inventory.
+
+    The NAP of each testbed is the host that never writes user-level
+    reports (it only records system-level data).
+    """
+    nodes = repository.nodes()
+    test_nodes = {r.node for r in repository.test_records()}
+    naps: Dict[str, str] = {}
+    for node in nodes:
+        testbed = node.split(":", 1)[0]
+        if node not in test_nodes and testbed not in naps:
+            naps[testbed] = node
+    pairs = []
+    for node in nodes:
+        testbed = node.split(":", 1)[0]
+        if node in test_nodes and testbed in naps:
+            pairs.append((node, naps[testbed]))
+    return pairs
+
+
+def _analyses_text(
+    repository: CentralRepository,
+    pairs: List[Tuple[str, str]],
+) -> str:
+    """Render every analysis derivable from a repository alone."""
+    from repro.core.summary import summarize_repository
+
+    summary = summarize_repository(repository, pairs)
+    sections = [summary.render()]
+    records = [r for r in repository.test_records() if not r.masked]
+    age = packet_loss_by_connection_age(records)
+    if any(v for _, v in age):
+        sections.append("")
+        sections.append(format_bar_chart(age, title="Packet losses vs connection age"))
+    return "\n".join(sections)
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    """Run a campaign, dump repository + analysis to --out."""
+    masking = MaskingPolicy.all_on() if args.masking else MaskingPolicy.all_off()
+    result = run_campaign(
+        duration=args.hours * 3600.0, seed=args.seed, masking=masking
+    )
+    out = Path(args.out)
+    result.repository.dump(out)
+    text = _analyses_text(result.repository, result.node_nap_pairs())
+    (out / "analysis.txt").write_text(text + "\n", encoding="utf-8")
+    print(text)
+    print(f"\nRepository and analysis written to {out}/")
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    """Re-analyze a previously dumped repository."""
+    repository = CentralRepository.load(args.directory)
+    if repository.total_items == 0:
+        print(f"no records found under {args.directory}", file=sys.stderr)
+        return 1
+    pairs = infer_node_nap_pairs(repository)
+    print(_analyses_text(repository, pairs))
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Run baseline + masked campaigns and print the full report."""
+    print(f"Baseline campaign ({args.hours:.0f} h, seed {args.seed})...")
+    baseline = run_campaign(duration=args.hours * 3600.0, seed=args.seed)
+    print(f"Masked campaign   ({args.hours:.0f} h, seed {args.seed + 1})...")
+    masked = run_campaign(
+        duration=args.hours * 3600.0,
+        seed=args.seed + 1,
+        masking=MaskingPolicy.all_on(),
+    )
+    print()
+    print(_analyses_text(baseline.repository, baseline.node_nap_pairs()))
+    report = build_dependability_report(
+        baseline.unmasked_failures(),
+        masked.unmasked_failures(),
+        masked.masked_count(),
+    )
+    print()
+    print(render_dependability_table(report))
+    print(
+        f"\nAvailability improvement vs reboot-only: "
+        f"{report.availability_improvement_vs_reboot:.1f}% | "
+        f"reliability improvement: {report.reliability_improvement:.0f}%"
+    )
+    return 0
+
+
+def cmd_scorecard(args: argparse.Namespace) -> int:
+    """Grade the paper's claims; exit 1 when the pass rate drops."""
+    from repro.core.scorecard import evaluate
+
+    print(f"Baseline campaign ({args.hours:.0f} h, seed {args.seed})...")
+    baseline = run_campaign(duration=args.hours * 3600.0, seed=args.seed)
+    print(f"Masked campaign   ({args.hours:.0f} h, seed {args.seed + 1})...")
+    masked = run_campaign(
+        duration=args.hours * 3600.0,
+        seed=args.seed + 1,
+        masking=MaskingPolicy.all_on(),
+    )
+    scorecard = evaluate(baseline, masked)
+    print()
+    print(scorecard.render())
+    return 0 if scorecard.pass_rate >= 0.9 else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro-bt argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bt",
+        description="Bluetooth PAN failure-data campaigns and analyses "
+        "(reproduction of Cinque et al., DSN 2006).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    campaign = sub.add_parser("campaign", help="run a campaign and dump it")
+    campaign.add_argument("--hours", type=float, default=24.0)
+    campaign.add_argument("--seed", type=int, default=0)
+    campaign.add_argument("--masking", action="store_true",
+                          help="enable the three masking strategies")
+    campaign.add_argument("--out", default="campaign_out")
+    campaign.set_defaults(func=cmd_campaign)
+
+    analyze = sub.add_parser("analyze", help="re-analyze a dumped repository")
+    analyze.add_argument("directory")
+    analyze.set_defaults(func=cmd_analyze)
+
+    report = sub.add_parser("report", help="full paper-style report")
+    report.add_argument("--hours", type=float, default=24.0)
+    report.add_argument("--seed", type=int, default=0)
+    report.set_defaults(func=cmd_report)
+
+    scorecard = sub.add_parser(
+        "scorecard", help="grade the paper's claims against fresh campaigns"
+    )
+    scorecard.add_argument("--hours", type=float, default=16.0)
+    scorecard.add_argument("--seed", type=int, default=77)
+    scorecard.set_defaults(func=cmd_scorecard)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Console entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

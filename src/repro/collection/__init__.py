@@ -1,0 +1,20 @@
+"""Failure-data collection infrastructure (logs, LogAnalyzer, repository)."""
+
+from .records import RecoveryAttempt, SystemLogRecord, TestLogRecord
+from .logs import AppendOnlyLog, SystemLog, TestLog
+from .filtering import FilterStats, filter_system_records
+from .repository import CentralRepository
+from .log_analyzer import LogAnalyzer
+
+__all__ = [
+    "SystemLogRecord",
+    "TestLogRecord",
+    "RecoveryAttempt",
+    "AppendOnlyLog",
+    "SystemLog",
+    "TestLog",
+    "FilterStats",
+    "filter_system_records",
+    "CentralRepository",
+    "LogAnalyzer",
+]

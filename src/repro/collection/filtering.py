@@ -1,0 +1,78 @@
+"""Filtering rules applied by the LogAnalyzer before shipping data.
+
+"Filtering is used to send only significant data to the repository"
+(paper §3).  Three rules are applied to system-log extracts:
+
+1. **Severity** — informational entries are dropped; only warnings and
+   errors are failure data.
+2. **Facility allow-list** — only entries from BT-related components and
+   the drivers involved in the PAN path are kept.
+3. **Duplicate suppression** — identical messages repeated by the same
+   facility within a short window collapse into the first occurrence
+   (syslog-style "last message repeated N times" behaviour).
+
+Test-log reports are always significant and pass through unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+from .records import SystemLogRecord
+
+#: Components whose errors are relevant to the Bluetooth PAN path
+#: (BlueZ daemons + kernel, plus the Windows/Broadcom components).
+RELEVANT_FACILITIES = frozenset(
+    {"hcid", "sdpd", "kernel", "hal", "pand", "btwdm", "btwusb", "pnp"}
+)
+
+#: Two identical messages closer than this (seconds) are duplicates.
+DUPLICATE_WINDOW = 5.0
+
+
+@dataclass
+class FilterStats:
+    """Counters describing what a filtering pass removed."""
+
+    total: int = 0
+    dropped_severity: int = 0
+    dropped_facility: int = 0
+    dropped_duplicate: int = 0
+
+    @property
+    def kept(self) -> int:
+        return (
+            self.total
+            - self.dropped_severity
+            - self.dropped_facility
+            - self.dropped_duplicate
+        )
+
+
+def filter_system_records(
+    records: Iterable[SystemLogRecord],
+) -> Tuple[List[SystemLogRecord], FilterStats]:
+    """Apply the three filtering rules; returns (kept, stats)."""
+    stats = FilterStats()
+    kept: List[SystemLogRecord] = []
+    last_seen: dict = {}  # (facility, message) -> time of last kept copy
+    for record in records:
+        stats.total += 1
+        if record.severity == "info":
+            stats.dropped_severity += 1
+            continue
+        if record.facility not in RELEVANT_FACILITIES:
+            stats.dropped_facility += 1
+            continue
+        key = (record.facility, record.message)
+        previous = last_seen.get(key)
+        if previous is not None and record.time - previous <= DUPLICATE_WINDOW:
+            stats.dropped_duplicate += 1
+            continue
+        last_seen[key] = record.time
+        kept.append(record)
+    return kept, stats
+
+
+__all__ = ["filter_system_records", "FilterStats", "RELEVANT_FACILITIES", "DUPLICATE_WINDOW"]

@@ -1,0 +1,82 @@
+"""The LogAnalyzer daemon.
+
+One LogAnalyzer runs on every BT node (paper §3).  Periodically it
+i) extracts the failure data appended to the Test Log and the System Log
+since its previous visit, ii) filters them, and iii) sends the result to
+the central repository.  Here it is a simulation process that wakes on a
+fixed period (with a small phase offset per node so daemons do not fire
+in lock-step).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.sim import Simulator, Timeout, spawn
+from .filtering import FilterStats, filter_system_records
+from .logs import SystemLog, TestLog
+from .repository import CentralRepository
+
+DEFAULT_PERIOD = 600.0  # seconds between collection rounds
+
+
+class LogAnalyzer:
+    """Extract -> filter -> ship daemon for one node's pair of logs."""
+
+    def __init__(
+        self,
+        node: str,
+        test_log: TestLog,
+        system_log: SystemLog,
+        repository: CentralRepository,
+        period: float = DEFAULT_PERIOD,
+        phase: float = 0.0,
+    ) -> None:
+        if period <= 0:
+            raise ValueError("collection period must be positive")
+        self.node = node
+        self.test_log = test_log
+        self.system_log = system_log
+        self.repository = repository
+        self.period = period
+        self.phase = phase
+        self._test_cursor = 0
+        self._system_cursor = 0
+        self.rounds = 0
+        self.shipped_test = 0
+        self.shipped_system = 0
+        self.filter_stats = FilterStats()
+
+    def collect_once(self) -> None:
+        """Run one extract/filter/ship round immediately."""
+        test_batch = self.test_log.since(self._test_cursor)
+        self._test_cursor = self.test_log.cursor
+        system_batch = self.system_log.since(self._system_cursor)
+        self._system_cursor = self.system_log.cursor
+
+        kept_system, stats = filter_system_records(system_batch)
+        self._merge_stats(stats)
+
+        self.shipped_test += self.repository.ingest_test(test_batch)
+        self.shipped_system += self.repository.ingest_system(kept_system)
+        self.rounds += 1
+
+    def _merge_stats(self, stats: FilterStats) -> None:
+        self.filter_stats.total += stats.total
+        self.filter_stats.dropped_severity += stats.dropped_severity
+        self.filter_stats.dropped_facility += stats.dropped_facility
+        self.filter_stats.dropped_duplicate += stats.dropped_duplicate
+
+    def run(self) -> Generator:
+        """Simulation process: collect every ``period`` seconds, forever."""
+        yield Timeout(self.phase)
+        while True:
+            yield Timeout(self.period)
+            self.collect_once()
+
+    def start(self, sim: Simulator):
+        """Spawn the daemon on ``sim``; returns the process handle."""
+        return spawn(sim, self.run(), name=f"loganalyzer:{self.node}")
+
+
+__all__ = ["LogAnalyzer", "DEFAULT_PERIOD"]

@@ -1,0 +1,165 @@
+"""Raw log message vocabulary.
+
+The workload and the stack components write free-text messages, with
+several phrasings per failure type (real logs are not uniform).  The
+analysis-side classifier (:mod:`repro.core.classification`) recovers the
+types from these texts with patterns — generator and classifier are kept
+in separate modules on purpose, mirroring the separation between the
+testbed software and the SAS analysis in the paper.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from repro.core.failure_model import (
+    SYSTEM_MESSAGE_TEMPLATES,
+    SystemFailureType,
+    UserFailureType,
+)
+
+#: Free-text phrasings the BlueTest workload uses per user failure type.
+USER_MESSAGE_VARIANTS: Dict[UserFailureType, List[str]] = {
+    UserFailureType.INQUIRY_SCAN_FAILED: [
+        "bluetest: inquiry terminated abnormally",
+        "bluetest: hci inquiry failed: device error",
+    ],
+    UserFailureType.SDP_SEARCH_FAILED: [
+        "bluetest: sdp search terminated abnormally",
+        "bluetest: sdp service search failed",
+    ],
+    UserFailureType.NAP_NOT_FOUND: [
+        "bluetest: nap service not found on access point",
+        "bluetest: sdp search returned no NAP record",
+    ],
+    UserFailureType.CONNECT_FAILED: [
+        "bluetest: l2cap connect to NAP failed",
+        "bluetest: cannot establish l2cap connection",
+    ],
+    UserFailureType.PAN_CONNECT_FAILED: [
+        "bluetest: pan connection cannot be created",
+        "bluetest: pan connect with NAP failed",
+    ],
+    UserFailureType.BIND_FAILED: [
+        "bluetest: bind on bnep0 failed",
+        "bluetest: cannot bind ip socket to bnep interface",
+    ],
+    UserFailureType.SW_ROLE_REQUEST_FAILED: [
+        "bluetest: switch role request did not reach master",
+        "bluetest: role switch request lost",
+    ],
+    UserFailureType.SW_ROLE_COMMAND_FAILED: [
+        "bluetest: switch role command completed abnormally",
+        "bluetest: role switch command failed",
+    ],
+    UserFailureType.PACKET_LOSS: [
+        "bluetest: timeout waiting for expected packet (30 s)",
+        "bluetest: expected packet lost after 30 s",
+    ],
+    UserFailureType.DATA_MISMATCH: [
+        "bluetest: received payload does not match expected data",
+        "bluetest: data content corrupted on receive",
+    ],
+}
+
+#: Benign informational messages used as background system-log noise.
+BACKGROUND_MESSAGES: List[Tuple[str, str]] = [
+    ("hcid", "hcid: HCI daemon ver 2.10 started"),
+    ("kernel", "kernel: usb 1-1: resume"),
+    ("hcid", "hcid: device hci0 up"),
+    ("sdpd", "sdpd: service record browse request"),
+    ("kernel", "kernel: bnep: BNEP filters supported"),
+    ("cron", "cron: session opened for user root"),
+    ("hal", "hal: device_added event processed"),
+]
+
+#: Facility string each system failure type logs under (BlueZ hosts).
+SYSTEM_FACILITIES: Dict[SystemFailureType, str] = {
+    SystemFailureType.HCI: "hcid",
+    SystemFailureType.L2CAP: "kernel",
+    SystemFailureType.SDP: "sdpd",
+    SystemFailureType.BCSP: "kernel",
+    SystemFailureType.BNEP: "kernel",
+    SystemFailureType.USB: "kernel",
+    SystemFailureType.HOTPLUG: "hal",
+}
+
+#: The Windows/Broadcom stack logs through its own components.
+BROADCOM_FACILITIES: Dict[SystemFailureType, str] = {
+    SystemFailureType.HCI: "btwdm",
+    SystemFailureType.L2CAP: "btwdm",
+    SystemFailureType.SDP: "btwdm",
+    SystemFailureType.BCSP: "btwdm",  # unused: no BCSP on Windows
+    SystemFailureType.BNEP: "btwdm",
+    SystemFailureType.USB: "btwusb",
+    SystemFailureType.HOTPLUG: "pnp",
+}
+
+#: Broadcom phrasings for the same error conditions.
+BROADCOM_MESSAGE_TEMPLATES: Dict[tuple, str] = {
+    (SystemFailureType.HCI, "timeout"): "btw: hci request timed out (opcode 0x{opcode:04x})",
+    (SystemFailureType.HCI, "invalid_handle"): "btw: hci request for unknown handle {handle}",
+    (SystemFailureType.L2CAP, "unexpected_start"): "btw: l2cap unexpected first segment (cid {cid})",
+    (SystemFailureType.L2CAP, "unexpected_cont"): "btw: l2cap unexpected segment (cid {cid})",
+    (SystemFailureType.SDP, "refused"): "btw: sdp inquiry refused by remote",
+    (SystemFailureType.SDP, "timeout"): "btw: sdp inquiry timed out",
+    (SystemFailureType.SDP, "unavailable"): "btw: sdp service unavailable on access point",
+    (SystemFailureType.BCSP, "out_of_order"): "btw: serial transport out of order (seq {seq})",
+    (SystemFailureType.BCSP, "missing"): "btw: serial transport missing frame (ack {seq})",
+    (SystemFailureType.BNEP, "add_failed"): "btw: bnep connection add failed",
+    (SystemFailureType.BNEP, "no_module"): "btw: pan adapter missing",
+    (SystemFailureType.BNEP, "occupied"): "btw: pan adapter busy",
+    (SystemFailureType.USB, "no_address"): "btw: usb device enumeration failed",
+    (SystemFailureType.HOTPLUG, "timeout"): "pnp: device configuration timed out",
+}
+
+#: Stack vendor identifiers accepted by the renderers.
+VENDORS = ("bluez", "broadcom")
+
+
+def facility_for(failure: SystemFailureType, vendor: str = "bluez") -> str:
+    """Facility a (vendor, failure type) pair logs under."""
+    if vendor == "broadcom":
+        return BROADCOM_FACILITIES[failure]
+    return SYSTEM_FACILITIES[failure]
+
+
+def render_user_message(rng: random.Random, failure: UserFailureType) -> str:
+    """Pick one of the workload's phrasings for ``failure``."""
+    return rng.choice(USER_MESSAGE_VARIANTS[failure])
+
+
+def render_system_message(
+    rng: random.Random,
+    failure: SystemFailureType,
+    variant: str,
+    vendor: str = "bluez",
+) -> str:
+    """Render the raw system-log text for a (type, variant) pair."""
+    if vendor == "broadcom":
+        template = BROADCOM_MESSAGE_TEMPLATES[(failure, variant)]
+    else:
+        template = SYSTEM_MESSAGE_TEMPLATES[(failure, variant)]
+    return template.format(
+        opcode=rng.randint(0x0401, 0x0C7F),
+        handle=rng.randint(1, 255),
+        cid=rng.randint(0x0040, 0xFFFF),
+        seq=rng.randint(0, 7),
+        expected=rng.randint(0, 7),
+    )
+
+
+def variants_for(failure: SystemFailureType) -> List[str]:
+    """All message variants defined for a system failure type."""
+    return [v for (t, v) in SYSTEM_MESSAGE_TEMPLATES if t is failure]
+
+
+__all__ = [
+    "USER_MESSAGE_VARIANTS",
+    "BACKGROUND_MESSAGES",
+    "SYSTEM_FACILITIES",
+    "render_user_message",
+    "render_system_message",
+    "variants_for",
+]

@@ -1,0 +1,100 @@
+"""Log record schemas of the collection infrastructure.
+
+Two kinds of records exist, mirroring the paper's two data sources:
+
+* :class:`TestLogRecord` — a *user-level* failure report written by the
+  instrumented BlueTest workload, containing the failure as a user
+  perceives it plus the BT node status at the time (workload type,
+  packet type, packets sent/received, ...) and the outcome of the
+  recovery actions.
+* :class:`SystemLogRecord` — a *system-level* entry as written by BT
+  stack modules, daemons and OS drivers to the host's system log.
+
+Records carry **raw message strings**, not failure-type enums: the
+analysis pipeline must classify them, as the paper's SAS analysis did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, asdict
+from typing import Any, Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class SystemLogRecord:
+    """One line of a host's system log."""
+
+    time: float  # simulated seconds since campaign start
+    node: str  # host name (e.g. "Verde")
+    facility: str  # logging component ("kernel", "hcid", "sdpd", "hal", ...)
+    severity: str  # "info" | "warning" | "error"
+    message: str  # raw log text
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SystemLogRecord":
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class RecoveryAttempt:
+    """One software-implemented recovery action (SIRA) attempt."""
+
+    action: str  # SIRA name, e.g. "bt_stack_reset"
+    succeeded: bool
+    duration: float  # seconds the attempt took
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+
+@dataclass(frozen=True)
+class TestLogRecord:
+    """One user-level failure report from the BlueTest workload."""
+
+    time: float
+    node: str
+    testbed: str  # "random" | "realistic"
+    workload: str  # emulated application ("random", "web", "p2p", ...)
+    message: str  # raw failure text as the workload printed it
+    phase: str  # BlueTest phase during which the failure manifested
+    packet_type: Optional[str] = None  # Baseband packet type in use
+    packets_sent: int = 0  # packets exchanged before the failure
+    packets_expected: int = 0
+    scan_flag: bool = False  # S: inquiry/scan performed this cycle
+    sdp_flag: bool = False  # SDP: SDP search performed this cycle
+    distance: float = 0.0  # antenna distance from the NAP (m)
+    cycle_on_connection: int = 0  # 1-based index of the cycle on this connection
+    idle_before_cycle: float = 0.0  # TW that preceded this cycle (s)
+    masked: bool = False  # True if a masking strategy absorbed the failure
+    recovery: List[RecoveryAttempt] = field(default_factory=list)
+
+    @property
+    def recovered_by(self) -> Optional[str]:
+        """Name of the SIRA that cleared the failure, if any."""
+        for attempt in self.recovery:
+            if attempt.succeeded:
+                return attempt.action
+        return None
+
+    @property
+    def time_to_recover(self) -> float:
+        """Total time spent in recovery attempts for this failure."""
+        return sum(a.duration for a in self.recovery)
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = asdict(self)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TestLogRecord":
+        payload = dict(data)
+        payload["recovery"] = [
+            RecoveryAttempt(**a) for a in payload.get("recovery", [])
+        ]
+        return cls(**payload)
+
+
+__all__ = ["SystemLogRecord", "TestLogRecord", "RecoveryAttempt"]

@@ -1,0 +1,152 @@
+"""The central repository failure data is shipped to.
+
+All LogAnalyzer daemons send their filtered extracts here.  The
+repository is the single input of the analysis pipeline
+(:mod:`repro.core`): it can be queried by node, by time window and by
+record kind, and reports the same headline counters the paper does
+(user-level reports vs system-level entries).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Dict, List, Optional, Sequence
+
+from .records import SystemLogRecord, TestLogRecord
+
+
+class CentralRepository:
+    """Accumulates failure data items from every node of every testbed."""
+
+    def __init__(self) -> None:
+        self._test: List[TestLogRecord] = []
+        self._system: List[SystemLogRecord] = []
+        self._sorted = True
+
+    # -- ingestion ---------------------------------------------------------
+
+    def ingest_test(self, records: Sequence[TestLogRecord]) -> int:
+        """Store user-level reports; returns the number ingested."""
+        self._test.extend(records)
+        self._sorted = False
+        return len(records)
+
+    def ingest_system(self, records: Sequence[SystemLogRecord]) -> int:
+        """Store system-level entries; returns the number ingested."""
+        self._system.extend(records)
+        self._sorted = False
+        return len(records)
+
+    def _ensure_sorted(self) -> None:
+        if not self._sorted:
+            self._test.sort(key=lambda r: r.time)
+            self._system.sort(key=lambda r: r.time)
+            self._sorted = True
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def user_level_count(self) -> int:
+        return len(self._test)
+
+    @property
+    def system_level_count(self) -> int:
+        return len(self._system)
+
+    @property
+    def total_items(self) -> int:
+        """Total failure data items collected (paper: 356,551)."""
+        return len(self._test) + len(self._system)
+
+    def test_records(
+        self,
+        node: Optional[str] = None,
+        testbed: Optional[str] = None,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+    ) -> List[TestLogRecord]:
+        """User-level reports, optionally restricted by node/testbed/time."""
+        self._ensure_sorted()
+        records = self._slice_by_time(self._test, start, end)
+        if node is not None:
+            records = [r for r in records if r.node == node]
+        if testbed is not None:
+            records = [r for r in records if r.testbed == testbed]
+        return records
+
+    def system_records(
+        self,
+        node: Optional[str] = None,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+    ) -> List[SystemLogRecord]:
+        """System-level entries, optionally restricted by node/time."""
+        self._ensure_sorted()
+        records = self._slice_by_time(self._system, start, end)
+        if node is not None:
+            records = [r for r in records if r.node == node]
+        return records
+
+    def nodes(self) -> List[str]:
+        """All node names present in either record stream, sorted."""
+        names = {r.node for r in self._test} | {r.node for r in self._system}
+        return sorted(names)
+
+    @staticmethod
+    def _slice_by_time(records: List, start: Optional[float], end: Optional[float]):
+        if start is None and end is None:
+            return list(records)
+        times = [r.time for r in records]
+        lo = bisect_left(times, start) if start is not None else 0
+        hi = bisect_right(times, end) if end is not None else len(records)
+        return records[lo:hi]
+
+    def summary(self) -> Dict[str, int]:
+        """Headline counters, analogous to the paper's §3 totals."""
+        return {
+            "user_level_reports": self.user_level_count,
+            "system_level_entries": self.system_level_count,
+            "total_failure_data_items": self.total_items,
+        }
+
+    # -- persistence ---------------------------------------------------------
+
+    def dump(self, directory) -> None:
+        """Persist the repository as two JSONL files in ``directory``."""
+        import json
+        from pathlib import Path
+
+        self._ensure_sorted()
+        path = Path(directory)
+        path.mkdir(parents=True, exist_ok=True)
+        with open(path / "test_records.jsonl", "w", encoding="utf-8") as handle:
+            for record in self._test:
+                handle.write(json.dumps(record.to_dict()) + "\n")
+        with open(path / "system_records.jsonl", "w", encoding="utf-8") as handle:
+            for record in self._system:
+                handle.write(json.dumps(record.to_dict()) + "\n")
+
+    @classmethod
+    def load(cls, directory) -> "CentralRepository":
+        """Rebuild a repository dumped with :meth:`dump`."""
+        import json
+        from pathlib import Path
+
+        path = Path(directory)
+        repo = cls()
+        test_path = path / "test_records.jsonl"
+        system_path = path / "system_records.jsonl"
+        if test_path.exists():
+            with open(test_path, "r", encoding="utf-8") as handle:
+                repo.ingest_test(
+                    [TestLogRecord.from_dict(json.loads(line)) for line in handle if line.strip()]
+                )
+        if system_path.exists():
+            with open(system_path, "r", encoding="utf-8") as handle:
+                repo.ingest_system(
+                    [SystemLogRecord.from_dict(json.loads(line)) for line in handle if line.strip()]
+                )
+        return repo
+
+
+__all__ = ["CentralRepository"]

@@ -1,0 +1,174 @@
+"""End-to-end campaign drivers.
+
+A *campaign* deploys the two testbeds (random + realistic workloads) on
+one simulator, runs them for a stretch of simulated time, collects the
+filtered failure data into a central repository, and hands everything
+to the analysis functions.  The paper's campaign ran ~18 months of wall
+clock; here the duration is a parameter — days of simulated time give
+thousands of failure data items in seconds of CPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.collection.records import TestLogRecord
+from repro.collection.repository import CentralRepository
+from repro.recovery.masking import MaskingPolicy
+from repro.sim import RandomStreams, Simulator
+from repro.testbed.nodes import ALL_PROFILES, GIALLO, NodeProfile, VERDE, WIN
+from repro.testbed.testbed import Testbed
+from repro.workload.bluetest import CycleStats
+from repro.workload.traffic import (
+    FixedLengthWorkload,
+    RandomWorkload,
+    RealisticWorkload,
+)
+
+DAY = 86_400.0
+#: Default campaign length used by examples and benchmarks.
+DEFAULT_DURATION = 2 * DAY
+
+
+@dataclass
+class CampaignResult:
+    """Everything one campaign produced."""
+
+    duration: float
+    seed: int
+    masking: MaskingPolicy
+    repository: CentralRepository
+    testbeds: Dict[str, Testbed]
+    sim: Simulator
+
+    # -- convenience accessors -------------------------------------------------
+
+    def unmasked_failures(self, testbed: Optional[str] = None) -> List[TestLogRecord]:
+        """Failure reports that actually manifested (masked ones excluded)."""
+        return [
+            r
+            for r in self.repository.test_records(testbed=testbed)
+            if not r.masked
+        ]
+
+    def masked_count(self, testbed: Optional[str] = None) -> int:
+        return sum(
+            1 for r in self.repository.test_records(testbed=testbed) if r.masked
+        )
+
+    def node_nap_pairs(self) -> List[Tuple[str, str]]:
+        """(PANU, its NAP) log-identifier pairs across all testbeds."""
+        pairs = []
+        for testbed in self.testbeds.values():
+            for panu in testbed.panus:
+                pairs.append((panu.id, testbed.nap.id))
+        return pairs
+
+    def client_stats(self, testbed: Optional[str] = None) -> List[CycleStats]:
+        """Aggregate cycle statistics of every client, optionally filtered."""
+        stats = []
+        for name, bed in self.testbeds.items():
+            if testbed is not None and name != testbed:
+                continue
+            stats.extend(client.stats for client in bed.clients())
+        return stats
+
+    def cycles_by_packet_type(self, testbed: str = "random") -> Dict[str, int]:
+        """Cycles run per Baseband packet type (normalises fig. 3a)."""
+        merged: Dict[str, int] = {}
+        for stats in self.client_stats(testbed):
+            for key, count in stats.cycles_by_packet_type.items():
+                merged[key] = merged.get(key, 0) + count
+        return merged
+
+
+def run_campaign(
+    duration: float = DEFAULT_DURATION,
+    seed: int = 0,
+    masking: MaskingPolicy = MaskingPolicy.all_off(),
+    workloads: Sequence[str] = ("random", "realistic"),
+    profiles: Sequence[NodeProfile] = ALL_PROFILES,
+    hardware_replacement: bool = True,
+) -> CampaignResult:
+    """Deploy and run the testbeds for ``duration`` simulated seconds."""
+    if duration <= 0:
+        raise ValueError("campaign duration must be positive")
+    factories: Dict[str, Callable] = {
+        "random": RandomWorkload,
+        "realistic": RealisticWorkload,
+    }
+    sim = Simulator()
+    streams = RandomStreams(seed)
+    repository = CentralRepository()
+    testbeds: Dict[str, Testbed] = {}
+    for name in workloads:
+        if name not in factories:
+            raise ValueError(f"unknown workload: {name!r}")
+        bed = Testbed(
+            sim,
+            name,
+            factories[name],
+            repository,
+            streams,
+            masking=masking,
+            profiles=profiles,
+        )
+        if hardware_replacement:
+            bed.schedule_hardware_replacement(duration / 2.0)
+        bed.start()
+        testbeds[name] = bed
+    sim.run_until(duration)
+    for bed in testbeds.values():
+        bed.final_collection()
+    return CampaignResult(
+        duration=duration,
+        seed=seed,
+        masking=masking,
+        repository=repository,
+        testbeds=testbeds,
+        sim=sim,
+    )
+
+
+def run_connection_length_experiment(
+    duration: float = 2 * DAY,
+    seed: int = 0,
+) -> CampaignResult:
+    """The figure-3b experiment: special random WL on Verde and Win.
+
+    N fixed to 10000 packets, L_S = L_R = 1691 bytes (the BNEP MTU),
+    run (in the paper) for two months on exactly those two machines.
+    """
+    sim = Simulator()
+    streams = RandomStreams(seed)
+    repository = CentralRepository()
+    bed = Testbed(
+        sim,
+        "random",
+        FixedLengthWorkload,
+        repository,
+        streams,
+        masking=MaskingPolicy.all_off(),
+        profiles=(GIALLO, VERDE, WIN),
+    )
+    bed.start()
+    sim.run_until(duration)
+    bed.final_collection()
+    return CampaignResult(
+        duration=duration,
+        seed=seed,
+        masking=MaskingPolicy.all_off(),
+        repository=repository,
+        testbeds={"random": bed},
+        sim=sim,
+    )
+
+
+__all__ = [
+    "CampaignResult",
+    "run_campaign",
+    "run_connection_length_experiment",
+    "DAY",
+    "DEFAULT_DURATION",
+]

@@ -1,0 +1,142 @@
+"""Raw-message classification.
+
+The repository stores free-text log messages; the first analysis step
+classifies them into the failure-model types, just as the paper's
+"accurate classification of the collected user failures' reports" did.
+Classification is deliberately pattern-based and independent of the
+message-producing code: changing a workload phrasing without updating
+the patterns shows up as unclassified messages, which are reported
+rather than silently dropped.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, List, Optional, Tuple
+
+from repro.collection.records import SystemLogRecord, TestLogRecord
+from .failure_model import SystemFailureType, UserFailureType
+
+#: Ordered (pattern, type) pairs: first match wins, so the more specific
+#: patterns (NAP-not-found before generic SDP) come first.
+_USER_PATTERNS: List[Tuple[re.Pattern, UserFailureType]] = [
+    (re.compile(r"nap service not found|returned no NAP", re.I), UserFailureType.NAP_NOT_FOUND),
+    (re.compile(r"inquiry", re.I), UserFailureType.INQUIRY_SCAN_FAILED),
+    (re.compile(r"sdp (?:search|service search)", re.I), UserFailureType.SDP_SEARCH_FAILED),
+    (re.compile(r"pan connect|pan connection", re.I), UserFailureType.PAN_CONNECT_FAILED),
+    (re.compile(r"l2cap connect|establish l2cap", re.I), UserFailureType.CONNECT_FAILED),
+    (re.compile(r"bind", re.I), UserFailureType.BIND_FAILED),
+    (
+        re.compile(r"(?:switch role|role switch) request", re.I),
+        UserFailureType.SW_ROLE_REQUEST_FAILED,
+    ),
+    (
+        re.compile(r"(?:switch role|role switch) command", re.I),
+        UserFailureType.SW_ROLE_COMMAND_FAILED,
+    ),
+    (
+        re.compile(r"expected packet|timeout waiting", re.I),
+        UserFailureType.PACKET_LOSS,
+    ),
+    (
+        re.compile(r"does not match|content corrupted", re.I),
+        UserFailureType.DATA_MISMATCH,
+    ),
+]
+
+#: System messages carry their component as a prefix token (BlueZ hosts).
+_SYSTEM_PREFIXES: List[Tuple[str, SystemFailureType]] = [
+    ("hci:", SystemFailureType.HCI),
+    ("l2cap:", SystemFailureType.L2CAP),
+    ("sdp:", SystemFailureType.SDP),
+    ("bcsp:", SystemFailureType.BCSP),
+    ("bnep:", SystemFailureType.BNEP),
+    ("usb:", SystemFailureType.USB),
+    ("hal:", SystemFailureType.HOTPLUG),
+]
+
+#: The Broadcom stack prefixes everything with "btw:"; the component is
+#: identified by a keyword inside the message.
+_BROADCOM_KEYWORDS: List[Tuple[str, SystemFailureType]] = [
+    ("hci", SystemFailureType.HCI),
+    ("l2cap", SystemFailureType.L2CAP),
+    ("sdp", SystemFailureType.SDP),
+    ("serial transport", SystemFailureType.BCSP),
+    ("bnep", SystemFailureType.BNEP),
+    ("pan adapter", SystemFailureType.BNEP),
+    ("usb", SystemFailureType.USB),
+]
+
+
+def classify_user_message(message: str) -> Optional[UserFailureType]:
+    """Map a Test Log message to its user-level failure type."""
+    for pattern, failure_type in _USER_PATTERNS:
+        if pattern.search(message):
+            return failure_type
+    return None
+
+
+def classify_system_message(message: str) -> Optional[SystemFailureType]:
+    """Map a System Log message to its system-level failure type."""
+    text = message.strip().lower()
+    for prefix, failure_type in _SYSTEM_PREFIXES:
+        if text.startswith(prefix):
+            return failure_type
+    # Windows/Broadcom phrasing: "btw: <component> ..." and PnP events.
+    if text.startswith("btw:"):
+        for keyword, failure_type in _BROADCOM_KEYWORDS:
+            if keyword in text:
+                return failure_type
+        return None
+    if text.startswith("pnp:"):
+        return SystemFailureType.HOTPLUG
+    # Messages forwarded through the kernel facility keep their
+    # component tag after the facility prefix ("kernel: bnep: ...").
+    for prefix, failure_type in _SYSTEM_PREFIXES:
+        if f" {prefix}" in text or f":{prefix}" in text:
+            return failure_type
+    return None
+
+
+def classify_user_record(record: TestLogRecord) -> Optional[UserFailureType]:
+    """Classify one Test Log report by its raw message."""
+    return classify_user_message(record.message)
+
+
+def classify_system_record(record: SystemLogRecord) -> Optional[SystemFailureType]:
+    """Classify one System Log entry (errors only)."""
+    if record.severity != "error":
+        return None
+    return classify_system_message(record.message)
+
+
+def classification_report(
+    user_records: Iterable[TestLogRecord],
+    system_records: Iterable[SystemLogRecord],
+) -> dict:
+    """Counts of classified/unclassified messages in both streams."""
+    user_total = user_ok = 0
+    for record in user_records:
+        user_total += 1
+        if classify_user_record(record) is not None:
+            user_ok += 1
+    system_total = system_ok = 0
+    for record in system_records:
+        system_total += 1
+        if classify_system_record(record) is not None:
+            system_ok += 1
+    return {
+        "user_total": user_total,
+        "user_classified": user_ok,
+        "system_total": system_total,
+        "system_classified": system_ok,
+    }
+
+
+__all__ = [
+    "classify_user_message",
+    "classify_system_message",
+    "classify_user_record",
+    "classify_system_record",
+    "classification_report",
+]

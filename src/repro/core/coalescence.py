@@ -1,0 +1,234 @@
+"""Tupling coalescence and the window sensitivity analysis (fig. 2).
+
+Events clustered in time are grouped into *tuples* [Buckley &
+Siewiorek]: an entry joins the current tuple when it falls within the
+coalescence window of the tuple's last entry, otherwise it starts a new
+tuple.  The window size is chosen by a sensitivity analysis: plotting
+the number of tuples against the window exposes a knee — windows before
+it cause *truncations* (one error split over several tuples), windows
+after it cause *collapses* (distinct errors merged).  The paper picks
+330 s, at the beginning of the knee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+from .merge import MergedEntry
+
+#: The window the paper selected from its sensitivity analysis.
+PAPER_WINDOW = 330.0
+
+
+@dataclass
+class Tuple_:
+    """One coalesced tuple of temporally clustered entries."""
+
+    entries: List[MergedEntry]
+
+    @property
+    def start(self) -> float:
+        return self.entries[0].time
+
+    @property
+    def end(self) -> float:
+        return self.entries[-1].time
+
+    @property
+    def span(self) -> float:
+        return self.end - self.start
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+def coalesce(entries: Sequence[MergedEntry], window: float) -> List[Tuple_]:
+    """Group a time-ordered entry stream into tuples.
+
+    An entry within ``window`` seconds of the previous entry joins its
+    tuple (the standard tupling scheme: gaps, not tuple spans, are
+    compared to the window).
+    """
+    if window < 0:
+        raise ValueError(f"negative coalescence window: {window}")
+    tuples: List[Tuple_] = []
+    current: List[MergedEntry] = []
+    last_time = None
+    for entry in entries:
+        if last_time is not None and entry.time < last_time - 1e-9:
+            raise ValueError("entries must be time-ordered; merge them first")
+        if current and entry.time - current[-1].time > window:
+            tuples.append(Tuple_(current))
+            current = []
+        current.append(entry)
+        last_time = entry.time
+    if current:
+        tuples.append(Tuple_(current))
+    return tuples
+
+
+@dataclass(frozen=True)
+class SensitivityPoint:
+    window: float
+    tuples: int
+    tuples_pct: float  # tuples as a percentage of entries (fig. 2's y-axis)
+
+
+@dataclass(frozen=True)
+class SensitivityResult:
+    points: List[SensitivityPoint]
+    knee_window: float
+
+    def as_series(self) -> List[tuple]:
+        return [(p.window, p.tuples_pct) for p in self.points]
+
+
+def default_windows() -> List[float]:
+    """The window grid swept by the sensitivity analysis (seconds)."""
+    return [
+        1, 5, 10, 20, 30, 45, 60, 90, 120, 150, 180, 210, 240, 270, 300,
+        330, 360, 420, 480, 600, 750, 900, 1200, 1500, 1800, 2400, 3000, 3600,
+    ]
+
+
+def sensitivity_analysis(
+    entries: Sequence[MergedEntry],
+    windows: Iterable[float] = None,
+) -> SensitivityResult:
+    """Sweep the window grid and locate the knee of the tuples curve.
+
+    The knee is found with the maximum-distance-to-chord rule on the
+    (log window, tuple count) curve — the point where further widening
+    stops collapsing tuples quickly, i.e. "the beginning of the knee"
+    the paper selects.
+    """
+    import math
+
+    windows = sorted(windows) if windows is not None else default_windows()
+    if not windows:
+        raise ValueError("need at least one window")
+    n_entries = max(1, len(entries))
+    points = [
+        SensitivityPoint(
+            window=w,
+            tuples=len(coalesce(entries, w)),
+            tuples_pct=100.0 * len(coalesce(entries, w)) / n_entries,
+        )
+        for w in windows
+    ]
+    knee = _knee_by_chord_distance(
+        [math.log10(max(p.window, 1e-9)) for p in points],
+        [float(p.tuples) for p in points],
+        windows,
+    )
+    return SensitivityResult(points=points, knee_window=knee)
+
+
+def _knee_by_chord_distance(xs: List[float], ys: List[float], windows: List[float]) -> float:
+    """Kneedle-style knee: the point farthest below the first-last chord."""
+    if len(xs) < 3:
+        return windows[-1]
+    x0, y0 = xs[0], ys[0]
+    x1, y1 = xs[-1], ys[-1]
+    span_x = x1 - x0 or 1.0
+    span_y = y1 - y0 or 1.0
+    best_idx, best_dist = 0, float("-inf")
+    for i in range(len(xs)):
+        # Normalised signed distance below the chord.
+        tx = (xs[i] - x0) / span_x
+        chord_y = y0 + (y1 - y0) * tx
+        dist = (chord_y - ys[i]) / abs(span_y)
+        if dist > best_dist:
+            best_dist = dist
+            best_idx = i
+    return windows[best_idx]
+
+
+@dataclass(frozen=True)
+class WindowQuality:
+    """Collapse/truncation rates of one coalescence window.
+
+    The paper's knee rationale made measurable: *collapses* are tuples
+    containing more than one user-level failure report (distinct errors
+    merged — windows too wide); *truncations* are failures whose
+    system-level evidence spilled into a different tuple (related events
+    split — windows too narrow).
+    """
+
+    window: float
+    tuples: int
+    collapses: int  # tuples holding >= 2 user reports
+    truncations: int  # user reports with evidence outside their tuple
+
+    @property
+    def collapse_rate(self) -> float:
+        return self.collapses / self.tuples if self.tuples else 0.0
+
+
+def window_quality(
+    entries: Sequence[MergedEntry],
+    window: float,
+    evidence_horizon: float = 300.0,
+) -> WindowQuality:
+    """Measure collapses and truncations for one window size.
+
+    A user report is *truncated* when a system-level entry lands within
+    ``evidence_horizon`` seconds after it (so it plausibly belongs to
+    it) but in a different tuple.
+    """
+    from .merge import Source
+
+    tuples = coalesce(entries, window)
+    collapses = 0
+    truncations = 0
+    # Tuple index per entry for spill detection.
+    owner = {}
+    for index, tpl in enumerate(tuples):
+        users_in_tuple = 0
+        for entry in tpl.entries:
+            owner[id(entry)] = index
+            if entry.source is Source.USER:
+                users_in_tuple += 1
+        if users_in_tuple >= 2:
+            collapses += 1
+    flat = list(entries)
+    for i, entry in enumerate(flat):
+        if entry.source is not Source.USER:
+            continue
+        my_tuple = owner[id(entry)]
+        for later in flat[i + 1 :]:
+            if later.time - entry.time > evidence_horizon:
+                break
+            if later.source is not Source.USER and owner[id(later)] != my_tuple:
+                truncations += 1
+                break
+    return WindowQuality(
+        window=window,
+        tuples=len(tuples),
+        collapses=collapses,
+        truncations=truncations,
+    )
+
+
+def quality_curve(
+    entries: Sequence[MergedEntry],
+    windows: Iterable[float] = None,
+) -> List[WindowQuality]:
+    """Collapse/truncation trade-off across the window grid."""
+    windows = sorted(windows) if windows is not None else default_windows()
+    return [window_quality(entries, w) for w in windows]
+
+
+__all__ = [
+    "Tuple_",
+    "coalesce",
+    "SensitivityPoint",
+    "SensitivityResult",
+    "sensitivity_analysis",
+    "default_windows",
+    "WindowQuality",
+    "window_quality",
+    "quality_curve",
+    "PAPER_WINDOW",
+]

@@ -1,0 +1,101 @@
+"""CSV export of collected failure data.
+
+The paper's data went to the SAS suite; downstream users of this
+library may want the same — flat files consumable by R/pandas/SAS.
+Exports are plain ``csv`` module output, one row per record, with the
+recovery cascade flattened into (recovered_by, time_to_recover,
+severity) columns.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable
+
+from repro.collection.records import SystemLogRecord, TestLogRecord
+from repro.collection.repository import CentralRepository
+from .classification import classify_system_record, classify_user_record
+from .sira_analysis import record_severity
+
+TEST_COLUMNS = [
+    "time", "node", "testbed", "workload", "failure_type", "phase",
+    "packet_type", "packets_sent", "packets_expected", "scan_flag",
+    "sdp_flag", "distance", "cycle_on_connection", "idle_before_cycle",
+    "masked", "recovered_by", "time_to_recover", "severity", "message",
+]
+
+SYSTEM_COLUMNS = ["time", "node", "facility", "severity", "failure_type", "message"]
+
+
+def export_test_records(records: Iterable[TestLogRecord], path) -> int:
+    """Write user-level failure reports to ``path``; returns row count."""
+    path = Path(path)
+    count = 0
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(TEST_COLUMNS)
+        for record in records:
+            failure = classify_user_record(record)
+            writer.writerow([
+                record.time,
+                record.node,
+                record.testbed,
+                record.workload,
+                failure.name if failure else "",
+                record.phase,
+                record.packet_type or "",
+                record.packets_sent,
+                record.packets_expected,
+                int(record.scan_flag),
+                int(record.sdp_flag),
+                record.distance,
+                record.cycle_on_connection,
+                record.idle_before_cycle,
+                int(record.masked),
+                record.recovered_by or "",
+                record.time_to_recover,
+                record_severity(record) or "",
+                record.message,
+            ])
+            count += 1
+    return count
+
+
+def export_system_records(records: Iterable[SystemLogRecord], path) -> int:
+    """Write system-level entries to ``path``; returns row count."""
+    path = Path(path)
+    count = 0
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(SYSTEM_COLUMNS)
+        for record in records:
+            failure = classify_system_record(record)
+            writer.writerow([
+                record.time,
+                record.node,
+                record.facility,
+                record.severity,
+                failure.name if failure else "",
+                record.message,
+            ])
+            count += 1
+    return count
+
+
+def export_repository(repository: CentralRepository, directory) -> dict:
+    """Export both record streams as CSV files; returns row counts."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    return {
+        "test_rows": export_test_records(
+            repository.test_records(), directory / "user_failures.csv"
+        ),
+        "system_rows": export_system_records(
+            repository.system_records(), directory / "system_entries.csv"
+        ),
+    }
+
+
+__all__ = ["export_test_records", "export_system_records", "export_repository",
+           "TEST_COLUMNS", "SYSTEM_COLUMNS"]

@@ -1,0 +1,73 @@
+"""Time-based merging of Test and System logs (step 1 of fig. 2).
+
+For each node a merged stream is produced from its Test Log and System
+Log, ordered by timestamp.  To discover error-propagation phenomena
+from the NAP to the PANUs, the user-level data is additionally related
+to the *NAP's* system log, so the merge can include a third source.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Union
+
+from repro.collection.records import SystemLogRecord, TestLogRecord
+from repro.collection.repository import CentralRepository
+
+
+class Source(enum.Enum):
+    """Where a merged entry came from."""
+
+    USER = "user"  # the node's Test Log
+    SYSTEM_LOCAL = "system_local"  # the node's System Log
+    SYSTEM_NAP = "system_nap"  # the NAP's System Log
+
+
+@dataclass(frozen=True)
+class MergedEntry:
+    """One entry of a merged per-node log."""
+
+    time: float
+    source: Source
+    record: Union[TestLogRecord, SystemLogRecord]
+
+
+def merge_records(
+    test_records: List[TestLogRecord],
+    local_system: List[SystemLogRecord],
+    nap_system: Optional[List[SystemLogRecord]] = None,
+) -> List[MergedEntry]:
+    """Merge up to three record streams into one time-ordered stream."""
+    merged: List[MergedEntry] = []
+    merged.extend(MergedEntry(r.time, Source.USER, r) for r in test_records)
+    merged.extend(MergedEntry(r.time, Source.SYSTEM_LOCAL, r) for r in local_system)
+    if nap_system:
+        merged.extend(MergedEntry(r.time, Source.SYSTEM_NAP, r) for r in nap_system)
+    merged.sort(key=lambda e: (e.time, e.source.value))
+    return merged
+
+
+def merge_node_logs(
+    repository: CentralRepository,
+    node: str,
+    nap: Optional[str] = None,
+    include_masked: bool = False,
+) -> List[MergedEntry]:
+    """Build the merged log of ``node`` from the central repository.
+
+    ``nap`` names the NAP whose system log should be merged in for the
+    propagation analysis.  Masked failure reports are excluded by
+    default: they never manifested to the user.
+    """
+    test_records = [
+        r
+        for r in repository.test_records(node=node)
+        if include_masked or not r.masked
+    ]
+    local_system = repository.system_records(node=node)
+    nap_system = repository.system_records(node=nap) if nap else None
+    return merge_records(test_records, local_system, nap_system)
+
+
+__all__ = ["Source", "MergedEntry", "merge_records", "merge_node_logs"]

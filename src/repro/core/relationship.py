@@ -1,0 +1,184 @@
+"""Error-failure relationship mining (Table 2 of the paper).
+
+System-level failures act as errors for user-level failures.  The
+relationship is inferred from the coalesced tuples: when a tuple
+contains both a user-level report (say *Connect failed*) and
+system-level entries (say HCI errors, from the local host or from the
+NAP), an evidence of the corresponding relationship is found; counting
+evidences weights the relationships.  Rows are normalised to 100 so
+each row reads as "what causes this user failure".
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.collection.repository import CentralRepository
+from .classification import classify_system_record, classify_user_record
+from .coalescence import PAPER_WINDOW, coalesce
+from .failure_model import SystemFailureType, UserFailureType
+from .merge import Source, merge_node_logs
+
+#: Column key for tuples with no system-level evidence at all.
+NO_EVIDENCE = "none"
+
+#: Peer tag appended by NAP-side daemons, e.g. "... (peer Verde)".
+_PEER_PATTERN = re.compile(r"\(peer ([^)]+)\)\s*$")
+
+
+def _peer_of(message: str) -> Optional[str]:
+    """Extract the peer a NAP-side log line names, if any."""
+    match = _PEER_PATTERN.search(message)
+    return match.group(1) if match else None
+
+
+def column_key(failure_type: SystemFailureType, origin: str) -> str:
+    """Column identifier, e.g. ``"HCI:local"`` or ``"SDP:NAP"``."""
+    return f"{failure_type.name}:{origin}"
+
+
+def all_columns() -> List[str]:
+    """Every (system type, origin) column plus the no-evidence column."""
+    columns = []
+    for failure_type in SystemFailureType:
+        columns.append(column_key(failure_type, "local"))
+        columns.append(column_key(failure_type, "NAP"))
+    columns.append(NO_EVIDENCE)
+    return columns
+
+
+@dataclass
+class RelationshipTable:
+    """The mined error-failure relationship."""
+
+    #: Raw evidence counts: rows[user][column] -> count.
+    counts: Dict[UserFailureType, Dict[str, int]] = field(default_factory=dict)
+    #: User failures observed per type (for the TOT column).
+    observed: Dict[UserFailureType, int] = field(default_factory=dict)
+
+    def add_evidence(self, user: UserFailureType, column: str) -> None:
+        self.counts.setdefault(user, {})[column] = (
+            self.counts.setdefault(user, {}).get(column, 0) + 1
+        )
+
+    def note_failure(self, user: UserFailureType) -> None:
+        self.observed[user] = self.observed.get(user, 0) + 1
+
+    # -- derived views -------------------------------------------------------
+
+    def row_percentages(self, user: UserFailureType) -> Dict[str, float]:
+        """One row of Table 2, normalised to sum to 100."""
+        row = self.counts.get(user, {})
+        total = sum(row.values())
+        if total == 0:
+            return {}
+        return {col: 100.0 * count / total for col, count in row.items()}
+
+    def shares(self) -> Dict[UserFailureType, float]:
+        """The TOT column: each type's share of all user failures (%)."""
+        total = sum(self.observed.values())
+        if total == 0:
+            return {}
+        return {u: 100.0 * n / total for u, n in self.observed.items()}
+
+    def column_totals(self) -> Dict[str, float]:
+        """The Total row: share of user failures attributable per column.
+
+        Weighted combination of row percentages by failure shares, so
+        e.g. "X % of the user failures are due to HCI system failures".
+        """
+        shares = self.shares()
+        totals: Dict[str, float] = {}
+        for user, share in shares.items():
+            for col, pct in self.row_percentages(user).items():
+                totals[col] = totals.get(col, 0.0) + share * pct / 100.0
+        return totals
+
+    def component_totals(self) -> Dict[str, float]:
+        """Column totals folded over origin (local + NAP per component)."""
+        folded: Dict[str, float] = {}
+        for col, value in self.column_totals().items():
+            component = col.split(":", 1)[0]
+            folded[component] = folded.get(component, 0.0) + value
+        return folded
+
+    def strongest_cause(self, user: UserFailureType) -> Optional[str]:
+        """The column with the largest share of this failure's evidence."""
+        row = self.row_percentages(user)
+        if not row:
+            return None
+        return max(row, key=row.get)
+
+
+def build_relationship_table(
+    repository: CentralRepository,
+    node_nap_pairs: Sequence[Tuple[str, str]],
+    window: float = PAPER_WINDOW,
+) -> RelationshipTable:
+    """Mine the error-failure relationship from the repository.
+
+    ``node_nap_pairs`` lists every PANU with its testbed's NAP, e.g.
+    ``[("random:Verde", "random:Giallo"), ...]``.  For each PANU the
+    merged (Test + local System + NAP System) log is coalesced and the
+    tuples containing user reports are mined for evidence.
+    """
+    table = RelationshipTable()
+    for node, nap in node_nap_pairs:
+        host = node.split(":", 1)[-1]
+        merged = merge_node_logs(repository, node, nap)
+        for tpl in coalesce(merged, window):
+            users = []  # (time, type) of every user report in the tuple
+            systems = []  # (time, column) of every classified error
+            for entry in tpl.entries:
+                if entry.source is Source.USER:
+                    user_type = classify_user_record(entry.record)
+                    if user_type is not None:
+                        users.append((entry.time, user_type))
+                else:
+                    system_type = classify_system_record(entry.record)
+                    if system_type is None:
+                        continue
+                    if entry.source is Source.SYSTEM_NAP:
+                        # The NAP's log mixes all six PANUs.  Daemons
+                        # log the requesting peer; an entry tagged with
+                        # a different peer belongs to someone else's
+                        # failure and is not evidence for this node.
+                        peer = _peer_of(entry.record.message)
+                        if peer is not None and peer != host:
+                            continue
+                        origin = "NAP"
+                    else:
+                        origin = "local"
+                    systems.append((entry.time, column_key(system_type, origin)))
+            if not users:
+                continue
+            # When a tuple collapses several failures together, each
+            # error entry is attributed to the *nearest* user report in
+            # time; otherwise collapses smear every cause over every
+            # failure and the relationship washes out.
+            per_user = {index: set() for index in range(len(users))}
+            for sys_time, column in systems:
+                nearest = min(
+                    range(len(users)), key=lambda i: abs(users[i][0] - sys_time)
+                )
+                per_user[nearest].add(column)
+            for index, (_, user_type) in enumerate(users):
+                table.note_failure(user_type)
+                evidence = per_user[index]
+                if evidence:
+                    for column in evidence:
+                        table.add_evidence(user_type, column)
+                else:
+                    table.add_evidence(user_type, NO_EVIDENCE)
+    return table
+
+
+__all__ = [
+    "RelationshipTable",
+    "build_relationship_table",
+    "column_key",
+    "all_columns",
+    "NO_EVIDENCE",
+]

@@ -1,0 +1,287 @@
+"""Automated reproduction scorecard.
+
+Encodes the paper's checkable claims — failure shares, workload split,
+coverage, masking effect, the availability ladder, the usage-pattern
+orderings — and evaluates each against a pair of campaigns (baseline +
+masking-enabled).  The scorecard is what EXPERIMENTS.md reports, but
+recomputed live: run it after any model change to see which of the
+paper's findings still reproduce.
+
+Claims are graded on *shape*: each has a tolerance band or an ordering
+predicate, never an exact-equality test, because the substrate is a
+calibrated simulator rather than the authors' radios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.collection.records import TestLogRecord
+from repro.faults.calibration import USER_FAILURE_SHARES
+from .campaign import CampaignResult
+from .classification import classify_user_record
+from .dependability import build_dependability_report
+from .distributions import (
+    failures_by_distance,
+    idle_time_analysis,
+    packet_loss_by_application,
+    packet_loss_by_packet_type,
+    workload_independence,
+    workload_split,
+)
+from .failure_model import UserFailureType
+from .relationship import build_relationship_table
+from .sira_analysis import build_sira_table
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One paper claim: what it says, what we measured, verdict."""
+
+    claim_id: str
+    statement: str
+    paper_value: str
+    measured_value: str
+    passed: bool
+
+
+@dataclass
+class Scorecard:
+    """All evaluated claims plus headline pass statistics."""
+
+    claims: List[Claim]
+
+    @property
+    def passed(self) -> int:
+        return sum(1 for c in self.claims if c.passed)
+
+    @property
+    def total(self) -> int:
+        return len(self.claims)
+
+    @property
+    def pass_rate(self) -> float:
+        return self.passed / self.total if self.total else 0.0
+
+    def failed_claims(self) -> List[Claim]:
+        return [c for c in self.claims if not c.passed]
+
+    def render(self) -> str:
+        """The verdict table, one row per claim."""
+        from repro.reporting import format_table
+
+        rows = [
+            [
+                "PASS" if c.passed else "FAIL",
+                c.claim_id,
+                c.statement,
+                c.paper_value,
+                c.measured_value,
+            ]
+            for c in self.claims
+        ]
+        table = format_table(
+            ["", "id", "claim", "paper", "measured"],
+            rows,
+            title="Reproduction scorecard",
+        )
+        return table + f"\n\n{self.passed}/{self.total} claims reproduced"
+
+
+def _shares(records: List[TestLogRecord]) -> Dict[UserFailureType, float]:
+    counts: Dict[UserFailureType, int] = {}
+    for record in records:
+        failure = classify_user_record(record)
+        if failure is not None:
+            counts[failure] = counts.get(failure, 0) + 1
+    total = sum(counts.values())
+    return {k: 100.0 * v / total for k, v in counts.items()} if total else {}
+
+
+def evaluate(
+    baseline: CampaignResult,
+    masked: CampaignResult,
+) -> Scorecard:
+    """Evaluate every claim against the two campaigns."""
+    claims: List[Claim] = []
+    records = baseline.unmasked_failures()
+    shares = _shares(records)
+
+    def add(claim_id, statement, paper, measured, passed):
+        claims.append(Claim(claim_id, statement, paper, measured, bool(passed)))
+
+    # --- TOT column: the three dominant failure classes ------------------
+    for failure, band in (
+        (UserFailureType.SDP_SEARCH_FAILED, 10.0),
+        (UserFailureType.PACKET_LOSS, 10.0),
+        (UserFailureType.NAP_NOT_FOUND, 8.0),
+    ):
+        target = USER_FAILURE_SHARES[failure]
+        measured = shares.get(failure, 0.0)
+        add(
+            f"tot/{failure.name.lower()}",
+            f"{failure.value} share of user failures",
+            f"{target:.1f}%",
+            f"{measured:.1f}%",
+            abs(measured - target) <= band,
+        )
+
+    # --- workload split ----------------------------------------------------
+    split = workload_split(records)
+    add(
+        "s6/split",
+        "random WL generates most failures",
+        "84% / 16%",
+        f"{split.get('random', 0):.0f}% / {split.get('realistic', 0):.0f}%",
+        split.get("random", 0) > 70.0,
+    )
+
+    independence = workload_independence(records)
+    add(
+        "t1/wl-independence",
+        "failure manifestations are workload independent",
+        "same types, different rates",
+        f"{len(independence['common_types'])} common / "
+        f"{len(independence['frequent_types'])} frequent types",
+        independence["independent"],
+    )
+
+    # --- Table 2 anchors ------------------------------------------------------
+    table2 = build_relationship_table(
+        baseline.repository, baseline.node_nap_pairs()
+    )
+    pan_row = table2.row_percentages(UserFailureType.PAN_CONNECT_FAILED)
+    sdp_cause = pan_row.get("SDP:NAP", 0) + pan_row.get("SDP:local", 0)
+    add(
+        "t2/pan-sdp",
+        "PAN-connect failures dominated by SDP errors",
+        "96.5%",
+        f"{sdp_cause:.0f}%",
+        sdp_cause > 50.0,
+    )
+    pan_failures = [
+        r for r in records
+        if classify_user_record(r) is UserFailureType.PAN_CONNECT_FAILED
+    ]
+    if pan_failures:
+        skipped = 100.0 * sum(1 for r in pan_failures if not r.sdp_flag) / len(pan_failures)
+        add(
+            "t2/pan-cache",
+            "PAN-connect failures manifest when SDP search skipped",
+            "96.5%",
+            f"{skipped:.1f}%",
+            abs(skipped - 96.5) <= 6.0,
+        )
+
+    # --- Table 3 anchors ---------------------------------------------------------
+    table3 = build_sira_table(records)
+    coverage = table3.coverage()
+    add(
+        "t3/coverage",
+        "failure-mode coverage of SIRA 1-3",
+        "58.4%",
+        f"{coverage:.1f}%",
+        45.0 <= coverage <= 70.0,
+    )
+    nap_row = table3.row_percentages(UserFailureType.NAP_NOT_FOUND)
+    add(
+        "t3/nap-stack-reset",
+        "NAP-not-found recovered mostly by BT stack reset",
+        "61.4%",
+        f"{nap_row.get('bt_stack_reset', 0):.1f}%",
+        bool(nap_row) and max(nap_row, key=nap_row.get) == "bt_stack_reset",
+    )
+
+    # --- Table 4: the dependability ladder ---------------------------------------
+    report = build_dependability_report(
+        records, masked.unmasked_failures(), masked.masked_count()
+    )
+    ladder = (
+        report["only_reboot"].availability
+        < report["app_restart_reboot"].availability
+        < report["siras"].availability
+        < report["siras_masking"].availability
+    )
+    add(
+        "t4/ladder",
+        "availability: reboot < app+reboot < SIRAs < SIRAs+masking",
+        "0.688 < 0.907 < 0.923 < 0.94",
+        " < ".join(
+            f"{report[s].availability:.3f}"
+            for s in ("only_reboot", "app_restart_reboot", "siras", "siras_masking")
+        ),
+        ladder,
+    )
+    add(
+        "t4/mttf-gain",
+        "masking stretches the MTTF substantially",
+        "+202%",
+        f"{report.reliability_improvement:+.0f}%",
+        report.reliability_improvement > 50.0,
+    )
+    masked_total = masked.masked_count() + len(masked.unmasked_failures())
+    mask_share = 100.0 * masked.masked_count() / masked_total if masked_total else 0.0
+    add(
+        "t4/mask-share",
+        "share of failures the masking strategies absorb",
+        "58%",
+        f"{mask_share:.0f}%",
+        45.0 <= mask_share <= 80.0,
+    )
+
+    # --- fig. 3a: packet-type orderings --------------------------------------------
+    rates = packet_loss_by_packet_type(
+        baseline.repository.test_records(testbed="random"),
+        baseline.cycles_by_packet_type("random"),
+    )
+    rate = {k: v.get("loss_rate_pct", 0.0) for k, v in rates.items()}
+    single = (rate["DM1"] + rate["DH1"]) / 2
+    five = (rate["DM5"] + rate["DH5"]) / 2
+    add(
+        "f3a/slots",
+        "multi-slot packets lose less per cycle",
+        "DM1/DH1 worst, DH5 best",
+        f"1-slot {single:.1f}% vs 5-slot {five:.1f}%",
+        single > five,
+    )
+
+    # --- fig. 3c: applications --------------------------------------------------------
+    by_app = packet_loss_by_application(
+        baseline.repository.test_records(testbed="realistic")
+    )
+    if by_app:
+        worst = max(by_app, key=by_app.get)
+        add(
+            "f3c/p2p",
+            "P2P is the most loss-prone application",
+            "P2P > streaming > others",
+            f"worst = {worst} ({by_app[worst]:.0f}%)",
+            worst == "p2p",
+        )
+
+    # --- §6: idle connections & distance ---------------------------------------------
+    idle = idle_time_analysis(baseline.client_stats("realistic"))
+    if idle.failed_cycles >= 20:
+        ratio = idle.mean_idle_before_failure / max(idle.mean_idle_before_ok, 1e-9)
+        add(
+            "s6/idle",
+            "idle connections do not fail more",
+            "27.3 s vs 26.9 s",
+            f"{idle.mean_idle_before_failure:.1f} s vs {idle.mean_idle_before_ok:.1f} s",
+            0.5 <= ratio <= 2.0,
+        )
+    distance = failures_by_distance(baseline.repository.test_records(), testbed=None)
+    if len(distance) == 3:
+        add(
+            "s6/distance",
+            "failure share roughly independent of distance",
+            "33.3 / 37.1 / 29.6%",
+            " / ".join(f"{v:.0f}%" for v in distance.values()),
+            max(distance.values()) < 55.0,
+        )
+
+    return Scorecard(claims=claims)
+
+
+__all__ = ["Claim", "Scorecard", "evaluate"]

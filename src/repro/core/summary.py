@@ -1,0 +1,112 @@
+"""One-call full analysis report.
+
+Bundles every analysis derivable from a repository into a single
+structured result plus a rendered text report — what the CLI prints and
+what the full-scale tool archives.  Dependability scenario comparison
+(Table 4) needs a *pair* of campaigns and stays in
+:mod:`repro.core.dependability`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.collection.repository import CentralRepository
+from repro.reporting import (
+    format_bar_chart,
+    render_relationship_table,
+    render_sira_table,
+)
+from .classification import classification_report
+from .dependability import ScenarioMetrics, compute_scenario
+from .distributions import (
+    packet_loss_by_application,
+    packet_loss_by_connection_age,
+    workload_split,
+)
+from .failure_model import FailureModel
+from .relationship import RelationshipTable, build_relationship_table
+from .sira_analysis import SiraTable, build_sira_table
+from .trends import TrendResult, campaign_trend
+
+
+@dataclass
+class AnalysisSummary:
+    """Every single-repository analysis, in one object."""
+
+    repository_summary: Dict[str, int]
+    classification: Dict[str, int]
+    relationship: RelationshipTable
+    sira: SiraTable
+    siras_metrics: ScenarioMetrics
+    split: Dict[str, float]
+    by_application: Dict[str, float]
+    trend: Optional[TrendResult]
+
+    def render(self) -> str:
+        """The full text report."""
+        sections: List[str] = [FailureModel.as_table(), ""]
+        totals = self.repository_summary
+        sections.append(
+            f"Failure data items: {totals['total_failure_data_items']} "
+            f"({totals['user_level_reports']} user, "
+            f"{totals['system_level_entries']} system); "
+            f"classified {self.classification['user_classified']}/"
+            f"{self.classification['user_total']} user reports."
+        )
+        sections.append("")
+        sections.append(render_relationship_table(self.relationship))
+        sections.append("")
+        sections.append(render_sira_table(self.sira))
+        metrics = self.siras_metrics
+        sections.append("")
+        sections.append(
+            f"MTTF {metrics.mttf:.0f} s | MTTR {metrics.mttr:.1f} s | "
+            f"availability {metrics.availability:.3f} | "
+            f"coverage {metrics.coverage_pct:.1f}%"
+        )
+        if self.split:
+            sections.append(
+                "Workload split: "
+                + ", ".join(f"{k} {v:.1f}%" for k, v in self.split.items())
+            )
+        if self.trend is not None and self.trend.n_failures:
+            sections.append(
+                f"Failure-intensity trend: {self.trend.verdict} "
+                f"(Laplace factor {self.trend.laplace_factor:+.2f})"
+            )
+        if self.by_application:
+            sections.append("")
+            sections.append(format_bar_chart(
+                sorted(self.by_application.items(), key=lambda kv: -kv[1]),
+                title="Packet losses per application",
+            ))
+        return "\n".join(sections)
+
+
+def summarize_repository(
+    repository: CentralRepository,
+    node_nap_pairs: List[Tuple[str, str]],
+    duration: Optional[float] = None,
+) -> AnalysisSummary:
+    """Run every single-repository analysis."""
+    records = [r for r in repository.test_records() if not r.masked]
+    trend = None
+    if duration:
+        trend = campaign_trend(records, duration)
+    return AnalysisSummary(
+        repository_summary=repository.summary(),
+        classification=classification_report(
+            repository.test_records(), repository.system_records()
+        ),
+        relationship=build_relationship_table(repository, node_nap_pairs),
+        sira=build_sira_table(records),
+        siras_metrics=compute_scenario(records, "siras"),
+        split=workload_split(records),
+        by_application=packet_loss_by_application(records),
+        trend=trend,
+    )
+
+
+__all__ = ["AnalysisSummary", "summarize_repository"]

@@ -1,0 +1,24 @@
+"""Paper extensions: the enhanced stack bundle and redundant piconets."""
+
+from .enhanced_stack import EnhancedStackConfig, run_enhanced_campaign
+from .redundant import (
+    FAILOVER_ACTION,
+    FAILOVER_DURATION,
+    FAILOVER_MAX_SCOPE,
+    RedundantBlueTestClient,
+    RedundantPanuNode,
+    RedundantTestbed,
+    run_redundant_campaign,
+)
+
+__all__ = [
+    "EnhancedStackConfig",
+    "run_enhanced_campaign",
+    "RedundantBlueTestClient",
+    "RedundantPanuNode",
+    "RedundantTestbed",
+    "run_redundant_campaign",
+    "FAILOVER_ACTION",
+    "FAILOVER_DURATION",
+    "FAILOVER_MAX_SCOPE",
+]

@@ -1,0 +1,23 @@
+"""Fault models, calibration and injection."""
+
+from .calibration import DamageScope, Origin, validate
+from .injector import (
+    FaultActivation,
+    FaultInjector,
+    InjectorTuning,
+    NodeTraits,
+    TransferHazards,
+)
+from .evidence import emit_evidence
+
+__all__ = [
+    "DamageScope",
+    "Origin",
+    "validate",
+    "FaultActivation",
+    "FaultInjector",
+    "NodeTraits",
+    "TransferHazards",
+    "InjectorTuning",
+    "emit_evidence",
+]

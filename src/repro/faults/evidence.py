@@ -1,0 +1,83 @@
+"""Turning fault activations into system-log entries.
+
+When a fault activates, its system-level evidence does not appear as a
+single tidy line: different daemons notice at different times (an HCI
+command timeout fires after its timer, the HAL daemon gives up minutes
+later), and some repeat themselves.  The emitter reproduces that
+texture: each evidence item is logged after a random latency, and may be
+followed by a repeat.  The spread of these latencies (seconds to a few
+minutes) is what creates the coalescence-window "knee" the paper tunes
+to 330 s in figure 2.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.collection.logs import SystemLog
+from repro.sim import Simulator
+from .calibration import Origin
+from .injector import FaultActivation
+
+#: Hard cap on evidence latency, keeping related entries inside a
+#: coalescence window of a few hundred seconds.
+MAX_EVIDENCE_DELAY = 280.0
+#: Probability that a component logs its error line twice.
+REPEAT_PROBABILITY = 0.35
+#: Log-normal latency parameters: median ~15 s, long tail to minutes.
+LATENCY_MU = 2.7
+LATENCY_SIGMA = 1.0
+
+
+def emit_evidence(
+    sim: Simulator,
+    activation: FaultActivation,
+    local_log: SystemLog,
+    nap_log: Optional[SystemLog],
+    rng: random.Random,
+    peer_name: Optional[str] = None,
+) -> int:
+    """Schedule the system-log entries for ``activation``.
+
+    Returns the number of entries scheduled.  The first evidence item is
+    logged near-immediately (it is the error that triggered the
+    manifestation); later items trail behind with log-normal latencies.
+    Entries written to the *NAP's* log carry the PANU's identity as a
+    peer tag (``peer_name``), as the NAP daemons would log the
+    requester's BD_ADDR.
+    """
+    scheduled = 0
+    for index, (failure_type, variant, origin) in enumerate(activation.evidence):
+        if origin is Origin.NONE:
+            continue
+        if origin is Origin.LOCAL:
+            log, peer = local_log, None
+        else:
+            log, peer = nap_log, peer_name
+        if log is None:
+            continue
+        if index == 0:
+            delay = rng.uniform(0.0, 2.0)
+        else:
+            delay = min(MAX_EVIDENCE_DELAY, rng.lognormvariate(LATENCY_MU, LATENCY_SIGMA))
+        scheduled += _schedule_entry(sim, log, failure_type, variant, delay, peer)
+        if rng.random() < REPEAT_PROBABILITY:
+            repeat_delay = delay + rng.uniform(6.0, 60.0)
+            if repeat_delay <= MAX_EVIDENCE_DELAY:
+                scheduled += _schedule_entry(
+                    sim, log, failure_type, variant, repeat_delay, peer
+                )
+    return scheduled
+
+
+def _schedule_entry(sim, log, failure_type, variant, delay: float, peer=None) -> int:
+    def write() -> None:
+        log.set_time(sim.now)
+        log.error(failure_type, variant, peer=peer)
+
+    sim.schedule(delay, write)
+    return 1
+
+
+__all__ = ["emit_evidence", "MAX_EVIDENCE_DELAY", "REPEAT_PROBABILITY"]

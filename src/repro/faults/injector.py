@@ -1,0 +1,292 @@
+"""The fault injector.
+
+Decides, per stack operation, whether the operation fails, with which
+user-level manifestation, which underlying cause (system-level
+evidence), and how deep the damage reaches (which recovery action will
+eventually clear it).  Rates and conditional structures come from
+:mod:`repro.faults.calibration`; conditioning on the node profile
+(PDAs use BCSP, only some hosts are bind-prone, ...) and on the piconet
+state (busy devices time out HCI commands) is applied here.
+
+The injector *never writes logs itself* — it returns a
+:class:`FaultActivation` that the raising stack layer turns into log
+entries and a typed exception.  This keeps the generative path shaped
+like a real system: components fail, components log.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.failure_model import SystemFailureType, UserFailureType
+from repro.sim.distributions import weighted_choice
+from . import calibration as cal
+from .calibration import DamageScope, Evidence, Origin
+
+
+@dataclass(frozen=True)
+class NodeTraits:
+    """The fault-relevant traits of one host."""
+
+    name: str
+    uses_bcsp: bool = False  # PDAs: BlueCore Serial Protocol transport
+    uses_usb: bool = False  # PCs: USB dongle transport
+    bind_prone: bool = False  # HAL/hotplug race present (Azzurro, Win)
+    is_nap: bool = False
+
+
+@dataclass(frozen=True)
+class FaultActivation:
+    """One activated fault, ready to be manifested by a stack layer."""
+
+    user_failure: UserFailureType
+    scope: int  # DamageScope value (1..7); 0 = not recoverable/no recovery
+    evidence: List[Evidence] = field(default_factory=list)
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class TransferHazards:
+    """Per-baseband-packet hazards for one data-transfer phase."""
+
+    break_hazard: float  # injected broken-link probability per packet
+    mismatch_hazard: float  # undetected-corruption probability per packet
+    latent_defect: bool  # this connection carries a setup defect
+    latent_multiplier: float
+    latent_packets: float
+
+
+@dataclass(frozen=True)
+class InjectorTuning:
+    """Stack tuning knobs derived from the paper's findings.
+
+    ``sw_role_timeout_factor`` scales the switch-role API timeout: the
+    paper observes that 91.1 % of switch-role-request failures are HCI
+    command-transmission timeouts and "suggests that increasing the
+    timeout in the API helps to reduce the switch role request failure
+    occurrence".  A factor of f keeps only 1/f of the timeout-caused
+    share.
+    """
+
+    sw_role_timeout_factor: float = 1.0
+
+    #: Share of switch-role-request failures that are timeout-caused
+    #: (the paper's 91.1 %).
+    TIMEOUT_CAUSED_SHARE = 0.911
+
+    def sw_role_request_multiplier(self) -> float:
+        """Rate multiplier the tuned timeout applies to the failure."""
+        if self.sw_role_timeout_factor < 1.0:
+            raise ValueError("timeout factor must be >= 1")
+        f = self.sw_role_timeout_factor
+        share = self.TIMEOUT_CAUSED_SHARE
+        return (1.0 - share) + share / f
+
+
+#: Mean multiplier applied to the busy-device boost of connect failures.
+BUSY_CONNECT_MULTIPLIER = 1.5
+#: Boost applied to BCSP evidence weight on BCSP hosts (see calibration).
+PDA_BCSP_EVIDENCE_BOOST = 3.0
+
+
+class FaultInjector:
+    """Samples fault activations for one testbed."""
+
+    def __init__(
+        self, rng: random.Random, tuning: Optional[InjectorTuning] = None
+    ) -> None:
+        self._rng = rng
+        self._op_probabilities = _derive_operation_probabilities()
+        self.tuning = tuning or InjectorTuning()
+
+    # -- operation faults ---------------------------------------------------
+
+    def draw_operation_fault(
+        self,
+        operation: str,
+        node: NodeTraits,
+        busy: bool = False,
+        sdp_performed: bool = True,
+    ) -> Optional[FaultActivation]:
+        """Decide whether ``operation`` fails on ``node`` right now.
+
+        ``operation`` is one of: ``inquiry``, ``sdp_search``,
+        ``l2cap_connect``, ``pan_connect``, ``bind``,
+        ``sw_role_request``, ``sw_role_command``.
+        """
+        candidates = self._op_probabilities.get(operation)
+        if not candidates:
+            raise ValueError(f"unknown operation: {operation}")
+        for failure, base_p in candidates:
+            p = self._condition_probability(
+                failure, base_p, node, busy=busy, sdp_performed=sdp_performed
+            )
+            if p > 0 and self._rng.random() < p:
+                return self.activate(failure, node)
+        return None
+
+    def _condition_probability(
+        self,
+        failure: UserFailureType,
+        base_p: float,
+        node: NodeTraits,
+        busy: bool,
+        sdp_performed: bool,
+    ) -> float:
+        p = base_p
+        if failure is UserFailureType.CONNECT_FAILED and busy:
+            p *= BUSY_CONNECT_MULTIPLIER
+        if failure is UserFailureType.SW_ROLE_REQUEST_FAILED:
+            p *= self.tuning.sw_role_request_multiplier()
+        if failure is UserFailureType.BIND_FAILED:
+            # The TC/TH race only bites hosts with the HAL/hotplug issue.
+            p = p * 3.0 if node.bind_prone else 0.0
+        if failure is UserFailureType.SW_ROLE_COMMAND_FAILED:
+            # PDAs fail the switch-role command far more often (BCSP);
+            # dividing by the fleet-average multiplier keeps the
+            # network-wide rate at its calibrated target with 2 of the
+            # 6 PANUs being PDAs.
+            avg = (4.0 + 2.0 * cal.PDA_SW_ROLE_CMD_MULTIPLIER) / 6.0
+            multiplier = cal.PDA_SW_ROLE_CMD_MULTIPLIER if node.uses_bcsp else 1.0
+            p *= multiplier / avg
+        if failure is UserFailureType.PAN_CONNECT_FAILED:
+            # 96.5 % of PAN-connect failures happen with a stale (cached)
+            # SDP record, i.e. when the SDP search was skipped.
+            frac = cal.PAN_CONNECT_NO_SDP_FRACTION
+            if sdp_performed:
+                p *= 2.0 * (1.0 - frac)
+            else:
+                p *= 2.0 * frac
+        return min(p, 1.0)
+
+    # -- activation assembly ------------------------------------------------
+
+    def activate(
+        self, failure: UserFailureType, node: NodeTraits, detail: str = ""
+    ) -> FaultActivation:
+        """Build a full activation: cause evidence plus damage scope."""
+        return FaultActivation(
+            user_failure=failure,
+            scope=self.sample_scope(failure),
+            evidence=self.sample_cause(failure, node),
+            detail=detail,
+        )
+
+    def sample_cause(
+        self, failure: UserFailureType, node: NodeTraits
+    ) -> List[Evidence]:
+        """Sample the system-level evidence for one failure on ``node``."""
+        causes = cal.CAUSE_WEIGHTS[failure]
+        weights = []
+        for weight, evidence in causes:
+            adjusted = weight
+            if _mentions(evidence, SystemFailureType.BCSP):
+                adjusted = weight * PDA_BCSP_EVIDENCE_BOOST if node.uses_bcsp else 0.0
+            elif _mentions(evidence, SystemFailureType.USB) and not node.uses_usb:
+                adjusted = 0.0
+            elif _mentions(evidence, SystemFailureType.HOTPLUG) and not node.bind_prone:
+                # The hotplug race exists everywhere but is only slow
+                # enough to be observed on the bind-prone hosts.
+                adjusted = weight * 0.25
+            weights.append(adjusted)
+        if sum(weights) <= 0:
+            return []
+        _, evidence = weighted_choice(self._rng, causes, weights)
+        return list(evidence)
+
+    def sample_scope(self, failure: UserFailureType) -> int:
+        """Sample the damage depth (1..7); 0 when no recovery is defined."""
+        row = cal.SCOPE_WEIGHTS[failure]
+        if not row:
+            return 0
+        scope = weighted_choice(self._rng, list(range(1, 8)), row)
+        return int(scope)
+
+    # -- data-transfer hazards ------------------------------------------------
+
+    def transfer_hazards(self, node: NodeTraits, application: str) -> TransferHazards:
+        """Hazards for one data-transfer phase of ``application``."""
+        multiplier = cal.APPLICATION_HAZARD_MULTIPLIERS.get(application, 1.0)
+        return TransferHazards(
+            break_hazard=cal.LINK_BREAK_HAZARD * multiplier,
+            mismatch_hazard=cal.MISMATCH_HAZARD,
+            latent_defect=self._rng.random() < cal.LATENT_DEFECT_PROBABILITY,
+            latent_multiplier=cal.LATENT_HAZARD_MULTIPLIER,
+            latent_packets=cal.LATENT_DEFECT_PACKETS,
+        )
+
+
+def _mentions(evidence: List[Evidence], failure_type: SystemFailureType) -> bool:
+    return any(item[0] is failure_type for item in evidence)
+
+
+def _derive_operation_probabilities() -> Dict[str, List[Tuple[UserFailureType, float]]]:
+    """Turn target failure shares into per-operation base probabilities.
+
+    The reference cycle (random workload) performs: inquiry with
+    probability 0.5, SDP search with probability 0.5, one L2CAP + PAN
+    connect + role switch, a bind, and one data-transfer phase.  The
+    transfer-phase types (packet loss, data mismatch) are driven by
+    per-packet hazards instead and are excluded here.
+    """
+    f = cal.FAILURES_PER_CYCLE
+    shares = cal.normalized_shares()
+
+    def per_op(failure: UserFailureType, op_frequency: float) -> float:
+        return f * shares[failure] / op_frequency
+
+    return {
+        "inquiry": [
+            (
+                UserFailureType.INQUIRY_SCAN_FAILED,
+                per_op(UserFailureType.INQUIRY_SCAN_FAILED, cal.SCAN_FLAG_PROBABILITY),
+            )
+        ],
+        "sdp_search": [
+            (
+                UserFailureType.SDP_SEARCH_FAILED,
+                per_op(UserFailureType.SDP_SEARCH_FAILED, cal.SDP_FLAG_PROBABILITY),
+            ),
+            (
+                UserFailureType.NAP_NOT_FOUND,
+                per_op(UserFailureType.NAP_NOT_FOUND, cal.SDP_FLAG_PROBABILITY),
+            ),
+        ],
+        "l2cap_connect": [
+            (UserFailureType.CONNECT_FAILED, per_op(UserFailureType.CONNECT_FAILED, 1.0))
+        ],
+        "pan_connect": [
+            (
+                UserFailureType.PAN_CONNECT_FAILED,
+                per_op(UserFailureType.PAN_CONNECT_FAILED, 1.0),
+            )
+        ],
+        "bind": [
+            (UserFailureType.BIND_FAILED, per_op(UserFailureType.BIND_FAILED, 1.0))
+        ],
+        "sw_role_request": [
+            (
+                UserFailureType.SW_ROLE_REQUEST_FAILED,
+                per_op(UserFailureType.SW_ROLE_REQUEST_FAILED, 1.0),
+            )
+        ],
+        "sw_role_command": [
+            (
+                UserFailureType.SW_ROLE_COMMAND_FAILED,
+                per_op(UserFailureType.SW_ROLE_COMMAND_FAILED, 1.0),
+            )
+        ],
+    }
+
+
+__all__ = [
+    "FaultInjector",
+    "FaultActivation",
+    "NodeTraits",
+    "TransferHazards",
+    "InjectorTuning",
+    "BUSY_CONNECT_MULTIPLIER",
+    "PDA_BCSP_EVIDENCE_BOOST",
+]

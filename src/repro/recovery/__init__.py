@@ -1,0 +1,14 @@
+"""Failure detection, recovery actions (SIRAs) and error masking."""
+
+from .sira import RecoveryEngine, SiraAction, SIRA_NAMES, standard_actions
+from .masking import MaskingPolicy, RetryMasker, RETRYABLE
+
+__all__ = [
+    "RecoveryEngine",
+    "SiraAction",
+    "SIRA_NAMES",
+    "standard_actions",
+    "MaskingPolicy",
+    "RetryMasker",
+    "RETRYABLE",
+]

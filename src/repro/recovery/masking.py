@@ -1,0 +1,89 @@
+"""Error masking strategies (paper §4).
+
+Three strategies were derived from the error-failure analysis:
+
+* **Bind wait** — wait for T_C (valid L2CAP handle) and T_H (BNEP
+  interface configured by hotplug) before binding the IP socket, which
+  removes the race behind "Bind failed".
+* **Retry** — switch-role-command, NAP-not-found and SDP-search failures
+  stem from a multitude of transient causes; repeating the action up to
+  2 times with a 1 s wait lets the transient cause disappear.
+* **SDP-before-PAN** — avoid service caching: performing the SDP search
+  right before the PAN connection removes the stale-record failures
+  that make up 96.5 % of PAN-connect failures.
+
+The :class:`MaskingPolicy` tells the workload which strategies are on
+and adjudicates retry attempts.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from repro.core.failure_model import UserFailureType
+from repro.faults import calibration as cal
+from repro.sim import Timeout
+
+#: Failure types the retry strategy applies to.
+RETRYABLE = frozenset(
+    {
+        UserFailureType.SW_ROLE_COMMAND_FAILED,
+        UserFailureType.NAP_NOT_FOUND,
+        UserFailureType.SDP_SEARCH_FAILED,
+    }
+)
+
+
+@dataclass(frozen=True)
+class MaskingPolicy:
+    """Which masking strategies are enabled."""
+
+    bind_wait: bool = False  # wait for T_C and T_H before bind
+    retry: bool = False  # repeat transient-failure commands
+    sdp_before_pan: bool = False  # always search before connecting
+
+    @classmethod
+    def all_on(cls) -> "MaskingPolicy":
+        return cls(bind_wait=True, retry=True, sdp_before_pan=True)
+
+    @classmethod
+    def all_off(cls) -> "MaskingPolicy":
+        return cls()
+
+    @property
+    def any_enabled(self) -> bool:
+        return self.bind_wait or self.retry or self.sdp_before_pan
+
+    def applies_retry(self, failure: UserFailureType) -> bool:
+        return self.retry and failure in RETRYABLE
+
+
+class RetryMasker:
+    """Executes the retry strategy and tracks masking statistics."""
+
+    def __init__(self, rng: random.Random) -> None:
+        self._rng = rng
+        self.masked = 0
+        self.unmasked = 0
+
+    def attempt_mask(self, failure: UserFailureType, policy: MaskingPolicy) -> Generator:
+        """Retry a failed transient command.
+
+        Returns True when one of the retries cleared the transient
+        cause (the failure is *masked*: the user never saw it), False
+        when the retries were exhausted and the failure stands.
+        """
+        if not policy.applies_retry(failure):
+            return False
+        for _ in range(cal.RETRY_MASK_ATTEMPTS):
+            yield Timeout(cal.RETRY_MASK_WAIT)
+            if self._rng.random() < cal.RETRY_MASK_EFFECTIVENESS:
+                self.masked += 1
+                return True
+        self.unmasked += 1
+        return False
+
+
+__all__ = ["MaskingPolicy", "RetryMasker", "RETRYABLE"]

@@ -1,0 +1,21 @@
+"""ASCII table/chart rendering of the paper's artifacts."""
+
+from .tables import (
+    format_bar_chart,
+    format_table,
+    percent,
+    render_dependability_table,
+    render_relationship_table,
+    render_sira_table,
+)
+from .charts import format_series_plot
+
+__all__ = [
+    "format_table",
+    "format_bar_chart",
+    "format_series_plot",
+    "percent",
+    "render_relationship_table",
+    "render_sira_table",
+    "render_dependability_table",
+]

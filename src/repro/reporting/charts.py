@@ -1,0 +1,84 @@
+"""ASCII 2-D chart rendering.
+
+:func:`format_series_plot` draws an (x, y) series on a character grid —
+used for the coalescence sensitivity curve (fig. 2) and the
+connection-age histogram (fig. 3b), where the *shape* of a curve is the
+result.  Marks are placed at scaled coordinates; an optional vertical
+marker highlights a chosen x (e.g. the selected 330 s window).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+
+def format_series_plot(
+    series: Sequence[Tuple[float, float]],
+    title: str = "",
+    width: int = 60,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+    log_x: bool = False,
+    mark_x: Optional[float] = None,
+) -> str:
+    """Render an (x, y) series as an ASCII plot.
+
+    ``log_x`` plots x on a log10 scale (the fig.-2 window sweep spans
+    1 s to 1 h).  ``mark_x`` draws a vertical ``|`` column at that x.
+    """
+    if width < 10 or height < 4:
+        raise ValueError("plot must be at least 10x4 characters")
+    points = [(float(x), float(y)) for x, y in series]
+    if not points:
+        return title
+    if log_x:
+        if any(x <= 0 for x, _ in points):
+            raise ValueError("log_x requires positive x values")
+        points = [(math.log10(x), y) for x, y in points]
+        marker = math.log10(mark_x) if mark_x and mark_x > 0 else None
+    else:
+        marker = mark_x
+
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def col_of(x: float) -> int:
+        return min(width - 1, int(round((x - x_lo) / x_span * (width - 1))))
+
+    def row_of(y: float) -> int:
+        # Row 0 is the top of the plot.
+        return min(height - 1, int(round((y_hi - y) / y_span * (height - 1))))
+
+    if marker is not None and x_lo <= marker <= x_hi:
+        col = col_of(marker)
+        for row in range(height):
+            grid[row][col] = "|"
+    for x, y in points:
+        grid[row_of(y)][col_of(x)] = "*"
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("-" * len(title))
+    lines.append(f"{y_hi:>10.1f} +{''.join(grid[0])}")
+    for row in range(1, height - 1):
+        lines.append(" " * 11 + "+" + "".join(grid[row]))
+    lines.append(f"{y_lo:>10.1f} +{''.join(grid[-1])}")
+    axis_lo = 10 ** x_lo if log_x else x_lo
+    axis_hi = 10 ** x_hi if log_x else x_hi
+    scale = "log " if log_x else ""
+    lines.append(
+        " " * 12 + f"{axis_lo:g} .. {axis_hi:g}  ({scale}{x_label});  y = {y_label}"
+    )
+    return "\n".join(lines)
+
+
+__all__ = ["format_series_plot"]

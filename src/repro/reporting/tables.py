@@ -1,0 +1,158 @@
+"""ASCII rendering of the paper's tables and figures.
+
+Renderers take the analysis objects of :mod:`repro.core` and print the
+same rows/series the paper reports, so a benchmark run reads like the
+paper's evaluation section.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[str]],
+    title: str = "",
+) -> str:
+    """Plain fixed-width table with a rule under the header."""
+    columns = len(headers)
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError("row width does not match headers")
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * max(len(title), sum(widths) + 2 * (columns - 1)))
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_bar_chart(
+    series: Sequence[Tuple[str, float]],
+    title: str = "",
+    width: int = 40,
+    unit: str = "%",
+) -> str:
+    """Horizontal ASCII bar chart (one bar per labelled value)."""
+    if not series:
+        return title
+    peak = max(value for _, value in series) or 1.0
+    label_width = max(len(label) for label, _ in series)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("-" * len(title))
+    for label, value in series:
+        bar = "#" * max(0, int(round(width * value / peak)))
+        lines.append(f"{label.ljust(label_width)} | {bar} {value:.1f}{unit}")
+    return "\n".join(lines)
+
+
+def percent(value: float, digits: int = 1) -> str:
+    """Compact percentage cell ('-' for zero)."""
+    if value == 0.0:
+        return "-"
+    return f"{value:.{digits}f}"
+
+
+def render_relationship_table(table, user_order=None, column_order=None) -> str:
+    """Render Table 2 (error-failure relationship)."""
+    from repro.core.failure_model import UserFailureType
+    from repro.core.relationship import NO_EVIDENCE, all_columns
+
+    user_order = user_order or list(UserFailureType)
+    column_order = column_order or [
+        c for c in all_columns() if c != NO_EVIDENCE
+    ] + [NO_EVIDENCE]
+    shares = table.shares()
+    headers = ["User failure", "TOT"] + column_order
+    rows = []
+    for user in user_order:
+        if user not in shares:
+            continue
+        row_pct = table.row_percentages(user)
+        rows.append(
+            [user.value, percent(shares.get(user, 0.0))]
+            + [percent(row_pct.get(col, 0.0)) for col in column_order]
+        )
+    totals = table.column_totals()
+    rows.append(
+        ["Total", "100.0"] + [percent(totals.get(col, 0.0)) for col in column_order]
+    )
+    return format_table(headers, rows, title="Error-Failure Relationship (Table 2)")
+
+
+def render_sira_table(table) -> str:
+    """Render Table 3 (user failures vs recovery actions)."""
+    from repro.core.failure_model import UserFailureType
+    from repro.recovery.sira import SIRA_NAMES
+
+    shares = table.shares()
+    headers = ["User failure", "TOT"] + list(SIRA_NAMES)
+    rows = []
+    for user in UserFailureType:
+        if user not in shares:
+            continue
+        row_pct = table.row_percentages(user)
+        rows.append(
+            [user.value, percent(shares.get(user, 0.0))]
+            + [percent(row_pct.get(name, 0.0)) for name in SIRA_NAMES]
+        )
+    total_row = table.total_row()
+    rows.append(
+        ["Total", "100.0"] + [percent(total_row.get(name, 0.0)) for name in SIRA_NAMES]
+    )
+    return format_table(headers, rows, title="User failures-SIRA relationship (Table 3)")
+
+
+def render_dependability_table(report) -> str:
+    """Render Table 4 (dependability improvement)."""
+    order = ["only_reboot", "app_restart_reboot", "siras", "siras_masking"]
+    labels = {
+        "only_reboot": "Only Reboot",
+        "app_restart_reboot": "App restart and Reboot",
+        "siras": "With only SIRAs",
+        "siras_masking": "SIRAs and masking",
+    }
+    headers = ["Metric"] + [labels[name] for name in order]
+    metrics = [
+        ("MTTF (s.)", lambda m: f"{m.mttf:.2f}"),
+        ("MTTR (s.)", lambda m: f"{m.mttr:.2f}"),
+        ("Availability*", lambda m: f"{m.availability:.3f}"),
+        ("% Coverage", lambda m: f"{m.coverage_pct:.2f}"),
+        ("% Masking", lambda m: f"{m.masking_pct:.2f}"),
+        ("MIN TTF (s.)", lambda m: f"{m.min_ttf:.0f}"),
+        ("MAX TTF (s.)", lambda m: f"{m.max_ttf:.0f}"),
+        ("DEV_STD TTF (s.)", lambda m: f"{m.std_ttf:.2f}"),
+        ("MIN TTR (s.)", lambda m: f"{m.min_ttr:.0f}"),
+        ("MAX TTR (s.)", lambda m: f"{m.max_ttr:.0f}"),
+        ("DEV_STD TTR (s.)", lambda m: f"{m.std_ttr:.2f}"),
+        ("Failures", lambda m: str(m.failures)),
+    ]
+    rows = []
+    for label, fn in metrics:
+        rows.append([label] + [fn(report[name]) for name in order])
+    footer = "* = MTTF/(MTTF+MTTR)"
+    return (
+        format_table(headers, rows, title="Dependability Improvement (Table 4)")
+        + "\n"
+        + footer
+    )
+
+
+__all__ = [
+    "format_table",
+    "format_bar_chart",
+    "percent",
+    "render_relationship_table",
+    "render_sira_table",
+    "render_dependability_table",
+]

@@ -1,0 +1,40 @@
+"""Discrete-event simulation substrate (engine, processes, RNG, distributions)."""
+
+from .engine import EventHandle, SimulationError, Simulator
+from .process import Interrupt, Process, SimEvent, Timeout, spawn
+from .rng import RandomStreams, derive_seed
+from .distributions import (
+    BoundedPareto,
+    Exponential,
+    LogNormal,
+    Pareto,
+    Uniform,
+    UniformInt,
+    Weibull,
+    bernoulli,
+    binomial_choice,
+    weighted_choice,
+)
+
+__all__ = [
+    "Simulator",
+    "EventHandle",
+    "SimulationError",
+    "Process",
+    "SimEvent",
+    "Timeout",
+    "Interrupt",
+    "spawn",
+    "RandomStreams",
+    "derive_seed",
+    "Pareto",
+    "BoundedPareto",
+    "Uniform",
+    "UniformInt",
+    "Exponential",
+    "Weibull",
+    "LogNormal",
+    "bernoulli",
+    "binomial_choice",
+    "weighted_choice",
+]

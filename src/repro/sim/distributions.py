@@ -1,0 +1,205 @@
+"""Probability distributions used by the workloads and fault models.
+
+The paper's workloads draw from uniform, binomial, and Pareto
+distributions (the latter for user "passive off" think times and for
+Internet resource sizes, following Crovella & Bestavros).  Fault models
+additionally use exponential and Weibull hazards.
+
+All samplers take an explicit :class:`random.Random` so callers control
+the stream (see :mod:`repro.sim.rng`).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class Pareto:
+    """Pareto distribution with shape ``alpha`` and scale ``xm`` (minimum).
+
+    The paper models user passive off-time as Pareto with shape 1.5
+    (section 6, footnote 8), and Internet resource sizes as power laws.
+    """
+
+    alpha: float
+    xm: float
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0 or self.xm <= 0:
+            raise ValueError("Pareto requires alpha > 0 and xm > 0")
+
+    def sample(self, rng: random.Random) -> float:
+        # Inverse-CDF: xm * U^(-1/alpha)
+        u = 1.0 - rng.random()
+        return self.xm * u ** (-1.0 / self.alpha)
+
+    def mean(self) -> float:
+        """Theoretical mean (infinite when alpha <= 1)."""
+        if self.alpha <= 1.0:
+            return math.inf
+        return self.alpha * self.xm / (self.alpha - 1.0)
+
+
+@dataclass(frozen=True)
+class BoundedPareto:
+    """Pareto truncated to [xm, cap]; used for resource sizes so a single
+    draw cannot exceed what a session could plausibly transfer."""
+
+    alpha: float
+    xm: float
+    cap: float
+
+    def __post_init__(self) -> None:
+        if not (0 < self.xm < self.cap):
+            raise ValueError("BoundedPareto requires 0 < xm < cap")
+        if self.alpha <= 0:
+            raise ValueError("BoundedPareto requires alpha > 0")
+
+    def sample(self, rng: random.Random) -> float:
+        """Inverse-CDF sample of the truncated Pareto."""
+        a, l, h = self.alpha, self.xm, self.cap
+        u = rng.random()
+        ratio = (l / h) ** a
+        return l / (1.0 - u * (1.0 - ratio)) ** (1.0 / a)
+
+
+@dataclass(frozen=True)
+class Uniform:
+    """Continuous uniform over [low, high]."""
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if self.high < self.low:
+            raise ValueError("Uniform requires high >= low")
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.uniform(self.low, self.high)
+
+
+@dataclass(frozen=True)
+class UniformInt:
+    """Discrete uniform over {low, ..., high} inclusive."""
+
+    low: int
+    high: int
+
+    def __post_init__(self) -> None:
+        if self.high < self.low:
+            raise ValueError("UniformInt requires high >= low")
+
+    def sample(self, rng: random.Random) -> int:
+        return rng.randint(self.low, self.high)
+
+
+@dataclass(frozen=True)
+class Exponential:
+    """Exponential with rate ``lam`` (mean 1/lam); memoryless hazard."""
+
+    lam: float
+
+    def __post_init__(self) -> None:
+        if self.lam <= 0:
+            raise ValueError("Exponential requires lam > 0")
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.expovariate(self.lam)
+
+    def mean(self) -> float:
+        return 1.0 / self.lam
+
+
+@dataclass(frozen=True)
+class Weibull:
+    """Weibull with scale ``scale`` and shape ``shape``.
+
+    shape < 1 models infant-mortality hazards (e.g. young connections
+    failing more, as observed in figure 3b of the paper); shape > 1
+    models wear-out.
+    """
+
+    scale: float
+    shape: float
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0 or self.shape <= 0:
+            raise ValueError("Weibull requires scale > 0 and shape > 0")
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.weibullvariate(self.scale, self.shape)
+
+    def mean(self) -> float:
+        return self.scale * math.gamma(1.0 + 1.0 / self.shape)
+
+
+@dataclass(frozen=True)
+class LogNormal:
+    """Log-normal with parameters of the underlying normal."""
+
+    mu: float
+    sigma: float
+
+    def __post_init__(self) -> None:
+        if self.sigma <= 0:
+            raise ValueError("LogNormal requires sigma > 0")
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.lognormvariate(self.mu, self.sigma)
+
+
+def bernoulli(rng: random.Random, p: float) -> bool:
+    """Single biased coin flip with success probability ``p``."""
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"probability out of range: {p}")
+    return rng.random() < p
+
+
+def binomial_choice(rng: random.Random, items: Sequence, n: int = None, p: float = 0.5):
+    """Pick an item by a Binomial(n, p) index, clamped to the sequence.
+
+    The paper chooses the Baseband packet type 'according to a binomial
+    distribution' over the six types; this reproduces that selection rule.
+    """
+    if not items:
+        raise ValueError("empty choice sequence")
+    if n is None:
+        n = len(items) - 1
+    idx = sum(1 for _ in range(n) if rng.random() < p)
+    return items[min(idx, len(items) - 1)]
+
+
+def weighted_choice(rng: random.Random, items: Sequence, weights: Sequence[float]):
+    """Pick an item with probability proportional to its weight."""
+    if len(items) != len(weights):
+        raise ValueError("items and weights must have the same length")
+    total = float(sum(weights))
+    if total <= 0:
+        raise ValueError("weights must sum to a positive value")
+    r = rng.random() * total
+    acc = 0.0
+    for item, w in zip(items, weights):
+        if w < 0:
+            raise ValueError("weights must be non-negative")
+        acc += w
+        if r < acc:
+            return item
+    return items[-1]
+
+
+__all__ = [
+    "Pareto",
+    "BoundedPareto",
+    "Uniform",
+    "UniformInt",
+    "Exponential",
+    "Weibull",
+    "LogNormal",
+    "bernoulli",
+    "binomial_choice",
+    "weighted_choice",
+]

@@ -1,0 +1,171 @@
+"""Discrete-event simulation engine.
+
+The engine is a deterministic, single-threaded event loop over a binary
+heap of timestamped events.  Simulated time is a float number of seconds.
+Determinism is guaranteed by a monotonically increasing sequence number
+used as a tie-breaker for events scheduled at the same instant.
+
+The engine knows nothing about Bluetooth; it only runs callbacks and
+generator-based processes (see :mod:`repro.sim.process`).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation engine (e.g. scheduling in the past)."""
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time: float
+    priority: int
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Handle to a scheduled event, allowing cancellation.
+
+    Cancellation is O(1): the event is flagged and skipped when popped.
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _ScheduledEvent) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        """Prevent the event's callback from running.  Idempotent."""
+        self._event.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Usage::
+
+        sim = Simulator()
+        sim.schedule(5.0, lambda: print("hello at t=5"))
+        sim.run_until(10.0)
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue: list[_ScheduledEvent] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._stopped = False
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        priority: int = 0,
+    ) -> EventHandle:
+        """Schedule ``callback`` to run ``delay`` seconds from now.
+
+        ``priority`` breaks ties between events at the same instant; lower
+        runs first.  Returns a handle that can cancel the event.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay} s in the past")
+        return self.schedule_at(self._now + delay, callback, priority)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        priority: int = 0,
+    ) -> EventHandle:
+        """Schedule ``callback`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} (now is t={self._now})"
+            )
+        event = _ScheduledEvent(time, priority, next(self._seq), callback)
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def stop(self) -> None:
+        """Stop the run loop after the current event completes."""
+        self._stopped = True
+
+    def peek(self) -> Optional[float]:
+        """Time of the next pending event, or None if the queue is empty."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None
+
+    def step(self) -> bool:
+        """Run the single next event.  Returns False if the queue was empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback()
+            return True
+        return False
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Run until the queue is empty (or ``max_events`` processed).
+
+        Returns the number of events processed.
+        """
+        self._stopped = False
+        count = 0
+        while not self._stopped:
+            if max_events is not None and count >= max_events:
+                break
+            if not self.step():
+                break
+            count += 1
+        return count
+
+    def run_until(self, time: float) -> int:
+        """Run all events up to and including simulated ``time``.
+
+        The clock is advanced to exactly ``time`` afterwards, even if the
+        last event fired earlier.  Returns the number of events processed.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot run backwards to t={time} (now is t={self._now})"
+            )
+        self._stopped = False
+        count = 0
+        while not self._stopped:
+            nxt = self.peek()
+            if nxt is None or nxt > time:
+                break
+            self.step()
+            count += 1
+        self._now = max(self._now, time)
+        return count
+
+    def pending_events(self) -> int:
+        """Number of non-cancelled events still queued."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+
+__all__ = ["Simulator", "EventHandle", "SimulationError"]

@@ -1,0 +1,39 @@
+"""Testbed emulation: the paper's node catalogue, topology and deployment."""
+
+from .nodes import (
+    ALL_PROFILES,
+    AZZURRO,
+    GIALLO,
+    IPAQ,
+    MISENO,
+    NodeProfile,
+    PANU_PROFILES,
+    VERDE,
+    WIN,
+    ZAURUS,
+    distances,
+    profile_by_name,
+)
+from .node import NapNode, PanuNode, LogNoise, display_name, node_id
+from .testbed import Testbed
+
+__all__ = [
+    "NodeProfile",
+    "ALL_PROFILES",
+    "PANU_PROFILES",
+    "GIALLO",
+    "VERDE",
+    "MISENO",
+    "AZZURRO",
+    "WIN",
+    "IPAQ",
+    "ZAURUS",
+    "profile_by_name",
+    "distances",
+    "NapNode",
+    "PanuNode",
+    "LogNoise",
+    "node_id",
+    "display_name",
+    "Testbed",
+]

@@ -1,0 +1,75 @@
+"""Electromagnetic interference episodes.
+
+The paper attributes correlated error bursts partly to "electromagnetic
+interferences" in the 2.4 GHz ISM band (microwave ovens, 802.11
+traffic).  An :class:`InterferenceSource` models an interferer near the
+testbed: episodes arrive as a Poisson process, last an exponential
+duration, and multiply the burst-arrival rate of *every* link while
+active — interference is spatially shared, which is what distinguishes
+it from per-link fading.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Generator, List, Sequence
+
+from repro.bluetooth.channel import Channel
+from repro.sim import Simulator, Timeout, spawn
+
+
+class InterferenceSource:
+    """A shared 2.4 GHz interferer affecting all channels of one lab."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        channels: Sequence[Channel],
+        rng: random.Random,
+        mean_interval: float = 7200.0,  # one episode every ~2 h
+        mean_duration: float = 300.0,  # ~5 min per episode
+        factor: float = 8.0,  # burst-rate multiplier while active
+    ) -> None:
+        if mean_interval <= 0 or mean_duration <= 0:
+            raise ValueError("interference intervals must be positive")
+        if factor <= 1.0:
+            raise ValueError("an interferer must raise the burst rate")
+        self.sim = sim
+        self.channels = list(channels)
+        self._rng = rng
+        self.mean_interval = mean_interval
+        self.mean_duration = mean_duration
+        self.factor = factor
+        self.episodes = 0
+        self.active = False
+        self.total_active_time = 0.0
+        self.episode_log: List[tuple] = []  # (start, end) pairs
+
+    def run(self) -> Generator:
+        """The episode process (spawn it on the simulator)."""
+        while True:
+            yield Timeout(self._rng.expovariate(1.0 / self.mean_interval))
+            duration = self._rng.expovariate(1.0 / self.mean_duration)
+            start = self.sim.now
+            self._set(self.factor)
+            self.active = True
+            self.episodes += 1
+            yield Timeout(duration)
+            self._set(1.0)
+            self.active = False
+            self.total_active_time += duration
+            self.episode_log.append((start, self.sim.now))
+
+    def start(self):
+        return spawn(self.sim, self.run(), name="interference")
+
+    def _set(self, factor: float) -> None:
+        for channel in self.channels:
+            channel.set_interference(factor)
+
+    def was_active_at(self, time: float) -> bool:
+        """Whether an episode covered simulated ``time`` (for analyses)."""
+        return any(start <= time <= end for start, end in self.episode_log)
+
+
+__all__ = ["InterferenceSource"]

@@ -1,0 +1,200 @@
+"""Runtime nodes: the NAP and the PANUs, fully wired.
+
+A :class:`PanuNode` owns everything one slave host runs: its radio
+channel to the NAP, its Bluetooth stack, its BlueTest client, its two
+log files, its LogAnalyzer daemon and its background log-noise process.
+The :class:`NapNode` owns the NAP service, its system log and daemon
+(the NAP records only system-level data — which is why Giallo never
+appears in the user-failure-per-node figure).
+
+Node identifiers in the logs are ``<testbed>:<host>`` so the two
+testbeds' same-named machines stay distinguishable in the repository.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Generator, List, Optional
+
+from repro.bluetooth.channel import Channel, ChannelConfig
+from repro.bluetooth.pan import NapService
+from repro.bluetooth.stack import BluetoothStack
+from repro.collection.logs import SystemLog, TestLog
+from repro.collection.log_analyzer import LogAnalyzer
+from repro.collection.messages import BACKGROUND_MESSAGES, variants_for
+from repro.collection.repository import CentralRepository
+from repro.core.failure_model import SystemFailureType
+from repro.faults.injector import FaultInjector
+from repro.recovery.masking import MaskingPolicy
+from repro.sim import RandomStreams, Simulator, Timeout, spawn
+from repro.workload.bluetest import BlueTestClient
+from repro.workload.traffic import WorkloadModel
+from .nodes import NodeProfile
+
+#: Mean seconds between benign background log entries per node.
+NOISE_INFO_MEAN = 180.0
+#: Mean seconds between spurious (failure-unrelated) error entries.
+NOISE_ERROR_MEAN = 2600.0
+
+
+def node_id(testbed_name: str, host: str) -> str:
+    """The log identifier of one host in one testbed."""
+    return f"{testbed_name}:{host}"
+
+
+def display_name(node: str) -> str:
+    """Strip the testbed prefix from a log identifier."""
+    return node.split(":", 1)[-1]
+
+
+class LogNoise:
+    """Background system-log chatter of one host.
+
+    Real system logs contain plenty of entries unrelated to any failure;
+    the info-severity ones exercise the LogAnalyzer's filtering, and the
+    rare spurious error entries give the coalescence analysis realistic
+    singleton tuples.
+    """
+
+    def __init__(self, sim: Simulator, system_log: SystemLog, rng: random.Random) -> None:
+        self._sim = sim
+        self._log = system_log
+        self._rng = rng
+
+    def run(self) -> Generator:
+        """The noise process: benign chatter plus rare spurious errors."""
+        error_types = [t for t in SystemFailureType]
+        while True:
+            yield Timeout(self._rng.expovariate(1.0 / NOISE_INFO_MEAN))
+            self._log.set_time(self._sim.now)
+            facility, message = self._rng.choice(BACKGROUND_MESSAGES)
+            self._log.info(facility, message)
+            if self._rng.random() < NOISE_INFO_MEAN / NOISE_ERROR_MEAN:
+                failure_type = self._rng.choice(error_types)
+                variant = self._rng.choice(variants_for(failure_type))
+                self._log.error(failure_type, variant)
+
+
+class NapNode:
+    """The Network Access Point host (Giallo)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        profile: NodeProfile,
+        streams: RandomStreams,
+        repository: CentralRepository,
+        testbed_name: str,
+    ) -> None:
+        if not profile.is_nap:
+            raise ValueError(f"{profile.name} is not a NAP profile")
+        self.sim = sim
+        self.profile = profile
+        self.testbed_name = testbed_name
+        self.id = node_id(testbed_name, profile.name)
+        self.system_log = SystemLog(
+            self.id,
+            streams.stream(f"syslog/{self.id}"),
+            clock=lambda: sim.now,
+            vendor=profile.vendor,
+        )
+        self.service = NapService(profile.name, self.system_log)
+        self.analyzer = LogAnalyzer(
+            self.id,
+            TestLog(self.id),  # the NAP records no user-level data
+            self.system_log,
+            repository,
+            phase=streams.stream(f"analyzer/{self.id}").uniform(0, 60),
+        )
+        self.noise = LogNoise(sim, self.system_log, streams.stream(f"noise/{self.id}"))
+
+    def start(self) -> None:
+        self.analyzer.start(self.sim)
+        spawn(self.sim, self.noise.run(), name=f"noise:{self.id}")
+
+
+class PanuNode:
+    """One PAN User host: channel + stack + workload + collection."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        profile: NodeProfile,
+        nap: NapNode,
+        injector: FaultInjector,
+        streams: RandomStreams,
+        repository: CentralRepository,
+        model: WorkloadModel,
+        masking: MaskingPolicy,
+        testbed_name: str,
+        channel_config: Optional[ChannelConfig] = None,
+    ) -> None:
+        if profile.is_nap:
+            raise ValueError(f"{profile.name} is a NAP, not a PANU")
+        self.sim = sim
+        self.profile = profile
+        self.testbed_name = testbed_name
+        self.id = node_id(testbed_name, profile.name)
+        self.system_log = SystemLog(
+            self.id,
+            streams.stream(f"syslog/{self.id}"),
+            clock=lambda: sim.now,
+            vendor=profile.vendor,
+        )
+        self.test_log = TestLog(self.id)
+        config = channel_config or ChannelConfig(distance=max(profile.distance, 0.1))
+        self.channel = Channel(config, streams.stream(f"channel/{self.id}"))
+        self.stack = BluetoothStack(
+            sim,
+            profile.traits,
+            self.system_log,
+            injector,
+            streams.stream(f"stack/{self.id}"),
+            self.channel,
+            nap.service,
+            neighbourhood=[nap.profile.name],
+            transport_kind=profile.transport,
+        )
+        self.client = BlueTestClient(
+            sim,
+            self.stack,
+            self.test_log,
+            model,
+            streams.stream(f"workload/{self.id}"),
+            masking=masking,
+            distance=profile.distance,
+            testbed_name=testbed_name,
+        )
+        self.analyzer = LogAnalyzer(
+            self.id,
+            self.test_log,
+            self.system_log,
+            repository,
+            phase=streams.stream(f"analyzer/{self.id}").uniform(0, 60),
+        )
+        self.noise = LogNoise(sim, self.system_log, streams.stream(f"noise/{self.id}"))
+
+    def start(self) -> None:
+        """Start the workload, collection daemon and noise process."""
+        # Clock the system log from the simulator before anything writes.
+        self.system_log.set_time(self.sim.now)
+        self.client.start()
+        self.analyzer.start(self.sim)
+        spawn(self.sim, self.noise.run(), name=f"noise:{self.id}")
+
+    def replace_hardware(self) -> None:
+        """Mid-campaign hardware swap (reduces aging effects, paper §3)."""
+        self.stack.reset()
+        self.system_log.set_time(self.sim.now)
+        self.system_log.info("kernel", "kernel: system boot")
+
+
+__all__ = [
+    "PanuNode",
+    "NapNode",
+    "LogNoise",
+    "node_id",
+    "display_name",
+    "NOISE_INFO_MEAN",
+    "NOISE_ERROR_MEAN",
+]

@@ -1,0 +1,190 @@
+"""The node catalogue of the paper's testbeds (its Table 1 / figure 1).
+
+Seven heterogeneous hosts: one NAP (Giallo) and six PANUs — four Linux
+PCs with different distributions and USB dongles, one Windows XP PC on
+the Broadcom stack, and two Linux PDAs with on-board radios driven over
+BCSP.  Antennas are fixed at 0.5, 5 and 7 metres from the NAP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.faults.injector import NodeTraits
+
+
+@dataclass(frozen=True)
+class NodeProfile:
+    """Static description of one testbed machine."""
+
+    name: str
+    os: str
+    distribution: str
+    kernel: str
+    cpu: str
+    ram_mb: int
+    bt_stack: str
+    bt_hardware: str
+    transport: str  # "usb" | "uart" | "bcsp"
+    distance: float  # metres from the NAP antenna (0 for the NAP itself)
+    is_nap: bool = False
+    is_pda: bool = False
+    bind_prone: bool = False
+
+    @property
+    def traits(self) -> NodeTraits:
+        """The fault-relevant view of this profile."""
+        return NodeTraits(
+            name=self.name,
+            uses_bcsp=self.transport == "bcsp",
+            uses_usb=self.transport == "usb",
+            bind_prone=self.bind_prone,
+            is_nap=self.is_nap,
+        )
+
+    @property
+    def vendor(self) -> str:
+        """Log-vocabulary vendor: BlueZ hosts vs the Broadcom/Windows box."""
+        return "broadcom" if "broadcom" in self.bt_stack.lower() else "bluez"
+
+
+GIALLO = NodeProfile(
+    name="Giallo",
+    os="Linux",
+    distribution="Mandrake",
+    kernel="2.4.21-0.13mdk",
+    cpu="P4 1.60GHz",
+    ram_mb=128,
+    bt_stack="BlueZ 2.10",
+    bt_hardware="Anycom CC3030",
+    transport="usb",
+    distance=0.0,
+    is_nap=True,
+)
+
+VERDE = NodeProfile(
+    name="Verde",
+    os="Linux",
+    distribution="Mandrake",
+    kernel="2.4.21-0.13mdk",
+    cpu="P3 350MHz",
+    ram_mb=256,
+    bt_stack="BlueZ 2.10",
+    bt_hardware="3COM 3CREB96B",
+    transport="usb",
+    distance=0.5,
+)
+
+MISENO = NodeProfile(
+    name="Miseno",
+    os="Linux",
+    distribution="Debian",
+    kernel="2.6.5-1-386",
+    cpu="Celeron 700MHz",
+    ram_mb=128,
+    bt_stack="BlueZ 2.10",
+    bt_hardware="Belkin F8T003",
+    transport="usb",
+    distance=5.0,
+)
+
+AZZURRO = NodeProfile(
+    name="Azzurro",
+    os="Linux",
+    distribution="Fedora",
+    kernel="2.6.9-1-667",
+    cpu="P3 350MHz",
+    ram_mb=256,
+    bt_stack="BlueZ 2.10",
+    bt_hardware="Digicom Palladio",
+    transport="usb",
+    distance=7.0,
+    # The new HAL version first deployed on Fedora Core is behind the
+    # hotplug race; bind failures only appeared here and on Win.
+    bind_prone=True,
+)
+
+WIN = NodeProfile(
+    name="Win",
+    os="MS Windows XP",
+    distribution="Service Pack 2",
+    kernel="NT 5.1",
+    cpu="P4 1.80GHz",
+    ram_mb=512,
+    bt_stack="Broadcomm",
+    bt_hardware="Sitecom CN-500",
+    transport="usb",
+    distance=0.5,
+    bind_prone=True,
+)
+
+IPAQ = NodeProfile(
+    name="Ipaq H3870",
+    os="Linux",
+    distribution="Familiar 0.8.1",
+    kernel="2.4.19-rmk6-pxa1-hh37",
+    cpu="StrongARM 206MHz",
+    ram_mb=64,
+    bt_stack="BlueZ 2.10",
+    bt_hardware="on board",
+    transport="bcsp",
+    distance=5.0,
+    is_pda=True,
+)
+
+ZAURUS = NodeProfile(
+    name="Zaurus SL-5600",
+    os="Linux",
+    distribution="Open Zaurus 3.5.2",
+    kernel="2.4.18-rmk7-pxa3-embedix",
+    cpu="XScale 400MHz",
+    ram_mb=32,
+    bt_stack="BlueZ 2.10",
+    bt_hardware="on board",
+    transport="bcsp",
+    distance=7.0,
+    is_pda=True,
+)
+
+#: The NAP plus the six PANUs, as deployed in both testbeds.
+ALL_PROFILES: Tuple[NodeProfile, ...] = (
+    GIALLO,
+    VERDE,
+    MISENO,
+    AZZURRO,
+    WIN,
+    IPAQ,
+    ZAURUS,
+)
+
+PANU_PROFILES: Tuple[NodeProfile, ...] = tuple(p for p in ALL_PROFILES if not p.is_nap)
+
+
+def profile_by_name(name: str) -> NodeProfile:
+    """Look a profile up by host name."""
+    for profile in ALL_PROFILES:
+        if profile.name == name:
+            return profile
+    raise KeyError(f"unknown node: {name!r}")
+
+
+def distances() -> List[float]:
+    """The distinct PANU antenna distances (0.5, 5, 7 m)."""
+    return sorted({p.distance for p in PANU_PROFILES})
+
+
+__all__ = [
+    "NodeProfile",
+    "GIALLO",
+    "VERDE",
+    "MISENO",
+    "AZZURRO",
+    "WIN",
+    "IPAQ",
+    "ZAURUS",
+    "ALL_PROFILES",
+    "PANU_PROFILES",
+    "profile_by_name",
+    "distances",
+]

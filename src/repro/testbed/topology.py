@@ -1,0 +1,64 @@
+"""Testbed topology rendering (the paper's figure 1).
+
+Figure 1 shows both testbeds' layout: the NAP (Giallo) in the middle,
+six PANUs at fixed antenna distances (0.5, 5 and 7 m), along with the
+technical table of every machine.  These renderers reproduce both from
+the node catalogue, so documentation and examples can print the
+deployment they are about to simulate.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.reporting.tables import format_table
+from .nodes import ALL_PROFILES, NodeProfile, PANU_PROFILES
+
+
+def render_machine_table(profiles: Sequence[NodeProfile] = ALL_PROFILES) -> str:
+    """The hardware/software table of figure 1."""
+    headers = ["Host", "O.S.", "Distribution", "Kernel", "CPU/RAM",
+               "BT Stack", "BT Hardware"]
+    rows = []
+    for profile in profiles:
+        rows.append([
+            profile.name + (" (NAP)" if profile.is_nap else ""),
+            profile.os,
+            profile.distribution,
+            profile.kernel,
+            f"{profile.cpu}/{profile.ram_mb}Mb",
+            profile.bt_stack,
+            profile.bt_hardware,
+        ])
+    return format_table(headers, rows, title="Testbed machines (figure 1)")
+
+
+def render_topology(profiles: Sequence[NodeProfile] = ALL_PROFILES) -> str:
+    """ASCII map: the NAP with its PANUs grouped by distance ring."""
+    nap = next(p for p in profiles if p.is_nap)
+    panus = [p for p in profiles if not p.is_nap]
+    rings = {}
+    for profile in panus:
+        rings.setdefault(profile.distance, []).append(profile.name)
+
+    lines: List[str] = ["Piconet topology (both testbeds)", ""]
+    lines.append(f"            [{nap.name}]  <- NAP / piconet master")
+    lines.append("               |")
+    for distance in sorted(rings):
+        names = ", ".join(sorted(rings[distance]))
+        lines.append(f"   {distance:>4.1f} m  ---  {names}")
+    lines.append("")
+    lines.append(
+        "Antenna positions are fixed (desk-scale PAN); each PANU runs a "
+        "BlueTest client,\nthe NAP runs the BlueTest server and accepts "
+        "up to 7 slaves."
+    )
+    return "\n".join(lines)
+
+
+def render_figure1() -> str:
+    """The full figure-1 artifact: topology map plus machine table."""
+    return render_topology() + "\n\n" + render_machine_table()
+
+
+__all__ = ["render_topology", "render_machine_table", "render_figure1"]

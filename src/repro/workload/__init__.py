@@ -1,0 +1,25 @@
+"""BlueTest workloads: random, realistic, and the fixed-length variant."""
+
+from .traffic import (
+    CycleParams,
+    FixedLengthWorkload,
+    RandomWorkload,
+    RealisticWorkload,
+    REALISTIC_APPLICATIONS,
+    WorkloadModel,
+    TCP_MSS,
+)
+from .bluetest import BlueTestClient, CycleStats, STACK_CHOICE
+
+__all__ = [
+    "CycleParams",
+    "WorkloadModel",
+    "RandomWorkload",
+    "RealisticWorkload",
+    "FixedLengthWorkload",
+    "REALISTIC_APPLICATIONS",
+    "TCP_MSS",
+    "BlueTestClient",
+    "CycleStats",
+    "STACK_CHOICE",
+]

@@ -1,0 +1,217 @@
+"""Workload traffic models.
+
+Each BlueTest cycle is parameterised by the random variables of paper
+§3: S (scan flag), SDP (service-discovery flag), B (Baseband packet
+type), N (number of packets), L_S/L_R (sent/received packet sizes) and
+T_W (the user's passive off time, Pareto distributed after Crovella &
+Bestavros).  Two model families exist:
+
+* :class:`RandomWorkload` — totally random draws (uniform N and sizes,
+  binomial packet-type selection) to stimulate the channel with every
+  packet type irrespective of any real application.
+* :class:`RealisticWorkload` — parameters drawn from the random
+  processes that model actual Internet traffic (power-law resource
+  sizes per application class, transport-typical PDUs, 1–20 consecutive
+  cycles per connection).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.bluetooth.packets import PACKET_TYPE_ORDER, PacketType
+from repro.sim.distributions import (
+    BoundedPareto,
+    LogNormal,
+    Pareto,
+    UniformInt,
+    bernoulli,
+    binomial_choice,
+)
+
+#: The user passive off time: Pareto with shape 1.5 (paper footnote 8).
+IDLE_SHAPE = 1.5
+IDLE_SCALE = 10.0  # xm, seconds
+IDLE_CAP = 600.0  # cap the heavy tail so cycles keep coming
+
+#: Typical transport PDU on the Internet path (TCP MSS).
+TCP_MSS = 1460
+
+#: Flag probabilities (uniform, per the paper).
+P_SCAN = 0.5
+P_SDP = 0.5
+
+
+@dataclass(frozen=True)
+class CycleParams:
+    """The random variables of one BlueTest cycle."""
+
+    scan_flag: bool
+    sdp_flag: bool
+    packet_type: Optional[PacketType]  # None: left to the BT stack
+    n_logical: int  # N: number of logical packets to exchange
+    send_size: int  # L_S (bytes)
+    recv_size: int  # L_R (bytes)
+    idle_time: float  # T_W (seconds)
+    application: str
+
+
+class WorkloadModel:
+    """Base class of the BlueTest parameter generators."""
+
+    #: Testbed label recorded on every failure report.
+    name = "abstract"
+
+    def next_cycle(self, rng: random.Random) -> CycleParams:
+        raise NotImplementedError
+
+    def cycles_per_connection(self, rng: random.Random) -> int:
+        """How many consecutive cycles reuse one PAN connection."""
+        return 1
+
+    @staticmethod
+    def _idle(rng: random.Random) -> float:
+        return min(IDLE_CAP, Pareto(IDLE_SHAPE, IDLE_SCALE).sample(rng))
+
+
+class RandomWorkload(WorkloadModel):
+    """Totally random channel stimulation (the paper's first testbed)."""
+
+    name = "random"
+
+    def __init__(
+        self,
+        n_range: Tuple[int, int] = (1, 360),
+        size_range: Tuple[int, int] = (64, 1691),
+    ) -> None:
+        self._n = UniformInt(*n_range)
+        self._size = UniformInt(*size_range)
+
+    def next_cycle(self, rng: random.Random) -> CycleParams:
+        """Draw one cycle's parameters (uniform/binomial, per the paper)."""
+        return CycleParams(
+            scan_flag=bernoulli(rng, P_SCAN),
+            sdp_flag=bernoulli(rng, P_SDP),
+            packet_type=binomial_choice(rng, PACKET_TYPE_ORDER),
+            n_logical=self._n.sample(rng),
+            send_size=self._size.sample(rng),
+            recv_size=self._size.sample(rng),
+            idle_time=self._idle(rng),
+            application="random",
+        )
+
+
+#: Resource-size models per emulated application (bytes).  Heavy-tailed
+#: per Crovella & Bestavros; caps keep one draw within what a PAN
+#: session plausibly moves.
+_WEB_SIZE = BoundedPareto(alpha=1.3, xm=2_000, cap=2_000_000)
+_MAIL_SIZE = LogNormal(mu=9.2, sigma=1.2)  # median ~10 kB
+_FTP_SIZE = BoundedPareto(alpha=1.1, xm=30_000, cap=2_000_000)
+_P2P_SIZE = BoundedPareto(alpha=1.1, xm=256_000, cap=6_000_000)
+_STREAM_RATE = 16_000  # bytes/s (128 kbit/s audio/video)
+_STREAM_DURATION = (20.0, 90.0)  # seconds
+
+REALISTIC_APPLICATIONS = ("web", "mail", "ftp", "p2p", "streaming")
+
+
+class RealisticWorkload(WorkloadModel):
+    """IP-application emulation (the paper's second testbed)."""
+
+    name = "realistic"
+
+    def __init__(self, applications: Tuple[str, ...] = REALISTIC_APPLICATIONS) -> None:
+        if not applications:
+            raise ValueError("need at least one application")
+        self.applications = applications
+
+    def next_cycle(self, rng: random.Random) -> CycleParams:
+        """Draw one cycle emulating a random Internet application."""
+        application = rng.choice(self.applications)
+        resource_bytes = self._resource_size(rng, application)
+        n_logical = max(1, int(resource_bytes // TCP_MSS))
+        send, recv = self._pdu_sizes(application)
+        return CycleParams(
+            scan_flag=bernoulli(rng, P_SCAN),
+            sdp_flag=bernoulli(rng, P_SDP),
+            packet_type=None,  # the BT stack chooses
+            n_logical=n_logical,
+            send_size=send,
+            recv_size=recv,
+            idle_time=self._idle(rng),
+            application=application,
+        )
+
+    def cycles_per_connection(self, rng: random.Random) -> int:
+        # "the WL runs from 1 up to 20 consecutive cycles over the same
+        # connection"
+        return rng.randint(1, 20)
+
+    @staticmethod
+    def _resource_size(rng: random.Random, application: str) -> float:
+        if application == "web":
+            return _WEB_SIZE.sample(rng)
+        if application == "mail":
+            return min(_MAIL_SIZE.sample(rng), 5_000_000)
+        if application == "ftp":
+            return _FTP_SIZE.sample(rng)
+        if application == "p2p":
+            return _P2P_SIZE.sample(rng)
+        if application == "streaming":
+            return rng.uniform(*_STREAM_DURATION) * _STREAM_RATE
+        raise ValueError(f"unknown application: {application!r}")
+
+    @staticmethod
+    def _pdu_sizes(application: str) -> Tuple[int, int]:
+        """(L_S, L_R): request-out / data-back PDU sizes per application."""
+        if application in ("web", "mail"):
+            return 350, TCP_MSS
+        if application == "ftp":
+            return 64, TCP_MSS
+        if application == "p2p":
+            return TCP_MSS, TCP_MSS  # symmetric exchange
+        if application == "streaming":
+            return 64, 1400  # RTP-sized media packets
+        raise ValueError(f"unknown application: {application!r}")
+
+
+class FixedLengthWorkload(WorkloadModel):
+    """The special random-WL variant of the figure-3b experiment.
+
+    N fixed to 10000 packets; L_S and L_R fixed to 1691 bytes (the BNEP
+    MTU), "in order to not introduce indetermination when estimating
+    the failing connection length".
+    """
+
+    name = "random"
+
+    def __init__(self, n_logical: int = 10_000, size: int = 1691) -> None:
+        self.n_logical = n_logical
+        self.size = size
+
+    def next_cycle(self, rng: random.Random) -> CycleParams:
+        """Draw one fixed-length cycle (only flags and T_W vary)."""
+        return CycleParams(
+            scan_flag=bernoulli(rng, P_SCAN),
+            sdp_flag=bernoulli(rng, P_SDP),
+            packet_type=binomial_choice(rng, PACKET_TYPE_ORDER),
+            n_logical=self.n_logical,
+            send_size=self.size,
+            recv_size=self.size,
+            idle_time=self._idle(rng),
+            application="random",
+        )
+
+
+__all__ = [
+    "CycleParams",
+    "WorkloadModel",
+    "RandomWorkload",
+    "RealisticWorkload",
+    "FixedLengthWorkload",
+    "REALISTIC_APPLICATIONS",
+    "TCP_MSS",
+    "P_SCAN",
+    "P_SDP",
+]

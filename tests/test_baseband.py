@@ -1,0 +1,178 @@
+"""Tests for the bit-accurate Baseband and the batch transfer model."""
+
+import random
+
+import pytest
+
+from repro.bluetooth.baseband import (
+    Baseband,
+    TransferStatus,
+    TxStatus,
+    sample_transfer,
+    _cumulative_hazard,
+)
+from repro.bluetooth.channel import Channel, ChannelConfig
+from repro.bluetooth.packets import AclPacket, PacketType
+
+
+def clean_channel(seed=0):
+    """A channel that essentially never errors (no bursts, BER ~ 0)."""
+    from repro.bluetooth.channel import PathLoss
+
+    config = ChannelConfig(
+        burst_rate=1e-12,
+        mean_burst=1e-6,
+        path_loss=PathLoss(reference_ber=1e-15),
+    )
+    return Channel(config, random.Random(seed))
+
+
+def stormy_channel(seed=0):
+    """A channel almost permanently inside an error burst."""
+    config = ChannelConfig(burst_rate=1000.0, mean_burst=1000.0, ber_bad=0.2)
+    return Channel(config, random.Random(seed))
+
+
+class TestBitAccurateTransmit:
+    def test_clean_channel_delivers_exact_payload(self):
+        baseband = Baseband(clean_channel(), random.Random(1))
+        for ptype in PacketType:
+            payload = bytes(i % 256 for i in range(ptype.max_payload))
+            outcome = baseband.transmit(AclPacket(ptype, payload), now=0.0)
+            assert outcome.status is TxStatus.DELIVERED
+            assert outcome.payload == payload
+            assert outcome.attempts == 1
+
+    def test_stormy_channel_drops_payloads(self):
+        baseband = Baseband(stormy_channel(seed=2), random.Random(2))
+        outcomes = [
+            baseband.transmit(AclPacket(PacketType.DH1, b"x" * 27), now=float(i))
+            for i in range(50)
+        ]
+        assert any(o.status is TxStatus.DROPPED for o in outcomes)
+        assert baseband.drops > 0
+
+    def test_retransmissions_counted(self):
+        # A moderately bad channel forces retries but rarely drops.
+        config = ChannelConfig(burst_rate=5.0, mean_burst=0.002, ber_bad=0.05,
+                               retransmit_limit=20)
+        channel = Channel(config, random.Random(3))
+        baseband = Baseband(channel, random.Random(3))
+        for i in range(300):
+            baseband.transmit(AclPacket(PacketType.DH3, b"y" * 100), now=i * 0.01)
+        assert baseband.retransmissions > 0
+
+    def test_attempt_count_bounded_by_limit(self):
+        channel = stormy_channel(seed=4)
+        baseband = Baseband(channel, random.Random(4))
+        outcome = baseband.transmit(AclPacket(PacketType.DM1, b"z" * 17), now=0.0)
+        limit = channel.config.retransmit_limit
+        assert outcome.attempts <= limit + 1
+
+
+class TestSampleTransfer:
+    def test_empty_transfer_completes(self):
+        outcome = sample_transfer(
+            random.Random(0), clean_channel(), PacketType.DH5, 0
+        )
+        assert outcome.status is TransferStatus.COMPLETED
+        assert outcome.duration == 0.0
+
+    def test_clean_channel_completes(self):
+        outcome = sample_transfer(
+            random.Random(1), clean_channel(), PacketType.DH5, 10_000
+        )
+        assert outcome.status is TransferStatus.COMPLETED
+        assert outcome.payloads_before_event == 10_000
+
+    def test_duration_proportional_to_payloads(self):
+        outcome = sample_transfer(
+            random.Random(2), clean_channel(), PacketType.DH3, 1000
+        )
+        assert outcome.duration == pytest.approx(
+            1000 * PacketType.DH3.spec.duration
+        )
+
+    def test_high_break_hazard_loses_quickly(self):
+        outcome = sample_transfer(
+            random.Random(3),
+            clean_channel(),
+            PacketType.DH1,
+            100_000,
+            break_hazard=0.01,
+        )
+        assert outcome.status is TransferStatus.LOSS
+        assert outcome.payloads_before_event < 5_000
+
+    def test_mismatch_hazard_produces_mismatches(self):
+        hits = 0
+        for seed in range(200):
+            outcome = sample_transfer(
+                random.Random(seed),
+                clean_channel(),
+                PacketType.DH1,
+                1000,
+                mismatch_hazard=1e-3,
+            )
+            if outcome.status is TransferStatus.MISMATCH:
+                hits += 1
+        assert hits > 50  # ~63 % of batches should see a mismatch
+
+    def test_loss_rate_matches_hazard(self):
+        losses = 0
+        trials = 2000
+        hazard = 1e-4
+        n = 1000
+        rng = random.Random(42)
+        for _ in range(trials):
+            outcome = sample_transfer(
+                rng, clean_channel(), PacketType.DH5, n, break_hazard=hazard
+            )
+            if outcome.status is TransferStatus.LOSS:
+                losses += 1
+        expected = trials * (1 - (1 - hazard) ** n)
+        assert losses == pytest.approx(expected, rel=0.15)
+
+    def test_latent_defect_concentrates_early_losses(self):
+        """Infant mortality: young connections must fail earlier (fig. 3b)."""
+        rng = random.Random(7)
+        early_with, early_without = [], []
+        for _ in range(600):
+            with_defect = sample_transfer(
+                rng, clean_channel(), PacketType.DH5, 50_000,
+                break_hazard=2e-6, latent_multiplier=200.0, latent_tau=2000.0,
+            )
+            without = sample_transfer(
+                rng, clean_channel(), PacketType.DH5, 50_000,
+                break_hazard=2e-6, latent_multiplier=1.0,
+            )
+            if with_defect.status is TransferStatus.LOSS:
+                early_with.append(with_defect.payloads_before_event)
+            if without.status is TransferStatus.LOSS:
+                early_without.append(without.payloads_before_event)
+        assert len(early_with) > len(early_without)
+        frac_young_with = sum(1 for x in early_with if x < 5000) / len(early_with)
+        frac_young_without = (
+            sum(1 for x in early_without if x < 5000) / len(early_without)
+            if early_without
+            else 0.0
+        )
+        assert frac_young_with > frac_young_without
+
+    def test_start_age_discounts_latent_hazard(self):
+        """An aged connection has outlived its latent defect."""
+        h = _cumulative_hazard(
+            1000, 1e-6, 1e-6, latent_multiplier=100.0, latent_tau=500.0, start_age=0.0
+        )
+        h_old = _cumulative_hazard(
+            1000, 1e-6, 1e-6, latent_multiplier=100.0, latent_tau=500.0,
+            start_age=10_000.0,
+        )
+        assert h > h_old
+
+    def test_cumulative_hazard_monotone(self):
+        values = [
+            _cumulative_hazard(k, 1e-5, 1e-6, 50.0, 1000.0, 0.0)
+            for k in range(0, 10_000, 500)
+        ]
+        assert values == sorted(values)

@@ -1,0 +1,171 @@
+"""Tests for the Gilbert-Elliott channel model."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bluetooth.channel import (
+    Channel,
+    ChannelConfig,
+    PathLoss,
+    sample_first_drop,
+    sample_poisson,
+)
+from repro.bluetooth.packets import PacketType
+
+
+def make_channel(seed=0, **overrides):
+    config = ChannelConfig(**overrides)
+    return Channel(config, random.Random(seed))
+
+
+class TestPathLoss:
+    def test_ber_grows_with_distance(self):
+        loss = PathLoss()
+        assert loss.ber_at(7.0) > loss.ber_at(0.5)
+
+    def test_weak_distance_dependence(self):
+        # The paper found near-equal failure shares at 0.5/5/7 m; the
+        # model must not let BER explode across that range.
+        loss = PathLoss()
+        assert loss.ber_at(7.0) / loss.ber_at(0.5) < 5.0
+
+    def test_ber_capped_at_half(self):
+        loss = PathLoss(reference_ber=0.4, exponent=3.0)
+        assert loss.ber_at(100.0) == 0.5
+
+    def test_zero_distance_rejected(self):
+        with pytest.raises(ValueError):
+            PathLoss().ber_at(0.0)
+
+
+class TestStateMachine:
+    def test_state_is_deterministic_per_seed(self):
+        a = make_channel(seed=3)
+        b = make_channel(seed=3)
+        times = [i * 10.0 for i in range(100)]
+        assert [a.is_bad(t) for t in times] == [b.is_bad(t) for t in times]
+
+    def test_bad_state_occupancy_matches_stationary(self):
+        channel = make_channel(seed=4, burst_rate=1.0 / 50.0, mean_burst=5.0)
+        samples = [channel.is_bad(t * 1.0) for t in range(200_000)]
+        occupancy = sum(samples) / len(samples)
+        expected = channel.config.stationary_bad
+        assert occupancy == pytest.approx(expected, rel=0.15)
+
+    def test_interference_raises_burst_rate(self):
+        channel = make_channel()
+        base = channel.config.effective_burst_rate
+        channel.set_interference(4.0)
+        assert channel.config.effective_burst_rate == pytest.approx(4.0 * base)
+
+    def test_invalid_interference(self):
+        with pytest.raises(ValueError):
+            make_channel().set_interference(0.0)
+
+
+class TestClosedForms:
+    def test_hit_probability_grows_with_duration(self):
+        channel = make_channel()
+        assert channel.packet_hit_probability(
+            PacketType.DH5
+        ) > channel.packet_hit_probability(PacketType.DH1)
+
+    def test_drop_given_hit_falls_with_retry_window(self):
+        # Multi-slot packets have longer retry windows, so a burst is
+        # more likely to end before the ARQ gives up.
+        channel = make_channel()
+        assert channel.drop_probability_given_hit(
+            PacketType.DH1
+        ) > channel.drop_probability_given_hit(PacketType.DH5)
+
+    def test_single_slot_payloads_drop_more_per_byte(self):
+        # The paper's fig. 3a claim: multi-slot packets are better.  Per
+        # byte moved, DM1 needs ~20x the packets of DH5 and each drops
+        # at least as often.
+        channel = make_channel()
+        from repro.bluetooth.packets import packets_needed
+
+        per_byte_dm1 = channel.payload_drop_probability(PacketType.DM1) * packets_needed(
+            1691, PacketType.DM1
+        )
+        per_byte_dh5 = channel.payload_drop_probability(PacketType.DH5) * packets_needed(
+            1691, PacketType.DH5
+        )
+        assert per_byte_dm1 > 5 * per_byte_dh5
+
+    def test_fec_suppresses_good_state_failures(self):
+        channel = make_channel()
+        assert channel.good_state_failure_probability(
+            PacketType.DM3
+        ) < channel.good_state_failure_probability(PacketType.DH3)
+
+    def test_undetected_error_worse_with_fec_miscorrection(self):
+        channel = make_channel()
+        assert channel.undetected_error_probability(
+            PacketType.DM1
+        ) > channel.undetected_error_probability(PacketType.DH1)
+
+    def test_transfer_statistics_expectations(self):
+        channel = make_channel()
+        stats = channel.transfer_statistics(PacketType.DH3, 1000)
+        assert stats.expected_drops == pytest.approx(1000 * stats.p_drop)
+        assert 0.0 < stats.survival_probability <= 1.0
+
+    def test_sample_payload_outcome_vocabulary(self):
+        channel = make_channel(seed=5)
+        outcomes = {channel.sample_payload_outcome(PacketType.DH1) for _ in range(5000)}
+        assert outcomes <= {"ok", "retransmitted", "dropped", "mismatch"}
+        assert "ok" in outcomes
+
+
+class TestSampleFirstDrop:
+    def test_zero_probability_never_drops(self):
+        assert sample_first_drop(random.Random(0), 0.0, 1000) is None
+
+    def test_certain_drop_at_zero(self):
+        assert sample_first_drop(random.Random(0), 1.0, 1000) == 0
+
+    def test_indices_in_range(self):
+        rng = random.Random(6)
+        for _ in range(2000):
+            index = sample_first_drop(rng, 0.01, 50)
+            assert index is None or 0 <= index < 50
+
+    def test_matches_geometric_rate(self):
+        rng = random.Random(7)
+        p = 0.001
+        n = 10_000
+        drops = sum(
+            1 for _ in range(5000) if sample_first_drop(rng, p, n) is not None
+        )
+        expected = 5000 * (1 - (1 - p) ** n)
+        assert drops == pytest.approx(expected, rel=0.05)
+
+    @given(
+        st.floats(min_value=1e-6, max_value=0.5),
+        st.integers(min_value=1, max_value=10_000),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=100)
+    def test_property_in_range(self, p, n, seed):
+        index = sample_first_drop(random.Random(seed), p, n)
+        assert index is None or 0 <= index < n
+
+
+class TestPoissonSampler:
+    def test_zero_mean(self):
+        assert sample_poisson(random.Random(0), 0.0) == 0
+
+    def test_small_mean_matches(self):
+        rng = random.Random(8)
+        samples = [sample_poisson(rng, 2.0) for _ in range(100_000)]
+        assert sum(samples) / len(samples) == pytest.approx(2.0, rel=0.03)
+
+    def test_large_mean_normal_approx(self):
+        rng = random.Random(9)
+        samples = [sample_poisson(rng, 200.0) for _ in range(20_000)]
+        assert sum(samples) / len(samples) == pytest.approx(200.0, rel=0.02)
+        assert all(s >= 0 for s in samples)

@@ -1,0 +1,102 @@
+"""Tests for the ASCII series plot and the CSV export."""
+
+import csv
+
+import pytest
+
+from repro.collection.records import RecoveryAttempt, SystemLogRecord, TestLogRecord
+from repro.collection.repository import CentralRepository
+from repro.core.export import (
+    SYSTEM_COLUMNS,
+    TEST_COLUMNS,
+    export_repository,
+    export_system_records,
+    export_test_records,
+)
+from repro.recovery.sira import SIRA_NAMES
+from repro.reporting.charts import format_series_plot
+
+
+class TestSeriesPlot:
+    SERIES = [(1, 100.0), (10, 60.0), (100, 20.0), (1000, 5.0)]
+
+    def test_contains_marks_and_bounds(self):
+        text = format_series_plot(self.SERIES, title="curve", log_x=True)
+        assert "curve" in text
+        assert "*" in text
+        assert "100.0" in text and "5.0" in text
+
+    def test_marker_column_drawn(self):
+        text = format_series_plot(self.SERIES, log_x=True, mark_x=100)
+        assert "|" in text
+
+    def test_empty_series(self):
+        assert format_series_plot([], title="nothing") == "nothing"
+
+    def test_log_requires_positive(self):
+        with pytest.raises(ValueError):
+            format_series_plot([(0.0, 1.0)], log_x=True)
+
+    def test_too_small_grid_rejected(self):
+        with pytest.raises(ValueError):
+            format_series_plot(self.SERIES, width=5)
+
+    def test_flat_series_handled(self):
+        text = format_series_plot([(0, 5.0), (10, 5.0)])
+        assert "*" in text
+
+    def test_decreasing_curve_slopes_down(self):
+        text = format_series_plot(self.SERIES, log_x=True, height=8, width=40)
+        rows = [line for line in text.splitlines() if "*" in line]
+        first_star = rows[0].index("*")
+        last_star = rows[-1].rindex("*")
+        assert first_star < last_star  # high-y early, low-y late
+
+
+def report(time=1.0, masked=False):
+    return TestLogRecord(
+        time=time, node="random:Verde", testbed="random", workload="random",
+        message="bluetest: timeout waiting for expected packet (30 s)",
+        phase="Data Transfer", packet_type="DH5", packets_sent=42,
+        masked=masked,
+        recovery=[RecoveryAttempt(SIRA_NAMES[1], True, 5.0)],
+    )
+
+
+def entry(time=1.0):
+    return SystemLogRecord(
+        time=time, node="random:Verde", facility="hcid", severity="error",
+        message="hci: command tx timeout (opcode 0x0405)",
+    )
+
+
+class TestCsvExport:
+    def test_test_records_roundtrip(self, tmp_path):
+        path = tmp_path / "user.csv"
+        count = export_test_records([report(), report(2.0, masked=True)], path)
+        assert count == 2
+        with open(path, newline="") as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == TEST_COLUMNS
+        assert rows[1][TEST_COLUMNS.index("failure_type")] == "PACKET_LOSS"
+        assert rows[1][TEST_COLUMNS.index("recovered_by")] == "bt_connection_reset"
+        assert rows[1][TEST_COLUMNS.index("severity")] == "2"
+        assert rows[2][TEST_COLUMNS.index("masked")] == "1"
+
+    def test_system_records(self, tmp_path):
+        path = tmp_path / "system.csv"
+        count = export_system_records([entry()], path)
+        assert count == 1
+        with open(path, newline="") as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == SYSTEM_COLUMNS
+        assert rows[1][SYSTEM_COLUMNS.index("failure_type")] == "HCI"
+
+    def test_export_repository(self, tmp_path):
+        repo = CentralRepository()
+        repo.ingest_test([report()])
+        repo.ingest_system([entry()])
+        counts = export_repository(repo, tmp_path / "out")
+        assert counts == {"test_rows": 1, "system_rows": 1}
+        assert (tmp_path / "out" / "user_failures.csv").exists()
+        assert (tmp_path / "out" / "system_entries.csv").exists()

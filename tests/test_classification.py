@@ -1,0 +1,129 @@
+"""Tests for raw-message classification."""
+
+import random
+
+import pytest
+
+from repro.collection.messages import (
+    SYSTEM_FACILITIES,
+    USER_MESSAGE_VARIANTS,
+    render_system_message,
+    render_user_message,
+    variants_for,
+)
+from repro.core.classification import (
+    classification_report,
+    classify_system_message,
+    classify_user_message,
+)
+from repro.core.failure_model import (
+    SYSTEM_MESSAGE_TEMPLATES,
+    FailureModel,
+    SystemFailureType,
+    SystemLocation,
+    UserFailureGroup,
+    UserFailureType,
+)
+
+
+class TestFailureModelTaxonomy:
+    def test_ten_user_types_in_three_groups(self):
+        assert len(list(UserFailureType)) == 10
+        for group in UserFailureGroup:
+            assert FailureModel.user_types_in_group(group)
+
+    def test_seven_system_types_in_two_locations(self):
+        assert len(list(SystemFailureType)) == 7
+        bt = FailureModel.system_types_in_location(SystemLocation.BT_STACK)
+        os_ = FailureModel.system_types_in_location(SystemLocation.OS_DRIVERS)
+        assert {t.name for t in bt} == {"HCI", "L2CAP", "SDP", "BCSP", "BNEP"}
+        assert {t.name for t in os_} == {"USB", "HOTPLUG"}
+
+    def test_groups_match_paper(self):
+        assert UserFailureType.PACKET_LOSS.group is UserFailureGroup.DATA_TRANSFER
+        assert UserFailureType.BIND_FAILED.group is UserFailureGroup.CONNECT
+        assert UserFailureType.NAP_NOT_FOUND.group is UserFailureGroup.SEARCH
+
+    def test_descriptions_nonempty(self):
+        for t in UserFailureType:
+            assert t.description
+        for t in SystemFailureType:
+            assert t.description
+
+    def test_table_renders(self):
+        table = FailureModel.as_table()
+        assert "Bluetooth PAN Failure Model" in table
+        for t in UserFailureType:
+            assert t.value in table
+
+
+class TestUserClassification:
+    def test_every_variant_classifies_to_its_type(self):
+        """Generator and classifier must agree on the whole vocabulary."""
+        for failure, variants in USER_MESSAGE_VARIANTS.items():
+            for message in variants:
+                assert classify_user_message(message) is failure, message
+
+    def test_unknown_message_unclassified(self):
+        assert classify_user_message("bluetest: the coffee machine is on fire") is None
+
+    def test_nap_not_found_beats_generic_sdp(self):
+        assert (
+            classify_user_message("bluetest: sdp search returned no NAP record")
+            is UserFailureType.NAP_NOT_FOUND
+        )
+
+    def test_pan_connect_beats_generic_connect(self):
+        assert (
+            classify_user_message("bluetest: pan connect with NAP failed")
+            is UserFailureType.PAN_CONNECT_FAILED
+        )
+
+    def test_render_picks_known_variant(self):
+        rng = random.Random(0)
+        for failure in UserFailureType:
+            message = render_user_message(rng, failure)
+            assert message in USER_MESSAGE_VARIANTS[failure]
+
+
+class TestSystemClassification:
+    def test_every_template_classifies_to_its_type(self):
+        rng = random.Random(1)
+        for (failure, variant) in SYSTEM_MESSAGE_TEMPLATES:
+            message = render_system_message(rng, failure, variant)
+            assert classify_system_message(message) is failure, message
+
+    def test_unknown_prefix_unclassified(self):
+        assert classify_system_message("ppp: link down") is None
+
+    def test_every_type_has_at_least_one_variant(self):
+        for failure in SystemFailureType:
+            assert variants_for(failure)
+
+    def test_every_type_has_a_facility(self):
+        assert set(SYSTEM_FACILITIES) == set(SystemFailureType)
+
+
+class TestClassificationReport:
+    def test_report_counts(self):
+        from repro.collection.records import SystemLogRecord, TestLogRecord
+
+        user = [
+            TestLogRecord(time=0, node="n", testbed="random", workload="random",
+                          message="bluetest: bind on bnep0 failed", phase="Connect"),
+            TestLogRecord(time=1, node="n", testbed="random", workload="random",
+                          message="???", phase="Connect"),
+        ]
+        system = [
+            SystemLogRecord(time=0, node="n", facility="hcid", severity="error",
+                            message="hci: command tx timeout (opcode 0x0401)"),
+            SystemLogRecord(time=1, node="n", facility="hcid", severity="info",
+                            message="hcid: started"),
+        ]
+        report = classification_report(user, system)
+        assert report == {
+            "user_total": 2,
+            "user_classified": 1,
+            "system_total": 2,
+            "system_classified": 1,
+        }

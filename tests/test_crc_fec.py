@@ -1,0 +1,146 @@
+"""Bit-level tests for the CRC-16 and the (15,10) Hamming FEC."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bluetooth import crc as crc_mod
+from repro.bluetooth import fec as fec_mod
+
+
+class TestCrc16:
+    def test_known_ccitt_vector(self):
+        # CRC-16/XMODEM ("123456789") = 0x31C3 (poly 0x1021, init 0).
+        assert crc_mod.crc16(b"123456789") == 0x31C3
+
+    def test_empty_payload(self):
+        assert crc_mod.crc16(b"") == 0x0000
+
+    def test_init_value_changes_result(self):
+        assert crc_mod.crc16(b"abc", init=0x0000) != crc_mod.crc16(b"abc", init=0xFFFF)
+
+    def test_append_and_check_roundtrip(self):
+        frame = crc_mod.append_crc(b"hello bluetooth")
+        assert crc_mod.check_crc(frame)
+
+    def test_single_bit_error_detected(self):
+        frame = bytearray(crc_mod.append_crc(b"payload data"))
+        frame[3] ^= 0x10
+        assert not crc_mod.check_crc(bytes(frame))
+
+    def test_short_frame_fails_check(self):
+        assert not crc_mod.check_crc(b"\x01")
+
+    @given(st.binary(min_size=0, max_size=64))
+    @settings(max_examples=200)
+    def test_roundtrip_property(self, payload):
+        assert crc_mod.check_crc(crc_mod.append_crc(payload))
+
+    @given(st.binary(min_size=1, max_size=64), st.integers(min_value=0))
+    @settings(max_examples=200)
+    def test_any_single_bit_flip_detected(self, payload, position):
+        frame = bytearray(crc_mod.append_crc(payload))
+        position %= len(frame) * 8
+        frame[position // 8] ^= 1 << (position % 8)
+        assert not crc_mod.check_crc(bytes(frame))
+
+    def test_undetected_probability_model(self):
+        assert crc_mod.undetected_error_probability(0) == 0.0
+        assert crc_mod.undetected_error_probability(5) == pytest.approx(2.0**-16)
+
+
+class TestHammingBlock:
+    def test_encode_is_systematic(self):
+        info = 0b1010110011
+        codeword = fec_mod.encode_block(info)
+        assert codeword >> 5 == info
+
+    def test_decode_clean_block(self):
+        info = 0b0011001100
+        decoded, ok = fec_mod.decode_block(fec_mod.encode_block(info))
+        assert ok and decoded == info
+
+    def test_corrects_every_single_bit_error(self):
+        info = 0b1111100000
+        codeword = fec_mod.encode_block(info)
+        for position in range(15):
+            decoded, ok = fec_mod.decode_block(codeword ^ (1 << position))
+            assert ok, f"bit {position} not corrected"
+            assert decoded == info
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            fec_mod.encode_block(1 << 10)
+        with pytest.raises(ValueError):
+            fec_mod.decode_block(1 << 15)
+
+    @given(st.integers(min_value=0, max_value=(1 << 10) - 1))
+    @settings(max_examples=200)
+    def test_roundtrip_property(self, info):
+        decoded, ok = fec_mod.decode_block(fec_mod.encode_block(info))
+        assert ok and decoded == info
+
+    @given(
+        st.integers(min_value=0, max_value=(1 << 10) - 1),
+        st.integers(min_value=0, max_value=14),
+    )
+    @settings(max_examples=200)
+    def test_single_error_correction_property(self, info, position):
+        corrupted = fec_mod.encode_block(info) ^ (1 << position)
+        decoded, ok = fec_mod.decode_block(corrupted)
+        assert ok and decoded == info
+
+
+class TestRate23Stream:
+    def test_roundtrip_various_lengths(self):
+        for length in (0, 1, 2, 5, 17, 121, 224):
+            payload = bytes(range(256))[:length] * 1
+            blocks = fec_mod.encode_rate23(payload)
+            decoded, ok = fec_mod.decode_rate23(blocks, len(payload))
+            assert ok and decoded == payload
+
+    def test_single_error_per_block_corrected(self):
+        rng = random.Random(11)
+        payload = bytes(rng.randrange(256) for _ in range(40))
+        blocks = fec_mod.encode_rate23(payload)
+        corrupted = [b ^ (1 << rng.randrange(15)) for b in blocks]
+        decoded, ok = fec_mod.decode_rate23(corrupted, len(payload))
+        assert ok and decoded == payload
+
+    @given(st.binary(min_size=0, max_size=64))
+    @settings(max_examples=100)
+    def test_roundtrip_property(self, payload):
+        blocks = fec_mod.encode_rate23(payload)
+        decoded, ok = fec_mod.decode_rate23(blocks, len(payload))
+        assert ok and decoded == payload
+
+
+class TestRate13Header:
+    def test_roundtrip(self):
+        bits = [1, 0, 1, 1, 0, 0, 1, 0]
+        assert fec_mod.decode_rate13(fec_mod.encode_rate13(bits)) == bits
+
+    def test_single_error_per_triple_corrected(self):
+        bits = [1, 0, 1]
+        coded = fec_mod.encode_rate13(bits)
+        for position in range(len(coded)):
+            corrupted = list(coded)
+            corrupted[position] ^= 1
+            assert fec_mod.decode_rate13(corrupted) == bits
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(ValueError):
+            fec_mod.decode_rate13([1, 0])
+
+
+class TestBitPacking:
+    @given(st.binary(min_size=0, max_size=64))
+    @settings(max_examples=100)
+    def test_bits_bytes_roundtrip(self, data):
+        bits = fec_mod.bits_from_bytes(data)
+        assert fec_mod.bytes_from_bits(bits) == data
+
+    def test_partial_byte_padded(self):
+        assert fec_mod.bytes_from_bits([1, 0, 1]) == bytes([0b10100000])

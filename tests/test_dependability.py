@@ -1,0 +1,132 @@
+"""Tests for the Table 4 dependability estimation."""
+
+import pytest
+
+from repro.collection.records import RecoveryAttempt, TestLogRecord
+from repro.core.dependability import (
+    APP_RESTART_TIME,
+    MIN_TTF_FLOOR,
+    REBOOT_TIME,
+    build_dependability_report,
+    compute_scenario,
+    scenario_ttr,
+)
+from repro.recovery.sira import SIRA_NAMES
+
+
+def report(time, severity, node="r:Verde", ttr_per_step=10.0):
+    if severity is None:
+        recovery = []
+    else:
+        recovery = [
+            RecoveryAttempt(SIRA_NAMES[i], False, ttr_per_step)
+            for i in range(severity - 1)
+        ] + [RecoveryAttempt(SIRA_NAMES[severity - 1], True, ttr_per_step)]
+    return TestLogRecord(
+        time=time, node=node, testbed="random", workload="random",
+        message="bluetest: timeout waiting for expected packet (30 s)",
+        phase="Data Transfer", recovery=recovery,
+    )
+
+
+class TestScenarioTtr:
+    def test_siras_use_measured_time(self):
+        record = report(0.0, severity=3, ttr_per_step=5.0)
+        assert scenario_ttr(record, "siras") == pytest.approx(15.0)
+
+    def test_only_reboot_flat_cost(self):
+        assert scenario_ttr(report(0.0, 2), "only_reboot") == REBOOT_TIME
+        assert scenario_ttr(report(0.0, 6), "only_reboot") == REBOOT_TIME
+
+    def test_only_reboot_severity_seven_needs_multiple(self):
+        assert scenario_ttr(report(0.0, 7), "only_reboot") > REBOOT_TIME
+
+    def test_app_restart_ladder(self):
+        assert scenario_ttr(report(0.0, 3), "app_restart_reboot") == APP_RESTART_TIME
+        assert scenario_ttr(report(0.0, 5), "app_restart_reboot") == (
+            APP_RESTART_TIME + REBOOT_TIME
+        )
+        assert scenario_ttr(report(0.0, 7), "app_restart_reboot") > (
+            APP_RESTART_TIME + REBOOT_TIME
+        )
+
+    def test_no_recovery_costs_nothing(self):
+        assert scenario_ttr(report(0.0, None), "only_reboot") == 0.0
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError):
+            scenario_ttr(report(0.0, 1), "prayer")
+
+
+class TestComputeScenario:
+    def test_ttf_accounts_for_recovery_time(self):
+        records = [report(1000.0, 1, ttr_per_step=100.0), report(2000.0, 1)]
+        metrics = compute_scenario(records, "siras")
+        # TTFs: 1000 - 0, and 2000 - (1000 + 100).
+        assert metrics.mttf == pytest.approx((1000.0 + 900.0) / 2)
+        assert metrics.failures == 2
+
+    def test_ttf_floor_applied(self):
+        records = [report(100.0, 6), report(101.0, 6)]
+        metrics = compute_scenario(records, "only_reboot")
+        # Second failure lands during the first reboot: floored to 1 s.
+        assert metrics.min_ttf == MIN_TTF_FLOOR
+
+    def test_nodes_tracked_independently(self):
+        records = [
+            report(1000.0, 1, node="r:Verde"),
+            report(1000.0, 1, node="r:Miseno"),
+        ]
+        metrics = compute_scenario(records, "siras")
+        assert metrics.mttf == pytest.approx(1000.0)
+
+    def test_availability_formula(self):
+        records = [report(900.0, 1, ttr_per_step=100.0)]
+        metrics = compute_scenario(records, "siras")
+        assert metrics.availability == pytest.approx(900.0 / 1000.0)
+
+    def test_coverage_counts_masked_and_cheap(self):
+        records = [report(1000.0, 2), report(2000.0, 6)]
+        metrics = compute_scenario(records, "siras_masking", masked_count=2)
+        # 2 masked + 1 cheap of 4 incidents = 75 %.
+        assert metrics.coverage_pct == pytest.approx(75.0)
+        assert metrics.masking_pct == pytest.approx(50.0)
+
+    def test_manual_scenarios_have_no_coverage(self):
+        metrics = compute_scenario([report(1000.0, 2)], "only_reboot")
+        assert metrics.coverage_pct == 0.0
+
+    def test_empty_records(self):
+        metrics = compute_scenario([], "siras")
+        assert metrics.mttf == 0.0
+        assert metrics.availability == 0.0
+
+
+class TestReport:
+    def build(self):
+        baseline = [
+            report(1000.0, 1),
+            report(3000.0, 3),
+            report(6000.0, 6),
+            report(9000.0, 2),
+        ]
+        masked_campaign = [report(4000.0, 2), report(9000.0, 6)]
+        return build_dependability_report(baseline, masked_campaign, masked_count=4)
+
+    def test_all_four_scenarios_present(self):
+        result = self.build()
+        for name in ("only_reboot", "app_restart_reboot", "siras", "siras_masking"):
+            assert result[name].name == name
+
+    def test_siras_beat_manual_recovery_time(self):
+        result = self.build()
+        assert result["siras"].mttr < result["only_reboot"].mttr
+
+    def test_masking_raises_mttf(self):
+        result = self.build()
+        assert result["siras_masking"].mttf > result["siras"].mttf
+
+    def test_improvement_percentages(self):
+        result = self.build()
+        assert result.availability_improvement_vs_reboot > 0
+        assert result.reliability_improvement > 0

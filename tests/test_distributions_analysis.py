@@ -1,0 +1,204 @@
+"""Tests for the §6 failure-distribution analyses."""
+
+import pytest
+
+from repro.collection.records import TestLogRecord
+from repro.core.distributions import (
+    IdleTimeAnalysis,
+    failures_by_distance,
+    failures_by_node,
+    idle_time_analysis,
+    packet_loss_by_application,
+    packet_loss_by_connection_age,
+    packet_loss_by_packet_type,
+    workload_split,
+)
+from repro.workload.bluetest import CycleStats
+
+
+def loss(time=0.0, node="realistic:Verde", testbed="realistic", workload="web",
+         packet_type="DH5", packets_sent=0, distance=0.5, masked=False):
+    return TestLogRecord(
+        time=time, node=node, testbed=testbed, workload=workload,
+        message="bluetest: timeout waiting for expected packet (30 s)",
+        phase="Data Transfer", packet_type=packet_type,
+        packets_sent=packets_sent, distance=distance, masked=masked,
+    )
+
+
+def other_failure(node="realistic:Verde", testbed="realistic", distance=0.5,
+                  message="bluetest: bind on bnep0 failed"):
+    return TestLogRecord(
+        time=0.0, node=node, testbed=testbed, workload="web",
+        message=message, phase="Connect", distance=distance,
+    )
+
+
+class TestPacketLossByType:
+    def test_shares_sum_to_100(self):
+        records = [loss(packet_type="DM1")] * 3 + [loss(packet_type="DH5")]
+        result = packet_loss_by_packet_type(records)
+        assert result["DM1"]["share_pct"] == pytest.approx(75.0)
+        assert sum(e["share_pct"] for e in result.values()) == pytest.approx(100.0)
+
+    def test_normalised_rate_uses_cycle_counts(self):
+        records = [loss(packet_type="DM1")] * 2 + [loss(packet_type="DH5")] * 2
+        result = packet_loss_by_packet_type(
+            records, cycles_by_type={"DM1": 10, "DH5": 1000}
+        )
+        assert result["DM1"]["loss_rate_pct"] == pytest.approx(20.0)
+        assert result["DH5"]["loss_rate_pct"] == pytest.approx(0.2)
+
+    def test_masked_and_non_loss_ignored(self):
+        records = [loss(masked=True), other_failure()]
+        result = packet_loss_by_packet_type(records)
+        assert all(e["losses"] == 0 for e in result.values())
+
+
+class TestConnectionAge:
+    def test_binning(self):
+        records = [loss(packets_sent=s) for s in (5, 50, 120, 9000, 20_000)]
+        series = packet_loss_by_connection_age(
+            records, bin_edges=(0, 100, 1000, 10_000)
+        )
+        labels = [label for label, _ in series]
+        assert labels == ["0-100", "100-1000", "1000-10000"]
+        values = dict(series)
+        # 5 and 50 in the first bin; 120 in the second; 9000 and the
+        # overflow 20000 both land in the last bin.
+        assert values["0-100"] == pytest.approx(40.0)
+        assert values["1000-10000"] == pytest.approx(40.0)
+
+    def test_percentages_sum_to_100(self):
+        records = [loss(packets_sent=s) for s in range(0, 5000, 123)]
+        series = packet_loss_by_connection_age(records)
+        assert sum(v for _, v in series) == pytest.approx(100.0)
+
+
+class TestByApplication:
+    def test_random_workload_excluded(self):
+        records = [loss(workload="p2p"), loss(workload="random", testbed="random")]
+        result = packet_loss_by_application(records)
+        assert result == {"p2p": pytest.approx(100.0)}
+
+    def test_shares(self):
+        records = [loss(workload="p2p")] * 3 + [loss(workload="streaming")]
+        result = packet_loss_by_application(records)
+        assert result["p2p"] == pytest.approx(75.0)
+        assert result["streaming"] == pytest.approx(25.0)
+
+
+class TestByNode:
+    def test_shares_are_per_type_across_nodes(self):
+        records = [
+            other_failure(node="realistic:Azzurro"),
+            other_failure(node="realistic:Win"),
+            other_failure(node="realistic:Win"),
+        ]
+        result = failures_by_node(records)
+        bind = "Bind failed"
+        assert result["Win"][bind] == pytest.approx(200 / 3)
+        assert result["Azzurro"][bind] == pytest.approx(100 / 3)
+        assert "Giallo" not in result
+
+    def test_testbed_filter(self):
+        records = [other_failure(testbed="random", node="random:Win")]
+        assert failures_by_node(records, testbed="realistic") == {}
+        assert failures_by_node(records, testbed="random")
+
+
+class TestByDistance:
+    def test_bind_failures_excluded(self):
+        records = [
+            other_failure(distance=7.0),  # bind: excluded
+            loss(distance=0.5),
+            loss(distance=5.0),
+            loss(distance=5.0),
+        ]
+        result = failures_by_distance(records)
+        assert 7.0 not in result
+        assert result[5.0] == pytest.approx(200 / 3)
+
+    def test_bind_inclusion_flag(self):
+        records = [other_failure(distance=7.0), loss(distance=0.5)]
+        result = failures_by_distance(records, exclude_bind=False)
+        assert result[7.0] == pytest.approx(50.0)
+
+
+class TestWorkloadSplit:
+    def test_split(self):
+        records = [loss(testbed="random")] * 4 + [loss(testbed="realistic")]
+        result = workload_split(records)
+        assert result["random"] == pytest.approx(80.0)
+        assert result["realistic"] == pytest.approx(20.0)
+
+    def test_masked_excluded(self):
+        records = [loss(testbed="random", masked=True), loss(testbed="realistic")]
+        assert workload_split(records) == {"realistic": pytest.approx(100.0)}
+
+
+class TestIdleTime:
+    def test_aggregation(self):
+        a = CycleStats(idle_ok_sum=100.0, idle_ok_count=4,
+                       idle_fail_sum=30.0, idle_fail_count=1)
+        b = CycleStats(idle_ok_sum=60.0, idle_ok_count=4,
+                       idle_fail_sum=24.0, idle_fail_count=1)
+        result = idle_time_analysis([a, b])
+        assert result.mean_idle_before_ok == pytest.approx(20.0)
+        assert result.mean_idle_before_failure == pytest.approx(27.0)
+        assert result.ok_cycles == 8 and result.failed_cycles == 2
+
+    def test_harmless_judgement(self):
+        close = IdleTimeAnalysis(27.3, 26.9, 100, 1000)
+        far = IdleTimeAnalysis(50.0, 25.0, 100, 1000)
+        assert close.idle_connections_harmless
+        assert not far.idle_connections_harmless
+
+    def test_empty_stats(self):
+        result = idle_time_analysis([])
+        assert result.mean_idle_before_ok == 0.0
+        assert not result.idle_connections_harmless
+
+
+class TestWorkloadIndependence:
+    def test_same_types_in_both_testbeds(self):
+        from repro.core.distributions import workload_independence
+
+        records = []
+        for testbed in ("random", "realistic"):
+            for _ in range(6):
+                records.append(loss(testbed=testbed, node=f"{testbed}:Verde"))
+        result = workload_independence(records)
+        assert result["independent"]
+        assert len(result["common_types"]) == 1
+
+    def test_type_missing_from_one_testbed_detected(self):
+        from repro.core.distributions import workload_independence
+        from repro.core.failure_model import UserFailureType
+
+        # 12 of each type, split 50/50 by testbed: each type expects 6
+        # occurrences per testbed, so total absence is a violation.
+        records = [loss(testbed="random", node="random:Verde") for _ in range(12)]
+        records += [other_failure(testbed="realistic") for _ in range(12)]
+        result = workload_independence(records)
+        assert not result["independent"]
+        assert result["violations"] == {
+            UserFailureType.PACKET_LOSS,
+            UserFailureType.BIND_FAILED,
+        }
+
+    def test_rare_types_ignored(self):
+        from repro.core.distributions import workload_independence
+
+        records = [loss(testbed="random", node="random:Verde") for _ in range(6)]
+        records += [loss(testbed="realistic") for _ in range(6)]
+        records.append(other_failure(testbed="random"))  # 1 rare bind failure
+        result = workload_independence(records, min_expected=5)
+        assert result["independent"]
+
+    def test_campaign_manifestations_are_workload_independent(self, baseline_campaign):
+        from repro.core.distributions import workload_independence
+
+        result = workload_independence(baseline_campaign.unmasked_failures(),
+                                       min_expected=10)
+        assert result["independent"]

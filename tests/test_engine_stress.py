@@ -1,0 +1,176 @@
+"""Stress and edge-case tests for the simulation kernel.
+
+The campaign pushes hundreds of thousands of events through the engine;
+these tests cover the pathological shapes the unit tests don't: large
+queues, reentrancy (callbacks scheduling/cancelling other events), deep
+process chains, and cross-seed statistical stability of the campaigns
+built on top.
+"""
+
+import random
+
+import pytest
+
+from repro.sim import Interrupt, SimEvent, Simulator, Timeout, spawn
+
+
+class TestEngineStress:
+    def test_hundred_thousand_events(self):
+        sim = Simulator()
+        counter = [0]
+        rng = random.Random(0)
+
+        def bump():
+            counter[0] += 1
+
+        for _ in range(100_000):
+            sim.schedule(rng.uniform(0, 1000.0), bump)
+        assert sim.run() == 100_000
+        assert counter[0] == 100_000
+
+    def test_callback_cancels_future_event(self):
+        sim = Simulator()
+        fired = []
+        victim = sim.schedule(10.0, lambda: fired.append("victim"))
+        sim.schedule(5.0, victim.cancel)
+        sim.run()
+        assert fired == []
+
+    def test_callback_cancels_same_instant_event(self):
+        sim = Simulator()
+        fired = []
+        # Both at t=5; the first (FIFO) cancels the second.
+        killer_target = [None]
+
+        def killer():
+            killer_target[0].cancel()
+
+        sim.schedule(5.0, killer)
+        killer_target[0] = sim.schedule(5.0, lambda: fired.append("x"))
+        sim.run()
+        assert fired == []
+
+    def test_self_perpetuating_chain_terminates_with_stop(self):
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] >= 500:
+                sim.stop()
+            else:
+                sim.schedule(1.0, tick)
+
+        sim.schedule(1.0, tick)
+        sim.run()
+        assert count[0] == 500
+
+    def test_deep_process_nesting(self):
+        sim = Simulator()
+
+        def chain(depth):
+            if depth == 0:
+                yield Timeout(1.0)
+                return 0
+            value = yield spawn(sim, chain(depth - 1))
+            return value + 1
+
+        proc = spawn(sim, chain(150))
+        sim.run()
+        assert proc.result == 150
+
+    def test_many_concurrent_processes(self):
+        sim = Simulator()
+        done = []
+
+        def worker(tag, delay):
+            yield Timeout(delay)
+            done.append(tag)
+
+        rng = random.Random(1)
+        for i in range(2000):
+            spawn(sim, worker(i, rng.uniform(0, 100.0)))
+        sim.run()
+        assert len(done) == 2000
+
+    def test_interrupt_storm(self):
+        sim = Simulator()
+        survived = []
+
+        def stubborn(tag):
+            waited = 0.0
+            while waited < 50.0:
+                try:
+                    yield Timeout(50.0 - waited)
+                    waited = 50.0
+                except Interrupt:
+                    waited += 10.0  # partial credit per interruption
+            survived.append(tag)
+
+        procs = [spawn(sim, stubborn(i)) for i in range(20)]
+        for round_ in range(1, 4):
+            for proc in procs:
+                sim.schedule(round_ * 5.0, proc.interrupt)
+        sim.run()
+        assert len(survived) == 20
+
+    def test_event_triggered_during_trigger(self):
+        sim = Simulator()
+        first = SimEvent(sim)
+        second = SimEvent(sim)
+        order = []
+
+        def waiter_a():
+            yield first
+            order.append("a")
+            second.succeed()
+
+        def waiter_b():
+            yield second
+            order.append("b")
+
+        spawn(sim, waiter_a())
+        spawn(sim, waiter_b())
+        sim.schedule(1.0, first.succeed)
+        sim.run()
+        assert order == ["a", "b"]
+
+
+class TestSeedStability:
+    """Campaign statistics must be stable across seeds — the property
+    every band in EXPERIMENTS.md depends on."""
+
+    @pytest.fixture(scope="class")
+    def runs(self):
+        from repro.core.campaign import run_campaign
+
+        return [run_campaign(duration=8 * 3600.0, seed=s) for s in (11, 22, 33)]
+
+    def test_failure_counts_within_band(self, runs):
+        counts = [len(r.unmasked_failures()) for r in runs]
+        assert min(counts) > 0
+        assert max(counts) / min(counts) < 1.5
+
+    def test_dominant_shares_stable(self, runs):
+        from collections import Counter
+
+        from repro.core.classification import classify_user_record
+        from repro.core.failure_model import UserFailureType
+
+        for result in runs:
+            counts = Counter(
+                classify_user_record(r) for r in result.unmasked_failures()
+            )
+            total = sum(counts.values())
+            sdp = 100.0 * counts.get(UserFailureType.SDP_SEARCH_FAILED, 0) / total
+            loss = 100.0 * counts.get(UserFailureType.PACKET_LOSS, 0) / total
+            assert 25.0 <= sdp <= 50.0
+            assert 22.0 <= loss <= 45.0
+
+    def test_mttf_band_across_seeds(self, runs):
+        from repro.core.dependability import compute_scenario
+
+        mttfs = [
+            compute_scenario(r.unmasked_failures(), "siras").mttf for r in runs
+        ]
+        assert all(500.0 <= m <= 1400.0 for m in mttfs)

@@ -1,0 +1,66 @@
+"""Smoke tests: every example script runs end to end with small inputs.
+
+The examples are a deliverable; these tests keep them working as the
+library evolves.  Each is run in-process via runpy with patched argv
+(tiny campaign durations keep the suite fast).
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, argv, capsys):
+    """Execute one example as __main__ with the given argv tail."""
+    script = EXAMPLES / name
+    assert script.exists(), f"missing example: {script}"
+    old_argv = sys.argv
+    sys.argv = [str(script)] + [str(a) for a in argv]
+    try:
+        runpy.run_path(str(script), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart.py", ["2", "7"], capsys)
+    assert "Bluetooth PAN Failure Model" in out
+    assert "MTTF" in out
+    assert "Failures per workload" in out
+
+
+def test_error_failure_analysis(capsys):
+    out = run_example("error_failure_analysis.py", ["3", "11"], capsys)
+    assert "Error-Failure Relationship" in out
+    assert "knee" in out
+    assert "Strongest cause" in out
+
+
+def test_dependability_improvement(capsys):
+    out = run_example("dependability_improvement.py", ["2", "21"], capsys)
+    assert "Dependability Improvement" in out
+    assert "SIRA" in out
+    assert "Reliability (MTTF) improvement" in out
+
+
+def test_usage_patterns(capsys):
+    out = run_example("usage_patterns.py", ["3", "42"], capsys)
+    assert "packet type" in out
+    assert "idle" in out.lower()
+
+
+def test_bit_level_baseband(capsys):
+    out = run_example("bit_level_baseband.py", ["200", "3"], capsys)
+    assert "DM1" in out and "DH5" in out
+    assert "delivered" in out
+
+
+def test_redundant_piconets(capsys):
+    out = run_example("redundant_piconets.py", ["2", "77"], capsys)
+    assert "Redundant overlapped piconets" in out
+    assert "failovers" in out.lower()

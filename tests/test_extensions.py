@@ -1,0 +1,138 @@
+"""Tests for the enhanced-stack bundle and redundant piconets."""
+
+import random
+
+import pytest
+
+from repro.core.campaign import run_campaign
+from repro.core.dependability import compute_scenario
+from repro.extensions import (
+    EnhancedStackConfig,
+    FAILOVER_ACTION,
+    FAILOVER_MAX_SCOPE,
+    run_enhanced_campaign,
+    run_redundant_campaign,
+)
+from repro.faults.injector import FaultInjector, InjectorTuning, NodeTraits
+from repro.recovery.masking import MaskingPolicy
+
+HOURS = 3600.0
+PC = NodeTraits(name="Verde", uses_usb=True)
+
+
+class TestInjectorTuning:
+    def test_stock_multiplier_is_one(self):
+        assert InjectorTuning().sw_role_request_multiplier() == pytest.approx(1.0)
+
+    def test_larger_timeout_reduces_failures(self):
+        tuned = InjectorTuning(sw_role_timeout_factor=3.0)
+        assert tuned.sw_role_request_multiplier() == pytest.approx(
+            (1 - 0.911) + 0.911 / 3.0
+        )
+
+    def test_infinite_timeout_leaves_non_timeout_causes(self):
+        tuned = InjectorTuning(sw_role_timeout_factor=1e9)
+        assert tuned.sw_role_request_multiplier() == pytest.approx(0.089, abs=1e-3)
+
+    def test_factor_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            InjectorTuning(sw_role_timeout_factor=0.5).sw_role_request_multiplier()
+
+    def test_injector_applies_tuning(self):
+        trials = 500_000
+        stock = FaultInjector(random.Random(1))
+        tuned = FaultInjector(
+            random.Random(1), tuning=InjectorTuning(sw_role_timeout_factor=5.0)
+        )
+        stock_hits = sum(
+            1 for _ in range(trials)
+            if stock.draw_operation_fault("sw_role_request", PC) is not None
+        )
+        tuned_hits = sum(
+            1 for _ in range(trials)
+            if tuned.draw_operation_fault("sw_role_request", PC) is not None
+        )
+        assert tuned_hits < stock_hits
+
+
+class TestEnhancedStackConfig:
+    def test_default_is_fully_enhanced(self):
+        config = EnhancedStackConfig()
+        assert config.masking.any_enabled
+        assert config.tuning.sw_role_timeout_factor > 1.0
+
+    def test_plain_preset(self):
+        config = EnhancedStackConfig.plain()
+        assert not config.masking.any_enabled
+        assert config.tuning.sw_role_timeout_factor == 1.0
+
+    def test_enhanced_campaign_masks_failures(self):
+        result = run_enhanced_campaign(duration=6 * HOURS, seed=301)
+        assert result.masked_count() > 0
+        assert result.repository.user_level_count > 0
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValueError):
+            run_enhanced_campaign(duration=HOURS, workloads=("telepathy",))
+
+
+class TestRedundantPiconets:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        plain = run_campaign(
+            duration=10 * HOURS, seed=400, workloads=("random",)
+        )
+        redundant = run_redundant_campaign(duration=10 * HOURS, seed=400)
+        return plain, redundant
+
+    def test_failovers_happen(self, runs):
+        _, redundant = runs
+        bed = redundant.testbeds["random"]
+        assert bed.total_failovers() > 0
+
+    def test_failover_reports_recorded(self, runs):
+        _, redundant = runs
+        records = redundant.unmasked_failures()
+        failover_records = [r for r in records if r.recovered_by == FAILOVER_ACTION]
+        assert failover_records
+        # A failover is a single, fast, successful recovery action.
+        for record in failover_records:
+            assert len(record.recovery) == 1
+            assert record.time_to_recover < 10.0
+
+    def test_redundancy_cuts_recovery_time(self, runs):
+        from repro.extensions.redundant import failover_replay_mttr
+
+        plain, redundant = runs
+        plain_records = plain.unmasked_failures()
+        plain_metrics = compute_scenario(plain_records, "siras")
+        # Same-stream replay: deterministic improvement (live runs use
+        # different random streams, so their MTTRs differ by mix noise).
+        assert failover_replay_mttr(plain_records) < plain_metrics.mttr
+        # The live redundant run must still recover most link/stack
+        # failures in failover time rather than cascade time.
+        red_records = redundant.unmasked_failures()
+        failover_ttrs = [
+            r.time_to_recover for r in red_records
+            if r.recovered_by == FAILOVER_ACTION
+        ]
+        assert failover_ttrs
+        assert max(failover_ttrs) < 10.0
+
+    def test_deep_damage_still_uses_cascade(self, runs):
+        _, redundant = runs
+        records = redundant.unmasked_failures()
+        cascaded = [
+            r for r in records
+            if r.recovery and r.recovery[0].action != FAILOVER_ACTION
+        ]
+        # Application/OS-scope failures cannot be routed around.
+        assert cascaded
+        for record in cascaded:
+            assert len(record.recovery) > FAILOVER_MAX_SCOPE
+
+    def test_both_naps_log_system_data(self, runs):
+        _, redundant = runs
+        repo = redundant.repository
+        assert repo.system_records(node="random:Giallo")
+        assert repo.system_records(node="random:Secondo")

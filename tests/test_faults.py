@@ -1,0 +1,267 @@
+"""Tests for the fault calibration tables, injector and evidence emitter."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.collection.logs import SystemLog
+from repro.core.failure_model import SystemFailureType, UserFailureType
+from repro.faults import calibration as cal
+from repro.faults.calibration import Origin
+from repro.faults.evidence import MAX_EVIDENCE_DELAY, emit_evidence
+from repro.faults.injector import FaultActivation, FaultInjector, NodeTraits
+from repro.sim import Simulator
+
+PC = NodeTraits(name="Verde", uses_usb=True)
+PDA = NodeTraits(name="Ipaq H3870", uses_bcsp=True)
+PRONE = NodeTraits(name="Azzurro", uses_usb=True, bind_prone=True)
+
+
+class TestCalibrationTables:
+    def test_validate_passes(self):
+        cal.validate()  # raises on drift
+
+    def test_shares_sum_to_100(self):
+        assert sum(cal.USER_FAILURE_SHARES.values()) == pytest.approx(100.0)
+
+    def test_every_user_failure_has_cause_row(self):
+        assert set(cal.CAUSE_WEIGHTS) == set(UserFailureType)
+
+    def test_every_user_failure_has_scope_row(self):
+        assert set(cal.SCOPE_WEIGHTS) == set(UserFailureType)
+
+    def test_data_mismatch_has_no_recovery(self):
+        assert cal.SCOPE_WEIGHTS[UserFailureType.DATA_MISMATCH] == []
+
+    def test_normalized_shares(self):
+        shares = cal.normalized_shares()
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_pan_connect_anchor(self):
+        # The verbatim anchor: 96.5 % of PAN-connect failures are SDP.
+        causes = dict(
+            (tuple(e[0] for e in ev), w) for w, ev in
+            cal.CAUSE_WEIGHTS[UserFailureType.PAN_CONNECT_FAILED]
+        )
+        assert causes[(SystemFailureType.SDP,)] == pytest.approx(96.5)
+
+
+class TestInjectorSampling:
+    def test_unknown_operation_rejected(self):
+        injector = FaultInjector(random.Random(0))
+        with pytest.raises(ValueError):
+            injector.draw_operation_fault("teleport", PC)
+
+    def test_failure_rate_matches_calibration(self):
+        injector = FaultInjector(random.Random(1))
+        trials = 200_000
+        hits = sum(
+            1 for _ in range(trials)
+            if injector.draw_operation_fault("sdp_search", PC) is not None
+        )
+        shares = cal.normalized_shares()
+        expected = (
+            cal.FAILURES_PER_CYCLE
+            * (
+                shares[UserFailureType.SDP_SEARCH_FAILED]
+                + shares[UserFailureType.NAP_NOT_FOUND]
+            )
+            / cal.SDP_FLAG_PROBABILITY
+        )
+        assert hits / trials == pytest.approx(expected, rel=0.05)
+
+    def test_bind_never_fails_on_normal_host(self):
+        injector = FaultInjector(random.Random(2))
+        assert all(
+            injector.draw_operation_fault("bind", PC) is None for _ in range(50_000)
+        )
+
+    def test_bind_fails_on_prone_host(self):
+        injector = FaultInjector(random.Random(3))
+        hits = sum(
+            1 for _ in range(500_000)
+            if injector.draw_operation_fault("bind", PRONE) is not None
+        )
+        assert hits > 0
+
+    def test_pda_sw_role_cmd_rate_is_higher(self):
+        injector = FaultInjector(random.Random(4))
+        trials = 400_000
+        pc_hits = sum(
+            1 for _ in range(trials)
+            if injector.draw_operation_fault("sw_role_command", PC) is not None
+        )
+        pda_hits = sum(
+            1 for _ in range(trials)
+            if injector.draw_operation_fault("sw_role_command", PDA) is not None
+        )
+        assert pda_hits > pc_hits * 3
+
+    def test_pan_connect_concentrates_on_skipped_sdp(self):
+        injector = FaultInjector(random.Random(5))
+        trials = 400_000
+        with_sdp = sum(
+            1 for _ in range(trials)
+            if injector.draw_operation_fault("pan_connect", PC, sdp_performed=True)
+        )
+        without_sdp = sum(
+            1 for _ in range(trials)
+            if injector.draw_operation_fault("pan_connect", PC, sdp_performed=False)
+        )
+        assert without_sdp > with_sdp * 5
+
+    def test_busy_raises_connect_failures(self):
+        injector = FaultInjector(random.Random(6))
+        trials = 600_000
+        idle = sum(
+            1 for _ in range(trials)
+            if injector.draw_operation_fault("l2cap_connect", PC, busy=False)
+        )
+        busy = sum(
+            1 for _ in range(trials)
+            if injector.draw_operation_fault("l2cap_connect", PC, busy=True)
+        )
+        assert busy > idle
+
+
+class TestCauseSampling:
+    def test_no_bcsp_evidence_on_usb_host(self):
+        injector = FaultInjector(random.Random(7))
+        for _ in range(2000):
+            evidence = injector.sample_cause(UserFailureType.PACKET_LOSS, PC)
+            assert all(e[0] is not SystemFailureType.BCSP for e in evidence)
+
+    def test_bcsp_evidence_common_on_pda(self):
+        injector = FaultInjector(random.Random(8))
+        bcsp = sum(
+            1 for _ in range(5000)
+            if any(
+                e[0] is SystemFailureType.BCSP
+                for e in injector.sample_cause(UserFailureType.SW_ROLE_COMMAND_FAILED, PDA)
+            )
+        )
+        assert bcsp / 5000 > 0.5
+
+    def test_no_usb_evidence_on_pda(self):
+        injector = FaultInjector(random.Random(9))
+        for _ in range(2000):
+            evidence = injector.sample_cause(UserFailureType.SW_ROLE_COMMAND_FAILED, PDA)
+            assert all(e[0] is not SystemFailureType.USB for e in evidence)
+
+    def test_mismatch_has_no_evidence(self):
+        injector = FaultInjector(random.Random(10))
+        assert injector.sample_cause(UserFailureType.DATA_MISMATCH, PC) == []
+
+    def test_connect_cause_distribution_matches_table(self):
+        injector = FaultInjector(random.Random(11))
+        counts = Counter()
+        trials = 20_000
+        for _ in range(trials):
+            evidence = injector.sample_cause(UserFailureType.CONNECT_FAILED, PC)
+            if not evidence:
+                counts["none"] += 1
+            else:
+                counts[evidence[0][0].name] += 1
+        assert counts["HCI"] / trials == pytest.approx(0.903, abs=0.02)
+
+
+class TestScopeSampling:
+    def test_scope_range(self):
+        injector = FaultInjector(random.Random(12))
+        for _ in range(2000):
+            scope = injector.sample_scope(UserFailureType.PACKET_LOSS)
+            assert 1 <= scope <= 7
+
+    def test_mismatch_scope_zero(self):
+        injector = FaultInjector(random.Random(13))
+        assert injector.sample_scope(UserFailureType.DATA_MISMATCH) == 0
+
+    def test_nap_not_found_mostly_stack_reset(self):
+        injector = FaultInjector(random.Random(14))
+        counts = Counter(
+            injector.sample_scope(UserFailureType.NAP_NOT_FOUND) for _ in range(20_000)
+        )
+        assert counts[3] / 20_000 == pytest.approx(0.614, abs=0.02)
+
+
+class TestTransferHazards:
+    def test_p2p_has_higher_break_hazard(self):
+        injector = FaultInjector(random.Random(15))
+        p2p = injector.transfer_hazards(PC, "p2p")
+        web = injector.transfer_hazards(PC, "web")
+        assert p2p.break_hazard > web.break_hazard
+
+    def test_streaming_has_lower_break_hazard(self):
+        injector = FaultInjector(random.Random(16))
+        streaming = injector.transfer_hazards(PC, "streaming")
+        web = injector.transfer_hazards(PC, "web")
+        assert streaming.break_hazard < web.break_hazard
+
+    def test_latent_defect_frequency(self):
+        injector = FaultInjector(random.Random(17))
+        hits = sum(
+            injector.transfer_hazards(PC, "random").latent_defect
+            for _ in range(100_000)
+        )
+        assert hits / 100_000 == pytest.approx(
+            cal.LATENT_DEFECT_PROBABILITY, rel=0.1
+        )
+
+
+class TestEvidenceEmitter:
+    def _activation(self, origin=Origin.LOCAL):
+        return FaultActivation(
+            user_failure=UserFailureType.CONNECT_FAILED,
+            scope=3,
+            evidence=[(SystemFailureType.HCI, "timeout", origin)],
+        )
+
+    def test_local_evidence_lands_in_local_log(self):
+        sim = Simulator()
+        local = SystemLog("t:n", random.Random(0), clock=lambda: sim.now)
+        nap = SystemLog("t:g", random.Random(1), clock=lambda: sim.now)
+        emit_evidence(sim, self._activation(), local, nap, random.Random(2))
+        sim.run()
+        assert len(local) >= 1
+        assert len(nap) == 0
+
+    def test_nap_evidence_lands_in_nap_log(self):
+        sim = Simulator()
+        local = SystemLog("t:n", random.Random(0), clock=lambda: sim.now)
+        nap = SystemLog("t:g", random.Random(1), clock=lambda: sim.now)
+        emit_evidence(sim, self._activation(Origin.NAP), local, nap, random.Random(2))
+        sim.run()
+        assert len(nap) >= 1
+        assert len(local) == 0
+
+    def test_missing_nap_log_tolerated(self):
+        sim = Simulator()
+        local = SystemLog("t:n", random.Random(0), clock=lambda: sim.now)
+        count = emit_evidence(
+            sim, self._activation(Origin.NAP), local, None, random.Random(2)
+        )
+        assert count == 0
+
+    def test_evidence_delays_bounded(self):
+        sim = Simulator()
+        local = SystemLog("t:n", random.Random(0), clock=lambda: sim.now)
+        activation = FaultActivation(
+            user_failure=UserFailureType.PACKET_LOSS,
+            scope=2,
+            evidence=[
+                (SystemFailureType.HCI, "timeout", Origin.LOCAL),
+                (SystemFailureType.BNEP, "add_failed", Origin.LOCAL),
+            ],
+        )
+        for seed in range(50):
+            emit_evidence(sim, activation, local, None, random.Random(seed))
+        sim.run()
+        assert all(r.time <= MAX_EVIDENCE_DELAY + 60.0 for r in local.records())
+
+    def test_first_evidence_is_prompt(self):
+        sim = Simulator()
+        local = SystemLog("t:n", random.Random(0), clock=lambda: sim.now)
+        emit_evidence(sim, self._activation(), local, None, random.Random(3))
+        sim.run()
+        assert min(r.time for r in local.records()) <= 2.0

@@ -1,0 +1,172 @@
+"""Tests for BNEP encapsulation and L2CAP framing/reassembly."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bluetooth.bnep import (
+    BNEP_MTU,
+    BnepError,
+    COMPRESSED_ETHERNET,
+    GENERAL_ETHERNET,
+    decapsulate,
+    encapsulate,
+)
+from repro.bluetooth.l2cap import (
+    BFRAME_HEADER,
+    Reassembler,
+    build_bframe,
+    parse_bframe,
+    segment_sdu,
+)
+
+
+class TestBnepFrames:
+    def test_compressed_roundtrip(self):
+        payload = b"\x45\x00" + bytes(40)
+        frame = encapsulate(payload, protocol=0x0800)
+        parsed = decapsulate(frame)
+        assert parsed["type"] == COMPRESSED_ETHERNET
+        assert parsed["protocol"] == 0x0800
+        assert parsed["payload"] == payload
+        assert parsed["src"] is None
+
+    def test_general_roundtrip(self):
+        src = bytes(range(6))
+        dst = bytes(range(6, 12))
+        frame = encapsulate(b"data", src=src, dst=dst, compressed=False)
+        parsed = decapsulate(frame)
+        assert parsed["type"] == GENERAL_ETHERNET
+        assert parsed["src"] == src
+        assert parsed["dst"] == dst
+        assert parsed["payload"] == b"data"
+
+    def test_compressed_is_smaller(self):
+        payload = b"x" * 100
+        assert len(encapsulate(payload)) < len(
+            encapsulate(payload, compressed=False)
+        )
+
+    def test_mtu_enforced(self):
+        with pytest.raises(ValueError):
+            encapsulate(b"x" * BNEP_MTU)
+
+    def test_malformed_frames_rejected(self):
+        with pytest.raises(BnepError):
+            decapsulate(b"")
+        with pytest.raises(BnepError):
+            decapsulate(bytes([COMPRESSED_ETHERNET]))  # truncated
+        with pytest.raises(BnepError):
+            decapsulate(bytes([0x7F]) + b"x" * 20)  # unknown type
+
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            encapsulate(b"x", protocol=0x1_0000)
+        with pytest.raises(ValueError):
+            encapsulate(b"x", src=b"\x00" * 5, compressed=False)
+
+    @given(st.binary(min_size=0, max_size=1400), st.integers(0, 0xFFFF))
+    @settings(max_examples=100)
+    def test_roundtrip_property(self, payload, protocol):
+        parsed = decapsulate(encapsulate(payload, protocol=protocol))
+        assert parsed["payload"] == payload
+        assert parsed["protocol"] == protocol
+
+
+class TestBframes:
+    def test_roundtrip(self):
+        frame = build_bframe(0x0040, b"hello")
+        cid, payload = parse_bframe(frame)
+        assert cid == 0x0040
+        assert payload == b"hello"
+
+    def test_length_mismatch_detected(self):
+        frame = build_bframe(0x40, b"hello") + b"extra"
+        with pytest.raises(ValueError, match="length mismatch"):
+            parse_bframe(frame)
+
+    def test_truncated_rejected(self):
+        with pytest.raises(ValueError):
+            parse_bframe(b"\x01")
+
+    def test_invalid_cid(self):
+        with pytest.raises(ValueError):
+            build_bframe(-1, b"")
+
+    @given(st.integers(0, 0xFFFF), st.binary(max_size=2000))
+    @settings(max_examples=100)
+    def test_roundtrip_property(self, cid, payload):
+        assert parse_bframe(build_bframe(cid, payload)) == (cid, payload)
+
+
+class TestSegmentationReassembly:
+    def test_segments_flagged(self):
+        fragments = segment_sdu(b"x" * 50, fragment_size=20)
+        assert [f[0] for f in fragments] == [True, False, False]
+        assert b"".join(f[1] for f in fragments) == b"x" * 50
+
+    def test_empty_sdu(self):
+        assert segment_sdu(b"", 10) == [(True, b"")]
+
+    def test_invalid_fragment_size(self):
+        with pytest.raises(ValueError):
+            segment_sdu(b"x", 0)
+
+    def test_reassembly_roundtrip(self):
+        sdu = bytes(range(256)) * 4
+        reassembler = Reassembler(expected_length=len(sdu))
+        result = None
+        for is_start, fragment in segment_sdu(sdu, 100):
+            result = reassembler.push(is_start, fragment) or result
+        assert result == sdu
+        assert reassembler.errors == 0
+
+    def test_unexpected_continuation_counted(self):
+        reassembler = Reassembler()
+        assert reassembler.push(False, b"orphan") is None
+        assert reassembler.errors == 1
+
+    def test_unexpected_start_counted_and_recovers(self):
+        reassembler = Reassembler(expected_length=6)
+        reassembler.push(True, b"abc")  # SDU in progress...
+        result = reassembler.push(True, b"xyzxyz")  # ...new start mid-SDU
+        assert reassembler.errors == 1
+        assert result == b"xyzxyz"
+
+    def test_desync_logs_the_l2cap_signature(self):
+        import random as random_mod
+
+        from repro.bluetooth.hci import HciLayer
+        from repro.bluetooth.l2cap import L2capLayer
+        from repro.bluetooth.transport import make_transport
+        from repro.collection.logs import SystemLog
+        from repro.core.classification import classify_system_record
+        from repro.core.failure_model import SystemFailureType
+
+        log = SystemLog("t:n", random_mod.Random(0))
+        transport = make_transport("usb", log, random_mod.Random(1))
+        layer = L2capLayer(log, HciLayer(log, transport, random_mod.Random(2)),
+                           random_mod.Random(3))
+        reassembler = Reassembler(layer=layer)
+        reassembler.push(False, b"orphan continuation")
+        records = list(log.records())
+        assert len(records) == 1
+        assert classify_system_record(records[0]) is SystemFailureType.L2CAP
+        assert "continuation" in records[0].message
+
+    def test_flush_returns_partial(self):
+        reassembler = Reassembler()
+        reassembler.push(True, b"part")
+        assert reassembler.flush() == b"part"
+        assert reassembler.flush() is None
+
+    @given(st.binary(min_size=1, max_size=3000), st.integers(1, 339))
+    @settings(max_examples=100)
+    def test_roundtrip_property(self, sdu, fragment_size):
+        reassembler = Reassembler(expected_length=len(sdu))
+        result = None
+        for is_start, fragment in segment_sdu(sdu, fragment_size):
+            result = reassembler.push(is_start, fragment) or result
+        assert result == sdu

@@ -1,0 +1,159 @@
+"""Tests for the HCI and L2CAP layers."""
+
+import random
+
+import pytest
+
+from repro.bluetooth.hci import (
+    COMMAND_TIMEOUT,
+    ConnectionState,
+    HciCommandError,
+    HciLayer,
+)
+from repro.bluetooth.l2cap import ChannelState, L2capLayer, PSM_BNEP
+from repro.bluetooth.transport import make_transport
+from repro.collection.logs import SystemLog
+from repro.core.classification import classify_system_record
+from repro.core.failure_model import SystemFailureType
+from repro.sim import Simulator, spawn
+
+from conftest import drive
+
+
+@pytest.fixture
+def layers():
+    log = SystemLog("t:n", random.Random(0))
+    transport = make_transport("usb", log, random.Random(1))
+    hci = HciLayer(log, transport, random.Random(2))
+    l2cap = L2capLayer(log, hci, random.Random(3))
+    return log, hci, l2cap
+
+
+class TestHci:
+    def test_handles_are_unique(self, layers):
+        _, hci, _ = layers
+        a = hci.open_connection("peer1")
+        b = hci.open_connection("peer2")
+        assert a.handle != b.handle
+
+    def test_connection_lifecycle(self, layers):
+        _, hci, _ = layers
+        conn = hci.open_connection("Giallo")
+        assert conn.state is ConnectionState.CONNECTING
+        assert not hci.valid_handle(conn.handle)
+        hci.complete_connection(conn.handle)
+        assert hci.valid_handle(conn.handle)
+        hci.close_connection(conn.handle)
+        assert not hci.valid_handle(conn.handle)
+        assert conn.state is ConnectionState.CLOSED
+
+    def test_close_is_idempotent(self, layers):
+        _, hci, _ = layers
+        conn = hci.open_connection("x")
+        hci.close_connection(conn.handle)
+        hci.close_connection(conn.handle)  # must not raise
+
+    def test_command_with_stale_handle_raises_and_logs(self, layers):
+        log, hci, _ = layers
+        sim = Simulator()
+        with pytest.raises(HciCommandError):
+            drive(sim, hci.command("disconnect", handle=999))
+        records = list(log.records())
+        assert classify_system_record(records[0]) is SystemFailureType.HCI
+        assert "unknown connection handle" in records[0].message
+        assert hci.invalid_handle_errors == 1
+
+    def test_successful_command_advances_time(self, layers):
+        _, hci, _ = layers
+        sim = Simulator()
+        drive(sim, hci.command("inquiry"))
+        assert sim.now > 0
+        assert hci.commands_completed == 1
+
+    def test_command_timeout_takes_full_timeout(self, layers):
+        log, hci, _ = layers
+        sim = Simulator()
+        with pytest.raises(HciCommandError, match="timeout"):
+            drive(sim, hci.fail_command_timeout())
+        assert sim.now == pytest.approx(COMMAND_TIMEOUT)
+        assert any("timeout" in r.message for r in log.records())
+
+    def test_reset_clears_connections(self, layers):
+        _, hci, _ = layers
+        conn = hci.open_connection("x")
+        hci.complete_connection(conn.handle)
+        hci.reset()
+        assert not hci.connections
+
+
+class TestL2cap:
+    def test_connect_opens_channel(self, layers):
+        _, hci, l2cap = layers
+        sim = Simulator()
+        conn = hci.open_connection("Giallo")
+        hci.complete_connection(conn.handle)
+        channel = drive(sim, l2cap.connect(PSM_BNEP, conn.handle, "Giallo"))
+        assert channel.state is ChannelState.OPEN
+        assert channel.psm == PSM_BNEP
+        assert channel.cid >= 0x0040
+        assert l2cap.open_channels() == 1
+
+    def test_connect_with_stale_handle_fails_below(self, layers):
+        _, hci, l2cap = layers
+        sim = Simulator()
+        with pytest.raises(HciCommandError):
+            drive(sim, l2cap.connect(PSM_BNEP, 777, "Giallo"))
+
+    def test_disconnect_closes_channel(self, layers):
+        _, hci, l2cap = layers
+        sim = Simulator()
+        conn = hci.open_connection("Giallo")
+        hci.complete_connection(conn.handle)
+        channel = drive(sim, l2cap.connect(PSM_BNEP, conn.handle, "Giallo"))
+        drive(sim, l2cap.disconnect(channel.cid))
+        assert channel.state is ChannelState.CLOSED
+        assert l2cap.open_channels() == 0
+
+    def test_disconnect_unknown_cid_is_noop(self, layers):
+        _, _, l2cap = layers
+        sim = Simulator()
+        drive(sim, l2cap.disconnect(0xBEEF))  # must not raise
+
+    def test_disconnect_survives_dead_acl(self, layers):
+        _, hci, l2cap = layers
+        sim = Simulator()
+        conn = hci.open_connection("Giallo")
+        hci.complete_connection(conn.handle)
+        channel = drive(sim, l2cap.connect(PSM_BNEP, conn.handle, "Giallo"))
+        hci.close_connection(conn.handle)  # link died underneath
+        drive(sim, l2cap.disconnect(channel.cid))
+        assert channel.state is ChannelState.CLOSED
+
+    def test_unexpected_frame_logged(self, layers):
+        log, _, l2cap = layers
+        l2cap.note_unexpected_frame(start=True)
+        l2cap.note_unexpected_frame(start=False)
+        messages = [r.message for r in log.records()]
+        assert any("start frame" in m for m in messages)
+        assert any("continuation frame" in m for m in messages)
+        assert l2cap.unexpected_frames == 2
+
+    def test_segment_count_uses_packet_type(self, layers):
+        from repro.bluetooth.packets import PacketType
+
+        _, hci, l2cap = layers
+        sim = Simulator()
+        conn = hci.open_connection("Giallo")
+        hci.complete_connection(conn.handle)
+        channel = drive(sim, l2cap.connect(PSM_BNEP, conn.handle, "Giallo"))
+        assert channel.segment_count(1691, PacketType.DM1) == -(-1691 // 17)
+        assert channel.segment_count(1691, PacketType.DH5) == -(-1691 // 339)
+
+    def test_reset_drops_all_channels(self, layers):
+        _, hci, l2cap = layers
+        sim = Simulator()
+        conn = hci.open_connection("Giallo")
+        hci.complete_connection(conn.handle)
+        drive(sim, l2cap.connect(PSM_BNEP, conn.handle, "Giallo"))
+        l2cap.reset()
+        assert not l2cap.channels

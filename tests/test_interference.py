@@ -1,0 +1,98 @@
+"""Tests for the shared interference source."""
+
+import random
+
+import pytest
+
+from repro.bluetooth.channel import Channel, ChannelConfig
+from repro.bluetooth.packets import PacketType
+from repro.collection.repository import CentralRepository
+from repro.recovery.masking import MaskingPolicy
+from repro.sim import RandomStreams, Simulator
+from repro.testbed.interference import InterferenceSource
+from repro.testbed.testbed import Testbed
+from repro.workload.traffic import RandomWorkload
+
+
+def make_channels(n=3, seed=0):
+    return [
+        Channel(ChannelConfig(), random.Random(seed + i)) for i in range(n)
+    ]
+
+
+class TestInterferenceSource:
+    def test_parameter_validation(self):
+        sim = Simulator()
+        channels = make_channels()
+        with pytest.raises(ValueError):
+            InterferenceSource(sim, channels, random.Random(0), mean_interval=0)
+        with pytest.raises(ValueError):
+            InterferenceSource(sim, channels, random.Random(0), mean_duration=0)
+        with pytest.raises(ValueError):
+            InterferenceSource(sim, channels, random.Random(0), factor=1.0)
+
+    def test_episodes_toggle_all_channels(self):
+        sim = Simulator()
+        channels = make_channels()
+        source = InterferenceSource(
+            sim, channels, random.Random(1),
+            mean_interval=100.0, mean_duration=50.0, factor=4.0,
+        )
+        source.start()
+        sim.run_until(5000.0)
+        assert source.episodes > 5
+        # After the run every completed episode has restored factor 1
+        # (or an episode is mid-flight with the factor raised).
+        factors = {c.config.interference_factor for c in channels}
+        assert factors <= {1.0, 4.0}
+        assert len(factors) == 1  # all channels always move together
+
+    def test_episode_log_and_query(self):
+        sim = Simulator()
+        channels = make_channels()
+        source = InterferenceSource(
+            sim, channels, random.Random(2),
+            mean_interval=200.0, mean_duration=100.0,
+        )
+        source.start()
+        sim.run_until(10_000.0)
+        assert source.episode_log
+        start, end = source.episode_log[0]
+        assert end > start
+        assert source.was_active_at((start + end) / 2)
+        assert not source.was_active_at(start - 1.0)
+
+    def test_interference_raises_drop_probability(self):
+        channel = make_channels(1)[0]
+        clean = channel.payload_drop_probability(PacketType.DH3)
+        channel.set_interference(8.0)
+        stormy = channel.payload_drop_probability(PacketType.DH3)
+        assert stormy > clean * 4
+
+
+class TestTestbedIntegration:
+    def test_campaign_with_interference_loses_more(self):
+        def run(interfere: bool) -> int:
+            sim = Simulator()
+            repo = CentralRepository()
+            bed = Testbed(
+                sim, "random", RandomWorkload, repo, RandomStreams(17),
+                masking=MaskingPolicy.all_off(),
+            )
+            if interfere:
+                bed.enable_interference(
+                    mean_interval=1200.0, mean_duration=600.0, factor=60.0
+                )
+            bed.start()
+            sim.run_until(12 * 3600.0)
+            bed.final_collection()
+            from repro.core.classification import classify_user_record
+            from repro.core.failure_model import UserFailureType
+
+            return sum(
+                1
+                for r in repo.test_records()
+                if classify_user_record(r) is UserFailureType.PACKET_LOSS
+            )
+
+        assert run(True) > run(False)

@@ -1,0 +1,121 @@
+"""Tests for the CTMC availability model."""
+
+import pytest
+
+from repro.collection.records import RecoveryAttempt, TestLogRecord
+from repro.core.markov import (
+    N_LEVELS,
+    build_ctmc,
+    cumulative_repair_times,
+    model_from_records,
+    severity_distribution,
+    validate_against_measurement,
+)
+from repro.faults.calibration import SIRA_DURATIONS
+from repro.recovery.sira import SIRA_NAMES
+
+
+def report(severity):
+    recovery = [
+        RecoveryAttempt(SIRA_NAMES[i], i == severity - 1, 1.0)
+        for i in range(severity)
+    ]
+    return TestLogRecord(
+        time=0.0, node="n", testbed="random", workload="random",
+        message="bluetest: timeout waiting for expected packet (30 s)",
+        phase="Data Transfer", recovery=recovery,
+    )
+
+
+class TestBuildingBlocks:
+    def test_cumulative_repair_times_monotone(self):
+        times = cumulative_repair_times()
+        assert len(times) == N_LEVELS
+        assert times == sorted(times)
+        assert times[0] == SIRA_DURATIONS[0]
+        assert times[-1] == pytest.approx(sum(SIRA_DURATIONS))
+
+    def test_severity_distribution(self):
+        records = [report(1), report(1), report(3), report(6)]
+        dist = severity_distribution(records)
+        assert dist[0] == pytest.approx(0.5)
+        assert dist[2] == pytest.approx(0.25)
+        assert dist[5] == pytest.approx(0.25)
+        assert sum(dist) == pytest.approx(1.0)
+
+    def test_severity_distribution_empty(self):
+        assert severity_distribution([]) == [0.0] * N_LEVELS
+
+
+class TestCtmc:
+    def test_two_state_closed_form(self):
+        # All failures severity 1: classic up/down chain with
+        # A = mu / (lambda + mu).
+        lam, repair = 1e-3, 2.0
+        probs = [1.0] + [0.0] * 6
+        model = build_ctmc(lam, probs, repair_times=[repair] * 7)
+        expected = (1.0 / repair) / (lam + 1.0 / repair)
+        assert model.availability == pytest.approx(expected, rel=1e-6)
+
+    def test_stationary_sums_to_one(self):
+        probs = [0.2, 0.2, 0.2, 0.2, 0.1, 0.05, 0.05]
+        model = build_ctmc(1e-3, probs)
+        assert sum(model.stationary.values()) == pytest.approx(1.0)
+
+    def test_availability_formula_consistency(self):
+        # A = MTTF / (MTTF + mean_down_time) for this chain topology.
+        probs = [0.3, 0.3, 0.2, 0.1, 0.05, 0.04, 0.01]
+        mttf = 700.0
+        model = build_ctmc(1.0 / mttf, probs)
+        expected = mttf / (mttf + model.mean_down_time)
+        assert model.availability == pytest.approx(expected, rel=1e-4)
+
+    def test_severe_failures_reduce_availability(self):
+        cheap = build_ctmc(1e-3, [1.0, 0, 0, 0, 0, 0, 0])
+        severe = build_ctmc(1e-3, [0, 0, 0, 0, 0, 1.0, 0])
+        assert severe.availability < cheap.availability
+
+    def test_zero_failure_rate_is_always_up(self):
+        model = build_ctmc(0.0, [0.0] * 7)
+        assert model.availability == 1.0
+
+    def test_validation_inputs(self):
+        with pytest.raises(ValueError):
+            build_ctmc(-1.0, [1.0] + [0.0] * 6)
+        with pytest.raises(ValueError):
+            build_ctmc(1e-3, [0.5] * 7)
+        with pytest.raises(ValueError):
+            build_ctmc(1e-3, [1.0, 0.0])
+        with pytest.raises(ValueError):
+            build_ctmc(1e-3, [1.0] + [0.0] * 6, repair_times=[0.0] * 7)
+
+    def test_summary_renders(self):
+        model = build_ctmc(1e-3, [1.0] + [0.0] * 6)
+        text = model.summary()
+        assert "availability" in text
+        assert "MTTF 1000 s" in text
+
+
+class TestModelFromRecords:
+    def test_fit_and_validate(self):
+        records = [report(1)] * 8 + [report(6)] * 2
+        model = model_from_records(records, mttf=800.0)
+        assert 0.5 < model.availability < 1.0
+        validation = validate_against_measurement(model, 0.93)
+        assert validation.relative_error >= 0.0
+
+    def test_invalid_mttf(self):
+        with pytest.raises(ValueError):
+            model_from_records([], mttf=0.0)
+
+    def test_model_tracks_campaign_measurement(self, baseline_campaign):
+        """The fitted CTMC must land near the measured availability."""
+        from repro.core.dependability import compute_scenario
+
+        records = baseline_campaign.unmasked_failures()
+        metrics = compute_scenario(records, "siras")
+        model = model_from_records(records, mttf=metrics.mttf)
+        validation = validate_against_measurement(model, metrics.availability)
+        # The CTMC idealises the cascade (exponential sojourns, measured
+        # branch probabilities); agreement within ~10 % validates both.
+        assert validation.relative_error < 0.10

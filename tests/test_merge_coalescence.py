@@ -1,0 +1,221 @@
+"""Tests for log merging and tupling coalescence (the fig. 2 pipeline)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collection.records import SystemLogRecord, TestLogRecord
+from repro.collection.repository import CentralRepository
+from repro.core.coalescence import (
+    PAPER_WINDOW,
+    coalesce,
+    default_windows,
+    sensitivity_analysis,
+)
+from repro.core.merge import MergedEntry, Source, merge_node_logs, merge_records
+
+
+def user_at(time, node="r:Verde"):
+    return TestLogRecord(
+        time=time, node=node, testbed="random", workload="random",
+        message="bluetest: l2cap connect to NAP failed", phase="Connect",
+    )
+
+
+def sys_at(time, node="r:Verde"):
+    return SystemLogRecord(
+        time=time, node=node, facility="hcid", severity="error",
+        message="hci: command tx timeout (opcode 0x0405)",
+    )
+
+
+def entries_at(*times):
+    return merge_records([], [sys_at(t) for t in times])
+
+
+class TestMerge:
+    def test_time_ordering(self):
+        merged = merge_records([user_at(5.0)], [sys_at(1.0), sys_at(9.0)])
+        assert [e.time for e in merged] == [1.0, 5.0, 9.0]
+
+    def test_sources_tagged(self):
+        merged = merge_records([user_at(1.0)], [sys_at(2.0)], [sys_at(3.0, "r:Giallo")])
+        assert [e.source for e in merged] == [
+            Source.USER,
+            Source.SYSTEM_LOCAL,
+            Source.SYSTEM_NAP,
+        ]
+
+    def test_merge_node_logs_from_repository(self):
+        repo = CentralRepository()
+        repo.ingest_test([user_at(1.0)])
+        repo.ingest_system([sys_at(2.0), sys_at(3.0, "r:Giallo")])
+        merged = merge_node_logs(repo, "r:Verde", nap="r:Giallo")
+        assert len(merged) == 3
+        assert merged[-1].source is Source.SYSTEM_NAP
+
+    def test_masked_reports_excluded_by_default(self):
+        repo = CentralRepository()
+        masked = TestLogRecord(
+            time=1.0, node="r:Verde", testbed="random", workload="random",
+            message="bluetest: nap service not found on access point",
+            phase="Search", masked=True,
+        )
+        repo.ingest_test([masked])
+        assert merge_node_logs(repo, "r:Verde") == []
+        assert len(merge_node_logs(repo, "r:Verde", include_masked=True)) == 1
+
+
+class TestCoalescence:
+    def test_gap_splits_tuples(self):
+        tuples = coalesce(entries_at(0.0, 10.0, 500.0), window=100.0)
+        assert [len(t) for t in tuples] == [2, 1]
+
+    def test_gap_rule_uses_last_entry_not_first(self):
+        # 0, 90, 180: each gap is 90 <= 100, so one tuple even though
+        # the total span (180) exceeds the window.
+        tuples = coalesce(entries_at(0.0, 90.0, 180.0), window=100.0)
+        assert len(tuples) == 1
+        assert tuples[0].span == pytest.approx(180.0)
+
+    def test_zero_window_isolates_entries(self):
+        tuples = coalesce(entries_at(0.0, 1.0, 2.0), window=0.0)
+        assert len(tuples) == 3
+
+    def test_empty_input(self):
+        assert coalesce([], window=10.0) == []
+
+    def test_negative_window_rejected(self):
+        with pytest.raises(ValueError):
+            coalesce([], window=-1.0)
+
+    def test_unsorted_input_rejected(self):
+        entries = [
+            MergedEntry(5.0, Source.SYSTEM_LOCAL, sys_at(5.0)),
+            MergedEntry(1.0, Source.SYSTEM_LOCAL, sys_at(1.0)),
+        ]
+        with pytest.raises(ValueError):
+            coalesce(entries, window=10.0)
+
+    @given(
+        st.lists(st.floats(min_value=0, max_value=1e6), min_size=0, max_size=60),
+        st.floats(min_value=0.1, max_value=1e4),
+    )
+    @settings(max_examples=150)
+    def test_tuples_partition_entries(self, times, window):
+        entries = entries_at(*sorted(times))
+        tuples = coalesce(entries, window)
+        assert sum(len(t) for t in tuples) == len(entries)
+        # Inter-tuple gaps exceed the window; intra-tuple gaps do not.
+        for a, b in zip(tuples, tuples[1:]):
+            assert b.start - a.end > window
+        for t in tuples:
+            gaps = [
+                t.entries[i + 1].time - t.entries[i].time
+                for i in range(len(t.entries) - 1)
+            ]
+            assert all(g <= window for g in gaps)
+
+    @given(
+        st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=60),
+        st.floats(min_value=0.1, max_value=100.0),
+        st.floats(min_value=1.1, max_value=10.0),
+    )
+    @settings(max_examples=100)
+    def test_wider_window_never_more_tuples(self, times, window, factor):
+        entries = entries_at(*sorted(times))
+        assert len(coalesce(entries, window * factor)) <= len(coalesce(entries, window))
+
+
+class TestSensitivityAnalysis:
+    def _bursty_entries(self):
+        """Clusters of related errors minutes wide, far apart."""
+        times = []
+        for base in range(0, 100_000, 2_000):
+            times.extend([base, base + 20.0, base + 150.0, base + 280.0])
+        return entries_at(*times)
+
+    def test_curve_is_monotone_decreasing(self):
+        result = sensitivity_analysis(self._bursty_entries())
+        counts = [p.tuples for p in result.points]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_knee_sits_between_intra_and_inter_cluster_gaps(self):
+        result = sensitivity_analysis(self._bursty_entries())
+        # Intra-cluster gaps reach 150 s; clusters are 1720 s apart.
+        assert 100.0 <= result.knee_window <= 1000.0
+
+    def test_paper_window_constant(self):
+        assert PAPER_WINDOW == 330.0
+
+    def test_default_windows_include_paper_choice(self):
+        assert 330 in default_windows()
+
+    def test_series_export(self):
+        result = sensitivity_analysis(self._bursty_entries(), windows=[10, 100, 1000])
+        series = result.as_series()
+        assert len(series) == 3
+        assert all(len(point) == 2 for point in series)
+
+    def test_empty_window_grid_rejected(self):
+        with pytest.raises(ValueError):
+            sensitivity_analysis([], windows=[])
+
+
+class TestWindowQuality:
+    def _entries_with_failures(self):
+        """Two failures 1000 s apart, each with evidence 50/200 s later."""
+        entries = []
+        for base in (0.0, 1000.0):
+            entries.append(MergedEntry(base, Source.USER, user_at(base)))
+            entries.append(MergedEntry(base + 50.0, Source.SYSTEM_LOCAL, sys_at(base + 50.0)))
+            entries.append(MergedEntry(base + 200.0, Source.SYSTEM_LOCAL, sys_at(base + 200.0)))
+        return entries
+
+    def test_good_window_no_collapse_no_truncation(self):
+        from repro.core.coalescence import window_quality
+
+        quality = window_quality(self._entries_with_failures(), window=330.0)
+        assert quality.collapses == 0
+        assert quality.truncations == 0
+        assert quality.tuples == 2
+
+    def test_narrow_window_truncates(self):
+        from repro.core.coalescence import window_quality
+
+        quality = window_quality(self._entries_with_failures(), window=100.0)
+        assert quality.truncations == 2  # each failure loses its late evidence
+
+    def test_wide_window_collapses(self):
+        from repro.core.coalescence import window_quality
+
+        quality = window_quality(self._entries_with_failures(), window=2000.0)
+        assert quality.collapses == 1
+        assert quality.tuples == 1
+
+    def test_quality_curve_trades_off(self):
+        from repro.core.coalescence import quality_curve
+
+        curve = quality_curve(
+            self._entries_with_failures(), windows=[50, 330, 2000]
+        )
+        truncations = [q.truncations for q in curve]
+        collapses = [q.collapses for q in curve]
+        assert truncations[0] > truncations[-1]  # narrow windows truncate
+        assert collapses[-1] > collapses[0]  # wide windows collapse
+
+    def test_on_campaign_data_paper_window_beats_extremes(self, baseline_campaign):
+        from repro.core.coalescence import window_quality
+        from repro.core.merge import merge_node_logs
+
+        pairs = baseline_campaign.node_nap_pairs()
+        merged = merge_node_logs(
+            baseline_campaign.repository, pairs[0][0], pairs[0][1]
+        )
+        if len(merged) < 40:
+            return
+        narrow = window_quality(merged, 10.0)
+        paper = window_quality(merged, 330.0)
+        wide = window_quality(merged, 3600.0)
+        assert paper.truncations <= narrow.truncations
+        assert paper.collapse_rate <= wide.collapse_rate

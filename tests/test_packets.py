@@ -1,0 +1,106 @@
+"""Tests for Baseband ACL packet types and framing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bluetooth.packets import (
+    AclPacket,
+    PACKET_SPECS,
+    PACKET_TYPE_ORDER,
+    PacketType,
+    SLOT_SECONDS,
+    effective_throughput,
+    packets_needed,
+    segment,
+)
+
+
+class TestSpecs:
+    def test_spec_table_matches_bluetooth_11(self):
+        expected = {
+            PacketType.DM1: (1, True, 17),
+            PacketType.DH1: (1, False, 27),
+            PacketType.DM3: (3, True, 121),
+            PacketType.DH3: (3, False, 183),
+            PacketType.DM5: (5, True, 224),
+            PacketType.DH5: (5, False, 339),
+        }
+        for ptype, (slots, fec, payload) in expected.items():
+            assert ptype.slots == slots
+            assert ptype.fec is fec
+            assert ptype.max_payload == payload
+
+    def test_duration_includes_return_slot(self):
+        assert PacketType.DH1.spec.duration == pytest.approx(2 * SLOT_SECONDS)
+        assert PacketType.DH5.spec.duration == pytest.approx(6 * SLOT_SECONDS)
+
+    def test_air_bits_accounts_for_fec_expansion(self):
+        # DM1 and DH1 have similar raw payload bit counts, but the DM1
+        # payload is expanded 15/10 by the FEC.
+        dm1 = PACKET_SPECS[PacketType.DM1]
+        dh1 = PACKET_SPECS[PacketType.DH1]
+        dm1_payload_bits = dm1.payload_bits(17)
+        assert dm1_payload_bits == -(-((17 * 8) + 32) // 10) * 15
+        assert dh1.payload_bits(27) == 27 * 8 + 32
+
+    def test_every_type_listed_once_in_order(self):
+        assert sorted(t.value for t in PACKET_TYPE_ORDER) == sorted(
+            t.value for t in PacketType
+        )
+
+    def test_throughput_ordering(self):
+        # Unprotected packets beat FEC packets of the same slot count,
+        # and DH5 is the fastest ACL type overall (DH3 outruns DM5:
+        # 73.2 kB/s vs 59.7 kB/s).
+        rates = {t: effective_throughput(t) for t in PacketType}
+        assert rates[PacketType.DH1] > rates[PacketType.DM1]
+        assert rates[PacketType.DH3] > rates[PacketType.DM3]
+        assert rates[PacketType.DH5] > rates[PacketType.DM5]
+        assert rates[PacketType.DH3] > rates[PacketType.DM5]
+        assert max(rates, key=rates.get) is PacketType.DH5
+        assert min(rates, key=rates.get) is PacketType.DM1
+
+
+class TestAclPacket:
+    def test_oversized_payload_rejected(self):
+        with pytest.raises(ValueError):
+            AclPacket(PacketType.DM1, b"x" * 18)
+
+    def test_max_payload_accepted(self):
+        packet = AclPacket(PacketType.DH5, b"x" * 339)
+        assert packet.duration == pytest.approx(6 * SLOT_SECONDS)
+
+    def test_air_bits_scale_with_payload(self):
+        small = AclPacket(PacketType.DH3, b"x" * 10)
+        large = AclPacket(PacketType.DH3, b"x" * 100)
+        assert large.air_bits > small.air_bits
+
+
+class TestSegmentation:
+    def test_empty_data_gives_one_empty_chunk(self):
+        assert segment(b"", PacketType.DH1) == [b""]
+
+    def test_exact_multiple(self):
+        chunks = segment(b"a" * 54, PacketType.DH1)
+        assert len(chunks) == 2
+        assert all(len(c) == 27 for c in chunks)
+
+    def test_remainder_chunk(self):
+        chunks = segment(b"a" * 30, PacketType.DH1)
+        assert [len(c) for c in chunks] == [27, 3]
+
+    @given(st.binary(min_size=0, max_size=2000), st.sampled_from(list(PacketType)))
+    @settings(max_examples=100)
+    def test_segments_reassemble(self, data, ptype):
+        chunks = segment(data, ptype)
+        assert b"".join(chunks) == data
+        assert all(len(c) <= ptype.max_payload for c in chunks)
+
+    @given(st.integers(min_value=0, max_value=100_000), st.sampled_from(list(PacketType)))
+    @settings(max_examples=100)
+    def test_packets_needed_matches_segment(self, length, ptype):
+        assert packets_needed(length, ptype) == len(segment(b"x" * length, ptype))
+
+    def test_packets_needed_zero_length(self):
+        assert packets_needed(0, PacketType.DM1) == 1

@@ -1,0 +1,221 @@
+"""Cross-module property-based tests (hypothesis).
+
+These check the invariants that the whole pipeline leans on: event
+ordering in the engine under arbitrary schedules, filtering
+idempotence, repository query consistency, analysis-table normalisation
+under arbitrary record streams, and dependability-metric sanity.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collection.filtering import filter_system_records
+from repro.collection.records import RecoveryAttempt, SystemLogRecord, TestLogRecord
+from repro.collection.repository import CentralRepository
+from repro.core.dependability import compute_scenario
+from repro.core.sira_analysis import build_sira_table
+from repro.core.trends import laplace_test
+from repro.recovery.sira import SIRA_NAMES
+from repro.sim import Simulator
+
+# -- strategies ---------------------------------------------------------------
+
+user_messages = st.sampled_from([
+    "bluetest: pan connection cannot be created",
+    "bluetest: timeout waiting for expected packet (30 s)",
+    "bluetest: nap service not found on access point",
+    "bluetest: sdp search terminated abnormally",
+    "bluetest: bind on bnep0 failed",
+    "bluetest: received payload does not match expected data",
+])
+
+nodes = st.sampled_from(["random:Verde", "random:Win", "realistic:Miseno"])
+
+
+@st.composite
+def recovery_cascades(draw):
+    severity = draw(st.integers(min_value=0, max_value=7))
+    if severity == 0:
+        return []
+    attempts = [
+        RecoveryAttempt(SIRA_NAMES[i], False, draw(st.floats(0.1, 300.0)))
+        for i in range(severity - 1)
+    ]
+    attempts.append(
+        RecoveryAttempt(SIRA_NAMES[severity - 1], True, draw(st.floats(0.1, 300.0)))
+    )
+    return attempts
+
+
+@st.composite
+def report_records(draw):
+    return TestLogRecord(
+        time=draw(st.floats(min_value=0.0, max_value=1e6)),
+        node=draw(nodes),
+        testbed="random",
+        workload="random",
+        message=draw(user_messages),
+        phase="x",
+        recovery=draw(recovery_cascades()),
+        masked=draw(st.booleans()),
+    )
+
+
+@st.composite
+def system_records(draw):
+    return SystemLogRecord(
+        time=draw(st.floats(min_value=0.0, max_value=1e6)),
+        node=draw(nodes),
+        facility=draw(st.sampled_from(["hcid", "sdpd", "kernel", "cron", "hal"])),
+        severity=draw(st.sampled_from(["info", "warning", "error"])),
+        message=draw(st.sampled_from([
+            "hci: command tx timeout (opcode 0x0405)",
+            "sdp: request timed out",
+            "bnep: device bnep0 occupied",
+            "cron: session opened",
+        ])),
+    )
+
+
+# -- engine -------------------------------------------------------------------
+
+
+class TestEngineProperties:
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e5), max_size=60))
+    @settings(max_examples=100)
+    def test_events_observe_monotone_clock(self, delays):
+        sim = Simulator()
+        observed = []
+        for delay in delays:
+            sim.schedule(delay, lambda: observed.append(sim.now))
+        sim.run()
+        assert observed == sorted(observed)
+        assert len(observed) == len(delays)
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=1e5), min_size=1, max_size=40),
+        st.floats(min_value=0.0, max_value=1e5),
+    )
+    @settings(max_examples=100)
+    def test_run_until_never_overshoots(self, delays, horizon):
+        sim = Simulator()
+        fired = []
+        for delay in delays:
+            sim.schedule(delay, lambda d=delay: fired.append(d))
+        sim.run_until(horizon)
+        assert all(d <= horizon for d in fired)
+        assert sim.now == max([horizon] + fired)
+
+
+# -- filtering ----------------------------------------------------------------
+
+
+class TestFilteringProperties:
+    @given(st.lists(system_records(), max_size=60))
+    @settings(max_examples=100)
+    def test_filtering_is_idempotent(self, records):
+        records = sorted(records, key=lambda r: r.time)
+        once, _ = filter_system_records(records)
+        twice, stats = filter_system_records(once)
+        assert twice == once
+        assert stats.dropped_severity == 0
+        assert stats.dropped_facility == 0
+
+    @given(st.lists(system_records(), max_size=60))
+    @settings(max_examples=100)
+    def test_filtering_never_invents_records(self, records):
+        records = sorted(records, key=lambda r: r.time)
+        kept, stats = filter_system_records(records)
+        assert len(kept) <= len(records)
+        assert stats.kept == len(kept)
+        assert all(r in records for r in kept)
+
+
+# -- repository -----------------------------------------------------------------
+
+
+class TestRepositoryProperties:
+    @given(st.lists(report_records(), max_size=50), st.lists(system_records(), max_size=50))
+    @settings(max_examples=50)
+    def test_counts_and_ordering(self, tests, systems):
+        repo = CentralRepository()
+        repo.ingest_test(tests)
+        repo.ingest_system(systems)
+        assert repo.total_items == len(tests) + len(systems)
+        times = [r.time for r in repo.test_records()]
+        assert times == sorted(times)
+
+    @given(
+        st.lists(report_records(), max_size=50),
+        st.floats(min_value=0.0, max_value=1e6),
+        st.floats(min_value=0.0, max_value=1e6),
+    )
+    @settings(max_examples=50)
+    def test_time_window_queries_are_consistent(self, tests, a, b):
+        start, end = min(a, b), max(a, b)
+        repo = CentralRepository()
+        repo.ingest_test(tests)
+        window = repo.test_records(start=start, end=end)
+        assert all(start <= r.time <= end for r in window)
+        expected = sum(1 for r in tests if start <= r.time <= end)
+        assert len(window) == expected
+
+
+# -- analysis tables --------------------------------------------------------------
+
+
+class TestAnalysisProperties:
+    @given(st.lists(report_records(), max_size=80))
+    @settings(max_examples=50)
+    def test_sira_rows_normalise(self, records):
+        table = build_sira_table(records)
+        for failure in list(table.counts):
+            row = table.row_percentages(failure)
+            if row:
+                assert sum(row.values()) == pytest.approx(100.0)
+        shares = table.shares()
+        if shares:
+            assert sum(shares.values()) == pytest.approx(100.0)
+        assert 0.0 <= table.coverage() <= 100.0
+
+    @given(st.lists(report_records(), max_size=80))
+    @settings(max_examples=50)
+    def test_dependability_metrics_sane(self, records):
+        unmasked = [r for r in records if not r.masked]
+        for scenario in ("only_reboot", "app_restart_reboot", "siras"):
+            metrics = compute_scenario(unmasked, scenario)
+            assert metrics.mttf >= 0.0
+            assert metrics.mttr >= 0.0
+            assert 0.0 <= metrics.availability <= 1.0
+            if unmasked:
+                assert metrics.failures == len(unmasked)
+                assert metrics.min_ttf >= 1.0  # the TTF floor
+
+    @given(st.lists(report_records(), min_size=1, max_size=80))
+    @settings(max_examples=50)
+    def test_manual_scenarios_cost_at_least_siras_floor(self, records):
+        unmasked = [r for r in records if not r.masked and r.recovery]
+        if not unmasked:
+            return
+        reboot = compute_scenario(unmasked, "only_reboot")
+        assert reboot.min_ttr >= 210.0  # a reboot is never cheaper
+
+
+# -- trends -----------------------------------------------------------------------
+
+
+class TestTrendProperties:
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=1.0), max_size=100),
+        st.floats(min_value=1.0, max_value=1e6),
+    )
+    @settings(max_examples=100)
+    def test_laplace_invariant_under_time_scale(self, fractions, period):
+        times_unit = sorted(fractions)
+        times_scaled = [f * period for f in times_unit]
+        u1 = laplace_test(times_unit, 1.0).laplace_factor
+        u2 = laplace_test(times_scaled, period).laplace_factor
+        assert u1 == pytest.approx(u2, abs=1e-6)

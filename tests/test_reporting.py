@@ -1,0 +1,106 @@
+"""Tests for the ASCII table/chart renderers."""
+
+import pytest
+
+from repro.collection.records import RecoveryAttempt, TestLogRecord
+from repro.core.dependability import build_dependability_report
+from repro.core.relationship import RelationshipTable
+from repro.core.sira_analysis import build_sira_table
+from repro.core.failure_model import UserFailureType
+from repro.recovery.sira import SIRA_NAMES
+from repro.reporting import (
+    format_bar_chart,
+    format_table,
+    percent,
+    render_dependability_table,
+    render_relationship_table,
+    render_sira_table,
+)
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert lines[0].split() == ["a", "bb"]
+        assert "333" in lines[-1]
+
+    def test_title_and_rule(self):
+        text = format_table(["x"], [["1"]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+        assert set(text.splitlines()[1]) == {"="}
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_columns_align(self):
+        text = format_table(["col", "x"], [["a", "1"], ["bbbb", "2"]])
+        lines = text.splitlines()
+        assert lines[-1].index("2") == lines[-2].index("1")
+
+
+class TestBarChart:
+    def test_bars_scale_with_values(self):
+        text = format_bar_chart([("big", 100.0), ("small", 10.0)])
+        big, small = text.splitlines()
+        assert big.count("#") > small.count("#") * 5
+
+    def test_values_printed(self):
+        text = format_bar_chart([("x", 12.3)], unit="%")
+        assert "12.3%" in text
+
+    def test_empty_series(self):
+        assert format_bar_chart([], title="nothing") == "nothing"
+
+    def test_zero_peak_handled(self):
+        text = format_bar_chart([("x", 0.0)])
+        assert "0.0" in text
+
+
+def test_percent_formatting():
+    assert percent(0.0) == "-"
+    assert percent(12.345) == "12.3"
+    assert percent(12.345, digits=2) == "12.35"
+
+
+class TestRenderers:
+    def test_relationship_table_renders(self):
+        table = RelationshipTable()
+        table.note_failure(UserFailureType.CONNECT_FAILED)
+        table.add_evidence(UserFailureType.CONNECT_FAILED, "HCI:local")
+        text = render_relationship_table(table)
+        assert "Error-Failure Relationship" in text
+        assert "Connect failed" in text
+        assert "HCI:local" in text
+        assert "Total" in text
+
+    def test_sira_table_renders(self):
+        records = [
+            TestLogRecord(
+                time=0.0, node="r:V", testbed="random", workload="random",
+                message="bluetest: nap service not found on access point",
+                phase="Search",
+                recovery=[RecoveryAttempt(SIRA_NAMES[2], True, 10.0)],
+            )
+        ]
+        text = render_sira_table(build_sira_table(records))
+        assert "SIRA" in text
+        assert "NAP not found" in text
+        assert "bt_stack_reset" in text
+
+    def test_dependability_table_renders(self):
+        baseline = [
+            TestLogRecord(
+                time=1000.0, node="r:V", testbed="random", workload="random",
+                message="bluetest: timeout waiting for expected packet (30 s)",
+                phase="Data Transfer",
+                recovery=[RecoveryAttempt(SIRA_NAMES[0], True, 2.0)],
+            )
+        ]
+        report = build_dependability_report(baseline, baseline, masked_count=1)
+        text = render_dependability_table(report)
+        assert "Only Reboot" in text
+        assert "SIRAs and masking" in text
+        assert "Availability" in text
+        assert "MTTF" in text

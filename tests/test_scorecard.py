@@ -1,0 +1,52 @@
+"""Tests for the reproduction scorecard."""
+
+import pytest
+
+from repro.core.scorecard import Claim, Scorecard, evaluate
+
+
+class TestScorecardMechanics:
+    def make(self, verdicts):
+        return Scorecard(claims=[
+            Claim(f"c{i}", "stmt", "p", "m", passed)
+            for i, passed in enumerate(verdicts)
+        ])
+
+    def test_counters(self):
+        scorecard = self.make([True, True, False])
+        assert scorecard.passed == 2
+        assert scorecard.total == 3
+        assert scorecard.pass_rate == pytest.approx(2 / 3)
+        assert [c.claim_id for c in scorecard.failed_claims()] == ["c2"]
+
+    def test_empty(self):
+        scorecard = self.make([])
+        assert scorecard.pass_rate == 0.0
+
+    def test_render(self):
+        text = self.make([True, False]).render()
+        assert "PASS" in text and "FAIL" in text
+        assert "1/2 claims reproduced" in text
+
+
+class TestEvaluateOnCampaigns:
+    @pytest.fixture(scope="class")
+    def scorecard(self, baseline_campaign, masked_campaign):
+        return evaluate(baseline_campaign, masked_campaign)
+
+    def test_claim_set_is_substantial(self, scorecard):
+        assert scorecard.total >= 12
+        ids = {c.claim_id for c in scorecard.claims}
+        assert "t4/ladder" in ids
+        assert "t3/coverage" in ids
+        assert "s6/split" in ids
+
+    def test_most_claims_reproduce(self, scorecard):
+        failed = [c.claim_id for c in scorecard.failed_claims()]
+        assert scorecard.pass_rate >= 0.85, f"failed: {failed}"
+
+    def test_every_claim_has_values(self, scorecard):
+        for claim in scorecard.claims:
+            assert claim.paper_value
+            assert claim.measured_value
+            assert claim.statement

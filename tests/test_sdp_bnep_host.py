@@ -1,0 +1,193 @@
+"""Tests for SDP, BNEP and the host-OS glue (hotplug, sockets)."""
+
+import random
+
+import pytest
+
+from repro.bluetooth.bnep import (
+    BNEP_MTU,
+    BnepError,
+    BnepLayer,
+    InterfaceState,
+)
+from repro.bluetooth.host import HostOs, SocketError
+from repro.bluetooth.l2cap import L2capChannel, ChannelState, PSM_BNEP
+from repro.bluetooth.sdp import (
+    SdpClient,
+    SdpServer,
+    UUID_NAP,
+    UUID_PANU,
+    make_nap_record,
+)
+from repro.collection.logs import SystemLog
+from repro.core.failure_model import SystemFailureType
+from repro.sim import Simulator
+
+from conftest import drive
+
+
+def make_channel():
+    return L2capChannel(cid=0x40, psm=PSM_BNEP, hci_handle=1, peer="Giallo",
+                        state=ChannelState.OPEN)
+
+
+class TestSdp:
+    def test_nap_record_registration_and_lookup(self):
+        server = SdpServer("Giallo")
+        server.register(make_nap_record("Giallo"))
+        record = server.lookup(UUID_NAP)
+        assert record is not None
+        assert record.name == "Network Access Point"
+        assert record.psm == PSM_BNEP
+        assert server.searches_served == 1
+
+    def test_lookup_missing_service(self):
+        server = SdpServer("Giallo")
+        assert server.lookup(UUID_PANU) is None
+
+    def test_unregister(self):
+        server = SdpServer("Giallo")
+        server.register(make_nap_record("Giallo"))
+        server.unregister(UUID_NAP)
+        assert server.lookup(UUID_NAP) is None
+
+    def test_client_search_finds_and_caches(self):
+        sim = Simulator()
+        server = SdpServer("Giallo")
+        server.register(make_nap_record("Giallo"))
+        client = SdpClient(random.Random(0))
+        record = drive(sim, client.search(server, UUID_NAP))
+        assert record is not None
+        assert sim.now > 0  # the transaction took time
+        assert client.cached(UUID_NAP) is record
+        assert client.cache_hits == 1
+
+    def test_search_missing_returns_none(self):
+        sim = Simulator()
+        server = SdpServer("Giallo")
+        client = SdpClient(random.Random(0))
+        assert drive(sim, client.search(server, UUID_NAP)) is None
+
+    def test_invalidate_clears_cache(self):
+        sim = Simulator()
+        server = SdpServer("Giallo")
+        server.register(make_nap_record("Giallo"))
+        client = SdpClient(random.Random(0))
+        drive(sim, client.search(server, UUID_NAP))
+        client.invalidate()
+        assert client.cached(UUID_NAP) is None
+
+
+class TestBnep:
+    def test_add_connection_creates_interface(self):
+        log = SystemLog("t:n", random.Random(0))
+        bnep = BnepLayer(log)
+        interface = bnep.add_connection(make_channel())
+        assert interface.name == "bnep0"
+        assert interface.state is InterfaceState.CREATED
+        assert not interface.bindable
+
+    def test_occupied_device_rejected_and_logged(self):
+        log = SystemLog("t:n", random.Random(0))
+        bnep = BnepLayer(log)
+        bnep.add_connection(make_channel())
+        with pytest.raises(BnepError):
+            bnep.add_connection(make_channel())
+        assert any("occupied" in r.message for r in log.records())
+
+    def test_remove_then_add_gets_fresh_name(self):
+        log = SystemLog("t:n", random.Random(0))
+        bnep = BnepLayer(log)
+        bnep.add_connection(make_channel())
+        bnep.remove_connection()
+        interface = bnep.add_connection(make_channel())
+        assert interface.name == "bnep1"
+
+    def test_frames_for_respects_mtu(self):
+        bnep = BnepLayer(SystemLog("t:n", random.Random(0)))
+        assert bnep.frames_for(0) == 1
+        assert bnep.frames_for(BNEP_MTU - 15) == 1
+        assert bnep.frames_for(BNEP_MTU) == 2
+
+    def test_reset(self):
+        bnep = BnepLayer(SystemLog("t:n", random.Random(0)))
+        bnep.add_connection(make_channel())
+        bnep.reset()
+        assert bnep.interface is None
+
+
+class TestHostOs:
+    def make_host(self, prone=False, seed=0):
+        sim = Simulator()
+        log = SystemLog("t:n", random.Random(seed), clock=lambda: sim.now)
+        return sim, log, HostOs(sim, log, random.Random(seed), bind_prone=prone)
+
+    def test_configure_interface_flips_state_after_th(self):
+        sim, _, host = self.make_host()
+        bnep = BnepLayer(SystemLog("t:x", random.Random(1)))
+        interface = bnep.add_connection(make_channel())
+        th = host.configure_interface(interface)
+        assert interface.state is InterfaceState.CREATED
+        sim.run_until(th + 0.001)
+        assert interface.state is InterfaceState.CONFIGURED
+
+    def test_configure_skips_torn_down_interface(self):
+        sim, _, host = self.make_host()
+        bnep = BnepLayer(SystemLog("t:x", random.Random(1)))
+        interface = bnep.add_connection(make_channel())
+        th = host.configure_interface(interface)
+        interface.state = InterfaceState.ABSENT
+        sim.run_until(th + 1.0)
+        assert interface.state is InterfaceState.ABSENT
+
+    def test_bind_before_th_fails_with_hotplug_evidence(self):
+        sim, log, host = self.make_host()
+        bnep = BnepLayer(SystemLog("t:x", random.Random(1)))
+        interface = bnep.add_connection(make_channel())
+        host.configure_interface(interface)  # T_H has not elapsed yet
+        with pytest.raises(SocketError):
+            drive(sim, host.bind_socket(interface))
+        hotplug = [r for r in log.records()
+                   if r.facility == "hal" and r.severity == "error"]
+        assert len(hotplug) == 1
+
+    def test_bind_after_th_succeeds(self):
+        sim, _, host = self.make_host()
+        bnep = BnepLayer(SystemLog("t:x", random.Random(1)))
+        interface = bnep.add_connection(make_channel())
+        th = host.configure_interface(interface)
+        sim.run_until(th + 0.01)
+        drive(sim, host.bind_socket(interface))
+        assert host.sockets_bound == 1
+
+    def test_bind_no_interface_fails(self):
+        sim, _, host = self.make_host()
+        with pytest.raises(SocketError):
+            drive(sim, host.bind_socket(None))
+
+    def test_wait_interface_ready_masks_the_race(self):
+        sim, _, host = self.make_host(prone=True)
+        bnep = BnepLayer(SystemLog("t:x", random.Random(1)))
+        interface = bnep.add_connection(make_channel())
+        host.configure_interface(interface)
+
+        def masked_bind():
+            yield from host.wait_interface_ready(interface)
+            yield from host.bind_socket(interface)
+
+        drive(sim, masked_bind())
+        assert host.sockets_bound == 1
+
+    def test_prone_hosts_have_fatter_th_tail(self):
+        _, _, normal = self.make_host(prone=False, seed=5)
+        _, _, prone = self.make_host(prone=True, seed=5)
+        normal_samples = sorted(normal.sample_th() for _ in range(4000))
+        prone_samples = sorted(prone.sample_th() for _ in range(4000))
+        p99 = int(0.99 * 4000)
+        assert prone_samples[p99] > normal_samples[p99]
+
+    def test_reboot_bookkeeping(self):
+        _, _, host = self.make_host()
+        host.note_reboot()
+        host.note_reboot()
+        assert host.reboots == 2

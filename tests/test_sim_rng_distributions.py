@@ -1,0 +1,201 @@
+"""Tests for seeded RNG streams and the distribution library."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import (
+    BoundedPareto,
+    Exponential,
+    LogNormal,
+    Pareto,
+    RandomStreams,
+    Uniform,
+    UniformInt,
+    Weibull,
+    bernoulli,
+    binomial_choice,
+    derive_seed,
+    weighted_choice,
+)
+
+
+class TestRandomStreams:
+    def test_same_name_same_stream_object(self):
+        streams = RandomStreams(1)
+        assert streams.stream("a") is streams.stream("a")
+
+    def test_different_names_different_sequences(self):
+        streams = RandomStreams(1)
+        a = [streams.stream("a").random() for _ in range(5)]
+        b = [streams.stream("b").random() for _ in range(5)]
+        assert a != b
+
+    def test_reproducible_across_factories(self):
+        a = [RandomStreams(7).stream("x").random() for _ in range(5)]
+        b = [RandomStreams(7).stream("x").random() for _ in range(5)]
+        assert a == b
+
+    def test_master_seed_changes_everything(self):
+        a = RandomStreams(1).stream("x").random()
+        b = RandomStreams(2).stream("x").random()
+        assert a != b
+
+    def test_fork_is_deterministic(self):
+        a = RandomStreams(3).fork("sub").stream("x").random()
+        b = RandomStreams(3).fork("sub").stream("x").random()
+        assert a == b
+
+    def test_contains(self):
+        streams = RandomStreams(0)
+        assert "y" not in streams
+        streams.stream("y")
+        assert "y" in streams
+
+    @given(st.integers(), st.text(max_size=50))
+    @settings(max_examples=50)
+    def test_derive_seed_is_64_bit(self, seed, name):
+        value = derive_seed(seed, name)
+        assert 0 <= value < 2**64
+
+
+class TestPareto:
+    def test_samples_at_least_xm(self):
+        rng = random.Random(0)
+        dist = Pareto(1.5, 10.0)
+        assert all(dist.sample(rng) >= 10.0 for _ in range(1000))
+
+    def test_mean_matches_theory(self):
+        rng = random.Random(0)
+        dist = Pareto(2.5, 1.0)
+        samples = [dist.sample(rng) for _ in range(200_000)]
+        assert sum(samples) / len(samples) == pytest.approx(dist.mean(), rel=0.05)
+
+    def test_infinite_mean_below_shape_one(self):
+        assert Pareto(0.9, 1.0).mean() == math.inf
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            Pareto(0.0, 1.0)
+        with pytest.raises(ValueError):
+            Pareto(1.5, -1.0)
+
+
+class TestBoundedPareto:
+    def test_samples_within_bounds(self):
+        rng = random.Random(1)
+        dist = BoundedPareto(1.2, 10.0, 1000.0)
+        for _ in range(2000):
+            x = dist.sample(rng)
+            assert 10.0 <= x <= 1000.0
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            BoundedPareto(1.0, 100.0, 10.0)
+        with pytest.raises(ValueError):
+            BoundedPareto(-1.0, 1.0, 10.0)
+
+
+class TestSimpleDistributions:
+    def test_uniform_range(self):
+        rng = random.Random(2)
+        dist = Uniform(5.0, 6.0)
+        assert all(5.0 <= dist.sample(rng) <= 6.0 for _ in range(100))
+
+    def test_uniform_int_range_inclusive(self):
+        rng = random.Random(3)
+        dist = UniformInt(1, 3)
+        seen = {dist.sample(rng) for _ in range(500)}
+        assert seen == {1, 2, 3}
+
+    def test_uniform_invalid(self):
+        with pytest.raises(ValueError):
+            Uniform(2.0, 1.0)
+        with pytest.raises(ValueError):
+            UniformInt(5, 4)
+
+    def test_exponential_mean(self):
+        rng = random.Random(4)
+        dist = Exponential(0.5)
+        samples = [dist.sample(rng) for _ in range(100_000)]
+        assert sum(samples) / len(samples) == pytest.approx(2.0, rel=0.05)
+
+    def test_exponential_invalid(self):
+        with pytest.raises(ValueError):
+            Exponential(0.0)
+
+    def test_weibull_mean(self):
+        rng = random.Random(5)
+        dist = Weibull(scale=10.0, shape=2.0)
+        samples = [dist.sample(rng) for _ in range(100_000)]
+        assert sum(samples) / len(samples) == pytest.approx(dist.mean(), rel=0.05)
+
+    def test_weibull_invalid(self):
+        with pytest.raises(ValueError):
+            Weibull(0.0, 1.0)
+
+    def test_lognormal_positive(self):
+        rng = random.Random(6)
+        dist = LogNormal(0.0, 1.0)
+        assert all(dist.sample(rng) > 0 for _ in range(100))
+
+    def test_lognormal_invalid(self):
+        with pytest.raises(ValueError):
+            LogNormal(0.0, 0.0)
+
+
+class TestChoices:
+    def test_bernoulli_extremes(self):
+        rng = random.Random(7)
+        assert not bernoulli(rng, 0.0)
+        assert bernoulli(rng, 1.0)
+
+    def test_bernoulli_invalid(self):
+        with pytest.raises(ValueError):
+            bernoulli(random.Random(0), 1.5)
+
+    def test_binomial_choice_centre_heavy(self):
+        rng = random.Random(8)
+        items = list("abcdef")
+        counts = {}
+        for _ in range(20_000):
+            pick = binomial_choice(rng, items)
+            counts[pick] = counts.get(pick, 0) + 1
+        # Binomial(5, .5) over 6 items: middle items dominate the ends.
+        assert counts["c"] > counts["a"] * 3
+        assert counts["d"] > counts["f"] * 3
+
+    def test_binomial_choice_empty(self):
+        with pytest.raises(ValueError):
+            binomial_choice(random.Random(0), [])
+
+    def test_weighted_choice_respects_weights(self):
+        rng = random.Random(9)
+        counts = {"x": 0, "y": 0}
+        for _ in range(10_000):
+            counts[weighted_choice(rng, ["x", "y"], [9.0, 1.0])] += 1
+        assert counts["x"] > counts["y"] * 5
+
+    def test_weighted_choice_zero_weight_never_picked(self):
+        rng = random.Random(10)
+        picks = {weighted_choice(rng, ["a", "b"], [0.0, 1.0]) for _ in range(200)}
+        assert picks == {"b"}
+
+    def test_weighted_choice_validation(self):
+        rng = random.Random(0)
+        with pytest.raises(ValueError):
+            weighted_choice(rng, ["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            weighted_choice(rng, ["a", "b"], [0.0, 0.0])
+        with pytest.raises(ValueError):
+            weighted_choice(rng, ["a", "b"], [-1.0, 2.0])
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=100), min_size=1, max_size=8))
+    @settings(max_examples=100)
+    def test_weighted_choice_always_returns_an_item(self, weights):
+        rng = random.Random(42)
+        items = list(range(len(weights)))
+        assert weighted_choice(rng, items, weights) in items

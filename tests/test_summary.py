@@ -1,0 +1,50 @@
+"""Tests for the one-call analysis summary."""
+
+import pytest
+
+from repro.core.summary import AnalysisSummary, summarize_repository
+
+
+class TestSummarizeRepository:
+    @pytest.fixture(scope="class")
+    def summary(self, baseline_campaign):
+        return summarize_repository(
+            baseline_campaign.repository,
+            baseline_campaign.node_nap_pairs(),
+            duration=baseline_campaign.duration,
+        )
+
+    def test_structure(self, summary):
+        assert summary.repository_summary["user_level_reports"] > 0
+        assert summary.classification["user_classified"] == (
+            summary.classification["user_total"]
+        )
+        assert summary.sira.grand_total() > 0
+        assert summary.relationship.shares()
+        assert summary.siras_metrics.mttf > 0
+        assert summary.trend is not None
+        assert summary.trend.verdict == "stationary"
+
+    def test_render_contains_all_sections(self, summary):
+        text = summary.render()
+        assert "Bluetooth PAN Failure Model" in text
+        assert "Error-Failure Relationship" in text
+        assert "SIRA relationship" in text
+        assert "MTTF" in text
+        assert "Workload split" in text
+        assert "trend: stationary" in text
+
+    def test_without_duration_no_trend(self, baseline_campaign):
+        summary = summarize_repository(
+            baseline_campaign.repository, baseline_campaign.node_nap_pairs()
+        )
+        assert summary.trend is None
+        assert "trend" not in summary.render()
+
+    def test_empty_repository(self):
+        from repro.collection.repository import CentralRepository
+
+        summary = summarize_repository(CentralRepository(), [])
+        assert summary.siras_metrics.failures == 0
+        text = summary.render()
+        assert "Failure data items: 0" in text

@@ -1,0 +1,35 @@
+"""Tests for the figure-1 topology renderers."""
+
+from repro.testbed.nodes import ALL_PROFILES
+from repro.testbed.topology import (
+    render_figure1,
+    render_machine_table,
+    render_topology,
+)
+
+
+def test_machine_table_lists_every_host():
+    table = render_machine_table()
+    for profile in ALL_PROFILES:
+        assert profile.name in table
+    assert "BlueZ 2.10" in table
+    assert "Broadcomm" in table
+    assert "Giallo (NAP)" in table
+
+
+def test_topology_groups_by_distance():
+    topo = render_topology()
+    assert "[Giallo]" in topo
+    assert "0.5 m" in topo
+    assert "5.0 m" in topo
+    assert "7.0 m" in topo
+    # Each ring carries exactly two PANUs (the figure's layout).
+    for line in topo.splitlines():
+        if "m  ---" in line:
+            assert line.count(",") == 1
+
+
+def test_figure1_combines_both():
+    text = render_figure1()
+    assert "Piconet topology" in text
+    assert "Testbed machines" in text

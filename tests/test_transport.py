@@ -1,0 +1,165 @@
+"""Tests for the USB/UART/BCSP host transports."""
+
+import random
+
+import pytest
+
+from repro.bluetooth.transport import (
+    BcspTransport,
+    Transport,
+    UartTransport,
+    UsbTransport,
+    make_transport,
+)
+from repro.collection.logs import SystemLog
+from repro.core.classification import classify_system_record
+from repro.core.failure_model import SystemFailureType
+
+
+@pytest.fixture
+def system_log():
+    return SystemLog("test:node", random.Random(0))
+
+
+def test_factory_builds_each_kind(system_log):
+    rng = random.Random(0)
+    assert isinstance(make_transport("usb", system_log, rng), UsbTransport)
+    assert isinstance(make_transport("uart", system_log, rng), UartTransport)
+    assert isinstance(make_transport("bcsp", system_log, rng), BcspTransport)
+
+
+def test_factory_rejects_unknown(system_log):
+    with pytest.raises(ValueError):
+        make_transport("carrier-pigeon", system_log, random.Random(0))
+
+
+def test_send_command_counts_and_returns_latency(system_log):
+    transport = make_transport("usb", system_log, random.Random(0))
+    latency = transport.send_command()
+    assert latency > 0
+    assert transport.commands_sent == 1
+
+
+def test_usb_address_failure_logs_characteristic_error(system_log):
+    transport = UsbTransport(system_log, random.Random(0))
+    transport.fail_address()
+    assert not transport.address_assigned
+    records = list(system_log.records())
+    assert len(records) == 1
+    assert classify_system_record(records[0]) is SystemFailureType.USB
+
+
+def test_usb_reset_restores_address(system_log):
+    transport = UsbTransport(system_log, random.Random(0))
+    transport.fail_address()
+    transport.reset()
+    assert transport.address_assigned
+    assert transport.commands_sent == 0
+
+
+class TestBcsp:
+    def test_sequence_advances_mod_8(self, system_log):
+        transport = BcspTransport(system_log, random.Random(0))
+        for _ in range(10):
+            transport.send_command()
+        assert transport.state.next_seq == 10 % 8
+
+    def test_in_order_reception(self, system_log):
+        transport = BcspTransport(system_log, random.Random(0))
+        assert transport.receive_sequence(0)
+        assert transport.receive_sequence(1)
+        assert transport.state.expected_ack == 2
+
+    def test_out_of_order_logged(self, system_log):
+        transport = BcspTransport(system_log, random.Random(0))
+        assert not transport.receive_sequence(5)
+        assert transport.state.out_of_order_events == 1
+        records = list(system_log.records())
+        assert classify_system_record(records[0]) is SystemFailureType.BCSP
+        assert "out of order" in records[0].message
+
+    def test_missing_packet_logged(self, system_log):
+        transport = BcspTransport(system_log, random.Random(0))
+        transport.report_missing()
+        assert transport.state.missing_events == 1
+        assert "missing" in list(system_log.records())[0].message
+
+    def test_link_establishment_resets_sequencing(self, system_log):
+        transport = BcspTransport(system_log, random.Random(0))
+        transport.send_command()
+        transport.receive_sequence(3)
+        transport.establish_link()
+        assert transport.state.next_seq == 0
+        assert transport.state.expected_ack == 0
+        assert transport.state.out_of_order_events == 0
+
+    def test_reset_reestablishes_link(self, system_log):
+        transport = BcspTransport(system_log, random.Random(0))
+        transport.send_command()
+        transport.reset()
+        assert transport.state.next_seq == 0
+        assert transport.commands_sent == 0
+
+
+def test_uart_has_higher_latency_than_usb(system_log):
+    rng = random.Random(0)
+    assert UartTransport(system_log, rng).latency > UsbTransport(system_log, rng).latency
+
+
+class TestBcspLinkEstablishment:
+    def test_fresh_transport_is_established(self, system_log):
+        from repro.bluetooth.transport import BcspLinkState
+
+        transport = BcspTransport(system_log, random.Random(0))
+        assert transport.state.link_established
+        assert transport.state.link_state == BcspLinkState.GARRULOUS
+
+    def test_handshake_trace(self, system_log):
+        from repro.bluetooth.transport import (
+            LE_CONF,
+            LE_CONF_RESP,
+            LE_SYNC,
+            LE_SYNC_RESP,
+        )
+
+        transport = BcspTransport(system_log, random.Random(0))
+        trace = transport.establish_link()
+        assert trace == [LE_SYNC, LE_SYNC_RESP, LE_CONF, LE_CONF_RESP]
+
+    def test_state_progression(self, system_log):
+        from repro.bluetooth.transport import (
+            BcspLinkState,
+            BcspState,
+            LE_CONF_RESP,
+            LE_SYNC_RESP,
+        )
+
+        transport = BcspTransport(system_log, random.Random(0))
+        transport.state = BcspState()  # force SHY
+        assert transport.state.link_state == BcspLinkState.SHY
+        transport.handle_le_message(LE_SYNC_RESP)
+        assert transport.state.link_state == BcspLinkState.CURIOUS
+        transport.handle_le_message(LE_CONF_RESP)
+        assert transport.state.link_state == BcspLinkState.GARRULOUS
+
+    def test_conf_before_sync_resp_tolerated(self, system_log):
+        from repro.bluetooth.transport import BcspLinkState, BcspState, LE_CONF
+
+        transport = BcspTransport(system_log, random.Random(0))
+        transport.state = BcspState()
+        reply = transport.handle_le_message(LE_CONF)
+        assert reply == "conf-resp"
+        assert transport.state.link_state == BcspLinkState.CURIOUS
+
+    def test_unknown_le_message_rejected(self, system_log):
+        transport = BcspTransport(system_log, random.Random(0))
+        with pytest.raises(ValueError):
+            transport.handle_le_message("hello")
+
+    def test_send_requires_established_link(self, system_log):
+        from repro.bluetooth.transport import BcspState
+
+        transport = BcspTransport(system_log, random.Random(0))
+        transport.state = BcspState()  # SHY: link torn down
+        with pytest.raises(RuntimeError):
+            transport.send_command()

@@ -1,0 +1,96 @@
+"""Tests for the failure-intensity trend analysis."""
+
+import random
+
+import pytest
+
+from repro.collection.records import TestLogRecord
+from repro.core.trends import (
+    campaign_trend,
+    intensity_series,
+    laplace_test,
+    replacement_effect,
+)
+
+
+def report(time, masked=False):
+    return TestLogRecord(
+        time=time, node="r:V", testbed="random", workload="random",
+        message="bluetest: timeout waiting for expected packet (30 s)",
+        phase="Data Transfer", masked=masked,
+    )
+
+
+class TestLaplace:
+    def test_uniform_times_are_stationary(self):
+        rng = random.Random(0)
+        times = [rng.uniform(0, 1000.0) for _ in range(400)]
+        result = laplace_test(times, 1000.0)
+        assert result.verdict == "stationary"
+        assert abs(result.laplace_factor) < 1.96
+
+    def test_late_heavy_times_show_aging(self):
+        rng = random.Random(1)
+        times = [1000.0 * rng.random() ** 0.3 for _ in range(400)]  # skewed late
+        result = laplace_test(times, 1000.0)
+        assert result.verdict == "aging"
+        assert result.laplace_factor > 1.96
+
+    def test_early_heavy_times_show_improvement(self):
+        rng = random.Random(2)
+        times = [1000.0 * rng.random() ** 3 for _ in range(400)]  # skewed early
+        result = laplace_test(times, 1000.0)
+        assert result.verdict == "improving"
+
+    def test_no_failures(self):
+        result = laplace_test([], 100.0)
+        assert result.n_failures == 0
+        assert result.verdict == "stationary"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            laplace_test([1.0], 0.0)
+        with pytest.raises(ValueError):
+            laplace_test([200.0], 100.0)
+
+
+class TestIntensitySeries:
+    def test_windows_and_rates(self):
+        records = [report(t) for t in (100, 200, 4000)]
+        series = intensity_series(records, period=7200.0, window=3600.0)
+        assert len(series) == 2
+        assert series[0] == (0.0, pytest.approx(2.0))
+        assert series[1] == (3600.0, pytest.approx(1.0))
+
+    def test_masked_excluded(self):
+        records = [report(100, masked=True)]
+        series = intensity_series(records, period=3600.0)
+        assert series[0][1] == 0.0
+
+    def test_partial_final_window(self):
+        records = [report(4000)]
+        series = intensity_series(records, period=5400.0, window=3600.0)
+        # Final window is 1800 s wide -> one failure = 2 per hour.
+        assert series[1][1] == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            intensity_series([], period=0.0)
+
+
+class TestCampaignLevel:
+    def test_campaign_is_stationary(self, baseline_campaign):
+        """Our fault processes are stationary; the trend test must agree
+        (the property the paper's hardware swap was protecting)."""
+        result = campaign_trend(
+            baseline_campaign.unmasked_failures(), baseline_campaign.duration
+        )
+        assert result.n_failures > 100
+        assert result.verdict == "stationary"
+
+    def test_replacement_halves_match(self, baseline_campaign):
+        first, second = replacement_effect(
+            baseline_campaign.unmasked_failures(), baseline_campaign.duration
+        )
+        assert first > 0 and second > 0
+        assert abs(first - second) / max(first, second) < 0.25

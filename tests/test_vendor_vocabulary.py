@@ -1,0 +1,96 @@
+"""Tests for the per-vendor system-log vocabularies (BlueZ vs Broadcom)."""
+
+import random
+
+import pytest
+
+from repro.collection.filtering import RELEVANT_FACILITIES, filter_system_records
+from repro.collection.logs import SystemLog
+from repro.collection.messages import (
+    BROADCOM_MESSAGE_TEMPLATES,
+    facility_for,
+    render_system_message,
+    variants_for,
+)
+from repro.core.classification import classify_system_message, classify_system_record
+from repro.core.failure_model import SYSTEM_MESSAGE_TEMPLATES, SystemFailureType
+from repro.testbed.nodes import ALL_PROFILES, WIN
+
+
+class TestVendorProperty:
+    def test_win_is_broadcom_everyone_else_bluez(self):
+        for profile in ALL_PROFILES:
+            if profile.name == "Win":
+                assert profile.vendor == "broadcom"
+            else:
+                assert profile.vendor == "bluez"
+
+
+class TestBroadcomRendering:
+    def test_broadcom_covers_every_template(self):
+        assert set(BROADCOM_MESSAGE_TEMPLATES) == set(SYSTEM_MESSAGE_TEMPLATES)
+
+    def test_every_broadcom_message_classifies_to_its_type(self):
+        rng = random.Random(0)
+        for failure in SystemFailureType:
+            for variant in variants_for(failure):
+                message = render_system_message(rng, failure, variant, "broadcom")
+                assert classify_system_message(message) is failure, message
+
+    def test_vocabularies_actually_differ(self):
+        rng = random.Random(1)
+        bluez = render_system_message(rng, SystemFailureType.HCI, "timeout", "bluez")
+        broadcom = render_system_message(
+            rng, SystemFailureType.HCI, "timeout", "broadcom"
+        )
+        assert bluez.startswith("hci:")
+        assert broadcom.startswith("btw:")
+
+    def test_broadcom_facilities_are_relevant_to_the_filter(self):
+        for failure in SystemFailureType:
+            assert facility_for(failure, "broadcom") in RELEVANT_FACILITIES
+            assert facility_for(failure, "bluez") in RELEVANT_FACILITIES
+
+    def test_unclassifiable_btw_message(self):
+        assert classify_system_message("btw: weather is nice") is None
+
+
+class TestBroadcomSystemLog:
+    def test_log_renders_in_vendor_dialect(self):
+        log = SystemLog("realistic:Win", random.Random(0), vendor="broadcom")
+        log.set_time(1.0)
+        record = log.error(SystemFailureType.HOTPLUG, "timeout")
+        assert record.facility == "pnp"
+        assert record.message.startswith("pnp:")
+        assert classify_system_record(record) is SystemFailureType.HOTPLUG
+
+    def test_broadcom_entries_survive_filtering(self):
+        log = SystemLog("realistic:Win", random.Random(0), vendor="broadcom")
+        log.set_time(1.0)
+        log.error(SystemFailureType.HCI, "timeout")
+        log.error(SystemFailureType.USB, "no_address")
+        kept, stats = filter_system_records(list(log.records()))
+        assert len(kept) == 2
+        assert stats.dropped_facility == 0
+
+    def test_peer_tag_composes_with_vendor(self):
+        log = SystemLog("realistic:Giallo", random.Random(0), vendor="broadcom")
+        log.set_time(1.0)
+        record = log.error(SystemFailureType.SDP, "unavailable", peer="Verde")
+        assert record.message.endswith("(peer Verde)")
+        assert classify_system_record(record) is SystemFailureType.SDP
+
+
+class TestEndToEndWinNode:
+    def test_win_system_entries_use_broadcom_dialect(self, baseline_campaign):
+        win_entries = baseline_campaign.repository.system_records(
+            node="random:Win"
+        )
+        if win_entries:
+            classified = [
+                r for r in win_entries
+                if classify_system_record(r) is not None
+            ]
+            # Every classified Win entry must be in the Broadcom dialect.
+            for record in classified:
+                assert record.message.startswith(("btw:", "pnp:")), record.message

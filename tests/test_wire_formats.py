@@ -1,0 +1,172 @@
+"""Tests for the byte-level HCI and SDP wire formats."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bluetooth import hci_packets as hp
+from repro.bluetooth import sdp_pdus as sp
+from repro.bluetooth.sdp import SdpServer, UUID_NAP, UUID_PANU, make_nap_record
+
+
+class TestOpcodes:
+    def test_pack_unpack(self):
+        opcode = hp.make_opcode(hp.Ogf.LINK_CONTROL, hp.Ocf.CREATE_CONNECTION)
+        assert hp.split_opcode(opcode) == (hp.Ogf.LINK_CONTROL, hp.Ocf.CREATE_CONNECTION)
+
+    def test_known_value(self):
+        # Create_Connection = OGF 0x01 << 10 | OCF 0x0005 = 0x0405,
+        # the opcode BlueZ logs in its timeout messages.
+        assert hp.make_opcode(0x01, 0x0005) == 0x0405
+
+    def test_range_checks(self):
+        with pytest.raises(ValueError):
+            hp.make_opcode(1 << 6, 0)
+        with pytest.raises(ValueError):
+            hp.make_opcode(0, 1 << 10)
+        with pytest.raises(ValueError):
+            hp.split_opcode(-1)
+
+    @given(st.integers(0, 63), st.integers(0, 1023))
+    @settings(max_examples=100)
+    def test_roundtrip_property(self, ogf, ocf):
+        assert hp.split_opcode(hp.make_opcode(ogf, ocf)) == (ogf, ocf)
+
+
+class TestHciPackets:
+    def test_command_roundtrip(self):
+        packet = hp.CommandPacket(0x0405, b"\x01\x02\x03")
+        assert hp.CommandPacket.decode(packet.encode()) == packet
+
+    def test_command_h4_prefix(self):
+        assert hp.CommandPacket(0x0405).encode()[0] == hp.H4_COMMAND
+
+    def test_command_length_mismatch(self):
+        raw = bytearray(hp.CommandPacket(0x0405, b"ab").encode())
+        raw.append(0xFF)  # extra byte
+        with pytest.raises(ValueError):
+            hp.CommandPacket.decode(bytes(raw))
+
+    def test_event_roundtrip(self):
+        event = hp.EventPacket(hp.EventCode.COMMAND_STATUS, b"\x00\x01\x05\x04")
+        assert hp.EventPacket.decode(event.encode()) == event
+
+    def test_acl_roundtrip(self):
+        packet = hp.AclDataPacket(handle=42, pb_flag=0b10, payload=b"payload")
+        assert hp.AclDataPacket.decode(packet.encode()) == packet
+
+    def test_acl_handle_range(self):
+        with pytest.raises(ValueError):
+            hp.AclDataPacket(handle=1 << 12, pb_flag=0).encode()
+
+    @given(st.integers(0, 0xFFFF), st.binary(max_size=255))
+    @settings(max_examples=100)
+    def test_command_roundtrip_property(self, opcode, params):
+        packet = hp.CommandPacket(opcode, params)
+        assert hp.CommandPacket.decode(packet.encode()) == packet
+
+    @given(st.integers(0, (1 << 12) - 1), st.integers(0, 3), st.binary(max_size=400))
+    @settings(max_examples=100)
+    def test_acl_roundtrip_property(self, handle, pb, payload):
+        packet = hp.AclDataPacket(handle, pb, payload)
+        assert hp.AclDataPacket.decode(packet.encode()) == packet
+
+
+class TestHciBuilders:
+    BD_ADDR = bytes.fromhex("0011223344f6")
+
+    def test_create_connection(self):
+        packet = hp.create_connection(self.BD_ADDR)
+        ogf, ocf = hp.split_opcode(packet.opcode)
+        assert (ogf, ocf) == (hp.Ogf.LINK_CONTROL, hp.Ocf.CREATE_CONNECTION)
+        assert packet.parameters.startswith(self.BD_ADDR)
+
+    def test_switch_role_direction(self):
+        master = hp.switch_role(self.BD_ADDR, to_master=True)
+        slave = hp.switch_role(self.BD_ADDR, to_master=False)
+        assert master.parameters[-1] == 0x00
+        assert slave.parameters[-1] == 0x01
+
+    def test_connection_complete_roundtrip(self):
+        event = hp.connection_complete(hp.HciStatus.SUCCESS, 7, self.BD_ADDR)
+        status, handle, addr = hp.parse_connection_complete(event)
+        assert status == hp.HciStatus.SUCCESS
+        assert handle == 7
+        assert addr == self.BD_ADDR
+
+    def test_unknown_connection_status_exists(self):
+        # The status behind "command for unknown connection handle".
+        assert hp.HciStatus.UNKNOWN_CONNECTION == 0x02
+
+    def test_bad_bd_addr(self):
+        with pytest.raises(ValueError):
+            hp.create_connection(b"\x00" * 5)
+
+
+class TestSdpPdus:
+    def test_search_request_roundtrip(self):
+        request = sp.ServiceSearchRequest(transaction_id=7, uuids=[UUID_NAP], max_records=5)
+        assert sp.ServiceSearchRequest.decode(request.encode()) == request
+
+    def test_search_response_roundtrip(self):
+        response = sp.ServiceSearchResponse(transaction_id=7, handles=[0x10001, 0x10002])
+        assert sp.ServiceSearchResponse.decode(response.encode()) == response
+
+    def test_error_response_roundtrip(self):
+        error = sp.ErrorResponse(transaction_id=9, error_code=sp.SdpErrorCode.INSUFFICIENT_RESOURCES)
+        decoded = sp.ErrorResponse.decode(error.encode())
+        assert decoded.error_code == sp.SdpErrorCode.INSUFFICIENT_RESOURCES
+
+    def test_decode_pdu_dispatch(self):
+        request = sp.ServiceSearchRequest(transaction_id=1, uuids=[UUID_NAP])
+        assert isinstance(sp.decode_pdu(request.encode()), sp.ServiceSearchRequest)
+        with pytest.raises(sp.SdpDecodeError):
+            sp.decode_pdu(b"")
+        with pytest.raises(sp.SdpDecodeError):
+            sp.decode_pdu(bytes([0x7E, 0, 0, 0, 0]))
+
+    def test_length_mismatch_detected(self):
+        raw = bytearray(sp.ServiceSearchRequest(1, [UUID_NAP]).encode())
+        raw.append(0x00)
+        with pytest.raises(sp.SdpDecodeError):
+            sp.ServiceSearchRequest.decode(bytes(raw))
+
+    @given(
+        st.integers(0, 0xFFFF),
+        st.lists(st.integers(0, 0xFFFF), min_size=1, max_size=10),
+        st.integers(1, 100),
+    )
+    @settings(max_examples=100)
+    def test_request_roundtrip_property(self, tid, uuids, max_records):
+        request = sp.ServiceSearchRequest(tid, uuids, max_records)
+        assert sp.ServiceSearchRequest.decode(request.encode()) == request
+
+
+class TestSdpTransaction:
+    def test_nap_search_finds_handle(self):
+        server = SdpServer("Giallo")
+        server.register(make_nap_record("Giallo"))
+        request = sp.ServiceSearchRequest(transaction_id=3, uuids=[UUID_NAP])
+        response = sp.run_transaction(server, request)
+        assert isinstance(response, sp.ServiceSearchResponse)
+        assert response.transaction_id == 3  # the matching rule
+        assert len(response.handles) == 1
+
+    def test_missing_service_returns_empty(self):
+        server = SdpServer("Giallo")
+        request = sp.ServiceSearchRequest(transaction_id=4, uuids=[UUID_PANU])
+        response = sp.run_transaction(server, request)
+        assert response.handles == []
+
+    def test_max_records_respected(self):
+        server = SdpServer("Giallo")
+        server.register(make_nap_record("Giallo"))
+        from repro.bluetooth.sdp import ServiceRecord
+
+        server.register(ServiceRecord(uuid=UUID_PANU, name="PANU",
+                                      provider="Giallo", psm=0x0F))
+        request = sp.ServiceSearchRequest(
+            transaction_id=5, uuids=[UUID_NAP, UUID_PANU], max_records=1
+        )
+        response = sp.run_transaction(server, request)
+        assert len(response.handles) == 1

@@ -1,0 +1,181 @@
+"""Tests for the workload traffic models and the BlueTest client."""
+
+import random
+
+import pytest
+
+from repro.bluetooth.packets import PacketType
+from repro.sim import Simulator
+from repro.workload.traffic import (
+    FixedLengthWorkload,
+    RandomWorkload,
+    RealisticWorkload,
+    REALISTIC_APPLICATIONS,
+    TCP_MSS,
+)
+from repro.workload.bluetest import BlueTestClient, STACK_CHOICE
+from repro.collection.logs import TestLog
+from repro.recovery.masking import MaskingPolicy
+
+from conftest import make_stack
+
+
+class TestRandomWorkload:
+    def test_parameter_ranges(self):
+        rng = random.Random(0)
+        model = RandomWorkload()
+        for _ in range(500):
+            params = model.next_cycle(rng)
+            assert 1 <= params.n_logical <= 360
+            assert 64 <= params.send_size <= 1691
+            assert 64 <= params.recv_size <= 1691
+            assert params.idle_time >= 10.0
+            assert params.packet_type in PacketType
+            assert params.application == "random"
+
+    def test_every_packet_type_exercised(self):
+        rng = random.Random(1)
+        model = RandomWorkload()
+        seen = {model.next_cycle(rng).packet_type for _ in range(5000)}
+        assert seen == set(PacketType)
+
+    def test_one_cycle_per_connection(self):
+        assert RandomWorkload().cycles_per_connection(random.Random(0)) == 1
+
+    def test_flags_are_roughly_uniform(self):
+        rng = random.Random(2)
+        model = RandomWorkload()
+        scans = sum(model.next_cycle(rng).scan_flag for _ in range(10_000))
+        assert scans / 10_000 == pytest.approx(0.5, abs=0.03)
+
+    def test_idle_time_capped(self):
+        rng = random.Random(3)
+        model = RandomWorkload()
+        assert all(model.next_cycle(rng).idle_time <= 600.0 for _ in range(5000))
+
+
+class TestRealisticWorkload:
+    def test_applications_covered(self):
+        rng = random.Random(4)
+        model = RealisticWorkload()
+        seen = {model.next_cycle(rng).application for _ in range(2000)}
+        assert seen == set(REALISTIC_APPLICATIONS)
+
+    def test_packet_type_left_to_stack(self):
+        rng = random.Random(5)
+        assert RealisticWorkload().next_cycle(rng).packet_type is None
+
+    def test_cycles_per_connection_one_to_twenty(self):
+        rng = random.Random(6)
+        model = RealisticWorkload()
+        counts = {model.cycles_per_connection(rng) for _ in range(2000)}
+        assert min(counts) == 1 and max(counts) == 20
+
+    def test_p2p_moves_more_data_than_web(self):
+        rng = random.Random(7)
+        model = RealisticWorkload()
+        volumes = {"web": [], "p2p": []}
+        for _ in range(20_000):
+            params = model.next_cycle(rng)
+            if params.application in volumes:
+                volumes[params.application].append(params.n_logical)
+        assert sum(volumes["p2p"]) / len(volumes["p2p"]) > 10 * (
+            sum(volumes["web"]) / len(volumes["web"])
+        )
+
+    def test_unknown_application_rejected(self):
+        with pytest.raises(ValueError):
+            RealisticWorkload()._resource_size(random.Random(0), "telnet")
+        with pytest.raises(ValueError):
+            RealisticWorkload()._pdu_sizes("gopher")
+
+    def test_empty_application_list_rejected(self):
+        with pytest.raises(ValueError):
+            RealisticWorkload(applications=())
+
+
+class TestFixedLengthWorkload:
+    def test_fixed_parameters(self):
+        rng = random.Random(8)
+        model = FixedLengthWorkload()
+        for _ in range(100):
+            params = model.next_cycle(rng)
+            assert params.n_logical == 10_000
+            assert params.send_size == 1691  # the BNEP MTU
+            assert params.recv_size == 1691
+
+
+class TestBlueTestClient:
+    def make_client(self, seed=50, masking=MaskingPolicy.all_off(), model=None):
+        sim = Simulator()
+        stack = make_stack(sim, seed=seed)
+        test_log = TestLog("random:Verde")
+        client = BlueTestClient(
+            sim,
+            stack,
+            test_log,
+            model or RandomWorkload(),
+            random.Random(seed),
+            masking=masking,
+            distance=0.5,
+            testbed_name="random",
+        )
+        return sim, client, test_log
+
+    def test_cycles_accumulate(self):
+        sim, client, _ = self.make_client()
+        client.start()
+        sim.run_until(3600.0)
+        assert client.stats.cycles > 10
+
+    def test_failures_produce_reports_with_recovery(self):
+        sim, client, test_log = self.make_client(seed=51)
+        client.start()
+        sim.run_until(48 * 3600.0)
+        assert client.stats.failures > 0
+        reports = [r for r in test_log.records() if not r.masked]
+        # The run may stop while the last failure's recovery is still in
+        # progress, so the report count can trail the counter by one.
+        assert client.stats.failures - len(reports) <= 1
+        assert all(r.node == "random:Verde" for r in reports)
+        recovered = [r for r in reports if r.recovery]
+        assert recovered, "expected at least one report with recovery attempts"
+        assert all(r.phase for r in reports)
+        assert all(r.message.startswith("bluetest:") for r in reports)
+
+    def test_masking_produces_masked_reports(self):
+        sim, client, test_log = self.make_client(
+            seed=52, masking=MaskingPolicy.all_on()
+        )
+        client.start()
+        sim.run_until(72 * 3600.0)
+        masked = [r for r in test_log.records() if r.masked]
+        assert client.stats.masked == len(masked)
+        assert all(not r.recovery for r in masked)
+
+    def test_masking_reduces_failures(self):
+        sim_a, client_a, _ = self.make_client(seed=53)
+        client_a.start()
+        sim_a.run_until(48 * 3600.0)
+        sim_b, client_b, _ = self.make_client(seed=53, masking=MaskingPolicy.all_on())
+        client_b.start()
+        sim_b.run_until(48 * 3600.0)
+        assert client_b.stats.failures < client_a.stats.failures
+
+    def test_realistic_client_reuses_connections(self):
+        sim, client, _ = self.make_client(seed=54, model=RealisticWorkload())
+        client.start()
+        sim.run_until(6 * 3600.0)
+        # With 1-20 cycles per connection, connects are far rarer than
+        # cycles.
+        assert client.stack.pan.connections_made < client.stats.cycles
+        assert client.stats.cycles > 20
+
+    def test_stack_choice_is_dh5(self):
+        assert STACK_CHOICE is PacketType.DH5
+
+    def test_cycle_stats_note_packet_types(self):
+        sim, client, _ = self.make_client(seed=55)
+        client.start()
+        sim.run_until(2 * 3600.0)
+        assert sum(client.stats.cycles_by_packet_type.values()) == client.stats.cycles

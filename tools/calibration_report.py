@@ -1,0 +1,73 @@
+"""Developer tool: run a short campaign and print calibration marginals.
+
+Usage: python tools/calibration_report.py [hours] [seed]
+
+Prints measured failure shares vs targets, the random/realistic split,
+MTTF/MTTR, masking effectiveness and the figure-3 distributions, so the
+constants in repro.faults.calibration can be tuned against the paper.
+"""
+
+import sys
+import time
+from collections import Counter
+
+from repro import run_campaign
+from repro.core.classification import classify_user_record
+from repro.core.dependability import compute_scenario
+from repro.core.distributions import (
+    packet_loss_by_application,
+    packet_loss_by_packet_type,
+    workload_split,
+)
+from repro.faults.calibration import USER_FAILURE_SHARES
+from repro.recovery import MaskingPolicy
+
+
+def main() -> None:
+    hours = float(sys.argv[1]) if len(sys.argv) > 1 else 12.0
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 1
+    t0 = time.time()
+    base = run_campaign(duration=hours * 3600, seed=seed)
+    masked = run_campaign(
+        duration=hours * 3600, seed=seed + 1, masking=MaskingPolicy.all_on()
+    )
+    print(f"wall: {time.time() - t0:.1f}s  repo: {base.repository.summary()}")
+
+    records = base.unmasked_failures()
+    counts = Counter()
+    for r in records:
+        t = classify_user_record(r)
+        counts[t] = counts.get(t, 0) + 1
+    total = sum(counts.values())
+    print(f"\n{'failure type':30s} {'measured':>9s} {'target':>8s}")
+    for failure, target in sorted(USER_FAILURE_SHARES.items(), key=lambda kv: -kv[1]):
+        measured = 100.0 * counts.get(failure, 0) / total if total else 0.0
+        print(f"{failure.name:30s} {measured:8.2f}% {target:7.1f}%")
+
+    print("\nworkload split (target 84/16):", workload_split(records))
+
+    sira = compute_scenario(records, "siras")
+    print(f"MTTF {sira.mttf:.0f}s (target ~630)  MTTR {sira.mttr:.1f}s (target ~71)"
+          f"  cov {sira.coverage_pct:.1f}% (target 58.4)")
+
+    mrec = masked.unmasked_failures()
+    mcount = masked.masked_count()
+    mshare = 100.0 * mcount / (mcount + len(mrec)) if (mcount + len(mrec)) else 0.0
+    msira = compute_scenario(mrec, "siras_masking", masked_count=mcount)
+    print(f"masking share {mshare:.1f}% (target ~58)  masked MTTF {msira.mttf:.0f}s"
+          f" (target ~1905)  MTTR {msira.mttr:.1f}s (target ~121)")
+
+    print("\nfig3a (loss rate per type, normalised):")
+    f3a = packet_loss_by_packet_type(
+        base.repository.test_records(testbed="random"),
+        base.cycles_by_packet_type("random"),
+    )
+    for name, entry in f3a.items():
+        print(f"  {name}: share {entry['share_pct']:.1f}%  rate {entry.get('loss_rate_pct', 0):.2f}%")
+
+    print("\nfig3c (losses by app):", packet_loss_by_application(
+        base.repository.test_records(testbed="realistic")))
+
+
+if __name__ == "__main__":
+    main()
