@@ -1,0 +1,101 @@
+"""Infrastructure benchmark — observability overhead.
+
+Two bounds guard the tentpole's design promise:
+
+* **Disabled mode is (near) free.**  With no ``Observability`` bundle
+  the stack's instrumented call sites hit the null registry/tracer —
+  one attribute lookup and one empty call each.  The campaign
+  throughput must stay within 5 % of the recorded baseline of
+  ``results/simulator_throughput.txt`` (written before/independently of
+  the obs wiring).
+* **Enabled mode is bounded.**  A fully instrumented campaign (metrics
+  + tracing + profiling) may cost more, but the measured overhead is
+  recorded to ``results/obs_overhead.txt`` so regressions are visible
+  run over run.
+"""
+
+import re
+from pathlib import Path
+
+from repro.core.campaign import run_campaign
+from repro.obs import Observability
+
+from conftest import HOURS, RESULTS_DIR, save_artifact
+
+#: Allowed throughput regression of the un-instrumented path.
+DISABLED_BUDGET = 0.05
+
+
+def _recorded_baseline_speedup() -> float:
+    """Parse the '(N,NNNx real time)' figure of the throughput artifact."""
+    path = RESULTS_DIR / "simulator_throughput.txt"
+    match = re.search(r"\(([\d,]+)x real time\)", path.read_text(encoding="utf-8"))
+    assert match, f"no speedup figure found in {path}"
+    return float(match.group(1).replace(",", ""))
+
+
+def _best_wall(fn, rounds: int = 3) -> float:
+    """Min-of-N wall time of ``fn`` (noise-robust point estimate)."""
+    import time
+
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_disabled_mode_overhead_under_budget(benchmark):
+    duration = 2 * HOURS
+    baseline_speedup = _recorded_baseline_speedup()
+
+    benchmark.pedantic(
+        lambda: run_campaign(duration=duration, seed=31337),
+        rounds=3,
+        iterations=1,
+    )
+    wall = benchmark.stats["min"]
+    speedup = duration / wall
+
+    assert speedup >= (1.0 - DISABLED_BUDGET) * baseline_speedup, (
+        f"disabled-mode throughput {speedup:,.0f}x fell more than "
+        f"{DISABLED_BUDGET:.0%} below the recorded baseline "
+        f"{baseline_speedup:,.0f}x"
+    )
+
+
+def test_enabled_mode_overhead_recorded(benchmark):
+    duration = 2 * HOURS
+
+    disabled_wall = _best_wall(
+        lambda: run_campaign(duration=duration, seed=31337)
+    )
+
+    result = benchmark.pedantic(
+        lambda: run_campaign(
+            duration=duration, seed=31337, observability=Observability()
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    enabled_wall = benchmark.stats["min"]
+    overhead = enabled_wall / disabled_wall - 1.0
+
+    obs = result.observability
+    save_artifact(
+        "obs_overhead",
+        f"Observability overhead on a {duration:.0f} s campaign (min of 3):\n"
+        f"  disabled: {disabled_wall:.3f} s wall "
+        f"({duration / disabled_wall:,.0f}x real time)\n"
+        f"  enabled : {enabled_wall:.3f} s wall "
+        f"({duration / enabled_wall:,.0f}x real time)\n"
+        f"  overhead: {overhead:+.1%} "
+        f"(metrics + tracing + profiling all on)\n"
+        f"  recorded: {len(obs.tracer.spans)} spans, "
+        f"{len(obs.tracer.events)} trace events, "
+        f"{obs.profiler.events_processed} profiled engine events",
+    )
+    # Fully-on observability must stay within an order of magnitude.
+    assert overhead < 10.0
+    assert obs.tracer.spans, "instrumented campaign recorded no spans"

@@ -23,6 +23,7 @@ import random
 from dataclasses import dataclass
 from typing import List, Optional
 
+from repro.obs.instruments import stack_instruments
 from . import crc as crc_mod
 from . import fec as fec_mod
 from .channel import Channel
@@ -50,6 +51,7 @@ class Baseband:
     def __init__(self, channel: Channel, rng: random.Random) -> None:
         self._channel = channel
         self._rng = rng
+        self._obs = stack_instruments()
         self.payloads_sent = 0
         self.retransmissions = 0
         self.drops = 0
@@ -60,17 +62,21 @@ class Baseband:
         The caller accounts air time via ``packet.duration`` per attempt.
         """
         limit = self._channel.config.retransmit_limit
+        self._obs.baseband_slots.observe(packet.type.spec.slots)
         attempt_time = now
         for attempt in range(1, limit + 2):
             delivered, payload = self._attempt(packet, attempt_time)
             if delivered:
                 self.payloads_sent += 1
+                self._obs.baseband_payloads.inc()
                 if payload == packet.payload:
                     return TxOutcome(TxStatus.DELIVERED, attempt, payload)
                 return TxOutcome(TxStatus.DELIVERED_CORRUPTED, attempt, payload)
             self.retransmissions += 1
+            self._obs.baseband_retransmissions.inc()
             attempt_time += packet.duration
         self.drops += 1
+        self._obs.baseband_drops.inc()
         return TxOutcome(TxStatus.DROPPED, limit + 1, b"")
 
     def _attempt(self, packet: AclPacket, now: float) -> "tuple[bool, bytes]":
@@ -78,44 +84,48 @@ class Baseband:
         # -- header: 18 bits, rate-1/3 FEC, majority decode ------------------
         header_bits = [self._rng.getrandbits(1) for _ in range(HEADER_BITS)]
         coded_header = fec_mod.encode_rate13(header_bits)
-        errored_header = self._flip_bits(coded_header, now)
+        errored_header, _ = self._flip_bits(coded_header, now)
         if fec_mod.decode_rate13(errored_header) != header_bits:
             return False, b""  # header CRC (HEC) failure -> no reception
         # -- payload ---------------------------------------------------------
         frame = crc_mod.append_crc(packet.payload)
         if packet.type.fec:
             blocks = fec_mod.encode_rate23(frame)
-            errored = self._flip_block_bits(blocks, now)
+            errored, n_errors = self._flip_block_bits(blocks, now)
             decoded, _ = fec_mod.decode_rate23(errored, len(frame))
         else:
             bits = fec_mod.bits_from_bytes(frame)
-            errored_bits = self._flip_bits(bits, now)
+            errored_bits, n_errors = self._flip_bits(bits, now)
             decoded = fec_mod.bytes_from_bits(errored_bits)[: len(frame)]
         if not crc_mod.check_crc(decoded):
             return False, b""  # detected corruption -> NAK/retransmit
+        if n_errors and packet.type.fec and decoded[:-2] == packet.payload:
+            # Errors hit the coded payload yet the CRC passed on the
+            # original data: the (15,10) FEC corrected them.
+            self._obs.baseband_fec_corrections.inc(n_errors)
         return True, decoded[:-2]
 
-    def _flip_bits(self, bits: List[int], now: float) -> List[int]:
+    def _flip_bits(self, bits: List[int], now: float) -> "tuple[List[int], int]":
         n_errors = self._channel.sample_packet_errors(now, len(bits))
         if n_errors == 0:
-            return bits
+            return bits, 0
         flipped = list(bits)
         for _ in range(min(n_errors, len(bits))):
             pos = self._rng.randrange(len(bits))
             flipped[pos] ^= 1
-        return flipped
+        return flipped, n_errors
 
-    def _flip_block_bits(self, blocks: List[int], now: float) -> List[int]:
+    def _flip_block_bits(self, blocks: List[int], now: float) -> "tuple[List[int], int]":
         total_bits = len(blocks) * fec_mod.BLOCK_BITS
         n_errors = self._channel.sample_packet_errors(now, total_bits)
         if n_errors == 0:
-            return blocks
+            return blocks, 0
         flipped = list(blocks)
         for _ in range(min(n_errors, total_bits)):
             pos = self._rng.randrange(total_bits)
             block, bit = divmod(pos, fec_mod.BLOCK_BITS)
             flipped[block] ^= 1 << bit
-        return flipped
+        return flipped, n_errors
 
 
 # ---------------------------------------------------------------------------
@@ -160,7 +170,9 @@ def sample_transfer(
     connection's age measured in payloads (``start_age`` payloads were
     already exchanged on this connection before this batch).
     """
+    obs = stack_instruments()
     if n_payloads <= 0:
+        obs.transfer_outcome(TransferStatus.COMPLETED.value)
         return TransferOutcome(TransferStatus.COMPLETED, 0, 0.0)
     p_channel = channel.payload_drop_probability(packet_type)
     p_escape = channel.packet_hit_probability(packet_type) * channel.undetected_error_probability(
@@ -176,12 +188,20 @@ def sample_transfer(
 
     per_payload = packet_type.spec.duration
     if break_index is None and mismatch_index is None:
-        return TransferOutcome(TransferStatus.COMPLETED, n_payloads, n_payloads * per_payload)
-    if mismatch_index is not None and (break_index is None or mismatch_index < break_index):
-        return TransferOutcome(
+        outcome = TransferOutcome(
+            TransferStatus.COMPLETED, n_payloads, n_payloads * per_payload
+        )
+    elif mismatch_index is not None and (break_index is None or mismatch_index < break_index):
+        outcome = TransferOutcome(
             TransferStatus.MISMATCH, mismatch_index, (mismatch_index + 1) * per_payload
         )
-    return TransferOutcome(TransferStatus.LOSS, break_index, (break_index + 1) * per_payload)
+    else:
+        outcome = TransferOutcome(
+            TransferStatus.LOSS, break_index, (break_index + 1) * per_payload
+        )
+    obs.transfer_outcome(outcome.status.value)
+    obs.transfer_payloads.observe(outcome.payloads_before_event)
+    return outcome
 
 
 def _sample_geometric(rng: random.Random, p: float, n: int) -> Optional[int]:

@@ -14,9 +14,13 @@ import enum
 from dataclasses import dataclass
 from typing import Optional
 
+from repro import get_logger
 from repro.collection.logs import SystemLog
 from repro.core.failure_model import SystemFailureType
+from repro.obs.instruments import stack_instruments
 from .l2cap import L2capChannel
+
+log = get_logger("bluetooth.bnep")
 
 #: The BNEP MTU — 1691 bytes (the value the paper fixes L_S/L_R to in
 #: the connection-length experiment of figure 3b).
@@ -64,11 +68,15 @@ class BnepLayer:
         already occupied.
         """
         if self.interface is not None and self.interface.state is not InterfaceState.ABSENT:
+            log.warning("bnep device occupied by %s", self.interface.name)
+            stack_instruments().bnep_errors.labels(kind="occupied").inc()
             self._log.error(SystemFailureType.BNEP, "occupied")
             raise BnepError("bnep device occupied")
         interface = BnepInterface(name=f"bnep{self._counter}", channel=channel)
         self._counter += 1
         self.interface = interface
+        stack_instruments().bnep_connections.inc()
+        log.debug("added BNEP connection on %s (cid %#06x)", interface.name, channel.cid)
         return interface
 
     def remove_connection(self) -> None:

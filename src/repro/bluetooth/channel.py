@@ -32,6 +32,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
+from repro.obs.instruments import stack_instruments
 from .packets import PacketType, SLOT_SECONDS
 
 
@@ -113,6 +114,7 @@ class Channel:
         #: first GOOD dwell is drawn (lazily, so construction consumes
         #: no randomness).
         self._state_until: Optional[float] = None
+        self._obs = stack_instruments()
 
     # -- state machine -----------------------------------------------------
 
@@ -125,9 +127,11 @@ class Channel:
         while self._state_until <= now:
             if self._bad:
                 self._bad = False
+                self._obs.channel_to_good.inc()
                 dwell = self._rng.expovariate(self.config.effective_burst_rate)
             else:
                 self._bad = True
+                self._obs.channel_to_bad.inc()
                 dwell = self._rng.expovariate(1.0 / self.config.mean_burst)
             self._state_until += dwell
 
@@ -146,8 +150,15 @@ class Channel:
 
     def sample_packet_errors(self, now: float, air_bits: int) -> int:
         """Number of bit errors hitting a packet of ``air_bits`` at ``now``."""
-        ber = self.config.ber_bad if self.is_bad(now) else self.config.ber_good
-        return sample_poisson(self._rng, ber * air_bits)
+        if self.is_bad(now):
+            ber = self.config.ber_bad
+            self._obs.channel_burst_hits.inc()
+        else:
+            ber = self.config.ber_good
+        errors = sample_poisson(self._rng, ber * air_bits)
+        if errors:
+            self._obs.channel_bit_errors.inc(errors)
+        return errors
 
     # -- batch-analytic path ---------------------------------------------------
 

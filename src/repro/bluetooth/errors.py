@@ -31,6 +31,10 @@ class BTError(Exception):
         #: clear the underlying damage.  Hidden from the workload and the
         #: analysis; consumed only by the recovery engine's success check.
         self.scope = scope if scope is not None else 1
+        #: Propagation-trace span id (0 = untraced).  Carried so the
+        #: workload can stamp the failure classification onto the span
+        #: opened at fault activation; invisible to the analysis.
+        self.trace_id = 0
 
 
 class InquiryScanError(BTError):
@@ -108,8 +112,20 @@ class DataMismatchError(BTError):
 PACKET_LOSS_TIMEOUT = 30.0
 
 
+def traced(error: BTError, trace_id: int) -> BTError:
+    """Attach a propagation-trace span id to ``error`` and return it.
+
+    Lets raise sites stay one line::
+
+        raise traced(ConnectError(scope=activation.scope), activation.trace_id)
+    """
+    error.trace_id = trace_id
+    return error
+
+
 __all__ = [
     "BTError",
+    "traced",
     "InquiryScanError",
     "SdpSearchError",
     "NapNotFoundError",

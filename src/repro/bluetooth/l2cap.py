@@ -17,6 +17,7 @@ from typing import Dict, Generator, List, Optional
 
 from repro.collection.logs import SystemLog
 from repro.core.failure_model import SystemFailureType
+from repro.obs.instruments import stack_instruments
 from repro.sim import Timeout
 from .hci import HciLayer
 from .packets import PacketType, packets_needed
@@ -66,6 +67,7 @@ class L2capLayer:
         self._cids = itertools.count(0x0040)  # dynamic CID space
         self.channels: Dict[int, L2capChannel] = {}
         self.unexpected_frames = 0
+        self._obs = stack_instruments()
 
     def connect(self, psm: int, hci_handle: int, peer: str) -> Generator:
         """Open a channel on ``psm`` over an existing ACL connection.
@@ -99,6 +101,10 @@ class L2capLayer:
     def note_unexpected_frame(self, start: bool) -> None:
         """Reassembly desync: log the unexpected start/continuation frame."""
         self.unexpected_frames += 1
+        if start:
+            self._obs.l2cap_unexpected_start.inc()
+        else:
+            self._obs.l2cap_unexpected_cont.inc()
         variant = "unexpected_start" if start else "unexpected_cont"
         self._log.error(SystemFailureType.L2CAP, variant)
 
@@ -211,6 +217,7 @@ class Reassembler:
 
     def _note(self, start: bool) -> None:
         self.errors += 1
+        stack_instruments().l2cap_reassembly_errors.inc()
         if self._layer is not None:
             self._layer.note_unexpected_frame(start=start)
 

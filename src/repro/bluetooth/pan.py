@@ -23,6 +23,7 @@ from repro.collection.logs import SystemLog
 from repro.core.failure_model import UserFailureType
 from repro.faults.evidence import emit_evidence
 from repro.faults.injector import FaultActivation, FaultInjector, NodeTraits, TransferHazards
+from repro.obs.trace import get_tracer
 from repro.sim import Simulator, Timeout
 from .baseband import TransferStatus, sample_transfer
 from .bnep import BnepError, BnepLayer
@@ -37,6 +38,7 @@ from .errors import (
     PanConnectError,
     SwitchRoleCommandError,
     SwitchRoleRequestError,
+    traced,
 )
 from .hci import HciCommandError, HciLayer, COMMAND_TIMEOUT
 from .l2cap import L2capLayer, PSM_BNEP
@@ -44,6 +46,20 @@ from .lmp import LmpLayer
 from .host import HostOs, SocketError
 from .packets import PacketType, packets_needed
 from .sdp import SdpServer, make_nap_record
+
+
+def _trace_stack_chain(activation: FaultActivation, events) -> None:
+    """Record how a transfer fault crossed the stack, one event per layer.
+
+    ``events`` is a sequence of ``(layer, what, attrs)`` triples ordered
+    bottom-up (channel first) — the propagation path the trace exporter
+    later reconstructs from the span.
+    """
+    tracer = get_tracer()
+    if not (tracer.enabled and activation.trace_id):
+        return
+    for layer, what, attrs in events:
+        tracer.event(activation.trace_id, layer=layer, what=what, **attrs)
 
 
 class Piconet:
@@ -182,8 +198,19 @@ class PanConnection:
                 activation = self.owner.injector.activate(
                     UserFailureType.DATA_MISMATCH, self.owner.traits
                 )
+                _trace_stack_chain(
+                    activation,
+                    [
+                        ("channel", "bit_errors", {"packet_type": packet_type.value}),
+                        ("baseband", "crc_escape", {}),
+                        ("l2cap", "sdu_corrupted", {"cid": self.cid}),
+                        ("bnep", "frame_delivered_corrupt", {"interface": self.interface_name}),
+                    ],
+                )
                 self.owner.manifest(activation)  # no evidence in practice
-                raise DataMismatchError(scope=activation.scope)
+                raise traced(
+                    DataMismatchError(scope=activation.scope), activation.trace_id
+                )
             # Packet loss: the link broke; the workload notices after the
             # 30 s receive timeout.  The connection length reported is in
             # *logical* (workload-level) packets, as in figure 3b.
@@ -192,9 +219,21 @@ class PanConnection:
             activation = self.owner.injector.activate(
                 UserFailureType.PACKET_LOSS, self.owner.traits
             )
+            _trace_stack_chain(
+                activation,
+                [
+                    ("channel", "error_burst", {"packet_type": packet_type.value}),
+                    ("baseband", "arq_exhausted", {"payloads_sent": outcome.payloads_before_event}),
+                    ("l2cap", "delivery_stalled", {"cid": self.cid}),
+                    ("bnep", "link_down", {"interface": self.interface_name}),
+                ],
+            )
             self.owner.manifest(activation)
-            raise PacketLossError(
-                scope=activation.scope, packets_sent=age_at_event // per_logical
+            raise traced(
+                PacketLossError(
+                    scope=activation.scope, packets_sent=age_at_event // per_logical
+                ),
+                activation.trace_id,
             )
         finally:
             piconet.end_transfer()
@@ -301,7 +340,7 @@ class PanProfile:
             if activation is not None:
                 self.manifest(activation)
                 yield Timeout(COMMAND_TIMEOUT)  # HCI command timeout latency
-                raise ConnectError(scope=activation.scope)
+                raise traced(ConnectError(scope=activation.scope), activation.trace_id)
             yield from self.lmp.page()
             hci_conn = self.hci.open_connection(self.nap.name)
             channel = yield from self.l2cap.connect(PSM_BNEP, hci_conn.handle, self.nap.name)
@@ -313,7 +352,7 @@ class PanProfile:
                 self.manifest(activation)
                 yield Timeout(2.0)
                 self.hci.close_connection(hci_conn.handle)
-                raise PanConnectError(scope=activation.scope)
+                raise traced(PanConnectError(scope=activation.scope), activation.trace_id)
             try:
                 interface = self.bnep.add_connection(channel)
             except BnepError as exc:
@@ -322,7 +361,10 @@ class PanProfile:
                 )
                 self.manifest(activation)
                 self.hci.close_connection(hci_conn.handle)
-                raise PanConnectError(str(exc), scope=activation.scope) from exc
+                raise traced(
+                    PanConnectError(str(exc), scope=activation.scope),
+                    activation.trace_id,
+                ) from exc
             self.host.configure_interface(interface)  # T_H runs asynchronously
 
             # --- master/slave switch ------------------------------------------
@@ -331,13 +373,17 @@ class PanProfile:
                 self.manifest(activation)
                 yield Timeout(COMMAND_TIMEOUT)
                 self._abort_connection(hci_conn.handle)
-                raise SwitchRoleRequestError(scope=activation.scope)
+                raise traced(
+                    SwitchRoleRequestError(scope=activation.scope), activation.trace_id
+                )
             activation = self._draw("sw_role_command")
             if activation is not None:
                 self.manifest(activation)
                 yield from self.lmp.role_switch()
                 self._abort_connection(hci_conn.handle)
-                raise SwitchRoleCommandError(scope=activation.scope)
+                raise traced(
+                    SwitchRoleCommandError(scope=activation.scope), activation.trace_id
+                )
             yield from self.lmp.role_switch()
 
             piconet.add_slave(self.traits.name)
@@ -376,7 +422,7 @@ class PanProfile:
         if activation is not None:
             self.manifest(activation)
             yield Timeout(0.5)
-            raise BindError(scope=activation.scope)
+            raise traced(BindError(scope=activation.scope), activation.trace_id)
         try:
             yield from self.host.bind_socket(interface)
         except SocketError as exc:
@@ -384,7 +430,9 @@ class PanProfile:
                 UserFailureType.BIND_FAILED, self.traits, detail=str(exc)
             )
             self.manifest(activation)
-            raise BindError(str(exc), scope=activation.scope) from exc
+            raise traced(
+                BindError(str(exc), scope=activation.scope), activation.trace_id
+            ) from exc
         return None
 
 

@@ -19,7 +19,7 @@ from repro.faults.injector import FaultActivation, FaultInjector, NodeTraits
 from repro.sim import Simulator, Timeout
 from .bnep import BnepLayer
 from .channel import Channel
-from .errors import InquiryScanError, NapNotFoundError, SdpSearchError
+from .errors import InquiryScanError, NapNotFoundError, SdpSearchError, traced
 from .hci import HciLayer
 from .host import HostOs
 from .l2cap import L2capLayer
@@ -91,7 +91,7 @@ class BluetoothStack:
         if activation is not None:
             self._manifest(activation)
             yield Timeout(self.rng.uniform(2.0, 8.0))
-            raise InquiryScanError(scope=activation.scope)
+            raise traced(InquiryScanError(scope=activation.scope), activation.trace_id)
         discovered = yield from self.lmp.inquiry(self.neighbourhood)
         return discovered
 
@@ -108,8 +108,10 @@ class BluetoothStack:
             self._manifest(activation)
             yield Timeout(SDP_FAILURE_LATENCY)
             if activation.user_failure is UserFailureType.NAP_NOT_FOUND:
-                raise NapNotFoundError(scope=activation.scope)
-            raise SdpSearchError(scope=activation.scope)
+                raise traced(
+                    NapNotFoundError(scope=activation.scope), activation.trace_id
+                )
+            raise traced(SdpSearchError(scope=activation.scope), activation.trace_id)
         record = yield from self.sdp.search(self.nap.sdp_server, UUID_NAP)
         if record is None:
             # The NAP always publishes its record; reaching this point
@@ -118,7 +120,7 @@ class BluetoothStack:
                 UserFailureType.NAP_NOT_FOUND, self.traits
             )
             self._manifest(activation)
-            raise NapNotFoundError(scope=activation.scope)
+            raise traced(NapNotFoundError(scope=activation.scope), activation.trace_id)
         return record
 
     def cached_nap_record(self) -> Optional[ServiceRecord]:

@@ -1,16 +1,21 @@
 """Command-line interface.
 
-Three subcommands::
+Main subcommands::
 
     repro-bt campaign --hours 24 --seed 7 --out results/   # run + dump
     repro-bt analyze results/                               # re-analyze a dump
     repro-bt report --hours 24 --seed 7                     # full paper report
+    repro-bt obs --hours 8 --metrics-out m.txt              # instrumented run
 
 ``campaign`` runs the two testbeds and dumps the repository (JSONL) plus
 every rendered table/figure into the output directory; ``analyze``
 rebuilds the analyses from a previous dump without re-simulating;
 ``report`` runs baseline + masked campaigns and prints the whole
-evaluation section to stdout.
+evaluation section to stdout; ``obs`` runs a fully instrumented campaign
+and prints the observability summary (metrics, engine profile, fault
+propagation paths).  ``campaign`` accepts ``--metrics-out`` /
+``--trace-out`` to instrument a normal run; ``-v/-vv`` raises the
+logging verbosity everywhere.
 """
 
 from __future__ import annotations
@@ -20,12 +25,18 @@ import sys
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
+from repro import configure_logging
 from repro.collection.repository import CentralRepository
 from repro.core.campaign import CampaignResult, run_campaign
 from repro.core.dependability import build_dependability_report
 from repro.core.distributions import packet_loss_by_connection_age
+from repro.obs import Observability
 from repro.recovery.masking import MaskingPolicy
-from repro.reporting import format_bar_chart, render_dependability_table
+from repro.reporting import (
+    format_bar_chart,
+    render_dependability_table,
+    render_obs_summary,
+)
 
 
 def infer_node_nap_pairs(repository: CentralRepository) -> List[Tuple[str, str]]:
@@ -66,18 +77,51 @@ def _analyses_text(
     return "\n".join(sections)
 
 
+def _observability_for(args: argparse.Namespace) -> Optional[Observability]:
+    """Build the Observability bundle a command's flags ask for."""
+    if not (getattr(args, "metrics_out", None) or getattr(args, "trace_out", None)):
+        return None
+    return Observability()
+
+
+def _export_obs(obs: Optional[Observability], args: argparse.Namespace) -> None:
+    """Write the --metrics-out / --trace-out artifacts, if requested."""
+    if obs is None:
+        return
+    if getattr(args, "metrics_out", None):
+        obs.write_metrics(args.metrics_out)
+        print(f"Prometheus metrics written to {args.metrics_out}")
+    if getattr(args, "trace_out", None):
+        obs.write_trace(args.trace_out)
+        print(f"Propagation trace written to {args.trace_out}")
+
+
 def cmd_campaign(args: argparse.Namespace) -> int:
     """Run a campaign, dump repository + analysis to --out."""
     masking = MaskingPolicy.all_on() if args.masking else MaskingPolicy.all_off()
+    obs = _observability_for(args)
     result = run_campaign(
-        duration=args.hours * 3600.0, seed=args.seed, masking=masking
+        duration=args.hours * 3600.0,
+        seed=args.seed,
+        masking=masking,
+        observability=obs,
     )
     out = Path(args.out)
     result.repository.dump(out)
     text = _analyses_text(result.repository, result.node_nap_pairs())
     (out / "analysis.txt").write_text(text + "\n", encoding="utf-8")
     print(text)
+    _export_obs(obs, args)
     print(f"\nRepository and analysis written to {out}/")
+    return 0
+
+
+def cmd_obs(args: argparse.Namespace) -> int:
+    """Run a fully instrumented campaign and print the obs summary."""
+    obs = Observability()
+    run_campaign(duration=args.hours * 3600.0, seed=args.seed, observability=obs)
+    print(render_obs_summary(obs))
+    _export_obs(obs, args)
     return 0
 
 
@@ -144,6 +188,13 @@ def build_parser() -> argparse.ArgumentParser:
         description="Bluetooth PAN failure-data campaigns and analyses "
         "(reproduction of Cinque et al., DSN 2006).",
     )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="raise logging verbosity (-v info, -vv debug)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     campaign = sub.add_parser("campaign", help="run a campaign and dump it")
@@ -152,6 +203,10 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--masking", action="store_true",
                           help="enable the three masking strategies")
     campaign.add_argument("--out", default="campaign_out")
+    campaign.add_argument("--metrics-out", default=None,
+                          help="write Prometheus text exposition here")
+    campaign.add_argument("--trace-out", default=None,
+                          help="write the JSONL propagation trace here")
     campaign.set_defaults(func=cmd_campaign)
 
     analyze = sub.add_parser("analyze", help="re-analyze a dumped repository")
@@ -170,12 +225,24 @@ def build_parser() -> argparse.ArgumentParser:
     scorecard.add_argument("--seed", type=int, default=77)
     scorecard.set_defaults(func=cmd_scorecard)
 
+    obs = sub.add_parser(
+        "obs", help="run an instrumented campaign and print the obs summary"
+    )
+    obs.add_argument("--hours", type=float, default=8.0)
+    obs.add_argument("--seed", type=int, default=0)
+    obs.add_argument("--metrics-out", default=None,
+                     help="write Prometheus text exposition here")
+    obs.add_argument("--trace-out", default=None,
+                     help="write the JSONL propagation trace here")
+    obs.set_defaults(func=cmd_obs)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Console entry point."""
     args = build_parser().parse_args(argv)
+    configure_logging(args.verbose)
     return args.func(args)
 
 

@@ -16,8 +16,26 @@ analysis pipeline must classify them, as the paper's SAS analysis did.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, asdict
+from dataclasses import dataclass, field, fields, asdict
 from typing import Any, Dict, List, Optional
+
+from repro import get_logger
+
+log = get_logger("collection.records")
+
+
+def _known_fields(cls, data: Dict[str, Any]) -> Dict[str, Any]:
+    """Drop (and debug-log) keys a record schema does not know.
+
+    Repositories dumped by newer versions of the package may carry extra
+    per-record fields; loading should tolerate them rather than crash.
+    """
+    known = {f.name for f in fields(cls)}
+    unknown = [key for key in data if key not in known]
+    if unknown:
+        log.debug("%s: ignoring unknown fields %s", cls.__name__, unknown)
+        return {key: value for key, value in data.items() if key in known}
+    return data
 
 
 @dataclass(frozen=True)
@@ -35,7 +53,7 @@ class SystemLogRecord:
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "SystemLogRecord":
-        return cls(**data)
+        return cls(**_known_fields(cls, data))
 
 
 @dataclass(frozen=True)
@@ -90,7 +108,7 @@ class TestLogRecord:
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "TestLogRecord":
-        payload = dict(data)
+        payload = _known_fields(cls, dict(data))
         payload["recovery"] = [
             RecoveryAttempt(**a) for a in payload.get("recovery", [])
         ]

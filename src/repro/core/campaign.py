@@ -13,8 +13,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+import contextlib
+
 from repro.collection.records import TestLogRecord
 from repro.collection.repository import CentralRepository
+from repro.obs import Observability
 from repro.recovery.masking import MaskingPolicy
 from repro.sim import RandomStreams, Simulator
 from repro.testbed.nodes import ALL_PROFILES, GIALLO, NodeProfile, VERDE, WIN
@@ -41,6 +44,10 @@ class CampaignResult:
     repository: CentralRepository
     testbeds: Dict[str, Testbed]
     sim: Simulator
+    #: Observability bundle active during the run (None when off): holds
+    #: the metrics registry, the propagation tracer and the engine
+    #: profiler for post-run export.
+    observability: Optional[Observability] = None
 
     # -- convenience accessors -------------------------------------------------
 
@@ -90,8 +97,16 @@ def run_campaign(
     workloads: Sequence[str] = ("random", "realistic"),
     profiles: Sequence[NodeProfile] = ALL_PROFILES,
     hardware_replacement: bool = True,
+    observability: Optional[Observability] = None,
 ) -> CampaignResult:
-    """Deploy and run the testbeds for ``duration`` simulated seconds."""
+    """Deploy and run the testbeds for ``duration`` simulated seconds.
+
+    Pass an :class:`~repro.obs.Observability` bundle to instrument the
+    run: it is activated around testbed construction and execution (so
+    every layer binds live metrics) and returned on the result for
+    export.  ``None`` (the default) runs with the null registry —
+    near-zero overhead.
+    """
     if duration <= 0:
         raise ValueError("campaign duration must be positive")
     factories: Dict[str, Callable] = {
@@ -102,25 +117,31 @@ def run_campaign(
     streams = RandomStreams(seed)
     repository = CentralRepository()
     testbeds: Dict[str, Testbed] = {}
-    for name in workloads:
-        if name not in factories:
-            raise ValueError(f"unknown workload: {name!r}")
-        bed = Testbed(
-            sim,
-            name,
-            factories[name],
-            repository,
-            streams,
-            masking=masking,
-            profiles=profiles,
-        )
-        if hardware_replacement:
-            bed.schedule_hardware_replacement(duration / 2.0)
-        bed.start()
-        testbeds[name] = bed
-    sim.run_until(duration)
-    for bed in testbeds.values():
-        bed.final_collection()
+    scope = (
+        observability.activate(sim)
+        if observability is not None
+        else contextlib.nullcontext()
+    )
+    with scope:
+        for name in workloads:
+            if name not in factories:
+                raise ValueError(f"unknown workload: {name!r}")
+            bed = Testbed(
+                sim,
+                name,
+                factories[name],
+                repository,
+                streams,
+                masking=masking,
+                profiles=profiles,
+            )
+            if hardware_replacement:
+                bed.schedule_hardware_replacement(duration / 2.0)
+            bed.start()
+            testbeds[name] = bed
+        sim.run_until(duration)
+        for bed in testbeds.values():
+            bed.final_collection()
     return CampaignResult(
         duration=duration,
         seed=seed,
@@ -128,6 +149,7 @@ def run_campaign(
         repository=repository,
         testbeds=testbeds,
         sim=sim,
+        observability=observability,
     )
 
 

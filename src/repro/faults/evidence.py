@@ -16,6 +16,8 @@ import random
 from typing import Optional
 
 from repro.collection.logs import SystemLog
+from repro.obs.instruments import stack_instruments
+from repro.obs.trace import get_tracer
 from repro.sim import Simulator
 from .calibration import Origin
 from .injector import FaultActivation
@@ -61,20 +63,33 @@ def emit_evidence(
             delay = rng.uniform(0.0, 2.0)
         else:
             delay = min(MAX_EVIDENCE_DELAY, rng.lognormvariate(LATENCY_MU, LATENCY_SIGMA))
-        scheduled += _schedule_entry(sim, log, failure_type, variant, delay, peer)
+        trace_id = activation.trace_id
+        scheduled += _schedule_entry(sim, log, failure_type, variant, delay, peer, trace_id)
         if rng.random() < REPEAT_PROBABILITY:
             repeat_delay = delay + rng.uniform(6.0, 60.0)
             if repeat_delay <= MAX_EVIDENCE_DELAY:
                 scheduled += _schedule_entry(
-                    sim, log, failure_type, variant, repeat_delay, peer
+                    sim, log, failure_type, variant, repeat_delay, peer, trace_id
                 )
     return scheduled
 
 
-def _schedule_entry(sim, log, failure_type, variant, delay: float, peer=None) -> int:
+def _schedule_entry(
+    sim, log, failure_type, variant, delay: float, peer=None, trace_id: int = 0
+) -> int:
     def write() -> None:
         log.set_time(sim.now)
         log.error(failure_type, variant, peer=peer)
+        origin = "nap" if peer is not None else "local"
+        stack_instruments().fault_evidence.labels(origin=origin).inc()
+        tracer = get_tracer()
+        if tracer.enabled and trace_id:
+            tracer.event(
+                trace_id,
+                layer=failure_type.name.lower(),
+                what=variant,
+                origin=origin,
+            )
 
     sim.schedule(delay, write)
     return 1

@@ -21,6 +21,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.failure_model import SystemFailureType, UserFailureType
+from repro.obs.instruments import stack_instruments
+from repro.obs.trace import get_tracer
 from repro.sim.distributions import weighted_choice
 from . import calibration as cal
 from .calibration import DamageScope, Evidence, Origin
@@ -45,6 +47,9 @@ class FaultActivation:
     scope: int  # DamageScope value (1..7); 0 = not recoverable/no recovery
     evidence: List[Evidence] = field(default_factory=list)
     detail: str = ""
+    #: Id of the propagation-trace span opened for this activation
+    #: (0 = not traced); stack layers append their events to it.
+    trace_id: int = 0
 
 
 @dataclass(frozen=True)
@@ -166,12 +171,28 @@ class FaultInjector:
     def activate(
         self, failure: UserFailureType, node: NodeTraits, detail: str = ""
     ) -> FaultActivation:
-        """Build a full activation: cause evidence plus damage scope."""
+        """Build a full activation: cause evidence plus damage scope.
+
+        When observability is on, the activation is counted by type and
+        a propagation-trace span is opened; the layers the error crosses
+        append their events to it until the workload classifies the
+        resulting user-level failure.
+        """
+        stack_instruments().inject(failure)
+        tracer = get_tracer()
+        trace_id = 0
+        if tracer.enabled:
+            name = failure.name.lower()
+            trace_id = tracer.start_span(
+                f"fault:{name}", failure=name, node=node.name, detail=detail
+            )
+            tracer.event(trace_id, layer="faults", what="activated")
         return FaultActivation(
             user_failure=failure,
             scope=self.sample_scope(failure),
             evidence=self.sample_cause(failure, node),
             detail=detail,
+            trace_id=trace_id,
         )
 
     def sample_cause(

@@ -1,0 +1,266 @@
+"""Exporters: Prometheus text exposition, trace JSONL, propagation views.
+
+Two wire formats leave the process:
+
+* **Prometheus text exposition** (:func:`render_prometheus`) — the
+  metrics registry (plus engine-profiler series) rendered in the
+  ``text/plain; version=0.0.4`` format, scrape-ready.
+* **Trace JSONL** (:func:`write_trace_jsonl` / :func:`read_trace_jsonl`)
+  — one span or event per line, round-trippable, consumed by the
+  propagation analyses below.
+
+:func:`propagation_paths` folds a trace back into (failure -> layer
+path) counts so the statistically mined relationship table
+(:mod:`repro.core.relationship`) can be cross-checked against the
+ground-truth propagation the tracer observed.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from .metrics import Histogram, _HistogramChild
+from .trace import CLASSIFICATION_LAYER, Span, TraceEvent, Tracer
+
+
+def _escape(value: str) -> str:
+    """Escape a label value per the exposition format."""
+    return value.replace("\\", r"\\").replace('"', r'\"').replace("\n", r"\n")
+
+
+def _format_value(value: float) -> str:
+    """Render a sample value (integers without a trailing .0)."""
+    as_float = float(value)
+    if as_float.is_integer():
+        return str(int(as_float))
+    return repr(as_float)
+
+
+def _label_str(names: Tuple[str, ...], values: Tuple[str, ...], extra: str = "") -> str:
+    """Render a ``{name="value",...}`` label block ('' when empty)."""
+    parts = [f'{n}="{_escape(v)}"' for n, v in zip(names, values)]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def render_prometheus(registry, profiler=None) -> str:
+    """Render ``registry`` in the Prometheus text exposition format.
+
+    When ``profiler`` (an :class:`repro.obs.profile.EngineProfiler`) is
+    given, synthetic ``repro_engine_*`` series are appended so one
+    scrape carries the whole picture.
+    """
+    lines: List[str] = []
+    for family in registry.families():
+        lines.append(f"# HELP {family.name} {family.help}")
+        lines.append(f"# TYPE {family.name} {family.KIND}")
+        for values, child in family.samples():
+            labels = _label_str(family.label_names, values)
+            if isinstance(family, Histogram):
+                assert isinstance(child, _HistogramChild)
+                cumulative = child.cumulative_counts()
+                bounds = [*(_format_value(b) for b in child.buckets), "+Inf"]
+                for bound, count in zip(bounds, cumulative):
+                    bucket_labels = _label_str(
+                        family.label_names, values, extra=f'le="{bound}"'
+                    )
+                    lines.append(f"{family.name}_bucket{bucket_labels} {count}")
+                lines.append(f"{family.name}_sum{labels} {_format_value(child.sum)}")
+                lines.append(f"{family.name}_count{labels} {child.count}")
+            else:
+                lines.append(f"{family.name}{labels} {_format_value(child.value)}")
+    if profiler is not None:
+        lines.extend(_profiler_exposition(profiler))
+    return "\n".join(lines) + "\n"
+
+
+def _profiler_exposition(profiler) -> List[str]:
+    """Synthetic engine-profiler series in exposition format."""
+    lines = [
+        "# HELP repro_engine_events_total Events executed by the simulation engine",
+        "# TYPE repro_engine_events_total counter",
+        f"repro_engine_events_total {profiler.events_processed}",
+        "# HELP repro_engine_callback_seconds_total Wall time spent inside event callbacks",
+        "# TYPE repro_engine_callback_seconds_total counter",
+        f"repro_engine_callback_seconds_total {profiler.callback_seconds:.6f}",
+        "# HELP repro_engine_queue_depth_max High-water mark of the pending-event queue",
+        "# TYPE repro_engine_queue_depth_max gauge",
+        f"repro_engine_queue_depth_max {profiler.queue_depth_hwm}",
+        "# HELP repro_engine_callsite_seconds_total Callback wall time by callsite",
+        "# TYPE repro_engine_callsite_seconds_total counter",
+    ]
+    for key, stats in profiler.top_callsites(n=len(profiler.by_callsite)):
+        lines.append(
+            f'repro_engine_callsite_seconds_total{{callsite="{_escape(key)}"}} '
+            f"{stats.seconds:.6f}"
+        )
+    return lines
+
+
+def write_metrics(registry, path, profiler=None) -> Path:
+    """Write the Prometheus exposition of ``registry`` to ``path``."""
+    path = Path(path)
+    path.write_text(render_prometheus(registry, profiler=profiler), encoding="utf-8")
+    return path
+
+
+# ---------------------------------------------------------------------------
+# Trace JSONL
+# ---------------------------------------------------------------------------
+
+
+def write_trace_jsonl(tracer, path) -> Path:
+    """Dump every span and event of ``tracer`` as JSON lines."""
+    path = Path(path)
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in tracer.to_records():
+            handle.write(json.dumps(record) + "\n")
+    return path
+
+
+def read_trace_jsonl(path) -> Tracer:
+    """Load a JSONL trace dump back into a (non-recording) Tracer."""
+    tracer = Tracer()
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            data = json.loads(line)
+            if data["kind"] == "span":
+                span = Span(
+                    id=data["id"],
+                    name=data["name"],
+                    t_start=data["t_start"],
+                    parent=data.get("parent"),
+                    t_end=data.get("t_end"),
+                    status=data.get("status"),
+                    attrs=data.get("attrs", {}),
+                )
+                tracer.spans.append(span)
+                tracer._next_id = max(tracer._next_id, span.id + 1)
+                if span.t_end is None:
+                    tracer._open[span.id] = span
+            else:
+                tracer.events.append(
+                    TraceEvent(
+                        span=data["span"],
+                        t=data["t"],
+                        layer=data["layer"],
+                        what=data["what"],
+                        attrs=data.get("attrs", {}),
+                    )
+                )
+    return tracer
+
+
+# ---------------------------------------------------------------------------
+# Propagation analysis
+# ---------------------------------------------------------------------------
+
+
+def span_layer_path(tracer, span_id: int) -> List[str]:
+    """The ordered layer path one span's events crossed (deduplicated)."""
+    path: List[str] = []
+    for event in tracer.span_events(span_id):
+        if not path or path[-1] != event.layer:
+            path.append(event.layer)
+    return path
+
+
+def propagation_paths(tracer) -> Dict[str, Dict[Tuple[str, ...], int]]:
+    """Fold a trace into {fault name: {layer path: count}}."""
+    out: Dict[str, Dict[Tuple[str, ...], int]] = {}
+    for span in tracer.spans:
+        path = tuple(span_layer_path(tracer, span.id))
+        if not path:
+            continue
+        by_path = out.setdefault(span.name, {})
+        by_path[path] = by_path.get(path, 0) + 1
+    return out
+
+
+#: The stages a complete data-path trace must cross, in order; the
+#: multiplexing stage is satisfied by either L2CAP or BNEP.
+_CHAIN_STAGES = ({"channel"}, {"baseband"}, {"l2cap", "bnep"}, {CLASSIFICATION_LAYER})
+
+
+def is_full_chain(path: Iterable[str]) -> bool:
+    """Whether a layer path walks channel -> baseband -> mux -> classification."""
+    stage = 0
+    for layer in path:
+        if stage < len(_CHAIN_STAGES) and layer in _CHAIN_STAGES[stage]:
+            stage += 1
+    return stage == len(_CHAIN_STAGES)
+
+
+def full_stack_spans(tracer) -> List[Span]:
+    """Spans whose events walk the whole data path to classification.
+
+    These are the traces satisfying the channel -> baseband ->
+    L2CAP/BNEP -> classification chain — the ground-truth propagation
+    the relationship analysis (Table 2) reconstructs statistically.
+    """
+    return [
+        span
+        for span in tracer.spans
+        if is_full_chain(span_layer_path(tracer, span.id))
+    ]
+
+
+def render_propagation_summary(tracer, limit: int = 12) -> str:
+    """Human-readable summary of the observed propagation paths."""
+    folded = propagation_paths(tracer)
+    lines = ["Observed error-propagation paths", "-" * 32]
+    if not folded:
+        lines.append("(no traced faults)")
+        return "\n".join(lines)
+    rows: List[Tuple[int, str, Tuple[str, ...]]] = []
+    for name, by_path in folded.items():
+        for path, count in by_path.items():
+            rows.append((count, name, path))
+    rows.sort(reverse=True)
+    for count, name, path in rows[:limit]:
+        lines.append(f"{count:>6}  {name:<28} {' -> '.join(path)}")
+    complete = len(full_stack_spans(tracer))
+    lines.append(f"full channel->baseband->L2CAP/BNEP->classification chains: {complete}")
+    return "\n".join(lines)
+
+
+def cross_check_relationship(tracer, table) -> Dict[str, Any]:
+    """Compare traced ground truth with the mined relationship table.
+
+    For every user failure the tracer saw, reports how many activations
+    were traced versus how many the statistical pipeline observed
+    (``table.observed``) — the sanity check the paper could never run,
+    because a physical testbed has no ground truth.
+    """
+    from repro.core.failure_model import UserFailureType
+
+    traced: Dict[str, int] = {}
+    for span in tracer.spans:
+        fault = span.attrs.get("failure")
+        if fault:
+            traced[fault] = traced.get(fault, 0) + 1
+    mined = {u.name.lower(): n for u, n in table.observed.items()}
+    rows = {}
+    for name in sorted(set(traced) | set(mined)):
+        rows[name] = {"traced": traced.get(name, 0), "mined": mined.get(name, 0)}
+    return rows
+
+
+__all__ = [
+    "render_prometheus",
+    "write_metrics",
+    "write_trace_jsonl",
+    "read_trace_jsonl",
+    "span_layer_path",
+    "is_full_chain",
+    "propagation_paths",
+    "full_stack_spans",
+    "render_propagation_summary",
+    "cross_check_relationship",
+]

@@ -1,0 +1,140 @@
+"""The stack's metric schema, pre-bound for cheap hot-path use.
+
+One place defines every metric the Bluetooth stack emits, so names and
+label schemas stay consistent across layers and documentation.  Stack
+objects call :func:`stack_instruments` at construction time and store
+the returned bundle; its attributes are *label-bound children*, so hot
+sites pay a plain ``.inc()`` — no name lookup, no label hashing.
+
+The bundle is cached per active registry: when observability is off the
+cached bundle is built against the null registry and every attribute is
+the shared no-op series.
+"""
+
+from __future__ import annotations
+
+from .metrics import get_registry
+
+#: Buckets for baseband slot occupancy (1/3/5-slot packets).
+SLOT_BUCKETS = (1.0, 3.0, 5.0)
+#: Buckets for baseband payloads per transfer (batch path).
+PAYLOAD_BUCKETS = (
+    10.0, 50.0, 100.0, 500.0, 1000.0, 5000.0, 10000.0, 50000.0, 100000.0,
+)
+
+
+class StackInstruments:
+    """Every stack metric family, label-bound where the schema is fixed."""
+
+    def __init__(self, registry) -> None:
+        # -- channel (Gilbert-Elliott radio link) ----------------------------
+        transitions = registry.counter(
+            "repro_channel_state_transitions_total",
+            "Gilbert-Elliott GOOD/BAD state transitions",
+            labels=("to",),
+        )
+        self.channel_to_bad = transitions.labels(to="bad")
+        self.channel_to_good = transitions.labels(to="good")
+        self.channel_bit_errors = registry.counter(
+            "repro_channel_bit_errors_total",
+            "Bit errors sampled onto packets (bit-accurate path)",
+        )
+        self.channel_burst_hits = registry.counter(
+            "repro_channel_burst_hits_total",
+            "Packets sampled while the channel was inside an error burst",
+        )
+
+        # -- baseband (ARQ, CRC/FEC, slots) ----------------------------------
+        self.baseband_payloads = registry.counter(
+            "repro_baseband_payloads_total",
+            "Baseband payloads delivered (bit-accurate path)",
+        )
+        self.baseband_retransmissions = registry.counter(
+            "repro_baseband_retransmissions_total",
+            "ARQ retransmissions (CRC/HEC failures)",
+        )
+        self.baseband_drops = registry.counter(
+            "repro_baseband_drops_total",
+            "Payloads dropped after the ARQ retransmit limit",
+        )
+        self.baseband_fec_corrections = registry.counter(
+            "repro_baseband_fec_corrections_total",
+            "Bit errors corrected by the (15,10) FEC",
+        )
+        self.baseband_slots = registry.histogram(
+            "repro_baseband_slot_occupancy",
+            "Slots occupied per transmitted packet",
+            buckets=SLOT_BUCKETS,
+        )
+        self.transfer_outcomes = registry.counter(
+            "repro_baseband_transfer_outcomes_total",
+            "Batch-analytic transfer outcomes",
+            labels=("status",),
+        )
+        self.transfer_payloads = registry.histogram(
+            "repro_baseband_transfer_payloads",
+            "Baseband payloads exchanged per batch transfer",
+            buckets=PAYLOAD_BUCKETS,
+        )
+
+        # -- L2CAP / BNEP ------------------------------------------------------
+        unexpected = registry.counter(
+            "repro_l2cap_unexpected_frames_total",
+            "Reassembly desyncs (unexpected start/continuation frames)",
+            labels=("kind",),
+        )
+        self.l2cap_unexpected_start = unexpected.labels(kind="start")
+        self.l2cap_unexpected_cont = unexpected.labels(kind="cont")
+        self.l2cap_reassembly_errors = registry.counter(
+            "repro_l2cap_reassembly_errors_total",
+            "Reassembler errors (with or without an owning layer)",
+        )
+        self.bnep_connections = registry.counter(
+            "repro_bnep_connections_total",
+            "BNEP connections added (bnepN interfaces created)",
+        )
+        self.bnep_errors = registry.counter(
+            "repro_bnep_errors_total",
+            "BNEP-layer failures",
+            labels=("kind",),
+        )
+
+        # -- fault injection ---------------------------------------------------
+        self.fault_injections = registry.counter(
+            "repro_faults_injected_total",
+            "Fault activations by user-level failure type",
+            labels=("failure",),
+        )
+        self.fault_evidence = registry.counter(
+            "repro_faults_evidence_entries_total",
+            "System-log evidence entries emitted for activated faults",
+            labels=("origin",),
+        )
+
+    def inject(self, failure) -> None:
+        """Count one fault activation of ``failure`` (a UserFailureType)."""
+        self.fault_injections.labels(failure=failure.name.lower()).inc()
+
+    def transfer_outcome(self, status: str) -> None:
+        """Count one batch-transfer outcome by status string."""
+        self.transfer_outcomes.labels(status=status).inc()
+
+
+_cached = None
+
+
+def stack_instruments() -> StackInstruments:
+    """The instrument bundle bound to the *currently active* registry.
+
+    Rebuilt whenever the active registry changes, so objects constructed
+    inside an observability activation bind to the live registry while
+    everything else keeps the cached null bundle.
+    """
+    global _cached
+    registry = get_registry()
+    if _cached is None or _cached[0] is not registry:
+        _cached = (registry, StackInstruments(registry))
+    return _cached[1]
+
+
+__all__ = ["StackInstruments", "stack_instruments", "SLOT_BUCKETS", "PAYLOAD_BUCKETS"]

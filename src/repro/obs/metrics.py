@@ -1,0 +1,343 @@
+"""Sim-time metrics: Counter / Gauge / Histogram families with labels.
+
+The paper's contribution is built on *counting things* — 356k failure
+data items, per-type failure shares, error-to-failure evidence weights.
+This module gives every stack layer a first-class way to count, without
+smuggling ad-hoc attributes around: a :class:`MetricsRegistry` hands out
+metric *families* (identified by a Prometheus-style name), each family
+hands out label-bound *children*, and children expose the usual
+``inc`` / ``set`` / ``observe`` verbs.
+
+Observability must cost nothing when nobody is watching.  The module
+keeps a process-wide *active registry* which defaults to a
+:class:`NullRegistry`: its families and children are shared no-op
+singletons, so an instrumented call site pays one attribute lookup and
+one empty method call.  Campaigns that want metrics activate a real
+registry for the duration of the run (see :class:`repro.obs.Observability`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Default histogram bucket upper bounds (generic magnitude ladder).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0,
+    1000.0, 2500.0, 5000.0, 10000.0,
+)
+
+
+class MetricError(ValueError):
+    """Raised on metric misuse (name collisions, bad labels)."""
+
+
+class _Child:
+    """One label-bound time series of a family."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (counters must only ever grow)."""
+        self.value += amount
+
+    def set(self, value: float) -> None:
+        """Set the current value (gauges)."""
+        self.value = float(value)
+
+    def set_max(self, value: float) -> None:
+        """Raise the value to ``value`` if larger (high-water marks)."""
+        if value > self.value:
+            self.value = float(value)
+
+
+class _HistogramChild:
+    """One label-bound histogram series: bucket counts, sum and count."""
+
+    __slots__ = ("buckets", "counts", "sum", "count")
+
+    def __init__(self, buckets: Sequence[float]) -> None:
+        self.buckets = tuple(buckets)
+        self.counts = [0] * (len(self.buckets) + 1)  # +1 for +Inf
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation into its bucket."""
+        self.sum += value
+        self.count += 1
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[index] += 1
+                return
+        self.counts[-1] += 1
+
+    def cumulative_counts(self) -> List[int]:
+        """Prometheus-style cumulative bucket counts (ends with +Inf)."""
+        total = 0
+        out = []
+        for n in self.counts:
+            total += n
+            out.append(total)
+        return out
+
+
+class MetricFamily:
+    """A named metric with a fixed label schema and typed children."""
+
+    KIND = "untyped"
+
+    def __init__(
+        self, name: str, help: str = "", labels: Sequence[str] = ()
+    ) -> None:
+        self.name = name
+        self.help = help
+        self.label_names = tuple(labels)
+        self._children: Dict[Tuple[str, ...], object] = {}
+
+    # -- child management ------------------------------------------------------
+
+    def _make_child(self) -> object:
+        return _Child()
+
+    def labels(self, **labels: str) -> object:
+        """The child bound to ``labels`` (created on first use)."""
+        if tuple(sorted(labels)) != tuple(sorted(self.label_names)):
+            raise MetricError(
+                f"{self.name}: expected labels {self.label_names}, got {tuple(labels)}"
+            )
+        key = tuple(str(labels[n]) for n in self.label_names)
+        child = self._children.get(key)
+        if child is None:
+            child = self._make_child()
+            self._children[key] = child
+        return child
+
+    def _default_child(self) -> object:
+        """The unlabelled child (only valid for label-less families)."""
+        if self.label_names:
+            raise MetricError(f"{self.name}: labels {self.label_names} required")
+        return self.labels()
+
+    def samples(self) -> Iterable[Tuple[Tuple[str, ...], object]]:
+        """All (label values, child) pairs recorded so far."""
+        return self._children.items()
+
+    # -- label-less shortcuts --------------------------------------------------
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Increment the unlabelled series."""
+        self._default_child().inc(amount)
+
+    def set(self, value: float) -> None:
+        """Set the unlabelled series."""
+        self._default_child().set(value)
+
+    def set_max(self, value: float) -> None:
+        """Raise the unlabelled series to ``value`` if larger."""
+        self._default_child().set_max(value)
+
+
+class Counter(MetricFamily):
+    """A monotonically increasing count (events, errors, bytes)."""
+
+    KIND = "counter"
+
+
+class Gauge(MetricFamily):
+    """A value that can go up and down (queue depth, open channels)."""
+
+    KIND = "gauge"
+
+
+class Histogram(MetricFamily):
+    """Bucketed observations (sizes, durations, slot counts)."""
+
+    KIND = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labels: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help, labels)
+        self.buckets = tuple(sorted(buckets))
+        if not self.buckets:
+            raise MetricError(f"{name}: histogram needs at least one bucket")
+
+    def _make_child(self) -> object:
+        return _HistogramChild(self.buckets)
+
+    def observe(self, value: float) -> None:
+        """Observe into the unlabelled series."""
+        self._default_child().observe(value)
+
+
+class MetricsRegistry:
+    """A collection of metric families with idempotent registration.
+
+    Asking twice for the same name returns the same family (the kind and
+    label schema must match), so independent stack objects can share one
+    series without coordination.
+    """
+
+    enabled = True
+
+    def __init__(self, namespace: str = "repro") -> None:
+        self.namespace = namespace
+        self._families: Dict[str, MetricFamily] = {}
+
+    def _register(self, cls, name: str, help: str, labels, **kwargs) -> MetricFamily:
+        existing = self._families.get(name)
+        if existing is not None:
+            if type(existing) is not cls or existing.label_names != tuple(labels):
+                raise MetricError(
+                    f"metric {name!r} re-registered with a different schema"
+                )
+            return existing
+        family = cls(name, help, labels, **kwargs)
+        self._families[name] = family
+        return family
+
+    def counter(self, name: str, help: str = "", labels: Sequence[str] = ()) -> Counter:
+        """Get or create a counter family."""
+        return self._register(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "", labels: Sequence[str] = ()) -> Gauge:
+        """Get or create a gauge family."""
+        return self._register(Gauge, name, help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        """Get or create a histogram family."""
+        return self._register(Histogram, name, help, labels, buckets=buckets)
+
+    def families(self) -> List[MetricFamily]:
+        """All registered families, in registration order."""
+        return list(self._families.values())
+
+    def get(self, name: str) -> Optional[MetricFamily]:
+        """Look a family up by name (None if never registered)."""
+        return self._families.get(name)
+
+    def value(self, name: str, **labels: str) -> float:
+        """Convenience: current value of one series (0.0 if absent)."""
+        family = self._families.get(name)
+        if family is None:
+            return 0.0
+        key = tuple(str(labels[n]) for n in family.label_names)
+        child = family._children.get(key)
+        if child is None:
+            return 0.0
+        if isinstance(child, _HistogramChild):
+            return float(child.count)
+        return child.value
+
+
+class _NullSeries:
+    """Shared no-op child: every verb is an empty method."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        """No-op."""
+
+    def set(self, value: float) -> None:
+        """No-op."""
+
+    def set_max(self, value: float) -> None:
+        """No-op."""
+
+    def observe(self, value: float) -> None:
+        """No-op."""
+
+    def labels(self, **labels: str) -> "_NullSeries":
+        """No-op (returns itself so chained calls stay free)."""
+        return self
+
+
+#: The shared no-op series every null family/child resolves to.
+NULL_SERIES = _NullSeries()
+
+
+class NullRegistry:
+    """Registry used when observability is off: hands out no-op series.
+
+    All factory methods return the same :data:`NULL_SERIES` singleton,
+    so disabled instrumentation costs one attribute lookup and one empty
+    call — the property the overhead benchmark holds the stack to.
+    """
+
+    enabled = False
+    namespace = "repro"
+
+    def counter(self, name: str, help: str = "", labels: Sequence[str] = ()) -> _NullSeries:
+        """A no-op counter."""
+        return NULL_SERIES
+
+    def gauge(self, name: str, help: str = "", labels: Sequence[str] = ()) -> _NullSeries:
+        """A no-op gauge."""
+        return NULL_SERIES
+
+    def histogram(self, name, help="", labels=(), buckets=DEFAULT_BUCKETS) -> _NullSeries:
+        """A no-op histogram."""
+        return NULL_SERIES
+
+    def families(self) -> List[MetricFamily]:
+        """Always empty."""
+        return []
+
+    def get(self, name: str) -> None:
+        """Always None."""
+        return None
+
+    def value(self, name: str, **labels: str) -> float:
+        """Always 0.0."""
+        return 0.0
+
+
+#: Module-level null registry: the default active registry.
+NULL_REGISTRY = NullRegistry()
+
+_active_registry = NULL_REGISTRY
+
+
+def get_registry():
+    """The currently active registry (a NullRegistry when obs is off)."""
+    return _active_registry
+
+
+def set_registry(registry) -> object:
+    """Install ``registry`` as the active one; returns the previous one.
+
+    Pass :data:`NULL_REGISTRY` (or the previous return value) to restore.
+    """
+    global _active_registry
+    previous = _active_registry
+    _active_registry = registry if registry is not None else NULL_REGISTRY
+    return previous
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "MetricError",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "NULL_SERIES",
+    "DEFAULT_BUCKETS",
+    "get_registry",
+    "set_registry",
+]

@@ -1,0 +1,227 @@
+"""Sim-time error-propagation tracing.
+
+The paper's Table 2 *infers* the error-to-failure relationship
+statistically, by coalescing log entries that land close together in
+time.  The tracer records the ground truth the inference is trying to
+recover: when the injector activates a fault it opens a *span*, each
+stack layer the error crosses appends an *event* (stamped with
+``Simulator.now``), and the BlueTest workload closes the span when it
+classifies the resulting user-level failure.  Exported as JSONL, a trace
+lets the relationship table be cross-checked against the observed
+propagation paths (see :func:`repro.obs.export.propagation_paths`).
+
+Like the metrics registry, the process-wide active tracer defaults to a
+no-op :class:`NullTracer`; campaigns activate a real one for the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+#: The stack layers a data-transfer fault crosses, bottom-up.
+STACK_LAYERS = ("channel", "baseband", "l2cap", "bnep")
+#: Layer name of the closing classification event.
+CLASSIFICATION_LAYER = "classification"
+
+
+@dataclass
+class Span:
+    """One traced fault: from injection to its failure classification."""
+
+    id: int
+    name: str
+    t_start: float
+    parent: Optional[int] = None
+    t_end: Optional[float] = None
+    status: Optional[str] = None
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSONL-ready representation (kind discriminator included)."""
+        return {
+            "kind": "span",
+            "id": self.id,
+            "parent": self.parent,
+            "name": self.name,
+            "t_start": self.t_start,
+            "t_end": self.t_end,
+            "status": self.status,
+            "attrs": dict(self.attrs),
+        }
+
+
+@dataclass
+class TraceEvent:
+    """One point event on a span (an error crossing one layer)."""
+
+    span: int
+    t: float
+    layer: str
+    what: str
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSONL-ready representation (kind discriminator included)."""
+        return {
+            "kind": "event",
+            "span": self.span,
+            "t": self.t,
+            "layer": self.layer,
+            "what": self.what,
+            "attrs": dict(self.attrs),
+        }
+
+
+class Tracer:
+    """Collects spans and events stamped with simulated time.
+
+    ``clock`` supplies the current sim time (wired to ``sim.now`` by
+    :meth:`repro.obs.Observability.activate`); records are capped at
+    ``max_records`` to bound memory on long campaigns — drops beyond the
+    cap are counted, never silent.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        clock: Optional[Callable[[], float]] = None,
+        max_records: int = 200_000,
+    ) -> None:
+        self._clock = clock or (lambda: 0.0)
+        self.max_records = max_records
+        self.spans: List[Span] = []
+        self.events: List[TraceEvent] = []
+        self.dropped = 0
+        self._next_id = 1
+        self._open: Dict[int, Span] = {}
+
+    def set_clock(self, clock: Callable[[], float]) -> None:
+        """Wire the sim-time source (e.g. ``lambda: sim.now``)."""
+        self._clock = clock
+
+    @property
+    def now(self) -> float:
+        """Current simulated time as the tracer sees it."""
+        return self._clock()
+
+    # -- recording -------------------------------------------------------------
+
+    def start_span(
+        self, name: str, parent: Optional[int] = None, **attrs: Any
+    ) -> int:
+        """Open a span; returns its id (0 when the record cap is hit)."""
+        if len(self.spans) + len(self.events) >= self.max_records:
+            self.dropped += 1
+            return 0
+        span = Span(
+            id=self._next_id,
+            name=name,
+            t_start=self._clock(),
+            parent=parent,
+            attrs=attrs,
+        )
+        self._next_id += 1
+        self.spans.append(span)
+        self._open[span.id] = span
+        return span.id
+
+    def event(self, span: int, layer: str, what: str, **attrs: Any) -> None:
+        """Record a point event on span ``span`` at the current sim time."""
+        if span <= 0:
+            return
+        if len(self.spans) + len(self.events) >= self.max_records:
+            self.dropped += 1
+            return
+        self.events.append(
+            TraceEvent(span=span, t=self._clock(), layer=layer, what=what, attrs=attrs)
+        )
+
+    def end_span(self, span: int, status: Optional[str] = None, **attrs: Any) -> None:
+        """Close a span, stamping its end time and final status."""
+        record = self._open.pop(span, None)
+        if record is None:
+            return
+        record.t_end = self._clock()
+        record.status = status
+        if attrs:
+            record.attrs.update(attrs)
+
+    # -- views -----------------------------------------------------------------
+
+    def open_spans(self) -> List[Span]:
+        """Spans started but never ended (still propagating at export)."""
+        return list(self._open.values())
+
+    def span_events(self, span_id: int) -> List[TraceEvent]:
+        """Events of one span, in recording (= sim time) order."""
+        return [e for e in self.events if e.span == span_id]
+
+    def children(self, span_id: int) -> List[Span]:
+        """Direct child spans of ``span_id``."""
+        return [s for s in self.spans if s.parent == span_id]
+
+    def to_records(self) -> List[Dict[str, Any]]:
+        """Every span and event as dicts, spans first, JSONL-ready."""
+        out = [s.to_dict() for s in self.spans]
+        out.extend(e.to_dict() for e in self.events)
+        return out
+
+
+class NullTracer:
+    """No-op tracer used when tracing is off."""
+
+    enabled = False
+    spans: List[Span] = []
+    events: List[TraceEvent] = []
+    dropped = 0
+
+    def set_clock(self, clock: Callable[[], float]) -> None:
+        """No-op."""
+
+    def start_span(self, name: str, parent: Optional[int] = None, **attrs: Any) -> int:
+        """Always 0 (the 'not traced' span id)."""
+        return 0
+
+    def event(self, span: int, layer: str, what: str, **attrs: Any) -> None:
+        """No-op."""
+
+    def end_span(self, span: int, status: Optional[str] = None, **attrs: Any) -> None:
+        """No-op."""
+
+    def to_records(self) -> List[Dict[str, Any]]:
+        """Always empty."""
+        return []
+
+
+#: Module-level null tracer: the default active tracer.
+NULL_TRACER = NullTracer()
+
+_active_tracer = NULL_TRACER
+
+
+def get_tracer():
+    """The currently active tracer (a NullTracer when tracing is off)."""
+    return _active_tracer
+
+
+def set_tracer(tracer) -> object:
+    """Install ``tracer`` as the active one; returns the previous one."""
+    global _active_tracer
+    previous = _active_tracer
+    _active_tracer = tracer if tracer is not None else NULL_TRACER
+    return previous
+
+
+__all__ = [
+    "Span",
+    "TraceEvent",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "STACK_LAYERS",
+    "CLASSIFICATION_LAYER",
+    "get_tracer",
+    "set_tracer",
+]

@@ -5,6 +5,7 @@ from .tables import (
     format_table,
     percent,
     render_dependability_table,
+    render_obs_summary,
     render_relationship_table,
     render_sira_table,
 )
@@ -18,4 +19,5 @@ __all__ = [
     "render_relationship_table",
     "render_sira_table",
     "render_dependability_table",
+    "render_obs_summary",
 ]

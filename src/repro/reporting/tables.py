@@ -148,6 +148,43 @@ def render_dependability_table(report) -> str:
     )
 
 
+def render_obs_summary(observability, top_metrics: int = 12) -> str:
+    """One-screen summary of an instrumented run.
+
+    Three sections: the busiest counters of the metrics registry, the
+    engine profiler's hottest callsites, and the fault-propagation paths
+    reconstructed from the trace.
+    """
+    from repro.obs.export import render_propagation_summary
+
+    sections: List[str] = []
+    registry = observability.registry
+    if registry.enabled:
+        rows = []
+        for family in registry.families():
+            if family.KIND != "counter":
+                continue
+            for values, child in sorted(family.samples()):
+                label_text = ",".join(
+                    f"{k}={v}" for k, v in zip(family.label_names, values)
+                )
+                name = f"{family.name}{{{label_text}}}" if label_text else family.name
+                rows.append((name, child.value))
+        rows.sort(key=lambda r: -r[1])
+        table_rows = [[name, f"{value:g}"] for name, value in rows[:top_metrics]]
+        if table_rows:
+            sections.append(
+                format_table(["Counter", "Value"], table_rows, title="Top counters")
+            )
+    profiler = observability.profiler
+    if profiler is not None and profiler.events_processed:
+        sections.append(profiler.render())
+    tracer = observability.tracer
+    if tracer.enabled and tracer.spans:
+        sections.append(render_propagation_summary(tracer))
+    return "\n\n".join(sections) if sections else "observability: nothing recorded"
+
+
 __all__ = [
     "format_table",
     "format_bar_chart",
@@ -155,4 +192,5 @@ __all__ = [
     "render_relationship_table",
     "render_sira_table",
     "render_dependability_table",
+    "render_obs_summary",
 ]

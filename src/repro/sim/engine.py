@@ -6,7 +6,17 @@ Determinism is guaranteed by a monotonically increasing sequence number
 used as a tie-breaker for events scheduled at the same instant.
 
 The engine knows nothing about Bluetooth; it only runs callbacks and
-generator-based processes (see :mod:`repro.sim.process`).
+generator-based processes (see :mod:`repro.sim.process`).  Two
+observability affordances are built in, both free when unused:
+
+* ``len(sim)`` / :meth:`Simulator.pending_events` are O(1) and count
+  only *live* events — cancelled-but-unpopped events (which linger in
+  the heap until their turn) are tracked separately via
+  :attr:`Simulator.cancelled_pending`, so queue-depth metrics do not
+  over-report.
+* :meth:`Simulator.set_profiler` installs a profiling hook (see
+  :class:`repro.obs.profile.EngineProfiler`); when none is installed
+  the hot loop pays a single ``is None`` check per event.
 """
 
 from __future__ import annotations
@@ -14,6 +24,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Any, Callable, Optional
 
 
@@ -28,6 +39,7 @@ class _ScheduledEvent:
     seq: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    popped: bool = field(default=False, compare=False)
 
 
 class EventHandle:
@@ -36,14 +48,22 @@ class EventHandle:
     Cancellation is O(1): the event is flagged and skipped when popped.
     """
 
-    __slots__ = ("_event",)
+    __slots__ = ("_event", "_sim")
 
-    def __init__(self, event: _ScheduledEvent) -> None:
+    def __init__(self, event: _ScheduledEvent, sim: "Optional[Simulator]" = None) -> None:
         self._event = event
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the event's callback from running.  Idempotent."""
-        self._event.cancelled = True
+        event = self._event
+        if event.cancelled:
+            return
+        event.cancelled = True
+        # Only events still in the heap count as cancelled-but-unpopped;
+        # cancelling after the event already ran changes nothing.
+        if self._sim is not None and not event.popped:
+            self._sim._cancelled += 1
 
     @property
     def cancelled(self) -> bool:
@@ -70,6 +90,8 @@ class Simulator:
         self._seq = itertools.count()
         self._running = False
         self._stopped = False
+        self._cancelled = 0  # cancelled events still lingering in the heap
+        self._profiler = None
 
     @property
     def now(self) -> float:
@@ -104,26 +126,53 @@ class Simulator:
             )
         event = _ScheduledEvent(time, priority, next(self._seq), callback)
         heapq.heappush(self._queue, event)
-        return EventHandle(event)
+        return EventHandle(event, self)
 
     def stop(self) -> None:
         """Stop the run loop after the current event completes."""
         self._stopped = True
 
+    def set_profiler(self, profiler) -> None:
+        """Install (or, with None, remove) the event-loop profiling hook.
+
+        The profiler must expose ``record(callback, wall_seconds,
+        queue_depth)``; see :class:`repro.obs.profile.EngineProfiler`.
+        With no profiler installed the loop pays one ``is None`` check.
+        """
+        self._profiler = profiler
+
+    @property
+    def profiler(self):
+        """The installed profiling hook, or None."""
+        return self._profiler
+
     def peek(self) -> Optional[float]:
         """Time of the next pending event, or None if the queue is empty."""
         while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)
+            heapq.heappop(self._queue).popped = True
+            self._cancelled -= 1
         return self._queue[0].time if self._queue else None
 
     def step(self) -> bool:
         """Run the single next event.  Returns False if the queue was empty."""
         while self._queue:
             event = heapq.heappop(self._queue)
+            event.popped = True
             if event.cancelled:
+                self._cancelled -= 1
                 continue
             self._now = event.time
-            event.callback()
+            profiler = self._profiler
+            if profiler is None:
+                event.callback()
+            else:
+                started = perf_counter()
+                event.callback()
+                profiler.record(
+                    event.callback,
+                    perf_counter() - started,
+                    len(self._queue) - self._cancelled,
+                )
             return True
         return False
 
@@ -164,8 +213,17 @@ class Simulator:
         return count
 
     def pending_events(self) -> int:
-        """Number of non-cancelled events still queued."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of non-cancelled events still queued.  O(1)."""
+        return len(self._queue) - self._cancelled
+
+    @property
+    def cancelled_pending(self) -> int:
+        """Cancelled events still lingering in the heap (not yet popped)."""
+        return self._cancelled
+
+    def __len__(self) -> int:
+        """Live (non-cancelled) events still queued."""
+        return self.pending_events()
 
 
 __all__ = ["Simulator", "EventHandle", "SimulationError"]

@@ -27,6 +27,7 @@ from repro.collection.logs import TestLog
 from repro.collection.messages import render_user_message
 from repro.collection.records import TestLogRecord
 from repro.core.failure_model import UserFailureType
+from repro.obs.trace import CLASSIFICATION_LAYER, get_tracer
 from repro.recovery.masking import MaskingPolicy, RetryMasker
 from repro.recovery.sira import RecoveryEngine
 from repro.sim import Simulator, Timeout, spawn
@@ -190,6 +191,8 @@ class BlueTestClient:
         return None
 
     def _record(self, error, params, packet_type, masked, attempts) -> None:
+        """Write the Test Log report and close the propagation trace."""
+        self._close_trace(error, masked)
         record = TestLogRecord(
             time=self.sim.now,
             node=self.test_log.node,  # "<testbed>:<host>", matching the system log
@@ -209,6 +212,27 @@ class BlueTestClient:
             recovery=attempts,
         )
         self.test_log.append(record)
+
+    def _close_trace(self, error: BTError, masked: bool) -> None:
+        """Stamp the user-level classification onto the error's trace span.
+
+        The classification event is the last hop of the propagation
+        chain (channel → baseband → L2CAP/BNEP → classification); the
+        span is then closed with the failure/masked verdict.
+        """
+        trace_id = getattr(error, "trace_id", 0)
+        tracer = get_tracer()
+        if not (tracer.enabled and trace_id):
+            return
+        failure = error.user_failure.name.lower()
+        tracer.event(
+            trace_id,
+            layer=CLASSIFICATION_LAYER,
+            what=failure,
+            node=self.node_name,
+            masked=masked,
+        )
+        tracer.end_span(trace_id, status="masked" if masked else "failure")
 
     def _recovery_side_effect(self, level: int) -> None:
         """State clearing applied as each SIRA level is attempted."""

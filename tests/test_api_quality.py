@@ -25,6 +25,7 @@ PACKAGES = [
     "repro.recovery",
     "repro.core",
     "repro.extensions",
+    "repro.obs",
     "repro.reporting",
 ]
 

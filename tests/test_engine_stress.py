@@ -136,6 +136,108 @@ class TestEngineStress:
         assert order == ["a", "b"]
 
 
+class TestEngineAccounting:
+    """pending_events/len must track live (non-cancelled) events exactly."""
+
+    def test_pending_events_excludes_cancelled(self):
+        sim = Simulator()
+        handles = [sim.schedule(float(i), lambda: None) for i in range(10)]
+        assert sim.pending_events() == 10
+        assert len(sim) == 10
+        for handle in handles[:4]:
+            handle.cancel()
+        assert sim.pending_events() == 6
+        assert sim.cancelled_pending == 4
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert sim.pending_events() == 0
+        assert sim.cancelled_pending == 1
+
+    def test_cancel_after_fire_does_not_corrupt_count(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.step()
+        handle.cancel()  # already popped: must not count as pending-cancelled
+        assert sim.cancelled_pending == 0
+        assert sim.pending_events() == 1
+
+    def test_peek_discards_cancelled_heads(self):
+        sim = Simulator()
+        first = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        first.cancel()
+        assert sim.peek() == 2.0
+        assert sim.cancelled_pending == 0
+        assert sim.pending_events() == 1
+
+
+class TestEngineProfiling:
+    """The profiler hook must observe the run without perturbing it."""
+
+    def _stress_run(self, profiler=None):
+        sim = Simulator()
+        if profiler is not None:
+            profiler.attach(sim)
+        rng = random.Random(42)
+        fired = []
+        handles = []
+        for i in range(2_000):
+            handles.append(
+                sim.schedule(rng.uniform(0, 100.0), lambda i=i: fired.append(i))
+            )
+        for handle in handles[::7]:
+            handle.cancel()
+        sim.run()
+        if profiler is not None:
+            profiler.detach(sim)
+        return fired
+
+    def test_profiler_counts_every_executed_event(self):
+        from repro.obs import EngineProfiler
+
+        profiler = EngineProfiler()
+        fired = self._stress_run(profiler)
+        assert profiler.events_processed == len(fired)
+        assert profiler.callback_seconds >= 0.0
+        assert profiler.queue_depth_hwm > 0
+        assert sum(s.calls for s in profiler.by_callsite.values()) == len(fired)
+
+    def test_profiler_does_not_perturb_event_order(self):
+        from repro.obs import EngineProfiler
+
+        plain = self._stress_run()
+        profiled = self._stress_run(EngineProfiler())
+        assert plain == profiled
+
+    def test_detach_restores_unhooked_stepping(self):
+        from repro.obs import EngineProfiler
+
+        sim = Simulator()
+        profiler = EngineProfiler()
+        profiler.attach(sim)
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        profiler.detach(sim)
+        assert sim.profiler is None
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        assert profiler.events_processed == 1  # second run not recorded
+
+    def test_profiler_render_names_callsites(self):
+        from repro.obs import EngineProfiler
+
+        profiler = EngineProfiler()
+        self._stress_run(profiler)
+        text = profiler.render()
+        assert "events processed" in text
+        assert "<lambda>" in text
+
+
 class TestSeedStability:
     """Campaign statistics must be stable across seeds — the property
     every band in EXPERIMENTS.md depends on."""
