@@ -15,7 +15,6 @@ Two bounds guard the tentpole's design promise:
 """
 
 import re
-from pathlib import Path
 
 from repro.core.campaign import run_campaign
 from repro.obs import Observability

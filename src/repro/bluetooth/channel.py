@@ -30,10 +30,10 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Optional
 
 from repro.obs.instruments import stack_instruments
-from .packets import PacketType, SLOT_SECONDS
+from .packets import PacketType
 
 
 def sample_poisson(rng: random.Random, mean: float) -> int:

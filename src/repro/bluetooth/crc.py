@@ -9,7 +9,7 @@ probability of an undetected error ("Data mismatch") is non-negligible.
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import List
 
 _POLY = 0x1021
 

@@ -14,7 +14,6 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Optional
 
 #: H4 packet-type indicator bytes.
 H4_COMMAND = 0x01

@@ -12,7 +12,7 @@ from __future__ import annotations
 import enum
 import itertools
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Generator, List, Optional
 
 from repro.collection.logs import SystemLog

@@ -16,7 +16,7 @@ mismatch.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Generator, Optional, Set
 
 from repro.collection.logs import SystemLog

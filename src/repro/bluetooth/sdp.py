@@ -10,7 +10,7 @@ source of PAN-connect failures).
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Generator, List, Optional
 
 from repro.sim import Timeout

@@ -12,8 +12,8 @@ modelled as distinct classes with real sequencing state.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional
 
 from repro.collection.logs import SystemLog
 from repro.core.failure_model import SystemFailureType

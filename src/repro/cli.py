@@ -3,6 +3,7 @@
 Main subcommands::
 
     repro-bt campaign --hours 24 --seed 7 --out results/   # run + dump
+    repro-bt sweep --seeds 8 --jobs 4 --out sweep/          # multi-seed pool
     repro-bt analyze results/                               # re-analyze a dump
     repro-bt report --hours 24 --seed 7                     # full paper report
     repro-bt obs --hours 8 --metrics-out m.txt              # instrumented run
@@ -13,7 +14,10 @@ rebuilds the analyses from a previous dump without re-simulating;
 ``report`` runs baseline + masked campaigns and prints the whole
 evaluation section to stdout; ``obs`` runs a fully instrumented campaign
 and prints the observability summary (metrics, engine profile, fault
-propagation paths).  ``campaign`` accepts ``--metrics-out`` /
+propagation paths); ``sweep`` replicates one campaign over N
+deterministically derived seeds on a process pool, checkpoints each
+shard, and writes the pooled mean/CI statistics table.  ``campaign``
+accepts ``--metrics-out`` /
 ``--trace-out`` to instrument a normal run; ``-v/-vv`` raises the
 logging verbosity everywhere.
 """
@@ -27,7 +31,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro import configure_logging
 from repro.collection.repository import CentralRepository
-from repro.core.campaign import CampaignResult, run_campaign
+from repro.core.campaign import CampaignSpec, run_campaign
 from repro.core.dependability import build_dependability_report
 from repro.core.distributions import packet_loss_by_connection_age
 from repro.obs import Observability
@@ -113,6 +117,61 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     print(text)
     _export_obs(obs, args)
     print(f"\nRepository and analysis written to {out}/")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Run a deterministic multi-seed sweep across a process pool."""
+    from repro.parallel import run_campaign_sweep
+
+    if args.seeds < 1:
+        print("--seeds must be >= 1", file=sys.stderr)
+        return 2
+    if args.jobs < 1:
+        print("--jobs must be >= 1", file=sys.stderr)
+        return 2
+    masking = MaskingPolicy.all_on() if args.masking else MaskingPolicy.all_off()
+    spec = CampaignSpec(
+        duration=args.hours * 3600.0, seed=args.seed, masking=masking
+    )
+    out = Path(args.out)
+
+    def progress(shard, reused: bool) -> None:
+        verb = "reused" if reused else "finished"
+        print(
+            f"  shard seed {shard.seed}: {verb} "
+            f"({shard.total_items} items, {shard.wall_time:.1f} s)"
+        )
+
+    print(
+        f"Sweeping {args.seeds} seeds x {args.hours:.0f} h "
+        f"(root seed {args.seed}, {args.jobs} job(s))..."
+    )
+    result = run_campaign_sweep(
+        args.seeds,
+        jobs=args.jobs,
+        spec=spec,
+        checkpoint_dir=out / "shards",
+        with_metrics=args.metrics_out is not None,
+        progress=progress,
+    )
+    text = result.render()
+    (out / "sweep.txt").write_text(text + "\n", encoding="utf-8")
+    result.repository.dump(out / "repository")
+    if args.metrics_out:
+        from repro.obs import render_prometheus
+
+        Path(args.metrics_out).write_text(
+            render_prometheus(result.metrics), encoding="utf-8"
+        )
+        print(f"Merged Prometheus metrics written to {args.metrics_out}")
+    print()
+    print(text)
+    print(
+        f"\n{len(result.shards)} shard(s) ({result.reused} reused) in "
+        f"{result.wall_time:.1f} s; sweep table, shard checkpoints and "
+        f"merged repository written to {out}/"
+    )
     return 0
 
 
@@ -208,6 +267,24 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--trace-out", default=None,
                           help="write the JSONL propagation trace here")
     campaign.set_defaults(func=cmd_campaign)
+
+    sweep = sub.add_parser(
+        "sweep", help="run a multi-seed sweep across a process pool"
+    )
+    sweep.add_argument("--hours", type=float, default=16.0)
+    sweep.add_argument("--seed", type=int, default=0,
+                       help="root seed the shard seeds derive from")
+    sweep.add_argument("--seeds", type=int, default=4,
+                       help="number of replicate campaigns to run")
+    sweep.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (1 = serial, same results)")
+    sweep.add_argument("--masking", action="store_true",
+                       help="enable the three masking strategies")
+    sweep.add_argument("--out", default="sweep_out",
+                       help="output + checkpoint directory (re-run to resume)")
+    sweep.add_argument("--metrics-out", default=None,
+                       help="write the merged Prometheus exposition here")
+    sweep.set_defaults(func=cmd_sweep)
 
     analyze = sub.add_parser("analyze", help="re-analyze a dumped repository")
     analyze.add_argument("directory")

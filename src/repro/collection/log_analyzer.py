@@ -10,7 +10,7 @@ in lock-step).
 
 from __future__ import annotations
 
-from typing import Generator, Optional
+from typing import Generator
 
 from repro.sim import Simulator, Timeout, spawn
 from .filtering import FilterStats, filter_system_records

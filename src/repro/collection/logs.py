@@ -14,7 +14,7 @@ from __future__ import annotations
 import json
 import random
 from pathlib import Path
-from typing import Callable, Generic, List, Optional, Sequence, TypeVar
+from typing import Generic, List, Optional, Sequence, TypeVar
 
 from repro.core.failure_model import SystemFailureType
 from .messages import facility_for, render_system_message

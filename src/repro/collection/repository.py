@@ -37,6 +37,26 @@ class CentralRepository:
         self._sorted = False
         return len(records)
 
+    def merge(self, other: "CentralRepository") -> "CentralRepository":
+        """Ingest every record of ``other`` into this repository.
+
+        The shard-merge primitive of :mod:`repro.parallel`: each sweep
+        worker ships its repository back as plain records, and the
+        aggregate repository is the union.  Returns ``self`` so merges
+        chain.
+        """
+        self.ingest_test(other._test)
+        self.ingest_system(other._system)
+        return self
+
+    @classmethod
+    def from_shards(cls, repositories: Sequence["CentralRepository"]) -> "CentralRepository":
+        """One repository holding every record of ``repositories``."""
+        merged = cls()
+        for repository in repositories:
+            merged.merge(repository)
+        return merged
+
     def _ensure_sorted(self) -> None:
         if not self._sorted:
             self._test.sort(key=lambda r: r.time)
@@ -110,6 +130,30 @@ class CentralRepository:
         }
 
     # -- persistence ---------------------------------------------------------
+
+    def to_payload(self) -> Dict[str, List[dict]]:
+        """The whole repository as plain JSON-able data.
+
+        Compact wire format for cross-process shipping (sweep shards)
+        and checkpoint files; :meth:`from_payload` round-trips it.
+        """
+        self._ensure_sorted()
+        return {
+            "test": [r.to_dict() for r in self._test],
+            "system": [r.to_dict() for r in self._system],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, List[dict]]) -> "CentralRepository":
+        """Rebuild a repository from :meth:`to_payload` data."""
+        repo = cls()
+        repo.ingest_test(
+            [TestLogRecord.from_dict(d) for d in payload.get("test", [])]
+        )
+        repo.ingest_system(
+            [SystemLogRecord.from_dict(d) for d in payload.get("system", [])]
+        )
+        return repo
 
     def dump(self, directory) -> None:
         """Persist the repository as two JSONL files in ``directory``."""

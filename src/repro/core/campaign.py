@@ -10,7 +10,7 @@ thousands of failure data items in seconds of CPU.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import contextlib
@@ -32,6 +32,61 @@ from repro.workload.traffic import (
 DAY = 86_400.0
 #: Default campaign length used by examples and benchmarks.
 DEFAULT_DURATION = 2 * DAY
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Everything one campaign replicate needs, as plain immutable data.
+
+    The spec is the unit shipped across process boundaries by the
+    :mod:`repro.parallel` sweep pool (every field pickles without
+    dragging a live simulator along) and the unit fingerprinted by
+    sweep checkpoints, so two invocations agree on whether a completed
+    shard can be reused.
+    """
+
+    duration: float = DEFAULT_DURATION
+    seed: int = 0
+    masking: MaskingPolicy = MaskingPolicy.all_off()
+    workloads: Tuple[str, ...] = ("random", "realistic")
+    profiles: Tuple[NodeProfile, ...] = ALL_PROFILES
+    hardware_replacement: bool = True
+
+    def with_seed(self, seed: int) -> "CampaignSpec":
+        """This spec re-rooted on another seed (all else equal)."""
+        return replace(self, seed=int(seed))
+
+    def run(self, observability: Optional[Observability] = None) -> "CampaignResult":
+        """Execute the campaign this spec describes."""
+        return run_campaign(
+            duration=self.duration,
+            seed=self.seed,
+            masking=self.masking,
+            workloads=self.workloads,
+            profiles=self.profiles,
+            hardware_replacement=self.hardware_replacement,
+            observability=observability,
+        )
+
+    def fingerprint_data(self) -> Dict[str, object]:
+        """Seed-independent identity of the run, as JSON-able data.
+
+        Sweep checkpoints hash this (together with the seed list) to
+        decide whether shard files on disk belong to the sweep being
+        resumed.  The seed is deliberately excluded: it varies per
+        shard within one sweep.
+        """
+        return {
+            "duration": self.duration,
+            "masking": {
+                "bind_wait": self.masking.bind_wait,
+                "retry": self.masking.retry,
+                "sdp_before_pan": self.masking.sdp_before_pan,
+            },
+            "workloads": list(self.workloads),
+            "profiles": [p.name for p in self.profiles],
+            "hardware_replacement": self.hardware_replacement,
+        }
 
 
 @dataclass
@@ -189,6 +244,7 @@ def run_connection_length_experiment(
 
 __all__ = [
     "CampaignResult",
+    "CampaignSpec",
     "run_campaign",
     "run_connection_length_experiment",
     "DAY",

@@ -17,7 +17,6 @@ The user thinking time is assumed zero, giving upper-bound figures.
 
 from __future__ import annotations
 
-import math
 import statistics
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence

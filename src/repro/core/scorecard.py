@@ -15,7 +15,7 @@ calibrated simulator rather than the authors' radios.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Dict, List
 
 from repro.collection.records import TestLogRecord
 from repro.faults.calibration import USER_FAILURE_SHARES

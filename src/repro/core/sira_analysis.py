@@ -10,7 +10,7 @@ is the failure's *severity*.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, Optional
 
 from repro.collection.records import TestLogRecord
 from repro.recovery.sira import SIRA_NAMES

@@ -20,11 +20,7 @@ from repro.reporting import (
 )
 from .classification import classification_report
 from .dependability import ScenarioMetrics, compute_scenario
-from .distributions import (
-    packet_loss_by_application,
-    packet_loss_by_connection_age,
-    workload_split,
-)
+from .distributions import packet_loss_by_application, workload_split
 from .failure_model import FailureModel
 from .relationship import RelationshipTable, build_relationship_table
 from .sira_analysis import SiraTable, build_sira_table
@@ -85,6 +81,59 @@ class AnalysisSummary:
         return "\n".join(sections)
 
 
+def campaign_statistics(
+    repository: CentralRepository,
+    node_nap_pairs: List[Tuple[str, str]],
+    duration: Optional[float] = None,
+) -> Dict[str, float]:
+    """The Table 1-4 statistics of one campaign, as a flat scalar dict.
+
+    This is the per-replicate view the sweep pool pools across seeds
+    (:mod:`repro.parallel`): every key is always present (absent
+    categories read 0.0) so shards from different seeds share one
+    schema, and every value is a plain float so the dict crosses
+    process boundaries and JSON checkpoints unchanged.  Key order is
+    deterministic — pooled tables render identically run to run.
+    """
+    from .failure_model import UserFailureType
+
+    records = [r for r in repository.test_records() if not r.masked]
+    totals = repository.summary()
+    stats: Dict[str, float] = {
+        "total_failure_data_items": float(totals["total_failure_data_items"]),
+        "user_level_reports": float(totals["user_level_reports"]),
+        "system_level_entries": float(totals["system_level_entries"]),
+        "unmasked_user_failures": float(len(records)),
+        "masked_user_failures": float(totals["user_level_reports"] - len(records)),
+    }
+    if duration:
+        stats["failures_per_day"] = len(records) / (duration / 86_400.0)
+    classification = classification_report(
+        repository.test_records(), repository.system_records()
+    )
+    stats["user_classified_pct"] = (
+        100.0 * classification["user_classified"] / classification["user_total"]
+        if classification["user_total"]
+        else 0.0
+    )
+    shares = build_relationship_table(repository, node_nap_pairs).shares()
+    for failure_type in UserFailureType:
+        stats[f"failure_share_pct.{failure_type.name}"] = shares.get(failure_type, 0.0)
+    if records:
+        metrics = compute_scenario(records, "siras")
+        stats["mttf_s"] = metrics.mttf
+        stats["mttr_s"] = metrics.mttr
+        stats["availability"] = metrics.availability
+        stats["coverage_pct"] = metrics.coverage_pct
+    else:
+        stats["mttf_s"] = stats["mttr_s"] = 0.0
+        stats["availability"] = stats["coverage_pct"] = 0.0
+    split = workload_split(records)
+    for testbed in ("random", "realistic"):
+        stats[f"workload_split_pct.{testbed}"] = split.get(testbed, 0.0)
+    return stats
+
+
 def summarize_repository(
     repository: CentralRepository,
     node_nap_pairs: List[Tuple[str, str]],
@@ -109,4 +158,4 @@ def summarize_repository(
     )
 
 
-__all__ = ["AnalysisSummary", "summarize_repository"]
+__all__ = ["AnalysisSummary", "campaign_statistics", "summarize_repository"]

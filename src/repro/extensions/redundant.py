@@ -14,8 +14,7 @@ amount of radio redundancy fixes a wedged host.
 
 from __future__ import annotations
 
-import random
-from typing import Dict, Generator, List, Optional
+from typing import Generator, List
 
 from repro.bluetooth.channel import Channel, ChannelConfig
 from repro.bluetooth.errors import BTError

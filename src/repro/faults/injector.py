@@ -25,7 +25,7 @@ from repro.obs.instruments import stack_instruments
 from repro.obs.trace import get_tracer
 from repro.sim.distributions import weighted_choice
 from . import calibration as cal
-from .calibration import DamageScope, Evidence, Origin
+from .calibration import Evidence
 
 
 @dataclass(frozen=True)

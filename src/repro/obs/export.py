@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Tuple
 
 from .metrics import Histogram, _HistogramChild
 from .trace import CLASSIFICATION_LAYER, Span, TraceEvent, Tracer
@@ -238,7 +238,6 @@ def cross_check_relationship(tracer, table) -> Dict[str, Any]:
     (``table.observed``) — the sanity check the paper could never run,
     because a physical testbed has no ground truth.
     """
-    from repro.core.failure_model import UserFailureType
 
     traced: Dict[str, int] = {}
     for span in tracer.spans:

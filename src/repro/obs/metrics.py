@@ -242,6 +242,92 @@ class MetricsRegistry:
             return float(child.count)
         return child.value
 
+    # -- cross-process merging ---------------------------------------------
+
+    def snapshot(self) -> Dict[str, dict]:
+        """Every family as plain JSON-able data.
+
+        The cross-process wire format of the sweep pool: each worker
+        snapshots its registry, the parent folds the snapshots back in
+        with :meth:`merge_snapshot`.  Series keys are the label-value
+        tuples, as lists.
+        """
+        families: Dict[str, dict] = {}
+        for family in self.families():
+            series = []
+            for key, child in sorted(family.samples()):
+                if isinstance(child, _HistogramChild):
+                    series.append(
+                        [
+                            list(key),
+                            {
+                                "counts": list(child.counts),
+                                "sum": child.sum,
+                                "count": child.count,
+                            },
+                        ]
+                    )
+                else:
+                    series.append([list(key), child.value])
+            entry = {
+                "kind": family.KIND,
+                "help": family.help,
+                "labels": list(family.label_names),
+                "series": series,
+            }
+            if isinstance(family, Histogram):
+                entry["buckets"] = list(family.buckets)
+            families[family.name] = entry
+        return families
+
+    def merge_snapshot(self, snapshot: Dict[str, dict]) -> "MetricsRegistry":
+        """Fold one :meth:`snapshot` into this registry.
+
+        Counters and histograms are additive (sums, counts and bucket
+        tallies add); gauges keep the element-wise maximum — across
+        shards the only meaningful pooled gauge reading is the
+        high-water mark.  Families absent here are created; schema
+        mismatches raise :class:`MetricError`.  Returns ``self`` so
+        merges chain.
+        """
+        for name, entry in snapshot.items():
+            kind = entry["kind"]
+            labels = tuple(entry["labels"])
+            if kind == Counter.KIND:
+                family = self.counter(name, entry.get("help", ""), labels)
+            elif kind == Gauge.KIND:
+                family = self.gauge(name, entry.get("help", ""), labels)
+            elif kind == Histogram.KIND:
+                family = self.histogram(
+                    name, entry.get("help", ""), labels, buckets=entry["buckets"]
+                )
+            else:
+                raise MetricError(f"{name}: cannot merge metric kind {kind!r}")
+            for key, value in entry["series"]:
+                child = family.labels(**dict(zip(labels, key)))
+                if kind == Histogram.KIND:
+                    if len(child.counts) != len(value["counts"]):
+                        raise MetricError(
+                            f"{name}: histogram bucket layouts differ across shards"
+                        )
+                    for index, count in enumerate(value["counts"]):
+                        child.counts[index] += count
+                    child.sum += value["sum"]
+                    child.count += value["count"]
+                elif kind == Counter.KIND:
+                    child.inc(value)
+                else:
+                    child.set_max(value)
+        return self
+
+
+def merge_snapshots(snapshots: Iterable[Dict[str, dict]]) -> MetricsRegistry:
+    """One registry holding the merge of every snapshot."""
+    registry = MetricsRegistry()
+    for snapshot in snapshots:
+        registry.merge_snapshot(snapshot)
+    return registry
+
 
 class _NullSeries:
     """Shared no-op child: every verb is an empty method."""
@@ -304,6 +390,14 @@ class NullRegistry:
         """Always 0.0."""
         return 0.0
 
+    def snapshot(self) -> Dict[str, dict]:
+        """Always empty."""
+        return {}
+
+    def merge_snapshot(self, snapshot: Dict[str, dict]) -> "NullRegistry":
+        """No-op (snapshots cannot merge into the null registry)."""
+        return self
+
 
 #: Module-level null registry: the default active registry.
 NULL_REGISTRY = NullRegistry()
@@ -340,4 +434,5 @@ __all__ = [
     "DEFAULT_BUCKETS",
     "get_registry",
     "set_registry",
+    "merge_snapshots",
 ]

@@ -1,0 +1,51 @@
+"""Parallel multi-seed campaign sweeps.
+
+Multi-seed replication is what makes the reproduced Tables 1-4
+statistically defensible, and a serial 18-month replay is the wall-clock
+bottleneck.  This package shards replicate campaigns across a process
+pool with three hard guarantees, all pinned by tests:
+
+* **Deterministic sharding** — shard seeds derive from the root seed
+  alone (:mod:`~repro.parallel.seeds`), so the same sweep at ``jobs=1``
+  and ``jobs=4`` produces byte-identical merged tables.
+* **Canonical merging** — shards fold in ascending-seed order and the
+  pooled mean/CI reductions use correctly rounded sums
+  (:mod:`~repro.parallel.stats`), so seed *ordering* cannot change a
+  result either.
+* **Resumability** — each completed shard is checkpointed to disk
+  (:mod:`~repro.parallel.checkpoint`); an interrupted sweep re-invoked
+  over the same directory recomputes only the missing shards.
+
+Typical use::
+
+    from repro.core.campaign import CampaignSpec, DAY
+    from repro.parallel import run_campaign_sweep
+
+    result = run_campaign_sweep(
+        seeds=8, jobs=4, spec=CampaignSpec(duration=2 * DAY, seed=77),
+        checkpoint_dir="sweep_out/shards",
+    )
+    print(result.render())
+"""
+
+from .checkpoint import SweepCheckpoint, sweep_fingerprint
+from .seeds import resolve_seeds, shard_seed, shard_seeds
+from .shard import ShardResult, run_shard
+from .stats import PooledStat, pool_statistics, pool_values, t_critical_95
+from .sweep import SweepResult, run_campaign_sweep
+
+__all__ = [
+    "PooledStat",
+    "ShardResult",
+    "SweepCheckpoint",
+    "SweepResult",
+    "pool_statistics",
+    "pool_values",
+    "resolve_seeds",
+    "run_campaign_sweep",
+    "run_shard",
+    "shard_seed",
+    "shard_seeds",
+    "sweep_fingerprint",
+    "t_critical_95",
+]

@@ -1,0 +1,53 @@
+"""Deterministic per-shard seed derivation.
+
+A sweep is identified by one *root seed*; each replicate (shard) runs on
+a child seed derived from it with the same SHA-256 scheme the testbed
+uses for its named substreams (:func:`repro.sim.rng.derive_seed`).  The
+derivation depends only on the root seed and the shard index, never on
+worker count, submission order or wall clock — the property every
+determinism guarantee of :mod:`repro.parallel` rests on.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple, Union
+
+from repro.sim.rng import derive_seed
+
+#: Shard seeds are folded into 48 bits so they stay exact in JSON
+#: checkpoints and readable in file names.
+_SEED_BITS = 48
+
+
+def shard_seed(root_seed: int, index: int) -> int:
+    """The seed of shard ``index`` of a sweep rooted at ``root_seed``."""
+    return derive_seed(int(root_seed), f"sweep/shard/{int(index)}") % (1 << _SEED_BITS)
+
+
+def shard_seeds(root_seed: int, count: int) -> Tuple[int, ...]:
+    """The first ``count`` shard seeds of a sweep rooted at ``root_seed``."""
+    if count < 1:
+        raise ValueError("a sweep needs at least one seed")
+    return tuple(shard_seed(root_seed, index) for index in range(count))
+
+
+def resolve_seeds(
+    seeds: Union[int, Sequence[int]], root_seed: int
+) -> Tuple[int, ...]:
+    """Normalize a ``seeds`` argument into an explicit seed tuple.
+
+    An ``int`` asks for that many derived shard seeds; a sequence is
+    taken verbatim (deduplicated seeds would silently halve the sweep,
+    so duplicates are rejected).
+    """
+    if isinstance(seeds, int):
+        return shard_seeds(root_seed, seeds)
+    resolved = tuple(int(seed) for seed in seeds)
+    if not resolved:
+        raise ValueError("a sweep needs at least one seed")
+    if len(set(resolved)) != len(resolved):
+        raise ValueError(f"duplicate seeds in sweep: {sorted(resolved)}")
+    return resolved
+
+
+__all__ = ["shard_seed", "shard_seeds", "resolve_seeds"]

@@ -1,0 +1,167 @@
+"""One sweep shard: run a campaign replicate, ship a compact summary.
+
+A live :class:`~repro.core.campaign.CampaignResult` drags the whole
+simulator object graph along (testbeds, stacks, scheduled callbacks) —
+far too heavy, and not picklable, for crossing a process boundary.
+:class:`ShardResult` is the wire format instead: the repository as plain
+records, aggregated cycle statistics, the metrics snapshot, and the
+per-seed Table 1-4 scalars, all JSON-able so the same payload serves the
+process pool *and* the on-disk checkpoint files.
+
+:func:`run_shard` is the pool's worker entry point and is deliberately a
+module-level function: it must be importable by name under every
+multiprocessing start method (fork, spawn, forkserver).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.collection.repository import CentralRepository
+from repro.core.campaign import CampaignResult, CampaignSpec
+from repro.core.summary import campaign_statistics
+
+#: Version tag of the shard payload schema; bumped on layout changes so
+#: stale checkpoint files are recomputed instead of mis-parsed.
+PAYLOAD_VERSION = 1
+
+
+@dataclass
+class ShardResult:
+    """Everything one campaign replicate contributes to a sweep."""
+
+    seed: int
+    duration: float
+    #: Wall-clock seconds the replicate took inside its worker.
+    wall_time: float
+    #: The central repository as :meth:`CentralRepository.to_payload` data.
+    repository_payload: Dict[str, List[dict]]
+    #: (PANU, NAP) log-identifier pairs, for relationship analyses.
+    node_nap_pairs: List[Tuple[str, str]]
+    #: Aggregated per-testbed cycle statistics (client stats summed).
+    cycle_stats: Dict[str, Dict[str, object]]
+    #: Flat Table 1-4 scalars (see :func:`campaign_statistics`).
+    statistics: Dict[str, float]
+    #: Metrics registry snapshot (empty when the shard ran unmetered).
+    metrics: Dict[str, dict] = field(default_factory=dict)
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_campaign(
+        cls, result: CampaignResult, wall_time: float = 0.0
+    ) -> "ShardResult":
+        """Summarize a finished campaign into shippable form."""
+        pairs = result.node_nap_pairs()
+        metrics: Dict[str, dict] = {}
+        if result.observability is not None:
+            metrics = result.observability.registry.snapshot()
+        return cls(
+            seed=result.seed,
+            duration=result.duration,
+            wall_time=wall_time,
+            repository_payload=result.repository.to_payload(),
+            node_nap_pairs=[tuple(pair) for pair in pairs],
+            cycle_stats=_aggregate_cycle_stats(result),
+            statistics=campaign_statistics(
+                result.repository, pairs, result.duration
+            ),
+            metrics=metrics,
+        )
+
+    # -- views ---------------------------------------------------------------
+
+    def repository(self) -> CentralRepository:
+        """This shard's repository, rebuilt from the payload."""
+        return CentralRepository.from_payload(self.repository_payload)
+
+    @property
+    def total_items(self) -> int:
+        return int(self.statistics.get("total_failure_data_items", 0.0))
+
+    # -- persistence ---------------------------------------------------------
+
+    def to_payload(self) -> dict:
+        """The shard as plain JSON-able data (checkpoint format)."""
+        return {
+            "version": PAYLOAD_VERSION,
+            "seed": self.seed,
+            "duration": self.duration,
+            "wall_time": self.wall_time,
+            "repository": self.repository_payload,
+            "node_nap_pairs": [list(pair) for pair in self.node_nap_pairs],
+            "cycle_stats": self.cycle_stats,
+            "statistics": self.statistics,
+            "metrics": self.metrics,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ShardResult":
+        """Rebuild a shard from :meth:`to_payload` data."""
+        if payload.get("version") != PAYLOAD_VERSION:
+            raise ValueError(
+                f"shard payload version {payload.get('version')!r} "
+                f"!= {PAYLOAD_VERSION}"
+            )
+        return cls(
+            seed=int(payload["seed"]),
+            duration=float(payload["duration"]),
+            wall_time=float(payload["wall_time"]),
+            repository_payload=payload["repository"],
+            node_nap_pairs=[tuple(pair) for pair in payload["node_nap_pairs"]],
+            cycle_stats=payload["cycle_stats"],
+            statistics=payload["statistics"],
+            metrics=payload.get("metrics", {}),
+        )
+
+
+def _aggregate_cycle_stats(result: CampaignResult) -> Dict[str, Dict[str, object]]:
+    """Sum every client's cycle counters, per testbed."""
+    aggregated: Dict[str, Dict[str, object]] = {}
+    for name in sorted(result.testbeds):
+        cycles_by_type: Dict[str, int] = {}
+        entry: Dict[str, object] = {
+            "cycles": 0,
+            "failures": 0,
+            "masked": 0,
+            "idle_ok_sum": 0.0,
+            "idle_ok_count": 0,
+            "idle_fail_sum": 0.0,
+            "idle_fail_count": 0,
+        }
+        for stats in result.client_stats(name):
+            entry["cycles"] += stats.cycles
+            entry["failures"] += stats.failures
+            entry["masked"] += stats.masked
+            entry["idle_ok_sum"] += stats.idle_ok_sum
+            entry["idle_ok_count"] += stats.idle_ok_count
+            entry["idle_fail_sum"] += stats.idle_fail_sum
+            entry["idle_fail_count"] += stats.idle_fail_count
+            for key, count in stats.cycles_by_packet_type.items():
+                cycles_by_type[key] = cycles_by_type.get(key, 0) + count
+        entry["cycles_by_packet_type"] = dict(sorted(cycles_by_type.items()))
+        aggregated[name] = entry
+    return aggregated
+
+
+def run_shard(spec: CampaignSpec, with_metrics: bool = False) -> ShardResult:
+    """Run one campaign replicate and summarize it — the pool worker.
+
+    ``with_metrics`` attaches a metrics-only
+    :class:`~repro.obs.Observability` bundle (no tracer, no profiler:
+    those do not merge across processes) and ships the registry
+    snapshot back on the shard.
+    """
+    observability: Optional[object] = None
+    if with_metrics:
+        from repro.obs import Observability
+
+        observability = Observability(metrics=True, tracing=False, profiling=False)
+    started = time.perf_counter()
+    result = spec.run(observability=observability)
+    return ShardResult.from_campaign(result, wall_time=time.perf_counter() - started)
+
+
+__all__ = ["PAYLOAD_VERSION", "ShardResult", "run_shard"]

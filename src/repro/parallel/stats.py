@@ -1,0 +1,94 @@
+"""Pooling replicate statistics: mean and confidence interval per key.
+
+The sweep follows the replication method dependability simulators use
+for their confidence intervals: N independent seeded replicates, a
+Student-t interval over the per-replicate statistic.  All reductions go
+through :func:`math.fsum`, which returns the correctly rounded sum —
+the pooled numbers are therefore *bit-identical regardless of shard
+order*, one of the determinism guarantees the sweep tests pin down.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+#: Two-sided 95% Student-t critical values by degrees of freedom; the
+#: normal quantile 1.960 takes over past df=30.
+_T_95 = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571,
+    6: 2.447, 7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228,
+    11: 2.201, 12: 2.179, 13: 2.160, 14: 2.145, 15: 2.131,
+    16: 2.120, 17: 2.110, 18: 2.101, 19: 2.093, 20: 2.086,
+    21: 2.080, 22: 2.074, 23: 2.069, 24: 2.064, 25: 2.060,
+    26: 2.056, 27: 2.052, 28: 2.048, 29: 2.045, 30: 2.042,
+}
+
+
+def t_critical_95(df: int) -> float:
+    """Two-sided 95% t critical value for ``df`` degrees of freedom."""
+    if df < 1:
+        return 0.0
+    return _T_95.get(df, 1.960)
+
+
+@dataclass(frozen=True)
+class PooledStat:
+    """One statistic pooled over the sweep's replicates."""
+
+    mean: float
+    #: Half-width of the two-sided 95% confidence interval (0 for n=1).
+    ci95: float
+    std: float
+    minimum: float
+    maximum: float
+    n: int
+
+
+def pool_values(values: Sequence[float]) -> PooledStat:
+    """Mean / 95% CI / spread of one statistic's per-seed values."""
+    n = len(values)
+    if n == 0:
+        raise ValueError("cannot pool zero replicates")
+    mean = math.fsum(values) / n
+    if n > 1:
+        variance = math.fsum((v - mean) ** 2 for v in values) / (n - 1)
+        std = math.sqrt(variance)
+        ci95 = t_critical_95(n - 1) * std / math.sqrt(n)
+    else:
+        std = ci95 = 0.0
+    return PooledStat(
+        mean=mean,
+        ci95=ci95,
+        std=std,
+        minimum=min(values),
+        maximum=max(values),
+        n=n,
+    )
+
+
+def pool_statistics(
+    per_seed: Sequence[Dict[str, float]]
+) -> Dict[str, PooledStat]:
+    """Pool every statistic key across replicate dicts.
+
+    Keys follow the first replicate's order (the schema is fixed by
+    :func:`repro.core.summary.campaign_statistics`, so all replicates
+    agree); a key missing from any replicate is a schema violation and
+    raises.
+    """
+    if not per_seed:
+        return {}
+    pooled: Dict[str, PooledStat] = {}
+    for key in per_seed[0]:
+        values: List[float] = []
+        for stats in per_seed:
+            if key not in stats:
+                raise ValueError(f"replicate missing statistic {key!r}")
+            values.append(float(stats[key]))
+        pooled[key] = pool_values(values)
+    return pooled
+
+
+__all__ = ["PooledStat", "pool_statistics", "pool_values", "t_critical_95"]

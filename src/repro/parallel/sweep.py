@@ -1,0 +1,255 @@
+"""The multi-seed campaign sweep orchestrator.
+
+The paper's statistics come from one 18-month deployment; statistically
+defensible reproduction needs *replicates* — the same campaign re-run on
+independent seeds, pooled into mean / confidence-interval views of the
+Table 1-4 numbers.  :func:`run_campaign_sweep` is that harness:
+
+* shard seeds derive deterministically from the root seed
+  (:mod:`repro.parallel.seeds`) — never from worker count or timing;
+* shards run on a :class:`concurrent.futures.ProcessPoolExecutor`
+  (``jobs=1`` bypasses the pool entirely and runs in-process);
+* each shard ships back a compact :class:`~repro.parallel.shard.ShardResult`
+  and is checkpointed to disk as it completes, so an interrupted sweep
+  resumes instead of recomputing;
+* merging is canonical — shards are folded in ascending-seed order and
+  pooled reductions use correctly rounded sums — so the merged tables
+  are byte-identical at any ``jobs`` and for any ordering of ``seeds``.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro import get_logger
+from repro.collection.repository import CentralRepository
+from repro.core.campaign import CampaignSpec
+from repro.obs.metrics import MetricsRegistry, merge_snapshots
+
+from .checkpoint import SweepCheckpoint, sweep_fingerprint
+from .seeds import resolve_seeds
+from .shard import ShardResult, run_shard
+from .stats import PooledStat, pool_statistics
+
+log = get_logger("parallel.sweep")
+
+#: Per-seed summary columns of the rendered sweep report.  Wall-clock
+#: timing is deliberately absent: render output must be byte-identical
+#: across runs and job counts (timing lives on the shards themselves).
+_PER_SEED_HEADER = (
+    f"{'seed':>16}  {'items':>8}  {'user':>7}  {'unmasked':>8}  "
+    f"{'MTTF(s)':>10}  {'avail':>7}"
+)
+
+
+@dataclass
+class SweepResult:
+    """Everything a multi-seed sweep produced, merged canonically."""
+
+    spec: CampaignSpec
+    #: Seeds in the order they were requested.
+    seeds: Tuple[int, ...]
+    #: Shards in canonical (ascending-seed) order — the merge order.
+    shards: List[ShardResult]
+    jobs: int
+    wall_time: float
+    #: How many shards were reused from the checkpoint instead of run.
+    reused: int = 0
+    _repository: Optional[CentralRepository] = field(
+        default=None, repr=False, compare=False
+    )
+
+    # -- merged views --------------------------------------------------------
+
+    @property
+    def repository(self) -> CentralRepository:
+        """All shards' records in one repository (union, cached)."""
+        if self._repository is None:
+            merged = CentralRepository()
+            for shard in self.shards:
+                merged.merge(shard.repository())
+            self._repository = merged
+        return self._repository
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """All shards' metric snapshots merged into one registry."""
+        return merge_snapshots(shard.metrics for shard in self.shards)
+
+    def node_nap_pairs(self) -> List[Tuple[str, str]]:
+        """Distinct (PANU, NAP) pairs across shards, in merge order."""
+        pairs: List[Tuple[str, str]] = []
+        seen = set()
+        for shard in self.shards:
+            for pair in shard.node_nap_pairs:
+                if pair not in seen:
+                    seen.add(pair)
+                    pairs.append(pair)
+        return pairs
+
+    def merged_cycle_stats(self) -> Dict[str, Dict[str, object]]:
+        """Per-testbed cycle counters summed across every shard."""
+        merged: Dict[str, Dict[str, object]] = {}
+        for shard in self.shards:
+            for testbed, entry in shard.cycle_stats.items():
+                into = merged.setdefault(
+                    testbed,
+                    {
+                        "cycles": 0,
+                        "failures": 0,
+                        "masked": 0,
+                        "idle_ok_sum": 0.0,
+                        "idle_ok_count": 0,
+                        "idle_fail_sum": 0.0,
+                        "idle_fail_count": 0,
+                        "cycles_by_packet_type": {},
+                    },
+                )
+                for key in (
+                    "cycles", "failures", "masked",
+                    "idle_ok_sum", "idle_ok_count",
+                    "idle_fail_sum", "idle_fail_count",
+                ):
+                    into[key] += entry[key]
+                by_type = into["cycles_by_packet_type"]
+                for name, count in entry["cycles_by_packet_type"].items():
+                    by_type[name] = by_type.get(name, 0) + count
+        return merged
+
+    # -- pooled statistics ---------------------------------------------------
+
+    def per_seed_statistics(self) -> List[Tuple[int, Dict[str, float]]]:
+        """(seed, Table 1-4 scalars) per shard, in canonical order."""
+        return [(shard.seed, shard.statistics) for shard in self.shards]
+
+    def pooled(self) -> Dict[str, PooledStat]:
+        """Mean / 95% CI of every statistic across the replicates."""
+        return pool_statistics([shard.statistics for shard in self.shards])
+
+    # -- rendering -----------------------------------------------------------
+
+    def render_statistics(self) -> str:
+        """The pooled Table 1-4 statistics as a fixed-width table.
+
+        Deterministic to the byte for a given spec + seed set: shard
+        order and job count cannot change a character of it.
+        """
+        lines = [
+            f"{'statistic':<42}  {'mean':>14}  {'95% CI':>12}  "
+            f"{'min':>14}  {'max':>14}"
+        ]
+        for key, stat in self.pooled().items():
+            lines.append(
+                f"{key:<42}  {stat.mean:>14.4f}  ±{stat.ci95:>11.4f}  "
+                f"{stat.minimum:>14.4f}  {stat.maximum:>14.4f}"
+            )
+        return "\n".join(lines)
+
+    def render(self) -> str:
+        """Per-seed summary plus the pooled statistics table."""
+        mask = "on" if self.spec.masking.any_enabled else "off"
+        lines = [
+            f"Campaign sweep: {len(self.shards)} seeds x "
+            f"{self.spec.duration:.0f} s simulated, masking {mask} "
+            f"(root seed {self.spec.seed})",
+            "",
+            _PER_SEED_HEADER,
+        ]
+        for shard in self.shards:
+            stats = shard.statistics
+            lines.append(
+                f"{shard.seed:>16}  {shard.total_items:>8}  "
+                f"{int(stats['user_level_reports']):>7}  "
+                f"{int(stats['unmasked_user_failures']):>8}  "
+                f"{stats['mttf_s']:>10.1f}  {stats['availability']:>7.4f}"
+            )
+        lines.append("")
+        lines.append(self.render_statistics())
+        return "\n".join(lines)
+
+
+def run_campaign_sweep(
+    seeds: Union[int, Sequence[int]],
+    jobs: int = 1,
+    spec: Optional[CampaignSpec] = None,
+    checkpoint_dir=None,
+    with_metrics: bool = False,
+    progress: Optional[Callable[[ShardResult, bool], None]] = None,
+) -> SweepResult:
+    """Run one campaign replicate per seed, in parallel, and merge.
+
+    ``seeds`` is either a count (shard seeds are then derived from
+    ``spec.seed``) or an explicit seed sequence.  ``jobs`` caps the
+    worker processes; ``jobs=1`` runs serially in-process and produces
+    *the same result to the byte*.  With ``checkpoint_dir``, completed
+    shards are written there as they finish and a re-invocation reuses
+    every shard whose file matches the sweep fingerprint.  ``progress``
+    (if given) is called with ``(shard, reused)`` as each shard becomes
+    available.
+    """
+    if spec is None:
+        spec = CampaignSpec()
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    resolved = resolve_seeds(seeds, spec.seed)
+
+    checkpoint: Optional[SweepCheckpoint] = None
+    if checkpoint_dir is not None:
+        checkpoint = SweepCheckpoint(
+            checkpoint_dir, sweep_fingerprint(spec, with_metrics)
+        )
+        checkpoint.write_manifest(resolved, spec.seed)
+
+    started = time.perf_counter()
+    shards: Dict[int, ShardResult] = {}
+    reused = 0
+    if checkpoint is not None:
+        for seed in resolved:
+            loaded = checkpoint.load(seed)
+            if loaded is not None:
+                shards[seed] = loaded
+                reused += 1
+                if progress is not None:
+                    progress(loaded, True)
+    pending = [seed for seed in resolved if seed not in shards]
+    if reused:
+        log.info("sweep: reusing %d checkpointed shard(s)", reused)
+
+    def _complete(shard: ShardResult) -> None:
+        shards[shard.seed] = shard
+        if checkpoint is not None:
+            checkpoint.store(shard)
+        if progress is not None:
+            progress(shard, False)
+
+    if jobs == 1 or len(pending) <= 1:
+        for seed in pending:
+            _complete(run_shard(spec.with_seed(seed), with_metrics))
+    else:
+        workers = min(jobs, len(pending))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(run_shard, spec.with_seed(seed), with_metrics): seed
+                for seed in pending
+            }
+            remaining = set(futures)
+            while remaining:
+                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in done:
+                    _complete(future.result())
+
+    ordered = [shards[seed] for seed in sorted(resolved)]
+    return SweepResult(
+        spec=spec,
+        seeds=resolved,
+        shards=ordered,
+        jobs=jobs,
+        wall_time=time.perf_counter() - started,
+        reused=reused,
+    )
+
+
+__all__ = ["SweepResult", "run_campaign_sweep"]

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Generator, Optional
+from typing import Generator
 
 from repro.core.failure_model import UserFailureType
 from repro.faults import calibration as cal

@@ -7,7 +7,7 @@ paper's evaluation section.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 
 def format_table(

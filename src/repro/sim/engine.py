@@ -25,7 +25,7 @@ import heapq
 import itertools
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Any, Callable, Optional
+from typing import Callable, Optional
 
 
 class SimulationError(RuntimeError):

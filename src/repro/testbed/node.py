@@ -14,7 +14,7 @@ testbeds' same-named machines stay distinguishable in the repository.
 from __future__ import annotations
 
 import random
-from typing import Generator, List, Optional
+from typing import Generator, Optional
 
 from repro.bluetooth.channel import Channel, ChannelConfig
 from repro.bluetooth.pan import NapService

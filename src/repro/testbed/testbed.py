@@ -10,7 +10,7 @@ synchronous stack reset on every node.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from repro.bluetooth.channel import ChannelConfig
 from repro.collection.repository import CentralRepository

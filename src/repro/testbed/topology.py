@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import List, Sequence
 
 from repro.reporting.tables import format_table
-from .nodes import ALL_PROFILES, NodeProfile, PANU_PROFILES
+from .nodes import ALL_PROFILES, NodeProfile
 
 
 def render_machine_table(profiles: Sequence[NodeProfile] = ALL_PROFILES) -> str:

@@ -19,14 +19,13 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, Generator, Optional
 
-from repro.bluetooth.errors import BTError, PacketLossError
+from repro.bluetooth.errors import BTError
 from repro.bluetooth.packets import PacketType
 from repro.bluetooth.pan import PanConnection
 from repro.bluetooth.stack import BluetoothStack
 from repro.collection.logs import TestLog
 from repro.collection.messages import render_user_message
 from repro.collection.records import TestLogRecord
-from repro.core.failure_model import UserFailureType
 from repro.obs.trace import CLASSIFICATION_LAYER, get_tracer
 from repro.recovery.masking import MaskingPolicy, RetryMasker
 from repro.recovery.sira import RecoveryEngine

@@ -13,7 +13,7 @@ import pytest
 from repro.bluetooth.channel import Channel, ChannelConfig
 from repro.bluetooth.pan import NapService
 from repro.bluetooth.stack import BluetoothStack
-from repro.collection.logs import SystemLog, TestLog
+from repro.collection.logs import SystemLog
 from repro.core.campaign import run_campaign
 from repro.faults.injector import FaultInjector, NodeTraits
 from repro.recovery.masking import MaskingPolicy

@@ -1,6 +1,5 @@
 """Tests for repository persistence and the command-line interface."""
 
-import pytest
 
 from repro.cli import infer_node_nap_pairs, main
 from repro.collection.records import SystemLogRecord, TestLogRecord

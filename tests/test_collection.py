@@ -4,11 +4,7 @@ import random
 
 import pytest
 
-from repro.collection.filtering import (
-    DUPLICATE_WINDOW,
-    FilterStats,
-    filter_system_records,
-)
+from repro.collection.filtering import DUPLICATE_WINDOW, filter_system_records
 from repro.collection.log_analyzer import LogAnalyzer
 from repro.collection.logs import SystemLog
 from repro.collection.logs import TestLog as WorkloadTestLog

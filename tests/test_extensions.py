@@ -14,7 +14,6 @@ from repro.extensions import (
     run_redundant_campaign,
 )
 from repro.faults.injector import FaultInjector, InjectorTuning, NodeTraits
-from repro.recovery.masking import MaskingPolicy
 
 HOURS = 3600.0
 PC = NodeTraits(name="Verde", uses_usb=True)

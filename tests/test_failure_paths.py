@@ -7,7 +7,7 @@ right log evidence, and the right recovery side effects.
 """
 
 import random
-from typing import List, Optional
+from typing import Optional
 
 import pytest
 

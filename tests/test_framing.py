@@ -1,6 +1,5 @@
 """Tests for BNEP encapsulation and L2CAP framing/reassembly."""
 
-import random
 
 import pytest
 from hypothesis import given, settings
@@ -14,13 +13,7 @@ from repro.bluetooth.bnep import (
     decapsulate,
     encapsulate,
 )
-from repro.bluetooth.l2cap import (
-    BFRAME_HEADER,
-    Reassembler,
-    build_bframe,
-    parse_bframe,
-    segment_sdu,
-)
+from repro.bluetooth.l2cap import Reassembler, build_bframe, parse_bframe, segment_sdu
 
 
 class TestBnepFrames:

@@ -15,7 +15,7 @@ from repro.bluetooth.transport import make_transport
 from repro.collection.logs import SystemLog
 from repro.core.classification import classify_system_record
 from repro.core.failure_model import SystemFailureType
-from repro.sim import Simulator, spawn
+from repro.sim import Simulator
 
 from conftest import drive
 

@@ -2,11 +2,7 @@
 
 import pytest
 
-from repro.bluetooth.errors import (
-    BTError,
-    BindError,
-    PacketLossError,
-)
+from repro.bluetooth.errors import BTError, PacketLossError
 from repro.bluetooth.packets import PacketType
 from repro.bluetooth.pan import Piconet
 from repro.sim import Simulator
@@ -209,7 +205,6 @@ class TestPiconetContention:
         assert piconet.slot_share_factor == 1.0
 
     def test_concurrent_transfers_dilate_each_other(self):
-        from repro.sim import spawn
 
         sim = Simulator()
         stack = make_stack(sim, seed=61)

@@ -6,7 +6,6 @@ idempotence, repository query consistency, analysis-table normalisation
 under arbitrary record streams, and dependability-metric sanity.
 """
 
-import random
 
 import pytest
 from hypothesis import given, settings

@@ -20,7 +20,6 @@ from repro.bluetooth.sdp import (
     make_nap_record,
 )
 from repro.collection.logs import SystemLog
-from repro.core.failure_model import SystemFailureType
 from repro.sim import Simulator
 
 from conftest import drive

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.summary import AnalysisSummary, summarize_repository
+from repro.core.summary import summarize_repository
 
 
 class TestSummarizeRepository:

@@ -6,7 +6,6 @@ import pytest
 
 from repro.bluetooth.transport import (
     BcspTransport,
-    Transport,
     UartTransport,
     UsbTransport,
     make_transport,

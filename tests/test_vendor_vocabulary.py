@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.collection.filtering import RELEVANT_FACILITIES, filter_system_records
 from repro.collection.logs import SystemLog
@@ -14,7 +13,7 @@ from repro.collection.messages import (
 )
 from repro.core.classification import classify_system_message, classify_system_record
 from repro.core.failure_model import SYSTEM_MESSAGE_TEMPLATES, SystemFailureType
-from repro.testbed.nodes import ALL_PROFILES, WIN
+from repro.testbed.nodes import ALL_PROFILES
 
 
 class TestVendorProperty:

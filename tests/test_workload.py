@@ -11,7 +11,6 @@ from repro.workload.traffic import (
     RandomWorkload,
     RealisticWorkload,
     REALISTIC_APPLICATIONS,
-    TCP_MSS,
 )
 from repro.workload.bluetest import BlueTestClient, STACK_CHOICE
 from repro.collection.logs import TestLog

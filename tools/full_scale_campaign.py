@@ -1,38 +1,68 @@
 """Run a paper-scale campaign: 18 months of simulated time.
 
 Usage: python tools/full_scale_campaign.py [months] [seed] [out_dir]
+                                           [--seeds N] [--jobs N]
 
 The paper collected from June 2004 to November 2005 (~18 months).  At
 the simulator's throughput this takes on the order of 20-40 minutes of
-CPU and produces hundreds of thousands of failure data items — the same
-order as the paper's 356,551.  The repository, CSV exports, and the
-full analysis report land in the output directory.
+CPU per seed and produces hundreds of thousands of failure data items —
+the same order as the paper's 356,551.  With ``--seeds N`` the campaign
+is replicated over N deterministically derived seeds on a process pool
+(``--jobs``), checkpointed shard by shard so an interrupted run resumes,
+and the pooled mean/CI statistics land next to the merged repository.
 
 This is deliberately a tool, not a test: the standard benchmarks use
 16-hour campaigns because every distribution of interest is already
 stable there.
 """
 
+import argparse
 import sys
 import time
 from pathlib import Path
 
 from repro.cli import _analyses_text
-from repro.core.campaign import run_campaign
+from repro.core.campaign import CampaignSpec, run_campaign
 from repro.core.export import export_repository
 
 MONTH = 30 * 86_400.0
 
 
-def main() -> None:
-    months = float(sys.argv[1]) if len(sys.argv) > 1 else 18.0
-    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 2004
-    out = Path(sys.argv[3]) if len(sys.argv) > 3 else Path("full_scale_out")
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        description="Run a paper-scale (18-month) failure-data campaign.",
+    )
+    parser.add_argument("months", type=float, nargs="?", default=18.0,
+                        help="simulated months per seed (default: 18)")
+    parser.add_argument("seed", type=int, nargs="?", default=2004,
+                        help="root seed (default: 2004)")
+    parser.add_argument("out_dir", type=Path, nargs="?",
+                        default=Path("full_scale_out"),
+                        help="output directory (default: full_scale_out)")
+    parser.add_argument("--seeds", type=int, default=1,
+                        help="replicate over N derived seeds (default: 1)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for --seeds > 1 (default: 1)")
+    return parser
 
-    duration = months * MONTH
-    print(f"Simulating {months:.0f} months of both testbeds (seed {seed})...")
+
+def parse_args(argv=None) -> argparse.Namespace:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.months <= 0:
+        parser.error(f"months must be positive, got {args.months}")
+    if args.seeds < 1:
+        parser.error(f"--seeds must be >= 1, got {args.seeds}")
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    return args
+
+
+def _run_single(args: argparse.Namespace, duration: float) -> None:
+    print(f"Simulating {args.months:.0f} months of both testbeds "
+          f"(seed {args.seed})...")
     t0 = time.time()
-    result = run_campaign(duration=duration, seed=seed)
+    result = run_campaign(duration=duration, seed=args.seed)
     wall = time.time() - t0
     summary = result.repository.summary()
     print(f"done in {wall / 60:.1f} min "
@@ -41,6 +71,7 @@ def main() -> None:
           f"({summary['user_level_reports']} user-level; "
           "paper: 356,551 / 20,854)")
 
+    out = args.out_dir
     out.mkdir(parents=True, exist_ok=True)
     result.repository.dump(out / "repository")
     export_repository(result.repository, out / "csv")
@@ -49,5 +80,48 @@ def main() -> None:
     print(f"repository, CSV exports and analysis written to {out}/")
 
 
+def _run_sweep(args: argparse.Namespace, duration: float) -> None:
+    from repro.parallel import run_campaign_sweep
+
+    spec = CampaignSpec(duration=duration, seed=args.seed)
+    print(f"Simulating {args.seeds} x {args.months:.0f} months "
+          f"(root seed {args.seed}, {args.jobs} job(s))...")
+
+    def progress(shard, reused):
+        verb = "reused" if reused else "finished"
+        print(f"  shard seed {shard.seed}: {verb} "
+              f"({shard.total_items} items, {shard.wall_time / 60:.1f} min)")
+
+    out = args.out_dir
+    result = run_campaign_sweep(
+        args.seeds,
+        jobs=args.jobs,
+        spec=spec,
+        checkpoint_dir=out / "shards",
+        progress=progress,
+    )
+    print(f"done in {result.wall_time / 60:.1f} min "
+          f"({result.reused} shard(s) reused from checkpoint)")
+    summary = result.repository.summary()
+    print(f"pooled failure data items: {summary['total_failure_data_items']} "
+          f"({summary['user_level_reports']} user-level; "
+          "paper, one run: 356,551 / 20,854)")
+    out.mkdir(parents=True, exist_ok=True)
+    result.repository.dump(out / "repository")
+    export_repository(result.repository, out / "csv")
+    (out / "sweep.txt").write_text(result.render() + "\n", encoding="utf-8")
+    print(f"merged repository, CSV exports and sweep table written to {out}/")
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv)
+    duration = args.months * MONTH
+    if args.seeds == 1:
+        _run_single(args, duration)
+    else:
+        _run_sweep(args, duration)
+    return 0
+
+
 if __name__ == "__main__":
-    main()
+    sys.exit(main())
