@@ -1,0 +1,44 @@
+"""Determinism & sim-safety static analysis.
+
+The repo's reproducibility story rests on a handful of invariants that
+no runtime test can economically cover: every stochastic component
+draws from an injected, named :class:`random.Random` substream, no
+sim-domain code reads wall clocks, unordered collections never feed
+order-sensitive aggregation, and all event scheduling goes through the
+engine API.  This package makes those invariants machine-checked: an
+AST lint engine (rule registry, per-rule :class:`ast.NodeVisitor`
+checkers, path-scoped configuration, inline ``# repro: allow[RULE]``
+suppressions with unused-suppression detection) plus the DET001-DET006
+rule pack encoding the contract.
+
+Run it as ``repro-bt lint [paths]`` or ``python -m repro.analysis``;
+both exit non-zero when findings remain.
+"""
+
+from __future__ import annotations
+
+from . import rules as _rules  # noqa: F401  (importing registers the rule pack)
+from .config import LintConfig, module_for_path
+from .engine import LintResult, iter_python_files, lint_paths, lint_source
+from .findings import Finding
+from .registry import all_rules, get_rule, rule_ids
+from .report import render_json, render_text
+from .suppressions import SUPPRESSION_SYNTAX, Suppression, collect_suppressions
+
+__all__ = [
+    "Finding",
+    "LintConfig",
+    "LintResult",
+    "SUPPRESSION_SYNTAX",
+    "Suppression",
+    "all_rules",
+    "collect_suppressions",
+    "get_rule",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+    "module_for_path",
+    "render_json",
+    "render_text",
+    "rule_ids",
+]

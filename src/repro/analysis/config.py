@@ -1,0 +1,111 @@
+"""Path-scoped lint configuration.
+
+Rules do not apply uniformly: wall-clock reads are a determinism hazard
+inside the simulated domain but legitimate in profiling/orchestration
+code, and ``heapq`` is the engine's own data structure.  The config
+names those scopes once; checkers consult it through the helpers here.
+
+Scoping is by *module path* (``repro.bluetooth.l2cap``), derived from
+the file path.  Files that do not live under the ``repro`` package
+(e.g. test fixtures in a temporary directory) resolve to ``None`` and
+are treated fail-closed: every rule applies to them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Which parts of the tree each determinism rule governs."""
+
+    #: Top-level package the module paths are resolved against.
+    package_root: str = "repro"
+
+    #: Sub-packages whose code runs *inside* simulated time.  Wall-clock
+    #: reads (DET002) are banned here; ``obs``/``parallel``/``cli`` are
+    #: outside this list and may profile with real clocks freely.
+    sim_domain: Tuple[str, ...] = (
+        "sim",
+        "bluetooth",
+        "faults",
+        "workload",
+        "recovery",
+        "core",
+        "collection",
+        "testbed",
+        "extensions",
+    )
+
+    #: Modules allowed to manipulate the event heap directly (DET004).
+    heapq_modules: Tuple[str, ...] = ("repro.sim.engine",)
+
+    #: Scheduling/merge scopes where ``id()`` ordering/hashing (DET005)
+    #: silently breaks cross-run reproducibility.
+    identity_scopes: Tuple[str, ...] = (
+        "repro.sim",
+        "repro.parallel",
+        "repro.core.merge",
+        "repro.core.coalescence",
+        "repro.collection.repository",
+    )
+
+    #: Directory names never descended into when walking a tree.
+    skip_dirs: Tuple[str, ...] = field(
+        default=("__pycache__", ".git", ".venv", "repro.egg-info", "build", "dist")
+    )
+
+
+#: The configuration `repro-bt lint` runs with.
+DEFAULT_CONFIG = LintConfig()
+
+
+def module_for_path(path: Union[str, Path], config: LintConfig = DEFAULT_CONFIG) -> Optional[str]:
+    """Dotted module path of ``path``, or None when outside the package.
+
+    ``src/repro/bluetooth/l2cap.py`` -> ``repro.bluetooth.l2cap``;
+    package ``__init__.py`` files resolve to the package itself.
+    """
+    parts = Path(path).parts
+    root = config.package_root
+    try:
+        # Rightmost occurrence, so nested scratch copies still resolve.
+        index = len(parts) - 1 - tuple(reversed(parts)).index(root)
+    except ValueError:
+        return None
+    if index == len(parts) - 1:  # the path IS the package directory
+        return root
+    dotted = list(parts[index:-1])
+    stem = Path(parts[-1]).stem
+    if stem != "__init__":
+        dotted.append(stem)
+    return ".".join(dotted)
+
+
+def top_subpackage(module: Optional[str], config: LintConfig = DEFAULT_CONFIG) -> Optional[str]:
+    """First component below the package root (``repro.sim.rng`` -> ``sim``)."""
+    if module is None:
+        return None
+    parts = module.split(".")
+    if parts[0] != config.package_root:
+        return parts[0]
+    return parts[1] if len(parts) > 1 else None
+
+
+def in_scopes(module: Optional[str], scopes: Tuple[str, ...]) -> bool:
+    """True when ``module`` is one of ``scopes`` or nested inside one."""
+    if module is None:
+        return True  # fail closed for out-of-package files
+    return any(module == scope or module.startswith(scope + ".") for scope in scopes)
+
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "LintConfig",
+    "in_scopes",
+    "module_for_path",
+    "top_subpackage",
+]

@@ -1,0 +1,164 @@
+"""The lint engine: file discovery, per-file runs, suppression filtering."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Union
+
+from .config import DEFAULT_CONFIG, LintConfig, module_for_path
+from .findings import Finding
+from .registry import all_rules, rule_ids
+from .suppressions import collect_suppressions
+
+#: Rule id of the unused-suppression meta-finding.
+UNUSED_SUPPRESSION_RULE = "LNT001"
+#: Rule id reported for files the parser rejects.
+SYNTAX_ERROR_RULE = "LNT002"
+
+
+@dataclass(frozen=True)
+class LintResult:
+    """Outcome of one lint run over a set of paths."""
+
+    findings: List[Finding]
+    files: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def exit_code(self) -> int:
+        """Process exit status: 0 clean, 1 findings."""
+        return 0 if self.ok else 1
+
+
+def iter_python_files(
+    paths: Iterable[Union[str, Path]],
+    config: LintConfig = DEFAULT_CONFIG,
+) -> List[Path]:
+    """Every ``.py`` file under ``paths``, sorted for stable output."""
+    files: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                parts = candidate.parts
+                if any(skip in parts for skip in config.skip_dirs):
+                    continue
+                files.append(candidate)
+        elif path.suffix == ".py":
+            files.append(path)
+    return sorted(set(files))
+
+
+def _select_rules(select: Optional[Sequence[str]]) -> List[str]:
+    """Normalize a ``--select`` list; ValueError on unknown rule ids."""
+    if select is None:
+        return rule_ids()
+    wanted = [rule.strip().upper() for rule in select if rule.strip()]
+    unknown = sorted(set(wanted) - set(rule_ids()))
+    if unknown:
+        raise ValueError(f"unknown rule id(s): {', '.join(unknown)}")
+    return wanted
+
+
+def lint_source(
+    source: str,
+    path: Union[str, Path],
+    config: LintConfig = DEFAULT_CONFIG,
+    select: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Lint one file's contents; returns sorted findings."""
+    path_str = str(path)
+    selected = _select_rules(select)
+    try:
+        tree = ast.parse(source, filename=path_str)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=path_str,
+                line=exc.lineno or 1,
+                col=exc.offset or 1,
+                rule=SYNTAX_ERROR_RULE,
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+
+    module = module_for_path(path_str, config)
+    raw: List[Finding] = []
+    for checker_cls in all_rules():
+        if checker_cls.rule_id not in selected:
+            continue
+        if not checker_cls.applies_to(module, config):
+            continue
+        checker = checker_cls(path_str, module, config)
+        checker.visit(tree)
+        raw.extend(checker.findings)
+
+    suppressions = collect_suppressions(source)
+    kept: List[Finding] = []
+    for finding in raw:
+        suppression = suppressions.get(finding.line)
+        if suppression is not None and finding.rule in suppression.rules:
+            suppression.used.add(finding.rule)
+        else:
+            kept.append(finding)
+
+    known = set(rule_ids())
+    for line in sorted(suppressions):
+        suppression = suppressions[line]
+        for rule in suppression.unused_rules():
+            if rule not in known:
+                message = f"suppression names unknown rule {rule}"
+            elif rule not in selected:
+                continue  # rule not run this pass; can't judge the allowance
+            else:
+                message = f"unused suppression: no {rule} finding on this line"
+            kept.append(
+                Finding(
+                    path=path_str,
+                    line=line,
+                    col=suppression.col,
+                    rule=UNUSED_SUPPRESSION_RULE,
+                    message=message,
+                )
+            )
+    return sorted(kept)
+
+
+def lint_paths(
+    paths: Iterable[Union[str, Path]],
+    config: LintConfig = DEFAULT_CONFIG,
+    select: Optional[Sequence[str]] = None,
+) -> LintResult:
+    """Lint every Python file under ``paths``."""
+    findings: List[Finding] = []
+    files = iter_python_files(paths, config)
+    for file_path in files:
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            findings.append(
+                Finding(
+                    path=str(file_path),
+                    line=1,
+                    col=1,
+                    rule=SYNTAX_ERROR_RULE,
+                    message=f"cannot read file: {exc}",
+                )
+            )
+            continue
+        findings.extend(lint_source(source, file_path, config, select))
+    return LintResult(findings=sorted(findings), files=len(files))
+
+
+__all__ = [
+    "LintResult",
+    "SYNTAX_ERROR_RULE",
+    "UNUSED_SUPPRESSION_RULE",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+]

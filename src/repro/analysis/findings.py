@@ -1,0 +1,38 @@
+"""Lint findings: what a rule reports and how it is keyed."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Union
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a ``path:line:col`` location.
+
+    The field order doubles as the sort key, so a finding list sorted
+    with plain ``sorted()`` reads top-to-bottom per file.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        """The canonical single-line rendering: ``path:line:col: RULE msg``."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_dict(self) -> Dict[str, Union[str, int]]:
+        """JSON-reporter payload for this finding."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+__all__ = ["Finding"]

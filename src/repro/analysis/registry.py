@@ -1,0 +1,80 @@
+"""Rule registry and the checker base class.
+
+Every rule is an :class:`ast.NodeVisitor` subclass registered under a
+stable id (``DET001``...).  The engine instantiates one checker per
+(file, rule) pair, asks :meth:`Checker.applies_to` whether the module
+is in the rule's scope, and collects :class:`Finding` objects from it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Type, TypeVar
+
+from .config import LintConfig
+from .findings import Finding
+
+
+class Checker(ast.NodeVisitor):
+    """Base class for one lint rule over one file's AST."""
+
+    #: Stable rule identifier, e.g. ``DET001``; set by subclasses.
+    rule_id: str = ""
+    #: One-line summary shown by ``--list-rules`` and the docs.
+    summary: str = ""
+
+    def __init__(self, path: str, module: Optional[str], config: LintConfig) -> None:
+        self.path = path
+        self.module = module
+        self.config = config
+        self.findings: List[Finding] = []
+
+    @classmethod
+    def applies_to(cls, module: Optional[str], config: LintConfig) -> bool:
+        """Whether this rule governs ``module`` (None = out-of-package file)."""
+        return True
+
+    def add(self, node: ast.AST, message: str) -> None:
+        """Record a finding at ``node``'s position."""
+        self.findings.append(
+            Finding(
+                path=self.path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0) + 1,
+                rule=self.rule_id,
+                message=message,
+            )
+        )
+
+
+_REGISTRY: Dict[str, Type[Checker]] = {}
+
+CheckerT = TypeVar("CheckerT", bound=Type[Checker])
+
+
+def register(cls: CheckerT) -> CheckerT:
+    """Class decorator adding a checker to the global rule registry."""
+    if not cls.rule_id:
+        raise ValueError(f"{cls.__name__} has no rule_id")
+    if cls.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.rule_id}")
+    _REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def all_rules() -> List[Type[Checker]]:
+    """Every registered checker class, ordered by rule id."""
+    return [_REGISTRY[rule_id] for rule_id in rule_ids()]
+
+
+def rule_ids() -> List[str]:
+    """Sorted registered rule ids."""
+    return sorted(_REGISTRY)
+
+
+def get_rule(rule_id: str) -> Type[Checker]:
+    """The checker class for ``rule_id`` (KeyError when unknown)."""
+    return _REGISTRY[rule_id.upper()]
+
+
+__all__ = ["Checker", "all_rules", "get_rule", "register", "rule_ids"]

@@ -1,0 +1,50 @@
+"""Finding reporters: compiler-style text and machine-readable JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict
+
+from .engine import LintResult
+
+#: Schema version of the JSON report payload.
+JSON_REPORT_VERSION = 1
+
+
+def _rule_counts(result: LintResult) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for finding in result.findings:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    return counts
+
+
+def render_text(result: LintResult) -> str:
+    """``path:line:col: RULE message`` per finding, plus a summary line."""
+    lines = [finding.format() for finding in result.findings]
+    if result.ok:
+        lines.append(f"{result.files} file(s) checked: clean")
+    else:
+        by_rule = ", ".join(
+            f"{rule} x{count}" for rule, count in sorted(_rule_counts(result).items())
+        )
+        lines.append(
+            f"{len(result.findings)} finding(s) in {result.files} file(s) "
+            f"checked ({by_rule})"
+        )
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """Stable JSON report (sorted keys, schema-versioned)."""
+    payload = {
+        "version": JSON_REPORT_VERSION,
+        "tool": "repro.analysis",
+        "files_checked": result.files,
+        "ok": result.ok,
+        "findings": [finding.to_dict() for finding in result.findings],
+        "counts": _rule_counts(result),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+__all__ = ["JSON_REPORT_VERSION", "render_json", "render_text"]

@@ -1,0 +1,384 @@
+"""The DET rule pack: determinism invariants as AST checkers.
+
+Each rule encodes one clause of the reproducibility contract that makes
+PR 2's sweep merges byte-identical (see DESIGN.md, "Determinism
+invariants").  Checkers are syntactic and deliberately conservative:
+they resolve import aliases but do not type-infer, so a violation
+routed through an untracked variable can escape — the rules target the
+patterns that actually appear (and have appeared) in this tree.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Optional, Set
+
+from .config import LintConfig, in_scopes, top_subpackage
+from .registry import Checker, register
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = dotted_name(node.value)
+        return f"{base}.{node.attr}" if base else None
+    return None
+
+
+class ImportTrackingChecker(Checker):
+    """Checker base that canonicalizes names through import aliases.
+
+    ``import time as t`` maps ``t`` -> ``time``; ``from datetime import
+    datetime as dt`` maps ``dt`` -> ``datetime.datetime``.  A dotted
+    use-site name is then rewritten through the map, so ``dt.now()``
+    canonicalizes to ``datetime.datetime.now``.
+    """
+
+    def __init__(self, path: str, module: Optional[str], config: LintConfig) -> None:
+        super().__init__(path, module, config)
+        self._aliases: Dict[str, str] = {}
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.asname:
+                self._aliases[alias.asname] = alias.name
+            else:
+                head = alias.name.split(".")[0]
+                self._aliases[head] = head
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module and node.level == 0:
+            for alias in node.names:
+                local = alias.asname or alias.name
+                self._aliases[local] = f"{node.module}.{alias.name}"
+        self.generic_visit(node)
+
+    def canonical(self, node: ast.AST) -> Optional[str]:
+        """Fully-qualified dotted name of a use site, through aliases."""
+        name = dotted_name(node)
+        if name is None:
+            return None
+        head, _, rest = name.partition(".")
+        base = self._aliases.get(head)
+        if base is None:
+            return name
+        return f"{base}.{rest}" if rest else base
+
+
+@register
+class GlobalRandomChecker(ImportTrackingChecker):
+    """DET001: no draws from the module-level ``random`` global state.
+
+    Every stochastic component must consume an *injected*
+    :class:`random.Random` (see :mod:`repro.sim.rng`); ``random.random()``
+    and friends share one hidden process-global generator, so a single
+    call perturbs every other stream and breaks sweep reproducibility.
+    Constructing ``random.Random`` itself is the sanctioned factory and
+    stays legal; everything else on the module is flagged.
+    """
+
+    rule_id = "DET001"
+    summary = "no module-level random.* calls; RNG must be an injected random.Random"
+
+    _ALLOWED_ATTRS = frozenset({"Random"})
+
+    def __init__(self, path: str, module: Optional[str], config: LintConfig) -> None:
+        super().__init__(path, module, config)
+        self._flagged_from_imports: Set[str] = set()
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "random" and node.level == 0:
+            for alias in node.names:
+                if alias.name not in self._ALLOWED_ATTRS and alias.name != "*":
+                    local = alias.asname or alias.name
+                    self._flagged_from_imports.add(local)
+                    self.add(
+                        node,
+                        f"'from random import {alias.name}' binds the global RNG; "
+                        "inject a random.Random stream instead",
+                    )
+        super().visit_ImportFrom(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = self.canonical(node.func)
+        if name is not None and name.startswith("random."):
+            attr = name.split(".", 1)[1]
+            local = dotted_name(node.func)
+            already = local in self._flagged_from_imports
+            if attr not in self._ALLOWED_ATTRS and "." not in attr and not already:
+                self.add(
+                    node,
+                    f"call to global random.{attr}() — draw from an injected "
+                    "random.Random substream instead",
+                )
+        self.generic_visit(node)
+
+
+@register
+class WallClockChecker(ImportTrackingChecker):
+    """DET002: no wall-clock reads in sim-domain packages.
+
+    Simulated time comes from ``Simulator.now``; a real-clock read in
+    sim-domain code either leaks into results (nondeterminism across
+    hosts) or silently measures nothing.  Profiling/orchestration code
+    (``obs``, ``parallel``, the CLI, tools) is outside the sim domain
+    and unaffected; genuine profiling inside the domain (the engine's
+    own profiler hook) declares itself with a suppression.
+    """
+
+    rule_id = "DET002"
+    summary = "no wall-clock reads (time.*, datetime.now/utcnow) in sim-domain code"
+
+    _BANNED = frozenset(
+        {
+            "time.time",
+            "time.time_ns",
+            "time.monotonic",
+            "time.monotonic_ns",
+            "time.perf_counter",
+            "time.perf_counter_ns",
+            "time.process_time",
+            "datetime.datetime.now",
+            "datetime.datetime.utcnow",
+            "datetime.datetime.today",
+            "datetime.date.today",
+        }
+    )
+
+    def __init__(self, path: str, module: Optional[str], config: LintConfig) -> None:
+        super().__init__(path, module, config)
+        self._flagged_from_imports: Set[str] = set()
+
+    @classmethod
+    def applies_to(cls, module: Optional[str], config: LintConfig) -> bool:
+        if module is None:
+            return True
+        return top_subpackage(module, config) in config.sim_domain
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module in ("time", "datetime") and node.level == 0:
+            for alias in node.names:
+                if f"{node.module}.{alias.name}" in self._BANNED:
+                    local = alias.asname or alias.name
+                    self._flagged_from_imports.add(local)
+                    self.add(
+                        node,
+                        f"wall-clock import 'from {node.module} import {alias.name}' "
+                        "in sim-domain code — sim time comes from the engine",
+                    )
+        super().visit_ImportFrom(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = self.canonical(node.func)
+        if name in self._BANNED:
+            # A flagged from-import already covers bare-name call sites;
+            # one suppression on the import line is then sufficient.
+            local = dotted_name(node.func)
+            head = (local or "").partition(".")[0]
+            if head not in self._flagged_from_imports:
+                self.add(
+                    node,
+                    f"wall-clock read {name}() in sim-domain code — "
+                    "sim time comes from the engine",
+                )
+        self.generic_visit(node)
+
+
+@register
+class UnsortedSetIterationChecker(Checker):
+    """DET003: unordered iteration must not feed order-sensitive work.
+
+    Set iteration order depends on ``PYTHONHASHSEED`` (strings) or on
+    object identity (enum members), so a ``for`` over a set — or a dict
+    built from one — can differ between the processes of one sweep and
+    break byte-identical merges.  Wrap the iterable in ``sorted(...)``.
+
+    Tracked set-producing expressions: set literals/comprehensions,
+    ``set()``/``frozenset()`` calls, set-algebra BinOps over them,
+    ``.keys()`` views, and simple local names assigned from any of the
+    above.
+    """
+
+    rule_id = "DET003"
+    summary = "iteration over set/dict.keys() feeding aggregation needs sorted()"
+
+    #: Calls that realize iteration order into an ordered result.
+    _CONSUMERS = frozenset({"list", "tuple", "enumerate", "iter", "sum", "next"})
+
+    def __init__(self, path: str, module: Optional[str], config: LintConfig) -> None:
+        super().__init__(path, module, config)
+        self._set_vars: Set[str] = set()
+
+    def _is_set_expr(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in self._set_vars
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            return self._is_set_expr(node.left) or self._is_set_expr(node.right)
+        if isinstance(node, ast.Call):
+            if isinstance(node.func, ast.Name) and node.func.id in ("set", "frozenset"):
+                return True
+            if isinstance(node.func, ast.Attribute) and node.func.attr == "keys":
+                return not node.args  # dict.keys() view
+        return False
+
+    def _check_iterable(self, node: ast.AST) -> None:
+        if self._is_set_expr(node):
+            self.add(
+                node,
+                "iteration over an unordered set/dict view feeds "
+                "order-sensitive code — wrap the iterable in sorted(...)",
+            )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if len(node.targets) == 1 and isinstance(node.targets[0], ast.Name):
+            name = node.targets[0].id
+            if self._is_set_expr(node.value):
+                self._set_vars.add(name)
+            else:
+                self._set_vars.discard(name)
+        self.generic_visit(node)
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iterable(node.iter)
+        self.generic_visit(node)
+
+    def _visit_generators(self, node: ast.AST) -> None:
+        for comp in getattr(node, "generators", []):
+            self._check_iterable(comp.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_generators
+    visit_SetComp = _visit_generators
+    visit_DictComp = _visit_generators
+    visit_GeneratorExp = _visit_generators
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if (
+            isinstance(node.func, ast.Name)
+            and node.func.id in self._CONSUMERS
+            and node.args
+        ):
+            self._check_iterable(node.args[0])
+        self.generic_visit(node)
+
+
+@register
+class HeapqChecker(ImportTrackingChecker):
+    """DET004: the event heap belongs to the engine.
+
+    ``heapq`` on a shared list bypasses the engine's sequence-number
+    tie-breaking and cancelled-event accounting; events must be
+    scheduled through the :class:`repro.sim.engine.Simulator` API.
+    Only the engine module itself may touch ``heapq``.
+    """
+
+    rule_id = "DET004"
+    summary = "no direct heapq use outside sim/engine.py; use the Simulator API"
+
+    @classmethod
+    def applies_to(cls, module: Optional[str], config: LintConfig) -> bool:
+        return module not in config.heapq_modules
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "heapq":
+                self.add(
+                    node,
+                    "direct heapq import outside the engine — schedule "
+                    "events through the Simulator API",
+                )
+        super().visit_Import(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "heapq" and node.level == 0:
+            self.add(
+                node,
+                "direct heapq import outside the engine — schedule "
+                "events through the Simulator API",
+            )
+        super().visit_ImportFrom(node)
+
+
+@register
+class IdentityOrderingChecker(Checker):
+    """DET005: no ``id()``-based ordering or hashing in scheduling/merge code.
+
+    CPython object ids are allocation addresses: stable within one
+    process, different across the processes of a sweep.  Keying, sorting
+    or hashing by ``id()`` in the engine, the merge path or the shard
+    machinery therefore produces run-dependent structures.  Use a
+    stable key (position index, name, timestamp+sequence) instead.
+    """
+
+    rule_id = "DET005"
+    summary = "no id()-based ordering/hashing in scheduling or merge code"
+
+    @classmethod
+    def applies_to(cls, module: Optional[str], config: LintConfig) -> bool:
+        return in_scopes(module, config.identity_scopes)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if (
+            isinstance(node.func, ast.Name)
+            and node.func.id == "id"
+            and len(node.args) == 1
+            and not node.keywords
+        ):
+            self.add(
+                node,
+                "id()-based key in scheduling/merge code is run-dependent — "
+                "use a stable key (index, name, time+seq) instead",
+            )
+        self.generic_visit(node)
+
+
+@register
+class HiddenSeedChecker(ImportTrackingChecker):
+    """DET006: no hidden fixed-seed or entropy-seeded RNG fallbacks.
+
+    ``rng or random.Random(0)`` silently correlates every caller that
+    forgot to inject a stream, and a bare ``random.Random()`` seeds
+    from OS entropy — both defeat the named-substream design without
+    failing any test.  Fallbacks must be removed (require the injected
+    stream) or, where a fixed seed is genuinely intended, declared with
+    an inline suppression.
+    """
+
+    rule_id = "DET006"
+    summary = "hidden fixed-seed defaults (rng or random.Random(0)) must be declared"
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self.canonical(node.func) == "random.Random":
+            if not node.args and not node.keywords:
+                self.add(
+                    node,
+                    "random.Random() seeds from OS entropy — pass a derived "
+                    "seed or inject the stream",
+                )
+            elif node.args and isinstance(node.args[0], ast.Constant):
+                self.add(
+                    node,
+                    f"hidden fixed seed random.Random({node.args[0].value!r}) — "
+                    "inject a named substream, or declare the intent with "
+                    "'# repro: allow[DET006]'",
+                )
+        self.generic_visit(node)
+
+
+__all__ = [
+    "GlobalRandomChecker",
+    "HeapqChecker",
+    "HiddenSeedChecker",
+    "IdentityOrderingChecker",
+    "ImportTrackingChecker",
+    "UnsortedSetIterationChecker",
+    "WallClockChecker",
+    "dotted_name",
+]

@@ -1,0 +1,73 @@
+"""Inline suppression comments: ``# repro: allow[RULE]``.
+
+A finding is suppressed by placing the comment on the *same physical
+line* as the flagged expression::
+
+    from time import perf_counter  # repro: allow[DET002] profiling only
+
+Several rules can share one comment (``allow[DET002,DET006]``); free
+text after the bracket is encouraged — it is the documented rationale.
+Suppressions that suppress nothing are themselves findings (LNT001), so
+stale allowances cannot linger after the underlying code is fixed.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, Set, Tuple
+
+#: Human-readable syntax reminder, used by ``--list-rules`` and the docs.
+SUPPRESSION_SYNTAX = "# repro: allow[RULE] optional rationale"
+
+_SUPPRESS_RE = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9_,\s]+)\]")
+
+
+@dataclass
+class Suppression:
+    """One ``# repro: allow[...]`` comment and the rules it names."""
+
+    line: int
+    col: int
+    rules: Tuple[str, ...]
+    #: Rules that actually matched a finding on this line (filled by the
+    #: engine; the difference drives unused-suppression detection).
+    used: Set[str] = field(default_factory=set)
+
+    def unused_rules(self) -> Tuple[str, ...]:
+        """Rules named by the comment that suppressed nothing, in order."""
+        return tuple(rule for rule in self.rules if rule not in self.used)
+
+
+def collect_suppressions(source: str) -> Dict[int, Suppression]:
+    """Map line number -> suppression for every allow-comment in ``source``.
+
+    Tokenizes rather than regex-scanning raw lines so that the marker
+    inside a string literal is not mistaken for a suppression.
+    """
+    suppressions: Dict[int, Suppression] = {}
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return suppressions  # the parser will report the real problem
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _SUPPRESS_RE.search(token.string)
+        if match is None:
+            continue
+        rules = tuple(
+            part.strip().upper()
+            for part in match.group(1).split(",")
+            if part.strip()
+        )
+        if not rules:
+            continue
+        line, col = token.start
+        suppressions[line] = Suppression(line=line, col=col + 1, rules=rules)
+    return suppressions
+
+
+__all__ = ["SUPPRESSION_SYNTAX", "Suppression", "collect_suppressions"]

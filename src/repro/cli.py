@@ -7,6 +7,7 @@ Main subcommands::
     repro-bt analyze results/                               # re-analyze a dump
     repro-bt report --hours 24 --seed 7                     # full paper report
     repro-bt obs --hours 8 --metrics-out m.txt              # instrumented run
+    repro-bt lint src                                       # determinism lint
 
 ``campaign`` runs the two testbeds and dumps the repository (JSONL) plus
 every rendered table/figure into the output directory; ``analyze``
@@ -14,7 +15,9 @@ rebuilds the analyses from a previous dump without re-simulating;
 ``report`` runs baseline + masked campaigns and prints the whole
 evaluation section to stdout; ``obs`` runs a fully instrumented campaign
 and prints the observability summary (metrics, engine profile, fault
-propagation paths); ``sweep`` replicates one campaign over N
+propagation paths); ``lint`` runs the determinism & sim-safety static
+analysis (rules DET001-DET006, exits non-zero on findings — see
+:mod:`repro.analysis`); ``sweep`` replicates one campaign over N
 deterministically derived seeds on a process pool, checkpoints each
 shard, and writes the pooled mean/CI statistics table.  ``campaign``
 accepts ``--metrics-out`` /
@@ -184,6 +187,13 @@ def cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Run the determinism static analysis; exit 1 on findings."""
+    from repro.analysis.cli import run_lint
+
+    return run_lint(args)
+
+
 def cmd_analyze(args: argparse.Namespace) -> int:
     """Re-analyze a previously dumped repository."""
     repository = CentralRepository.load(args.directory)
@@ -285,6 +295,15 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--metrics-out", default=None,
                        help="write the merged Prometheus exposition here")
     sweep.set_defaults(func=cmd_sweep)
+
+    lint = sub.add_parser(
+        "lint",
+        help="determinism & sim-safety static analysis (DET001-DET006)",
+    )
+    from repro.analysis.cli import add_lint_arguments
+
+    add_lint_arguments(lint)
+    lint.set_defaults(func=cmd_lint)
 
     analyze = sub.add_parser("analyze", help="re-analyze a dumped repository")
     analyze.add_argument("directory")

@@ -91,7 +91,10 @@ class SystemLog(AppendOnlyLog[SystemLogRecord]):
         vendor: str = "bluez",
     ) -> None:
         super().__init__(node)
-        self._rng = rng or random.Random(0)
+        # No hidden fixed-seed fallback (DET006): a log constructed
+        # without a stream can replay/load records but cannot render
+        # new error text — error() raises until an rng is injected.
+        self._rng = rng
         self._clock = 0.0
         self._clock_fn = clock
         self.vendor = vendor
@@ -117,6 +120,12 @@ class SystemLog(AppendOnlyLog[SystemLogRecord]):
         knows it — BT daemons routinely log the peer BD_ADDR, and the
         analysis uses it to attribute NAP-side errors to the right PANU.
         """
+        if self._rng is None:
+            raise RuntimeError(
+                f"SystemLog({self.node!r}) has no RNG stream: inject a "
+                "random.Random (e.g. streams.stream('syslog/<node>')) to "
+                "record errors"
+            )
         message = render_system_message(self._rng, failure, variant, self.vendor)
         if peer:
             message = f"{message} (peer {peer})"

@@ -182,12 +182,15 @@ def window_quality(
     tuples = coalesce(entries, window)
     collapses = 0
     truncations = 0
-    # Tuple index per entry for spill detection.
-    owner = {}
+    # Tuple index per entry position, for spill detection.  coalesce()
+    # assigns entries to tuples strictly in input order, so the owner of
+    # entries[i] is simply the i-th element of the concatenated tuple
+    # memberships — no identity-keyed map needed (DET005).
+    owner: List[int] = []
     for index, tpl in enumerate(tuples):
         users_in_tuple = 0
         for entry in tpl.entries:
-            owner[id(entry)] = index
+            owner.append(index)
             if entry.source is Source.USER:
                 users_in_tuple += 1
         if users_in_tuple >= 2:
@@ -196,11 +199,12 @@ def window_quality(
     for i, entry in enumerate(flat):
         if entry.source is not Source.USER:
             continue
-        my_tuple = owner[id(entry)]
-        for later in flat[i + 1 :]:
+        my_tuple = owner[i]
+        for j in range(i + 1, len(flat)):
+            later = flat[j]
             if later.time - entry.time > evidence_horizon:
                 break
-            if later.source is not Source.USER and owner[id(later)] != my_tuple:
+            if later.source is not Source.USER and owner[j] != my_tuple:
                 truncations += 1
                 break
     return WindowQuality(

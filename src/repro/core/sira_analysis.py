@@ -10,7 +10,7 @@ is the failure's *severity*.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable, List, Optional
 
 from repro.collection.records import TestLogRecord
 from repro.recovery.sira import SIRA_NAMES
@@ -39,8 +39,17 @@ class SiraTable:
     def total(self, user: UserFailureType) -> int:
         return sum(self.counts.get(user, {}).values()) + self.unrecovered.get(user, 0)
 
+    def observed_types(self) -> List[UserFailureType]:
+        """Every failure type seen, in stable (paper-label) order.
+
+        Enum members hash by identity, so iterating the raw key-set
+        directly would order rows differently across sweep processes
+        (DET003); sorting by the paper's label fixes the order.
+        """
+        return sorted(set(self.counts) | set(self.unrecovered), key=lambda u: u.value)
+
     def grand_total(self) -> int:
-        return sum(self.total(u) for u in set(self.counts) | set(self.unrecovered))
+        return sum(self.total(u) for u in self.observed_types())
 
     # -- derived views ---------------------------------------------------------
 
@@ -68,8 +77,7 @@ class SiraTable:
         grand = self.grand_total()
         if grand == 0:
             return {}
-        keys = set(self.counts) | set(self.unrecovered)
-        return {u: 100.0 * self.total(u) / grand for u in keys}
+        return {u: 100.0 * self.total(u) / grand for u in self.observed_types()}
 
     def severity_distribution(self, user: UserFailureType) -> Dict[int, float]:
         """Severity (1..7) distribution of one failure type (%)."""

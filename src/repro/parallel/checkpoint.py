@@ -18,7 +18,7 @@ import hashlib
 import json
 import os
 from pathlib import Path
-from typing import Dict, Optional, Sequence
+from typing import Dict, Optional, Sequence, Union
 
 from repro import get_logger
 from repro.core.campaign import CampaignSpec
@@ -49,7 +49,7 @@ def sweep_fingerprint(spec: CampaignSpec, with_metrics: bool) -> str:
 class SweepCheckpoint:
     """Shard store of one sweep under a directory."""
 
-    def __init__(self, directory, fingerprint: str) -> None:
+    def __init__(self, directory: Union[str, Path], fingerprint: str) -> None:
         self.directory = Path(directory)
         self.fingerprint = fingerprint
 

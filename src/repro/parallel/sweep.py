@@ -22,6 +22,7 @@ from __future__ import annotations
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro import get_logger
@@ -175,7 +176,7 @@ def run_campaign_sweep(
     seeds: Union[int, Sequence[int]],
     jobs: int = 1,
     spec: Optional[CampaignSpec] = None,
-    checkpoint_dir=None,
+    checkpoint_dir: Optional[Union[str, Path]] = None,
     with_metrics: bool = False,
     progress: Optional[Callable[[ShardResult, bool], None]] = None,
 ) -> SweepResult:

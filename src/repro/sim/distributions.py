@@ -14,7 +14,9 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence, TypeVar
+
+ItemT = TypeVar("ItemT")
 
 
 @dataclass(frozen=True)
@@ -159,7 +161,12 @@ def bernoulli(rng: random.Random, p: float) -> bool:
     return rng.random() < p
 
 
-def binomial_choice(rng: random.Random, items: Sequence, n: int = None, p: float = 0.5):
+def binomial_choice(
+    rng: random.Random,
+    items: Sequence[ItemT],
+    n: Optional[int] = None,
+    p: float = 0.5,
+) -> ItemT:
     """Pick an item by a Binomial(n, p) index, clamped to the sequence.
 
     The paper chooses the Baseband packet type 'according to a binomial
@@ -173,7 +180,9 @@ def binomial_choice(rng: random.Random, items: Sequence, n: int = None, p: float
     return items[min(idx, len(items) - 1)]
 
 
-def weighted_choice(rng: random.Random, items: Sequence, weights: Sequence[float]):
+def weighted_choice(
+    rng: random.Random, items: Sequence[ItemT], weights: Sequence[float]
+) -> ItemT:
     """Pick an item with probability proportional to its weight."""
     if len(items) != len(weights):
         raise ValueError("items and weights must have the same length")

@@ -24,8 +24,17 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from time import perf_counter
-from typing import Callable, Optional
+from time import perf_counter  # repro: allow[DET002] profiler hook wall time; never feeds sim time
+from typing import Callable, Optional, Protocol
+
+
+class ProfilerHook(Protocol):
+    """Structural type of an engine profiling hook (see repro.obs.profile)."""
+
+    def record(
+        self, callback: Callable[[], None], wall_seconds: float, queue_depth: int
+    ) -> None:
+        """Account one executed event."""
 
 
 class SimulationError(RuntimeError):
@@ -91,7 +100,7 @@ class Simulator:
         self._running = False
         self._stopped = False
         self._cancelled = 0  # cancelled events still lingering in the heap
-        self._profiler = None
+        self._profiler: Optional[ProfilerHook] = None
 
     @property
     def now(self) -> float:
@@ -132,7 +141,7 @@ class Simulator:
         """Stop the run loop after the current event completes."""
         self._stopped = True
 
-    def set_profiler(self, profiler) -> None:
+    def set_profiler(self, profiler: Optional[ProfilerHook]) -> None:
         """Install (or, with None, remove) the event-loop profiling hook.
 
         The profiler must expose ``record(callback, wall_seconds,
@@ -142,7 +151,7 @@ class Simulator:
         self._profiler = profiler
 
     @property
-    def profiler(self):
+    def profiler(self) -> Optional[ProfilerHook]:
         """The installed profiling hook, or None."""
         return self._profiler
 
@@ -226,4 +235,4 @@ class Simulator:
         return self.pending_events()
 
 
-__all__ = ["Simulator", "EventHandle", "SimulationError"]
+__all__ = ["Simulator", "EventHandle", "ProfilerHook", "SimulationError"]

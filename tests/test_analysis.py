@@ -1,0 +1,336 @@
+"""Tests for repro.analysis: the determinism & sim-safety lint engine.
+
+Per rule: a positive fixture (fires), a negative fixture (clean), a
+suppressed variant (silenced by ``# repro: allow[RULE]``) and the
+unused-suppression case.  Plus: path-scoped configuration, the JSON
+reporter schema, CLI exit codes, and the self-check asserting the
+shipped tree is lint-clean.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    LintConfig,
+    collect_suppressions,
+    lint_paths,
+    lint_source,
+    module_for_path,
+    render_json,
+    render_text,
+    rule_ids,
+)
+from repro.analysis.cli import main as lint_main
+from repro.analysis.engine import (
+    SYNTAX_ERROR_RULE,
+    UNUSED_SUPPRESSION_RULE,
+    LintResult,
+    iter_python_files,
+)
+from repro.cli import main as repro_bt_main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+
+#: A path that resolves into the sim domain for every rule's scope.
+SIM_PATH = "src/repro/sim/fixture.py"
+
+
+def rules_fired(source: str, path: str = SIM_PATH):
+    return sorted({f.rule for f in lint_source(source, path)})
+
+
+# ---------------------------------------------------------------------------
+# rule pack fixtures: (rule, positive snippet, negative snippet)
+
+RULE_CASES = [
+    (
+        "DET001",
+        "import random\nx = random.random()\n",
+        "import random\ndef f(rng: random.Random) -> float:\n    return rng.random()\n",
+    ),
+    (
+        "DET001",
+        "from random import randint\n",
+        "from random import Random\n",
+    ),
+    (
+        "DET002",
+        "import time\nnow = time.time()\n",
+        "def f(sim):\n    return sim.now\n",
+    ),
+    (
+        "DET002",
+        "from datetime import datetime\nstamp = datetime.now()\n",
+        "import math\nx = math.sqrt(2.0)\n",
+    ),
+    (
+        "DET003",
+        "total = 0.0\nfor name in {'a', 'b'}:\n    total += len(name)\n",
+        "total = 0.0\nfor name in sorted({'a', 'b'}):\n    total += len(name)\n",
+    ),
+    (
+        "DET003",
+        "names = set(['a']) | set(['b'])\nrows = [n for n in names]\n",
+        "names = sorted(set(['a']) | set(['b']))\nrows = [n for n in names]\n",
+    ),
+    (
+        "DET004",
+        "import heapq\nheapq.heappush([], 1)\n",
+        "def f(sim, cb):\n    return sim.schedule(1.0, cb)\n",
+    ),
+    (
+        "DET005",
+        "order = sorted([object()], key=lambda e: id(e))\n",
+        "order = sorted([(1, 'a')], key=lambda e: e[0])\n",
+    ),
+    (
+        "DET006",
+        "import random\ndef f(rng=None):\n    rng = rng or random.Random(0)\n    return rng\n",
+        "import random\ndef f(seed: int):\n    return random.Random(derive(seed))\n",
+    ),
+    (
+        "DET006",
+        "import random\nrng = random.Random()\n",
+        "import random\ndef f(rng: random.Random):\n    return rng\n",
+    ),
+]
+
+
+@pytest.mark.parametrize("rule,positive,negative", RULE_CASES)
+def test_rule_positive_fires(rule, positive, negative):
+    assert rule in rules_fired(positive)
+
+
+@pytest.mark.parametrize("rule,positive,negative", RULE_CASES)
+def test_rule_negative_clean(rule, positive, negative):
+    assert rule not in rules_fired(negative)
+
+
+@pytest.mark.parametrize("rule,positive,negative", RULE_CASES)
+def test_rule_suppressed(rule, positive, negative):
+    lines = positive.splitlines()
+    flagged = {f.line for f in lint_source(positive, SIM_PATH) if f.rule == rule}
+    suppressed = "\n".join(
+        line + f"  # repro: allow[{rule}] fixture rationale"
+        if number in flagged
+        else line
+        for number, line in enumerate(lines, 1)
+    )
+    findings = lint_source(suppressed, SIM_PATH)
+    assert rule not in {f.rule for f in findings}
+    # The suppression was consumed, so it must not be reported unused.
+    assert UNUSED_SUPPRESSION_RULE not in {f.rule for f in findings}
+
+
+@pytest.mark.parametrize("rule", sorted({case[0] for case in RULE_CASES}))
+def test_unused_suppression_detected(rule):
+    source = f"x = 1  # repro: allow[{rule}] stale\n"
+    findings = lint_source(source, SIM_PATH)
+    assert [f.rule for f in findings] == [UNUSED_SUPPRESSION_RULE]
+    assert rule in findings[0].message
+
+
+def test_unknown_rule_suppression_flagged():
+    findings = lint_source("x = 1  # repro: allow[DET999]\n", SIM_PATH)
+    assert [f.rule for f in findings] == [UNUSED_SUPPRESSION_RULE]
+    assert "unknown rule" in findings[0].message
+
+
+def test_multi_rule_suppression_single_comment():
+    source = (
+        "import random, time\n"
+        "x = random.random() + time.time()"
+        "  # repro: allow[DET001,DET002] fixture\n"
+    )
+    assert rules_fired(source) == []
+
+
+# ---------------------------------------------------------------------------
+# suppression collection details
+
+
+def test_suppression_inside_string_ignored():
+    source = 's = "# repro: allow[DET001]"\n'
+    assert collect_suppressions(source) == {}
+
+
+def test_suppression_parsing_positions():
+    source = "import heapq  # repro: allow[DET004] engine fixture\n"
+    sups = collect_suppressions(source)
+    assert list(sups) == [1]
+    assert sups[1].rules == ("DET004",)
+
+
+# ---------------------------------------------------------------------------
+# path-scoped configuration
+
+
+def test_module_for_path():
+    assert module_for_path("src/repro/bluetooth/l2cap.py") == "repro.bluetooth.l2cap"
+    assert module_for_path("src/repro/sim/__init__.py") == "repro.sim"
+    assert module_for_path("/tmp/elsewhere/fixture.py") is None
+
+
+def test_wall_clock_allowed_outside_sim_domain():
+    source = "import time\nstarted = time.perf_counter()\n"
+    assert "DET002" in rules_fired(source, "src/repro/sim/profilerish.py")
+    for path in ("src/repro/obs/profile2.py", "src/repro/parallel/timer.py"):
+        assert "DET002" not in rules_fired(source, path)
+
+
+def test_heapq_allowed_in_engine_only():
+    source = "import heapq\n"
+    assert "DET004" in rules_fired(source, "src/repro/sim/other.py")
+    assert "DET004" not in rules_fired(source, "src/repro/sim/engine.py")
+
+
+def test_out_of_package_paths_fail_closed():
+    source = "import time\nx = time.time()\n"
+    assert "DET002" in rules_fired(source, "/tmp/scratch/fixture.py")
+
+
+def test_det005_scoped_to_merge_and_scheduling():
+    source = "key = id(object())\n"
+    assert "DET005" in rules_fired(source, "src/repro/core/coalescence.py")
+    assert "DET005" not in rules_fired(source, "src/repro/core/trends.py")
+
+
+# ---------------------------------------------------------------------------
+# engine + reporters
+
+
+def test_syntax_error_reported_not_raised(tmp_path):
+    bad = tmp_path / "broken.py"
+    bad.write_text("def broken(:\n", encoding="utf-8")
+    result = lint_paths([bad])
+    assert [f.rule for f in result.findings] == [SYNTAX_ERROR_RULE]
+    assert result.exit_code() == 1
+
+
+def test_iter_python_files_skips_caches(tmp_path):
+    (tmp_path / "__pycache__").mkdir()
+    (tmp_path / "__pycache__" / "junk.py").write_text("x=1\n", encoding="utf-8")
+    (tmp_path / "mod.py").write_text("x=1\n", encoding="utf-8")
+    files = iter_python_files([tmp_path])
+    assert [f.name for f in files] == ["mod.py"]
+
+
+def test_select_unknown_rule_raises():
+    with pytest.raises(ValueError):
+        lint_source("x = 1\n", SIM_PATH, select=["DET999"])
+
+
+def test_select_runs_only_requested_rules(tmp_path):
+    src = "import heapq\nimport time\nx = time.time()\n"
+    findings = lint_source(src, SIM_PATH, select=["DET004"])
+    assert {f.rule for f in findings} == {"DET004"}
+
+
+def test_text_report_format(tmp_path):
+    target = tmp_path / "fixture.py"
+    target.write_text("import heapq\n", encoding="utf-8")
+    result = lint_paths([target])
+    text = render_text(result)
+    assert f"{target}:1:1: DET004" in text
+    assert "1 finding(s) in 1 file(s)" in text
+
+
+def test_json_report_schema(tmp_path):
+    target = tmp_path / "fixture.py"
+    target.write_text("import heapq\nimport time\nt = time.time()\n", encoding="utf-8")
+    payload = json.loads(render_json(lint_paths([target])))
+    assert payload["version"] == 1
+    assert payload["tool"] == "repro.analysis"
+    assert payload["files_checked"] == 1
+    assert payload["ok"] is False
+    assert payload["counts"]["DET004"] == 1
+    for finding in payload["findings"]:
+        assert set(finding) == {"path", "line", "col", "rule", "message"}
+        assert isinstance(finding["line"], int)
+        assert isinstance(finding["col"], int)
+        assert finding["rule"] in set(rule_ids()) | {"LNT001", "LNT002"}
+
+
+def test_clean_result_renders_clean():
+    result = LintResult(findings=[], files=3)
+    assert result.ok and result.exit_code() == 0
+    assert "clean" in render_text(result)
+    assert json.loads(render_json(result))["ok"] is True
+
+
+# ---------------------------------------------------------------------------
+# CLI surfaces
+
+
+def test_module_cli_exit_codes(tmp_path, capsys):
+    clean = tmp_path / "clean.py"
+    clean.write_text("x = 1\n", encoding="utf-8")
+    assert lint_main([str(clean)]) == 0
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("import heapq\n", encoding="utf-8")
+    assert lint_main([str(dirty)]) == 1
+    out = capsys.readouterr().out
+    assert f"{dirty}:1:1: DET004" in out
+
+
+def test_module_cli_list_rules(capsys):
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in rule_ids():
+        assert rule in out
+    assert "repro: allow[" in out
+
+
+def test_module_cli_bad_select(tmp_path, capsys):
+    target = tmp_path / "x.py"
+    target.write_text("x = 1\n", encoding="utf-8")
+    assert lint_main([str(target), "--select", "NOPE1"]) == 2
+
+
+def test_module_cli_missing_path(tmp_path, capsys):
+    assert lint_main([str(tmp_path / "does-not-exist")]) == 2
+    assert "no such path" in capsys.readouterr().out
+
+
+def test_repro_bt_lint_src_clean(capsys):
+    """Acceptance: `repro-bt lint src` exits 0 on the shipped tree."""
+    assert repro_bt_main(["lint", str(SRC)]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_repro_bt_lint_flags_seeded_violation(tmp_path, capsys):
+    seeded = tmp_path / "seeded.py"
+    seeded.write_text("import random\nx = random.random()\n", encoding="utf-8")
+    assert repro_bt_main(["lint", str(seeded)]) == 1
+    assert "DET001" in capsys.readouterr().out
+
+
+# ---------------------------------------------------------------------------
+# self-check: the shipped tree obeys its own determinism contract
+
+
+def test_shipped_tree_is_lint_clean():
+    result = lint_paths([SRC])
+    assert result.files > 80  # the whole package was actually scanned
+    assert result.findings == [], render_text(result)
+
+
+def test_every_rule_detectable_in_shipped_config():
+    """Each DET rule still fires under the default config in sim paths."""
+    seeded = {
+        "DET001": "import random\nx = random.random()\n",
+        "DET002": "import time\nx = time.time()\n",
+        "DET003": "for x in {1, 2}:\n    pass\n",
+        "DET004": "import heapq\n",
+        "DET005": "k = id(object())\n",
+        "DET006": "import random\nr = random.Random(7)\n",
+    }
+    config = LintConfig()
+    for rule, source in seeded.items():
+        findings = lint_source(source, SIM_PATH, config)
+        assert rule in {f.rule for f in findings}, rule
