@@ -14,10 +14,8 @@ from pathlib import Path
 
 import pytest
 
-from repro.core.campaign import (
-    run_campaign,
-    run_connection_length_experiment,
-)
+from repro import api
+from repro.core.campaign import run_connection_length_experiment
 from repro.recovery.masking import MaskingPolicy
 
 HOURS = 3600.0
@@ -33,13 +31,13 @@ BENCH_SEED = 77
 @pytest.fixture(scope="session")
 def baseline_campaign():
     """Masking-off campaign over both testbeds."""
-    return run_campaign(duration=BENCH_DURATION, seed=BENCH_SEED)
+    return api.run(duration=BENCH_DURATION, seed=BENCH_SEED)
 
 
 @pytest.fixture(scope="session")
 def masked_campaign():
     """Masking-on campaign (the paper's enhanced testbed)."""
-    return run_campaign(
+    return api.run(
         duration=BENCH_DURATION, seed=BENCH_SEED + 1, masking=MaskingPolicy.all_on()
     )
 

@@ -1,0 +1,165 @@
+"""Timed perf harness: measure the campaign hot path, emit BENCH_campaign.json.
+
+Runs the canonical benchmark campaign (the same 2-simulated-hour,
+seed-31337 workload as ``test_bench_simulator_throughput.py``) in two
+modes and folds the measurements into one machine-readable artifact:
+
+* **timed mode** — several uninstrumented rounds through
+  :func:`repro.api.run`; the best round gives the canonical wall time
+  (events/sec, cycles/sec, simulated-seconds-per-wall-second all derive
+  from it, since event and cycle counts are deterministic per seed).
+* **profiled mode** — one extra round with the
+  :class:`~repro.obs.profile.EngineProfiler` attached, contributing the
+  per-stage (per-callsite) breakdown and the queue-depth high-water
+  mark.  Profiled wall time is *not* used for throughput (the hook
+  inflates call-heavy stages).
+
+Peak RSS comes from ``resource.getrusage`` — no external profiler
+dependency.  Usage::
+
+    PYTHONPATH=src python benchmarks/perf_harness.py \
+        --out benchmarks/results/BENCH_campaign.json [--rounds 5]
+
+Compare or update the committed baseline with ``tools/bench_report.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import resource
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List
+
+from repro import api
+from repro.obs import Observability
+
+#: Canonical workload: matches the simulator-throughput benchmark.
+BENCH_DURATION = 2 * 3600.0
+BENCH_SEED = 31337
+DEFAULT_ROUNDS = 5
+DEFAULT_OUT = Path(__file__).parent / "results" / "BENCH_campaign.json"
+
+#: Schema version of the emitted JSON; bump on layout changes.
+SCHEMA_VERSION = 1
+
+
+def peak_rss_bytes() -> int:
+    """Peak resident set size of this process, in bytes.
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; normalise to
+    bytes so the artifact is comparable across both.
+    """
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        return int(rss)
+    return int(rss) * 1024
+
+
+def run_timed_rounds(rounds: int, duration: float, seed: int) -> List[float]:
+    """Wall seconds of ``rounds`` uninstrumented campaign runs."""
+    walls = []
+    for _ in range(rounds):
+        started = time.perf_counter()
+        api.run(duration=duration, seed=seed)
+        walls.append(time.perf_counter() - started)
+    return walls
+
+
+def run_profiled_round(duration: float, seed: int):
+    """One profiled campaign; returns (CampaignResult, EngineProfiler)."""
+    obs = Observability(metrics=False, tracing=False, profiling=True)
+    result = api.run(duration=duration, seed=seed, observability=obs)
+    assert obs.profiler is not None
+    return result, obs.profiler
+
+
+def collect(rounds: int = DEFAULT_ROUNDS,
+            duration: float = BENCH_DURATION,
+            seed: int = BENCH_SEED) -> Dict[str, object]:
+    """Run both modes and assemble the BENCH_campaign payload."""
+    walls = run_timed_rounds(rounds, duration, seed)
+    wall_best = min(walls)
+    result, profiler = run_profiled_round(duration, seed)
+
+    cycles = sum(stats.cycles for stats in result.client_stats())
+    events = profiler.events_processed
+    stages = {
+        key: {
+            "calls": stats.calls,
+            "seconds": round(stats.seconds, 6),
+            "mean_us": round(stats.mean_us, 3),
+        }
+        for key, stats in profiler.top_callsites(12)
+    }
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "workload": {
+            "duration_simulated_s": duration,
+            "seed": seed,
+            "rounds": rounds,
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "machine": platform.machine(),
+        },
+        "throughput": {
+            "wall_seconds_best": round(wall_best, 6),
+            "wall_seconds_all": [round(w, 6) for w in walls],
+            "sim_seconds_per_wall_second": round(duration / wall_best, 1),
+            "events_processed": events,
+            "events_per_second": round(events / wall_best, 1),
+            "cycles_completed": cycles,
+            "cycles_per_second": round(cycles / wall_best, 1),
+        },
+        "memory": {
+            "peak_rss_bytes": peak_rss_bytes(),
+        },
+        "engine": {
+            "queue_depth_high_water": profiler.queue_depth_hwm,
+            "callback_seconds_profiled": round(profiler.callback_seconds, 6),
+            "stages": stages,
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Run the timed campaign perf harness and emit "
+                    "BENCH_campaign.json.",
+    )
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
+                        help=f"output path (default: {DEFAULT_OUT})")
+    parser.add_argument("--rounds", type=int, default=DEFAULT_ROUNDS,
+                        help="timed rounds; the best one is canonical "
+                             f"(default: {DEFAULT_ROUNDS})")
+    parser.add_argument("--hours", type=float,
+                        default=BENCH_DURATION / 3600.0,
+                        help="simulated hours per round (default: 2)")
+    parser.add_argument("--seed", type=int, default=BENCH_SEED)
+    args = parser.parse_args(argv)
+    if args.rounds < 1:
+        parser.error("--rounds must be >= 1")
+    if args.hours <= 0:
+        parser.error("--hours must be positive")
+
+    payload = collect(args.rounds, args.hours * 3600.0, args.seed)
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                        encoding="utf-8")
+    throughput = payload["throughput"]
+    print(f"BENCH_campaign written to {args.out}")
+    print(f"  best of {args.rounds}: {throughput['wall_seconds_best']:.3f} s wall "
+          f"({throughput['sim_seconds_per_wall_second']:,.0f}x real time)")
+    print(f"  events/sec: {throughput['events_per_second']:,.0f}   "
+          f"cycles/sec: {throughput['cycles_per_second']:,.0f}   "
+          f"peak RSS: {payload['memory']['peak_rss_bytes'] / 2**20:.0f} MiB")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,7 +9,7 @@ calls out.
 
 import pytest
 
-from repro.core.campaign import run_campaign
+from repro import api
 from repro.core.dependability import compute_scenario
 from repro.recovery.masking import MaskingPolicy
 from repro.reporting import format_table
@@ -31,7 +31,7 @@ POLICIES = {
 def ablation_runs():
     runs = {}
     for name, policy in POLICIES.items():
-        runs[name] = run_campaign(
+        runs[name] = api.run(
             duration=ABLATION_DURATION, seed=555, masking=policy,
             workloads=("random",),
         )

@@ -12,7 +12,7 @@ Two comparisons:
 
 import pytest
 
-from repro.core.campaign import run_campaign
+from repro import api
 from repro.core.dependability import compute_scenario
 from repro.core.sira_analysis import record_severity
 from repro.extensions import (
@@ -30,7 +30,7 @@ SEED = 901
 
 @pytest.fixture(scope="module")
 def runs():
-    plain = run_campaign(duration=DURATION, seed=SEED, workloads=("random",))
+    plain = api.run(duration=DURATION, seed=SEED, workloads=("random",))
     redundant = run_redundant_campaign(duration=DURATION, seed=SEED)
     return plain, redundant
 

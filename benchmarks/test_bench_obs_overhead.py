@@ -16,7 +16,7 @@ Two bounds guard the tentpole's design promise:
 
 import re
 
-from repro.core.campaign import run_campaign
+from repro import api
 from repro.obs import Observability
 
 from conftest import HOURS, RESULTS_DIR, save_artifact
@@ -50,7 +50,7 @@ def test_disabled_mode_overhead_under_budget(benchmark):
     baseline_speedup = _recorded_baseline_speedup()
 
     benchmark.pedantic(
-        lambda: run_campaign(duration=duration, seed=31337),
+        lambda: api.run(duration=duration, seed=31337),
         rounds=3,
         iterations=1,
     )
@@ -68,11 +68,11 @@ def test_enabled_mode_overhead_recorded(benchmark):
     duration = 2 * HOURS
 
     disabled_wall = _best_wall(
-        lambda: run_campaign(duration=duration, seed=31337)
+        lambda: api.run(duration=duration, seed=31337)
     )
 
     result = benchmark.pedantic(
-        lambda: run_campaign(
+        lambda: api.run(
             duration=duration, seed=31337, observability=Observability()
         ),
         rounds=3,

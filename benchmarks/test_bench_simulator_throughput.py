@@ -5,7 +5,7 @@ time (simulated seconds per wall second), which bounds how long a
 paper-scale (18-month) campaign would take.
 """
 
-from repro.core.campaign import run_campaign
+from repro import api
 
 from conftest import HOURS, save_artifact
 
@@ -14,7 +14,7 @@ def test_campaign_throughput(benchmark):
     duration = 2 * HOURS
 
     result = benchmark.pedantic(
-        lambda: run_campaign(duration=duration, seed=31337),
+        lambda: api.run(duration=duration, seed=31337),
         rounds=3,
         iterations=1,
     )

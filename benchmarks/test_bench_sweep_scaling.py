@@ -11,14 +11,14 @@ recorded so the perf trajectory shows what the hardware allowed.
 import os
 import time
 
-from repro.core.campaign import CampaignSpec
-from repro.parallel import run_campaign_sweep
+from repro.api import ExperimentConfig
 
 from conftest import HOURS, save_artifact
 
 SEEDS = 4
 JOB_COUNTS = (1, 2, 4)
-SPEC = CampaignSpec(duration=8 * HOURS, seed=20_04)
+CONFIG = ExperimentConfig(duration=8 * HOURS, seed=20_04)
+SPEC = CONFIG.spec()
 
 
 def test_sweep_scaling():
@@ -27,7 +27,7 @@ def test_sweep_scaling():
     renders = {}
     for jobs in JOB_COUNTS:
         t0 = time.perf_counter()
-        result = run_campaign_sweep(SEEDS, jobs=jobs, spec=SPEC)
+        result = CONFIG.sweep(SEEDS, jobs=jobs)
         walls[jobs] = time.perf_counter() - t0
         renders[jobs] = result.render()
 

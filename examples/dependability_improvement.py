@@ -13,7 +13,7 @@ headline improvement percentages.
 
 import sys
 
-from repro import run_campaign
+from repro import api
 from repro.core.dependability import build_dependability_report
 from repro.core.sira_analysis import build_sira_table
 from repro.recovery.masking import MaskingPolicy
@@ -25,9 +25,9 @@ def main() -> None:
     seed = int(sys.argv[2]) if len(sys.argv) > 2 else 21
 
     print(f"Campaign 1/2: masking OFF ({hours:.0f} h, seed {seed})...")
-    baseline = run_campaign(duration=hours * 3600.0, seed=seed)
+    baseline = api.run(duration=hours * 3600.0, seed=seed)
     print(f"Campaign 2/2: masking ON  ({hours:.0f} h, seed {seed + 1})...")
-    masked = run_campaign(
+    masked = api.run(
         duration=hours * 3600.0, seed=seed + 1, masking=MaskingPolicy.all_on()
     )
 

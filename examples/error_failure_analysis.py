@@ -14,7 +14,7 @@ strategies were designed from.
 
 import sys
 
-from repro import run_campaign
+from repro import api
 from repro.core.coalescence import coalesce, sensitivity_analysis
 from repro.core.failure_model import UserFailureType
 from repro.core.merge import merge_node_logs
@@ -27,7 +27,7 @@ def main() -> None:
     seed = int(sys.argv[2]) if len(sys.argv) > 2 else 11
 
     print(f"Running campaign ({hours:.0f} h, seed {seed})...")
-    result = run_campaign(duration=hours * 3600.0, seed=seed)
+    result = api.run(duration=hours * 3600.0, seed=seed)
     repo = result.repository
     pairs = result.node_nap_pairs()
 

@@ -14,7 +14,7 @@ shares, and the unmasked dependability figures.
 import sys
 from collections import Counter
 
-from repro import run_campaign
+from repro import api
 from repro.core.classification import classify_user_record
 from repro.core.dependability import compute_scenario
 from repro.core.distributions import workload_split
@@ -27,7 +27,7 @@ def main() -> None:
     seed = int(sys.argv[2]) if len(sys.argv) > 2 else 7
 
     print(f"Running both testbeds for {hours:.0f} simulated hours (seed {seed})...")
-    result = run_campaign(duration=hours * 3600.0, seed=seed)
+    result = api.run(duration=hours * 3600.0, seed=seed)
 
     print()
     print(FailureModel.as_table())

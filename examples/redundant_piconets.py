@@ -20,7 +20,7 @@ failures).
 
 import sys
 
-from repro.core.campaign import run_campaign
+from repro import api
 from repro.core.dependability import compute_scenario
 from repro.core.sira_analysis import record_severity
 from repro.extensions import FAILOVER_ACTION, run_redundant_campaign
@@ -33,7 +33,7 @@ def main() -> None:
     seed = int(sys.argv[2]) if len(sys.argv) > 2 else 77
 
     print(f"Plain testbed     ({hours:.0f} h, seed {seed})...")
-    plain = run_campaign(duration=hours * 3600.0, seed=seed, workloads=("random",))
+    plain = api.run(duration=hours * 3600.0, seed=seed, workloads=("random",))
     print(f"Redundant testbed ({hours:.0f} h, seed {seed})...")
     redundant = run_redundant_campaign(duration=hours * 3600.0, seed=seed)
 

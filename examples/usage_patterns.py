@@ -18,7 +18,7 @@ campaign data:
 
 import sys
 
-from repro import run_campaign, run_connection_length_experiment
+from repro import api, run_connection_length_experiment
 from repro.core.classification import classify_user_record
 from repro.core.distributions import (
     idle_time_analysis,
@@ -37,7 +37,7 @@ def main() -> None:
     seed = int(sys.argv[2]) if len(sys.argv) > 2 else 42
 
     print(f"Main campaign ({hours:.0f} h, seed {seed})...")
-    result = run_campaign(duration=hours * 3600.0, seed=seed)
+    result = api.run(duration=hours * 3600.0, seed=seed)
     print(f"Connection-length experiment ({hours / 2:.0f} h, Verde+Win)...")
     fig3b = run_connection_length_experiment(
         duration=hours / 2 * 3600.0, seed=seed + 1

@@ -10,10 +10,10 @@ dependability improvement (Table 4) and the §6 failure distributions.
 
 Quickstart::
 
-    from repro import run_campaign, build_relationship_table
+    from repro import api, build_relationship_table
     from repro.reporting import render_relationship_table
 
-    result = run_campaign(duration=86_400, seed=7)
+    result = api.run(duration=86_400.0, seed=7)
     table = build_relationship_table(result.repository, result.node_nap_pairs())
     print(render_relationship_table(table))
 """
@@ -89,14 +89,23 @@ from .core.summary import AnalysisSummary, summarize_repository
 from .obs import Observability
 from .recovery import MaskingPolicy, RecoveryEngine
 from .sim import RandomStreams, Simulator
+from .bluetooth import Channel, ChannelConfig, LossProfile, TransferStatistics
+from . import api
+from .api import ExperimentConfig
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
     "LOGGER_NAME",
     "get_logger",
     "configure_logging",
+    "api",
+    "ExperimentConfig",
+    "Channel",
+    "ChannelConfig",
+    "LossProfile",
+    "TransferStatistics",
     "run_campaign",
     "run_connection_length_experiment",
     "CampaignResult",

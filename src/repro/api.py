@@ -1,0 +1,223 @@
+"""The unified experiment API.
+
+One façade fronts every way of executing the paper's campaign:
+
+* :class:`ExperimentConfig` — keyword-only description of a campaign
+  (duration, seed, masking, workloads, node profiles, hardware
+  replacement) with two verbs: :meth:`~ExperimentConfig.run` executes a
+  single replicate, :meth:`~ExperimentConfig.sweep` replicates it
+  across N deterministic seeds on a process pool.
+* :func:`run` / :func:`sweep` — one-shot module-level conveniences that
+  build the config and execute it in a single call.
+
+This module subsumes the three historical entry points
+(:func:`repro.core.campaign.run_campaign`,
+:meth:`repro.core.campaign.CampaignSpec.run`, and
+:func:`repro.parallel.sweep.run_campaign_sweep`) — those remain as thin
+shims that emit :class:`DeprecationWarning` and forward here, and are
+scheduled for removal in 2.0.  All four paths share one executor, so a
+migrated call site produces byte-identical repositories, tables and
+sweep checkpoints.
+
+Quickstart::
+
+    from repro import api
+
+    result = api.run(duration=86_400.0, seed=7)
+    print(len(result.unmasked_failures()))
+
+    sweep = api.sweep(8, jobs=4, duration=86_400.0, seed=7)
+    print(sweep.render())
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Optional, Sequence, Tuple, Union
+
+from repro.core.campaign import (
+    CampaignResult,
+    CampaignSpec,
+    DEFAULT_DURATION,
+)
+from repro.obs import Observability
+from repro.recovery.masking import MaskingPolicy
+from repro.testbed.nodes import ALL_PROFILES, NodeProfile
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.parallel.shard import ShardResult
+    from repro.parallel.sweep import SweepResult
+
+
+class ExperimentConfig:
+    """Keyword-only description of one campaign experiment.
+
+    The config is the façade's unit of reuse: build it once, then
+    :meth:`run` it for a single replicate or :meth:`sweep` it across
+    seeds.  Every field mirrors a
+    :class:`~repro.core.campaign.CampaignSpec` field (the process-pool
+    wire format); :meth:`spec` converts between the two.
+
+    All constructor arguments are keyword-only — campaign call sites
+    historically mixed positional ``duration``/``seed`` orders, which
+    this surface makes impossible.
+    """
+
+    __slots__ = (
+        "duration",
+        "seed",
+        "masking",
+        "workloads",
+        "profiles",
+        "hardware_replacement",
+    )
+
+    def __init__(
+        self,
+        *,
+        duration: float = DEFAULT_DURATION,
+        seed: int = 0,
+        masking: Optional[MaskingPolicy] = None,
+        workloads: Sequence[str] = ("random", "realistic"),
+        profiles: Sequence[NodeProfile] = ALL_PROFILES,
+        hardware_replacement: bool = True,
+    ) -> None:
+        if duration <= 0:
+            raise ValueError("experiment duration must be positive")
+        #: Simulated seconds each replicate runs for.
+        self.duration = float(duration)
+        #: Root seed (sweeps derive per-shard seeds from it).
+        self.seed = int(seed)
+        #: The three §5 masking strategies (all off by default).
+        self.masking = MaskingPolicy.all_off() if masking is None else masking
+        #: Which testbeds to deploy ("random" and/or "realistic").
+        self.workloads: Tuple[str, ...] = tuple(workloads)
+        #: Node hardware/OS profiles to instantiate per testbed.
+        self.profiles: Tuple[NodeProfile, ...] = tuple(profiles)
+        #: Replace Bluetooth dongles at the campaign midpoint (§3).
+        self.hardware_replacement = bool(hardware_replacement)
+
+    def __repr__(self) -> str:
+        return (
+            f"ExperimentConfig(duration={self.duration!r}, seed={self.seed!r}, "
+            f"masking={self.masking!r}, workloads={self.workloads!r}, "
+            f"profiles={tuple(p.name for p in self.profiles)!r}, "
+            f"hardware_replacement={self.hardware_replacement!r})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ExperimentConfig):
+            return NotImplemented
+        return self.spec() == other.spec()
+
+    # -- conversions ---------------------------------------------------------
+
+    def spec(self) -> CampaignSpec:
+        """This config as the immutable, picklable campaign spec."""
+        return CampaignSpec(
+            duration=self.duration,
+            seed=self.seed,
+            masking=self.masking,
+            workloads=self.workloads,
+            profiles=self.profiles,
+            hardware_replacement=self.hardware_replacement,
+        )
+
+    @classmethod
+    def from_spec(cls, spec: CampaignSpec) -> "ExperimentConfig":
+        """Lift a legacy :class:`CampaignSpec` into the façade."""
+        return cls(
+            duration=spec.duration,
+            seed=spec.seed,
+            masking=spec.masking,
+            workloads=spec.workloads,
+            profiles=spec.profiles,
+            hardware_replacement=spec.hardware_replacement,
+        )
+
+    def replace(self, **changes: object) -> "ExperimentConfig":
+        """A copy of this config with keyword fields replaced."""
+        fields = {name: getattr(self, name) for name in self.__slots__}
+        fields.update(changes)
+        return ExperimentConfig(**fields)  # type: ignore[arg-type]
+
+    # -- execution -----------------------------------------------------------
+
+    def run(
+        self, observability: Optional[Observability] = None
+    ) -> CampaignResult:
+        """Execute one replicate of this experiment.
+
+        Pass an :class:`~repro.obs.Observability` bundle to instrument
+        the run (metrics, propagation tracing, engine profiling); it is
+        activated around the whole campaign and returned on the result.
+        """
+        return self.spec()._execute(observability=observability)
+
+    def sweep(
+        self,
+        seeds: Union[int, Sequence[int]],
+        *,
+        jobs: int = 1,
+        checkpoint_dir: Optional[Union[str, Path]] = None,
+        with_metrics: bool = False,
+        progress: Optional[Callable[["ShardResult", bool], None]] = None,
+    ) -> "SweepResult":
+        """Replicate this experiment across seeds and merge canonically.
+
+        ``seeds`` is a count (shard seeds derive from :attr:`seed`) or
+        an explicit seed sequence.  ``jobs=1`` runs serially in-process
+        with byte-identical results; ``checkpoint_dir`` makes the sweep
+        resumable; ``progress`` is called with ``(shard, reused)`` as
+        shards complete.  See :mod:`repro.parallel` for the guarantees.
+        """
+        from repro.parallel.sweep import _execute_sweep
+
+        return _execute_sweep(
+            seeds,
+            jobs=jobs,
+            spec=self.spec(),
+            checkpoint_dir=checkpoint_dir,
+            with_metrics=with_metrics,
+            progress=progress,
+        )
+
+
+def run(
+    *, observability: Optional[Observability] = None, **config: object
+) -> CampaignResult:
+    """Build an :class:`ExperimentConfig` from keywords and run it once.
+
+    ``api.run(duration=86_400.0, seed=7)`` is the one-call replacement
+    for the deprecated ``run_campaign(86_400.0, 7)``.
+    """
+    return ExperimentConfig(**config).run(  # type: ignore[arg-type]
+        observability=observability
+    )
+
+
+def sweep(
+    seeds: Union[int, Sequence[int]],
+    *,
+    jobs: int = 1,
+    checkpoint_dir: Optional[Union[str, Path]] = None,
+    with_metrics: bool = False,
+    progress: Optional[Callable[["ShardResult", bool], None]] = None,
+    **config: object,
+) -> "SweepResult":
+    """Build an :class:`ExperimentConfig` from keywords and sweep it.
+
+    Sweep-control keywords (``jobs``, ``checkpoint_dir``,
+    ``with_metrics``, ``progress``) go to the pool; everything else
+    describes the campaign, exactly as :func:`run` takes it.
+    """
+    return ExperimentConfig(**config).sweep(  # type: ignore[arg-type]
+        seeds,
+        jobs=jobs,
+        checkpoint_dir=checkpoint_dir,
+        with_metrics=with_metrics,
+        progress=progress,
+    )
+
+
+__all__ = ["ExperimentConfig", "run", "sweep"]

@@ -9,7 +9,14 @@ from .packets import (
     packets_needed,
     segment,
 )
-from .channel import Channel, ChannelConfig, PathLoss
+from .channel import (
+    Channel,
+    ChannelConfig,
+    LossProfile,
+    PathLoss,
+    TransferStatistics,
+    sample_first_drop,
+)
 from .baseband import Baseband, TransferStatus, TxStatus, sample_transfer
 from .errors import (
     BTError,
@@ -45,7 +52,10 @@ __all__ = [
     "effective_throughput",
     "Channel",
     "ChannelConfig",
+    "LossProfile",
     "PathLoss",
+    "TransferStatistics",
+    "sample_first_drop",
     "Baseband",
     "TxStatus",
     "TransferStatus",

@@ -140,10 +140,19 @@ class TransferStatus(enum.Enum):
     LOSS = "loss"  # a payload was dropped -> user-visible packet loss
     MISMATCH = "mismatch"  # corrupted data delivered as good
 
+    code: str  # == .value, cached below for the per-transfer obs call
+
+
+for _status in TransferStatus:
+    _status.code = _status._value_
+del _status
+
 
 @dataclass(frozen=True)
 class TransferOutcome:
     """Sampled fate of an n-payload batch transfer."""
+
+    __slots__ = ("status", "payloads_before_event", "duration")
 
     status: TransferStatus
     payloads_before_event: int  # baseband payloads exchanged before the event
@@ -172,21 +181,20 @@ def sample_transfer(
     """
     obs = stack_instruments()
     if n_payloads <= 0:
-        obs.transfer_outcome(TransferStatus.COMPLETED.value)
+        obs.transfer_outcome(TransferStatus.COMPLETED.code)
         return TransferOutcome(TransferStatus.COMPLETED, 0, 0.0)
-    p_channel = channel.payload_drop_probability(packet_type)
-    p_escape = channel.packet_hit_probability(packet_type) * channel.undetected_error_probability(
-        packet_type
-    )
-    h_const = p_channel + break_hazard
-    p_mismatch = p_escape + mismatch_hazard
+    # One memoised profile lookup replaces three per-call closed-form
+    # evaluations; the values are identical to the uncached formulas.
+    profile = channel.loss_profile(packet_type)
+    h_const = profile.p_drop + break_hazard
+    p_mismatch = profile.p_hit * profile.p_undetected + mismatch_hazard
 
     break_index = _sample_break_index(
         rng, h_const, break_hazard, latent_multiplier, latent_tau, start_age, n_payloads
     )
     mismatch_index = _sample_geometric(rng, p_mismatch, n_payloads)
 
-    per_payload = packet_type.spec.duration
+    per_payload = packet_type.duration
     if break_index is None and mismatch_index is None:
         outcome = TransferOutcome(
             TransferStatus.COMPLETED, n_payloads, n_payloads * per_payload
@@ -199,7 +207,7 @@ def sample_transfer(
         outcome = TransferOutcome(
             TransferStatus.LOSS, break_index, (break_index + 1) * per_payload
         )
-    obs.transfer_outcome(outcome.status.value)
+    obs.transfer_outcome(outcome.status.code)
     obs.transfer_payloads.observe(outcome.payloads_before_event)
     return outcome
 
@@ -245,6 +253,20 @@ def _sample_break_index(
 ) -> Optional[int]:
     """Inverse-CDF sample of the break position under the age-varying hazard."""
     target = -math.log(max(rng.random(), 1e-300))
+    if latent_multiplier <= 1.0 or break_hazard <= 0.0:
+        # Constant hazard: the cumulative hazard is the linear h_const*k,
+        # so the bisection runs against inlined arithmetic (identical
+        # expressions, hence identical floats — just no call overhead).
+        if h_const * n < target:
+            return None
+        lo, hi = 0.0, float(n)
+        for _ in range(60):
+            mid = (lo + hi) / 2.0
+            if h_const * mid < target:
+                lo = mid
+            else:
+                hi = mid
+        return min(int(hi), n - 1)
     if _cumulative_hazard(n, h_const, break_hazard, latent_multiplier, latent_tau, start_age) < target:
         return None
     lo, hi = 0.0, float(n)

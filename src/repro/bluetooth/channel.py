@@ -104,7 +104,31 @@ class ChannelConfig:
 
 
 class Channel:
-    """One directional NAP-PANU radio link with burst-error dynamics."""
+    """One directional NAP-PANU radio link with burst-error dynamics.
+
+    Query protocol
+    --------------
+    Both query styles answer the same question — "what does the channel
+    do to packets of ``packet_type``?" — at different fidelities, and
+    both draw *only* from the injected ``rng`` stream:
+
+    * **bit-accurate** — :meth:`sample_packet_errors` advances the
+      Gilbert-Elliott state machine to the packet's instant (``now``)
+      and samples a bit-error count for its air bits.  Exact, but one
+      call per packet.
+    * **batch-analytic** — :meth:`transfer_statistics` (expectations
+      for ``n_packets`` payloads) and :meth:`sample_payload_outcome`
+      (one sampled payload fate) use closed-form stationary hit/drop
+      probabilities, so months of traffic cost O(1) per transfer.
+
+    The closed-form quantities depend only on the packet type and the
+    :class:`ChannelConfig` scalars, so they are memoised per packet
+    type (see :meth:`loss_profile`); the cache invalidates itself
+    whenever any config field changes — e.g. via
+    :meth:`set_interference` during an interference episode.  The
+    memoisation therefore returns bit-for-bit the values the uncached
+    formulas would, and the RNG draw sequence is unchanged.
+    """
 
     def __init__(self, config: ChannelConfig, rng: random.Random) -> None:
         self.config = config
@@ -115,6 +139,79 @@ class Channel:
         #: no randomness).
         self._state_until: Optional[float] = None
         self._obs = stack_instruments()
+        # Memoised closed-form per-packet-type quantities, keyed by the
+        # config scalars they were computed from (Gilbert-Elliott
+        # sojourn/stationary terms are precomputed here instead of per
+        # packet).  _profile_key() detects any config mutation.
+        self._profiles: dict = {}
+        self._profile_config_key: tuple = self._config_key()
+        self._stationary_bad = config.stationary_bad
+        self._ber_good = config.ber_good
+
+    def _config_key(self) -> tuple:
+        cfg = self.config
+        return (
+            cfg.distance,
+            cfg.path_loss,
+            cfg.burst_rate,
+            cfg.mean_burst,
+            cfg.ber_bad,
+            cfg.retransmit_limit,
+            cfg.interference_factor,
+        )
+
+    def loss_profile(self, packet_type: PacketType) -> "LossProfile":
+        """Memoised closed-form loss quantities for one packet type.
+
+        Values are identical to evaluating the underlying formulas
+        directly; the cache is rebuilt whenever the config changes.
+        """
+        key = self._config_key()
+        if key != self._profile_config_key:
+            self._profiles.clear()
+            self._profile_config_key = key
+            self._stationary_bad = self.config.stationary_bad
+            self._ber_good = self.config.ber_good
+        profile = self._profiles.get(packet_type)
+        if profile is None:
+            profile = self._compute_profile(packet_type)
+            self._profiles[packet_type] = profile
+        return profile
+
+    def _compute_profile(self, packet_type: PacketType) -> "LossProfile":
+        cfg = self.config
+        duration = packet_type.duration
+        # P(packet overlaps a burst): stationary BAD probability plus
+        # the chance of a burst starting during the packet's air time.
+        p_start_in_flight = 1.0 - math.exp(-cfg.effective_burst_rate * duration)
+        pi_bad = self._stationary_bad
+        p_hit = pi_bad + (1.0 - pi_bad) * p_start_in_flight
+        # P(CRC failure from sparse GOOD-state errors): DMx FEC corrects
+        # single-bit errors per 15-bit block, DHx fails on any error.
+        bits = packet_type.air_bits
+        p_bit = self._ber_good
+        if not packet_type.fec:
+            p_good_fail = 1.0 - (1.0 - p_bit) ** bits
+        else:
+            n_blocks = max(1, bits // 15)
+            p_block_2plus = (
+                1.0 - (1.0 - p_bit) ** 15 - 15 * p_bit * (1.0 - p_bit) ** 14
+            )
+            p_good_fail = 1.0 - (1.0 - p_block_2plus) ** n_blocks
+        # P(payload dropped | hit): burst outlives the ARQ retry window.
+        retry_window = cfg.retransmit_limit * duration
+        p_drop_given_hit = math.exp(-retry_window / cfg.mean_burst)
+        # P(corrupt payload escapes CRC | hit): 16-bit CRC misses ~2^-16
+        # of burst patterns; FEC miscorrection raises the escape rate.
+        p_undetected = (2.0 ** -16) * (4.0 if packet_type.fec else 1.0)
+        return LossProfile(
+            packet_type=packet_type,
+            p_hit=p_hit,
+            p_good_state_failure=p_good_fail,
+            p_drop_given_hit=p_drop_given_hit,
+            p_undetected=p_undetected,
+            p_drop=p_hit * p_drop_given_hit,
+        )
 
     # -- state machine -----------------------------------------------------
 
@@ -141,10 +238,18 @@ class Channel:
         return self._bad
 
     def set_interference(self, factor: float) -> None:
-        """Scale the burst arrival rate (an interference episode)."""
+        """Scale the burst arrival rate (an interference episode).
+
+        Invalidates the memoised closed-form profiles (they depend on
+        the effective burst rate).
+        """
         if factor <= 0:
             raise ValueError("interference factor must be positive")
         self.config.interference_factor = factor
+        self._profiles.clear()
+        self._profile_config_key = self._config_key()
+        self._stationary_bad = self.config.stationary_bad
+        self._ber_good = self.config.ber_good
 
     # -- bit-accurate path ---------------------------------------------------
 
@@ -166,13 +271,10 @@ class Channel:
         """P(a packet of this type overlaps an error burst).
 
         Equals the stationary BAD probability plus the chance of a burst
-        starting during the packet's air time.
+        starting during the packet's air time.  Memoised — see
+        :meth:`loss_profile`.
         """
-        cfg = self.config
-        duration = packet_type.spec.duration
-        p_start_in_flight = 1.0 - math.exp(-cfg.effective_burst_rate * duration)
-        pi_bad = cfg.stationary_bad
-        return pi_bad + (1.0 - pi_bad) * p_start_in_flight
+        return self.loss_profile(packet_type).p_hit
 
     def good_state_failure_probability(self, packet_type: PacketType) -> float:
         """P(CRC failure of a full packet from GOOD-state bit errors).
@@ -181,16 +283,7 @@ class Channel:
         single-bit errors per block, so sparse GOOD-state errors almost
         never fail them; DHx packets fail on any bit error.
         """
-        cfg = self.config
-        spec = packet_type.spec
-        bits = spec.air_bits
-        if not spec.fec:
-            return 1.0 - (1.0 - cfg.ber_good) ** bits
-        # With FEC, a block fails only with >= 2 errors among 15 bits.
-        n_blocks = max(1, bits // 15)
-        p_bit = cfg.ber_good
-        p_block_2plus = 1.0 - (1.0 - p_bit) ** 15 - 15 * p_bit * (1.0 - p_bit) ** 14
-        return 1.0 - (1.0 - p_block_2plus) ** n_blocks
+        return self.loss_profile(packet_type).p_good_state_failure
 
     def drop_probability_given_hit(self, packet_type: PacketType) -> float:
         """P(payload dropped | packet hit a burst).
@@ -200,15 +293,11 @@ class Channel:
         exchange.  The payload is dropped iff the burst outlives the
         whole retry window (exponential dwell => closed form).
         """
-        cfg = self.config
-        retry_window = cfg.retransmit_limit * packet_type.spec.duration
-        return math.exp(-retry_window / cfg.mean_burst)
+        return self.loss_profile(packet_type).p_drop_given_hit
 
     def payload_drop_probability(self, packet_type: PacketType) -> float:
         """Unconditional P(one baseband payload of this type is dropped)."""
-        return self.packet_hit_probability(packet_type) * self.drop_probability_given_hit(
-            packet_type
-        )
+        return self.loss_profile(packet_type).p_drop
 
     def undetected_error_probability(self, packet_type: PacketType) -> float:
         """P(corrupted payload delivered as good | packet hit a burst).
@@ -217,44 +306,83 @@ class Channel:
         miscorrection on DMx packets turns some burst patterns into
         different (but valid-looking) codewords, raising the escape rate.
         """
-        base = 2.0 ** -16
-        return base * (4.0 if packet_type.spec.fec else 1.0)
+        return self.loss_profile(packet_type).p_undetected
 
     def transfer_statistics(
         self, packet_type: PacketType, n_packets: int
     ) -> "TransferStatistics":
-        """Closed-form loss/mismatch expectations for an n-packet burst."""
-        p_hit = self.packet_hit_probability(packet_type)
-        p_drop = p_hit * self.drop_probability_given_hit(packet_type)
-        p_mismatch = p_hit * self.undetected_error_probability(packet_type)
+        """Closed-form loss/mismatch expectations for an n-packet burst.
+
+        Batch-analytic path; draws no randomness.  The per-type
+        probabilities come from the memoised :meth:`loss_profile` and
+        are identical to the uncached closed form.
+        """
+        profile = self.loss_profile(packet_type)
+        p_hit = profile.p_hit
         return TransferStatistics(
             packet_type=packet_type,
             n_packets=n_packets,
             p_hit=p_hit,
-            p_drop=p_drop,
-            p_mismatch=p_mismatch,
+            p_drop=profile.p_drop,
+            p_mismatch=p_hit * profile.p_undetected,
         )
 
     def sample_payload_outcome(self, packet_type: PacketType) -> str:
         """Sample one payload's fate: 'ok', 'retransmitted', 'dropped' or 'mismatch'.
 
-        Stateless (stationary) sampling used by the batch transfer path.
+        Batch-analytic path: stateless (stationary) sampling, consuming
+        1-3 draws from the injected RNG stream — the same draw sequence
+        as the uncached implementation.
         """
-        p_hit = self.packet_hit_probability(packet_type)
-        if self._rng.random() >= p_hit:
-            if self._rng.random() < self.good_state_failure_probability(packet_type):
+        profile = self.loss_profile(packet_type)
+        rng_random = self._rng.random
+        if rng_random() >= profile.p_hit:
+            if rng_random() < profile.p_good_state_failure:
                 return "retransmitted"
             return "ok"
-        if self._rng.random() < self.undetected_error_probability(packet_type):
+        if rng_random() < profile.p_undetected:
             return "mismatch"
-        if self._rng.random() < self.drop_probability_given_hit(packet_type):
+        if rng_random() < profile.p_drop_given_hit:
             return "dropped"
         return "retransmitted"
 
 
 @dataclass(frozen=True)
+class LossProfile:
+    """Memoised closed-form loss quantities for one packet type.
+
+    All probabilities are exactly the values the corresponding
+    :class:`Channel` formulas produce; the profile is just those
+    formulas evaluated once per (packet type, channel configuration).
+    """
+
+    __slots__ = (
+        "packet_type",
+        "p_hit",
+        "p_good_state_failure",
+        "p_drop_given_hit",
+        "p_undetected",
+        "p_drop",
+    )
+
+    packet_type: PacketType
+    #: P(packet overlaps an error burst).
+    p_hit: float
+    #: P(CRC failure from GOOD-state bit errors).
+    p_good_state_failure: float
+    #: P(payload dropped | packet hit a burst).
+    p_drop_given_hit: float
+    #: P(corrupt payload escapes the CRC | packet hit a burst).
+    p_undetected: float
+    #: Unconditional P(payload dropped) = p_hit * p_drop_given_hit.
+    p_drop: float
+
+
+@dataclass(frozen=True)
 class TransferStatistics:
     """Expected outcome rates for a batch of payload transmissions."""
+
+    __slots__ = ("packet_type", "n_packets", "p_hit", "p_drop", "p_mismatch")
 
     packet_type: PacketType
     n_packets: int
@@ -300,6 +428,7 @@ def sample_first_drop(
 __all__ = [
     "Channel",
     "ChannelConfig",
+    "LossProfile",
     "PathLoss",
     "TransferStatistics",
     "sample_first_drop",

@@ -82,13 +82,31 @@ class HciLayer:
         Raises :class:`HciCommandError` when the referenced connection
         handle is unknown (and logs the characteristic error line).
         """
+        yield Timeout(self.begin_command(handle))
+        self.end_command()
+        return None
+
+    def begin_command(self, handle: Optional[int] = None) -> float:
+        """Validate and dispatch one command; returns its round-trip delay.
+
+        Split out of :meth:`command` so hot callers can yield the delay
+        from their own generator frame instead of delegating into a
+        fresh one per command; pair every call with :meth:`end_command`
+        after the wait.
+        """
+        self.check_handle(handle)
+        return self._transport.send_command() + COMMAND_LATENCY
+
+    def check_handle(self, handle: Optional[int]) -> None:
+        """Raise (and log) the stale-handle HCI error for an unknown handle."""
         if handle is not None and handle not in self.connections:
             self.invalid_handle_errors += 1
             self._log.error(SystemFailureType.HCI, "invalid_handle")
             raise HciCommandError(f"unknown connection handle {handle}")
-        yield Timeout(self._transport.send_command() + COMMAND_LATENCY)
+
+    def end_command(self) -> None:
+        """Account the completion of a command begun with :meth:`begin_command`."""
         self.commands_completed += 1
-        return None
 
     def fail_command_timeout(self) -> Generator:
         """Simulate a command that never reaches the firmware.
@@ -109,8 +127,18 @@ class HciLayer:
         return connection
 
     def complete_connection(self, handle: int) -> None:
-        """Mark an ACL connection as established."""
-        self.connections[handle].state = ConnectionState.CONNECTED
+        """Mark an ACL connection as established.
+
+        Tolerates an unknown handle: a BT stack reset (hardware
+        replacement, SIRA level 3+) can clear the handle table while a
+        connect procedure is parked on a timer.  The establishment then
+        'completes' against a dead handle, and the very next command on
+        it surfaces the stale-handle HCI error — the realistic failure
+        signature — instead of crashing the simulation.
+        """
+        connection = self.connections.get(handle)
+        if connection is not None:
+            connection.state = ConnectionState.CONNECTED
 
     def close_connection(self, handle: int) -> None:
         """Release a connection handle (idempotent)."""

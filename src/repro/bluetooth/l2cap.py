@@ -76,7 +76,9 @@ class L2capLayer:
         valid; a stale handle surfaces as an HCI error at the layer
         below (raised by :meth:`HciLayer.command`).
         """
-        yield from self._hci.command("l2cap_connect_req", handle=hci_handle)
+        hci = self._hci
+        yield Timeout(hci.begin_command(hci_handle))
+        hci.end_command()
         channel = L2capChannel(
             cid=next(self._cids), psm=psm, hci_handle=hci_handle, peer=peer
         )
@@ -85,17 +87,39 @@ class L2capLayer:
         channel.state = ChannelState.OPEN
         return channel
 
+    def open_channel(self, psm: int, hci_handle: int, peer: str) -> L2capChannel:
+        """Materialise a channel whose connect/signalling wait already elapsed.
+
+        Companion to the wait-chained establishment path of
+        :meth:`repro.bluetooth.pan.PanProfile.connect`: the caller slept
+        through the command and signalling delays in one combined wait,
+        so the channel is registered directly in the OPEN state.
+        """
+        channel = L2capChannel(
+            cid=next(self._cids),
+            psm=psm,
+            hci_handle=hci_handle,
+            peer=peer,
+            state=ChannelState.OPEN,
+        )
+        self.channels[channel.cid] = channel
+        return channel
+
     def disconnect(self, cid: int) -> Generator:
-        """Close a channel (idempotent)."""
+        """Close a channel (idempotent).
+
+        Completes without consuming an event when there is nothing to
+        signal (unknown channel, or a stale ACL handle after a link
+        break) — the zero-delay wait it used to yield only cost a trip
+        through the event queue.
+        """
         channel = self.channels.pop(cid, None)
         if channel is not None and channel.state is ChannelState.OPEN:
             channel.state = ChannelState.CLOSED
-            if self._hci.valid_handle(channel.hci_handle):
-                yield from self._hci.command("l2cap_disconnect_req", handle=channel.hci_handle)
-            else:
-                yield Timeout(0.0)
-        else:
-            yield Timeout(0.0)
+            hci = self._hci
+            if hci.valid_handle(channel.hci_handle):
+                yield Timeout(hci.begin_command(channel.hci_handle))
+                hci.end_command()
         return None
 
     def note_unexpected_frame(self, start: bool) -> None:

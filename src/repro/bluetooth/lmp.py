@@ -47,10 +47,18 @@ class LmpLayer:
         discovered = [name for name in neighbourhood if self._rng.random() < 0.98]
         return discovered
 
+    def begin_page(self) -> float:
+        """Account one page procedure; returns its drawn duration.
+
+        Non-waiting half of :meth:`page`, for callers that chain the
+        page delay into a single combined wait.
+        """
+        self.pages += 1
+        return self._rng.uniform(PAGE_DURATION_MIN, PAGE_DURATION_MAX)
+
     def page(self) -> Generator:
         """Page (baseband-connect) a known device; returns the delay used."""
-        self.pages += 1
-        duration = self._rng.uniform(PAGE_DURATION_MIN, PAGE_DURATION_MAX)
+        duration = self.begin_page()
         yield Timeout(duration)
         return duration
 

@@ -35,7 +35,16 @@ SYMBOL_RATE = 1_000_000  # 1 Msym/s GFSK
 
 
 class PacketType(enum.Enum):
-    """The six ACL data packet types."""
+    """The six ACL data packet types.
+
+    The static per-type quantities (``spec``, ``slots``, ``fec``,
+    ``max_payload``, ``air_bits``, ``duration``) are cached directly on
+    each enum member once the spec table below is built — packet-type
+    introspection is on the campaign hot path (one lookup per simulated
+    payload), so the historical ``PACKET_SPECS[self]`` dict hop and the
+    per-access ``air_bits``/``duration`` arithmetic are paid exactly
+    once per process.
+    """
 
     DM1 = "DM1"
     DH1 = "DH1"
@@ -44,47 +53,40 @@ class PacketType(enum.Enum):
     DM5 = "DM5"
     DH5 = "DH5"
 
-    @property
-    def spec(self) -> "PacketSpec":
-        return PACKET_SPECS[self]
-
-    @property
-    def slots(self) -> int:
-        return self.spec.slots
-
-    @property
-    def fec(self) -> bool:
-        """True when the payload is protected by the (15,10) FEC."""
-        return self.spec.fec
-
-    @property
-    def max_payload(self) -> int:
-        return self.spec.max_payload
+    # Populated (per member) right after PACKET_SPECS is defined:
+    spec: "PacketSpec"
+    slots: int
+    fec: bool
+    max_payload: int
+    air_bits: int
+    duration: float
+    code: str  # == .value, minus the DynamicClassAttribute descriptor hop
 
 
 @dataclass(frozen=True)
 class PacketSpec:
-    """Static properties of one packet type."""
+    """Static properties of one packet type.
+
+    ``air_bits`` (total bits on air for a full packet) and ``duration``
+    (air time plus the TDD return slot carrying the ACK) are derived
+    once at construction rather than on every access.
+    """
 
     type: "PacketType"
     slots: int
     fec: bool
     max_payload: int
 
-    @property
-    def air_bits(self) -> int:
-        """Total bits on air for a full packet of this type."""
+    def __post_init__(self) -> None:
         payload_bits = (self.max_payload * 8) + PAYLOAD_HEADER_BITS + CRC_BITS
         if self.fec:
             payload_bits = math.ceil(payload_bits / 10) * 15
-        return ACCESS_CODE_BITS + HEADER_CODED_BITS + payload_bits
-
-    @property
-    def duration(self) -> float:
-        """Air time of the packet plus its return slot (for the ACK)."""
+        object.__setattr__(
+            self, "air_bits", ACCESS_CODE_BITS + HEADER_CODED_BITS + payload_bits
+        )
         # ACL is TDD: a packet of n slots is followed by at least one
         # return slot carrying the acknowledgement.
-        return (self.slots + 1) * SLOT_SECONDS
+        object.__setattr__(self, "duration", (self.slots + 1) * SLOT_SECONDS)
 
     def payload_bits(self, payload_len: int) -> int:
         """Bits on air for a payload of ``payload_len`` bytes."""
@@ -102,6 +104,19 @@ PACKET_SPECS: Dict[PacketType, PacketSpec] = {
     PacketType.DM5: PacketSpec(PacketType.DM5, 5, True, 224),
     PacketType.DH5: PacketSpec(PacketType.DH5, 5, False, 339),
 }
+
+# Cache the static quantities on the enum members themselves, so the
+# hot path reads plain instance attributes instead of walking
+# property -> dict-hash -> property chains.
+for _type, _spec in PACKET_SPECS.items():
+    _type.spec = _spec
+    _type.slots = _spec.slots
+    _type.fec = _spec.fec
+    _type.max_payload = _spec.max_payload
+    _type.air_bits = _spec.air_bits
+    _type.duration = _spec.duration
+    _type.code = _type._value_
+del _type, _spec
 
 #: Order used when the Random workload draws the type by a binomial index.
 PACKET_TYPE_ORDER: Tuple[PacketType, ...] = (
@@ -158,7 +173,7 @@ def packets_needed(length: int, packet_type: PacketType) -> int:
     """Number of packets of ``packet_type`` needed for ``length`` bytes."""
     if length <= 0:
         return 1
-    return math.ceil(length / packet_type.max_payload)
+    return math.ceil(length / packet_type.max_payload)  # max_payload is cached
 
 
 def effective_throughput(packet_type: PacketType) -> float:

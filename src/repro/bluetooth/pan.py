@@ -21,10 +21,11 @@ from typing import Generator, Optional, Set
 
 from repro.collection.logs import SystemLog
 from repro.core.failure_model import UserFailureType
+from repro.faults.calibration import APPLICATION_HAZARD_MULTIPLIERS
 from repro.faults.evidence import emit_evidence
 from repro.faults.injector import FaultActivation, FaultInjector, NodeTraits, TransferHazards
 from repro.obs.trace import get_tracer
-from repro.sim import Simulator, Timeout
+from repro.sim import Simulator, SleepUntil, Timeout
 from .baseband import TransferStatus, sample_transfer
 from .bnep import BnepError, BnepLayer
 from .channel import Channel
@@ -41,8 +42,8 @@ from .errors import (
     traced,
 )
 from .hci import HciCommandError, HciLayer, COMMAND_TIMEOUT
-from .l2cap import L2capLayer, PSM_BNEP
-from .lmp import LmpLayer
+from .l2cap import L2capLayer, PSM_BNEP, SIGNALLING_DELAY
+from .lmp import LmpLayer, ROLE_SWITCH_DURATION
 from .host import HostOs, SocketError
 from .packets import PacketType, packets_needed
 from .sdp import SdpServer, make_nap_record
@@ -161,42 +162,43 @@ class PanConnection:
         :class:`PacketLossError` (after the 30 s detection timeout) or
         :class:`DataMismatchError`.
         """
-        from repro.faults.calibration import APPLICATION_HAZARD_MULTIPLIERS
-
+        owner = self.owner
+        hazards = self.hazards
         per_logical = packets_needed(send_size, packet_type) + packets_needed(
             recv_size, packet_type
         )
         n_payloads = max(1, n_logical) * per_logical
         app_multiplier = APPLICATION_HAZARD_MULTIPLIERS.get(application, 1.0)
         outcome = sample_transfer(
-            self.owner.rng,
-            self.owner.channel,
+            owner.rng,
+            owner.channel,
             packet_type,
             n_payloads,
-            break_hazard=self.hazards.break_hazard * app_multiplier,
-            mismatch_hazard=self.hazards.mismatch_hazard,
+            break_hazard=hazards.break_hazard * app_multiplier,
+            mismatch_hazard=hazards.mismatch_hazard,
             latent_multiplier=(
-                self.hazards.latent_multiplier if self.hazards.latent_defect else 1.0
+                hazards.latent_multiplier if hazards.latent_defect else 1.0
             ),
-            latent_tau=self.hazards.latent_packets,
+            latent_tau=hazards.latent_packets,
             start_age=float(self.packets_total),
         )
         age_at_event = self.packets_total + outcome.payloads_before_event
         self.packets_total = age_at_event
         # The piconet's TDD scheme divides air time among concurrent
         # transfers: with n slaves moving data, each sees ~n-fold
-        # dilation (snapshot at transfer start).
+        # dilation (snapshot at transfer start; begin/end_transfer
+        # inlined — this runs once per cycle).
         piconet = self.nap.piconet
-        piconet.begin_transfer()
-        dilation = piconet.slot_share_factor
+        piconet.active_transfers += 1
+        dilation = float(max(1, piconet.active_transfers))
         try:
             if outcome.status is TransferStatus.COMPLETED:
                 yield Timeout(outcome.duration * dilation)
                 return None
             if outcome.status is TransferStatus.MISMATCH:
                 yield Timeout(outcome.duration * dilation)
-                activation = self.owner.injector.activate(
-                    UserFailureType.DATA_MISMATCH, self.owner.traits
+                activation = owner.injector.activate(
+                    UserFailureType.DATA_MISMATCH, owner.traits
                 )
                 _trace_stack_chain(
                     activation,
@@ -207,7 +209,7 @@ class PanConnection:
                         ("bnep", "frame_delivered_corrupt", {"interface": self.interface_name}),
                     ],
                 )
-                self.owner.manifest(activation)  # no evidence in practice
+                owner.manifest(activation)  # no evidence in practice
                 raise traced(
                     DataMismatchError(scope=activation.scope), activation.trace_id
                 )
@@ -216,8 +218,8 @@ class PanConnection:
             # *logical* (workload-level) packets, as in figure 3b.
             self.broken = True
             yield Timeout(outcome.duration * dilation + PACKET_LOSS_TIMEOUT)
-            activation = self.owner.injector.activate(
-                UserFailureType.PACKET_LOSS, self.owner.traits
+            activation = owner.injector.activate(
+                UserFailureType.PACKET_LOSS, owner.traits
             )
             _trace_stack_chain(
                 activation,
@@ -228,7 +230,7 @@ class PanConnection:
                     ("bnep", "link_down", {"interface": self.interface_name}),
                 ],
             )
-            self.owner.manifest(activation)
+            owner.manifest(activation)
             raise traced(
                 PacketLossError(
                     scope=activation.scope, packets_sent=age_at_event // per_logical
@@ -236,7 +238,7 @@ class PanConnection:
                 activation.trace_id,
             )
         finally:
-            piconet.end_transfer()
+            piconet.active_transfers = max(0, piconet.active_transfers - 1)
 
     def disconnect(self) -> Generator:
         """Tear the PAN connection down (idempotent, tolerant of breakage)."""
@@ -341,10 +343,23 @@ class PanProfile:
                 self.manifest(activation)
                 yield Timeout(COMMAND_TIMEOUT)  # HCI command timeout latency
                 raise traced(ConnectError(scope=activation.scope), activation.trace_id)
-            yield from self.lmp.page()
-            hci_conn = self.hci.open_connection(self.nap.name)
-            channel = yield from self.l2cap.connect(PSM_BNEP, hci_conn.handle, self.nap.name)
-            self.hci.complete_connection(hci_conn.handle)
+            # Page, HCI connect command and L2CAP signalling are three
+            # consecutive waits with only node-local bookkeeping between
+            # them, so they are chained into a single wake-up.  The
+            # deadline accumulates one delay at a time — the same float
+            # additions the individual waits would have performed — so
+            # the final instant is bit-identical to the step-by-step
+            # schedule while costing one event instead of three.
+            hci = self.hci
+            deadline = self.sim.now
+            deadline += self.lmp.begin_page()
+            hci_conn = hci.open_connection(self.nap.name)
+            deadline += hci.begin_command(hci_conn.handle)
+            deadline += SIGNALLING_DELAY
+            yield SleepUntil(deadline)
+            hci.end_command()
+            channel = self.l2cap.open_channel(PSM_BNEP, hci_conn.handle, self.nap.name)
+            hci.complete_connection(hci_conn.handle)
 
             # --- BNEP / PAN establishment ------------------------------------
             activation = self._draw("pan_connect", sdp_performed=sdp_performed)
@@ -384,7 +399,10 @@ class PanProfile:
                 raise traced(
                     SwitchRoleCommandError(scope=activation.scope), activation.trace_id
                 )
-            yield from self.lmp.role_switch()
+            # lmp.role_switch() inlined: same counter, same wait, one
+            # generator frame less on the per-connect hot path.
+            self.lmp.role_switches += 1
+            yield Timeout(ROLE_SWITCH_DURATION)
 
             piconet.add_slave(self.traits.name)
             self.nap.connections_accepted += 1

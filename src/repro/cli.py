@@ -2,14 +2,18 @@
 
 Main subcommands::
 
-    repro-bt campaign --hours 24 --seed 7 --out results/   # run + dump
+    repro-bt run --hours 24 --seed 7 --out results/        # run + dump
     repro-bt sweep --seeds 8 --jobs 4 --out sweep/          # multi-seed pool
     repro-bt analyze results/                               # re-analyze a dump
     repro-bt report --hours 24 --seed 7                     # full paper report
     repro-bt obs --hours 8 --metrics-out m.txt              # instrumented run
     repro-bt lint src                                       # determinism lint
 
-``campaign`` runs the two testbeds and dumps the repository (JSONL) plus
+Every campaign-executing subcommand routes through the unified
+:mod:`repro.api` facade (``campaign`` is the legacy alias of ``run``,
+kept for existing scripts).
+
+``run`` runs the two testbeds and dumps the repository (JSONL) plus
 every rendered table/figure into the output directory; ``analyze``
 rebuilds the analyses from a previous dump without re-simulating;
 ``report`` runs baseline + masked campaigns and prints the whole
@@ -32,9 +36,8 @@ import sys
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
-from repro import configure_logging
+from repro import api, configure_logging
 from repro.collection.repository import CentralRepository
-from repro.core.campaign import CampaignSpec, run_campaign
 from repro.core.dependability import build_dependability_report
 from repro.core.distributions import packet_loss_by_connection_age
 from repro.obs import Observability
@@ -107,7 +110,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     """Run a campaign, dump repository + analysis to --out."""
     masking = MaskingPolicy.all_on() if args.masking else MaskingPolicy.all_off()
     obs = _observability_for(args)
-    result = run_campaign(
+    result = api.run(
         duration=args.hours * 3600.0,
         seed=args.seed,
         masking=masking,
@@ -125,8 +128,6 @@ def cmd_campaign(args: argparse.Namespace) -> int:
 
 def cmd_sweep(args: argparse.Namespace) -> int:
     """Run a deterministic multi-seed sweep across a process pool."""
-    from repro.parallel import run_campaign_sweep
-
     if args.seeds < 1:
         print("--seeds must be >= 1", file=sys.stderr)
         return 2
@@ -134,9 +135,6 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         print("--jobs must be >= 1", file=sys.stderr)
         return 2
     masking = MaskingPolicy.all_on() if args.masking else MaskingPolicy.all_off()
-    spec = CampaignSpec(
-        duration=args.hours * 3600.0, seed=args.seed, masking=masking
-    )
     out = Path(args.out)
 
     def progress(shard, reused: bool) -> None:
@@ -150,13 +148,15 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         f"Sweeping {args.seeds} seeds x {args.hours:.0f} h "
         f"(root seed {args.seed}, {args.jobs} job(s))..."
     )
-    result = run_campaign_sweep(
+    result = api.sweep(
         args.seeds,
         jobs=args.jobs,
-        spec=spec,
         checkpoint_dir=out / "shards",
         with_metrics=args.metrics_out is not None,
         progress=progress,
+        duration=args.hours * 3600.0,
+        seed=args.seed,
+        masking=masking,
     )
     text = result.render()
     (out / "sweep.txt").write_text(text + "\n", encoding="utf-8")
@@ -181,7 +181,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 def cmd_obs(args: argparse.Namespace) -> int:
     """Run a fully instrumented campaign and print the obs summary."""
     obs = Observability()
-    run_campaign(duration=args.hours * 3600.0, seed=args.seed, observability=obs)
+    api.run(duration=args.hours * 3600.0, seed=args.seed, observability=obs)
     print(render_obs_summary(obs))
     _export_obs(obs, args)
     return 0
@@ -208,9 +208,9 @@ def cmd_analyze(args: argparse.Namespace) -> int:
 def cmd_report(args: argparse.Namespace) -> int:
     """Run baseline + masked campaigns and print the full report."""
     print(f"Baseline campaign ({args.hours:.0f} h, seed {args.seed})...")
-    baseline = run_campaign(duration=args.hours * 3600.0, seed=args.seed)
+    baseline = api.run(duration=args.hours * 3600.0, seed=args.seed)
     print(f"Masked campaign   ({args.hours:.0f} h, seed {args.seed + 1})...")
-    masked = run_campaign(
+    masked = api.run(
         duration=args.hours * 3600.0,
         seed=args.seed + 1,
         masking=MaskingPolicy.all_on(),
@@ -237,9 +237,9 @@ def cmd_scorecard(args: argparse.Namespace) -> int:
     from repro.core.scorecard import evaluate
 
     print(f"Baseline campaign ({args.hours:.0f} h, seed {args.seed})...")
-    baseline = run_campaign(duration=args.hours * 3600.0, seed=args.seed)
+    baseline = api.run(duration=args.hours * 3600.0, seed=args.seed)
     print(f"Masked campaign   ({args.hours:.0f} h, seed {args.seed + 1})...")
-    masked = run_campaign(
+    masked = api.run(
         duration=args.hours * 3600.0,
         seed=args.seed + 1,
         masking=MaskingPolicy.all_on(),
@@ -266,17 +266,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    campaign = sub.add_parser("campaign", help="run a campaign and dump it")
-    campaign.add_argument("--hours", type=float, default=24.0)
-    campaign.add_argument("--seed", type=int, default=0)
-    campaign.add_argument("--masking", action="store_true",
-                          help="enable the three masking strategies")
-    campaign.add_argument("--out", default="campaign_out")
-    campaign.add_argument("--metrics-out", default=None,
-                          help="write Prometheus text exposition here")
-    campaign.add_argument("--trace-out", default=None,
-                          help="write the JSONL propagation trace here")
-    campaign.set_defaults(func=cmd_campaign)
+    run_help = "run one campaign through repro.api and dump it"
+    for name, help_text in (
+        ("run", run_help),
+        ("campaign", run_help + " (legacy alias of 'run')"),
+    ):
+        campaign = sub.add_parser(name, help=help_text)
+        campaign.add_argument("--hours", type=float, default=24.0)
+        campaign.add_argument("--seed", type=int, default=0)
+        campaign.add_argument("--masking", action="store_true",
+                              help="enable the three masking strategies")
+        campaign.add_argument("--out", default="campaign_out")
+        campaign.add_argument("--metrics-out", default=None,
+                              help="write Prometheus text exposition here")
+        campaign.add_argument("--trace-out", default=None,
+                              help="write the JSONL propagation trace here")
+        campaign.set_defaults(func=cmd_campaign)
 
     sweep = sub.add_parser(
         "sweep", help="run a multi-seed sweep across a process pool"

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Generator
 
-from repro.sim import Simulator, Timeout, spawn
+from repro.sim import Simulator, Timeout
 from .filtering import FilterStats, filter_system_records
 from .logs import SystemLog, TestLog
 from .repository import CentralRepository
@@ -68,15 +68,29 @@ class LogAnalyzer:
         self.filter_stats.dropped_duplicate += stats.dropped_duplicate
 
     def run(self) -> Generator:
-        """Simulation process: collect every ``period`` seconds, forever."""
+        """Simulation process: collect every ``period`` seconds, forever.
+
+        Generator-based variant kept for embedding the analyzer in a
+        larger process; :meth:`start` uses the allocation-free periodic
+        timer instead.
+        """
         yield Timeout(self.phase)
         while True:
             yield Timeout(self.period)
             self.collect_once()
 
     def start(self, sim: Simulator):
-        """Spawn the daemon on ``sim``; returns the process handle."""
-        return spawn(sim, self.run(), name=f"loganalyzer:{self.node}")
+        """Arm the daemon on ``sim``; returns its periodic-timer handle.
+
+        Runs on :meth:`Simulator.schedule_periodic`, so the per-round
+        generator resume/re-schedule allocation churn of the historical
+        process-based daemon is gone: one event object is re-armed
+        forever.  The firing schedule is unchanged — first collection at
+        ``phase + period``, then every ``period`` seconds.
+        """
+        return sim.schedule_periodic(
+            self.period, self.collect_once, first_delay=self.phase + self.period
+        )
 
 
 __all__ = ["LogAnalyzer", "DEFAULT_PERIOD"]

@@ -12,16 +12,48 @@ Two kinds of records exist, mirroring the paper's two data sources:
 
 Records carry **raw message strings**, not failure-type enums: the
 analysis pipeline must classify them, as the paper's SAS analysis did.
+
+A multi-seed campaign materialises hundreds of thousands of records, so
+the schemas are tuned for bulk allocation: every record class carries
+``__slots__`` (no per-instance ``__dict__``), the short categorical
+strings (node, facility, severity, phase, testbed, workload) are
+interned so equality checks inside the analysis pipeline reduce to
+pointer comparisons, and ``TestLogRecord.recovery`` is stored as a
+tuple (accepting any sequence at construction).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, fields, asdict
-from typing import Any, Dict, List, Optional
+from sys import intern
+from typing import Any, Dict, Optional, Tuple
 
 from repro import get_logger
 
 log = get_logger("collection.records")
+
+
+def _add_slots(cls):
+    """Rebuild a dataclass with ``__slots__`` (py3.9-compatible).
+
+    ``@dataclass(slots=True)`` only exists from Python 3.10; this is the
+    standard recipe — recreate the class with ``__slots__`` naming its
+    fields and without the class-level default values (the generated
+    ``__init__`` carries its own defaults), so instances drop their
+    per-record ``__dict__``.
+    """
+    if "__slots__" in cls.__dict__:
+        return cls
+    field_names = tuple(f.name for f in fields(cls))
+    cls_dict = dict(cls.__dict__)
+    cls_dict["__slots__"] = field_names
+    for name in field_names:
+        cls_dict.pop(name, None)
+    cls_dict.pop("__dict__", None)
+    cls_dict.pop("__weakref__", None)
+    new_cls = type(cls)(cls.__name__, cls.__bases__, cls_dict)
+    new_cls.__qualname__ = cls.__qualname__
+    return new_cls
 
 
 def _known_fields(cls, data: Dict[str, Any]) -> Dict[str, Any]:
@@ -38,6 +70,7 @@ def _known_fields(cls, data: Dict[str, Any]) -> Dict[str, Any]:
     return data
 
 
+@_add_slots
 @dataclass(frozen=True)
 class SystemLogRecord:
     """One line of a host's system log."""
@@ -48,6 +81,13 @@ class SystemLogRecord:
     severity: str  # "info" | "warning" | "error"
     message: str  # raw log text
 
+    def __post_init__(self) -> None:
+        # The categorical fields repeat across hundreds of thousands of
+        # records; interning collapses them to shared instances.
+        object.__setattr__(self, "node", intern(self.node))
+        object.__setattr__(self, "facility", intern(self.facility))
+        object.__setattr__(self, "severity", intern(self.severity))
+
     def to_dict(self) -> Dict[str, Any]:
         return asdict(self)
 
@@ -56,6 +96,7 @@ class SystemLogRecord:
         return cls(**_known_fields(cls, data))
 
 
+@_add_slots
 @dataclass(frozen=True)
 class RecoveryAttempt:
     """One software-implemented recovery action (SIRA) attempt."""
@@ -68,9 +109,14 @@ class RecoveryAttempt:
         return asdict(self)
 
 
+@_add_slots
 @dataclass(frozen=True)
 class TestLogRecord:
-    """One user-level failure report from the BlueTest workload."""
+    """One user-level failure report from the BlueTest workload.
+
+    ``recovery`` accepts any sequence of :class:`RecoveryAttempt` and is
+    normalised to a tuple, so records are fully immutable and hashable.
+    """
 
     time: float
     node: str
@@ -87,7 +133,15 @@ class TestLogRecord:
     cycle_on_connection: int = 0  # 1-based index of the cycle on this connection
     idle_before_cycle: float = 0.0  # TW that preceded this cycle (s)
     masked: bool = False  # True if a masking strategy absorbed the failure
-    recovery: List[RecoveryAttempt] = field(default_factory=list)
+    recovery: Tuple[RecoveryAttempt, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if type(self.recovery) is not tuple:
+            object.__setattr__(self, "recovery", tuple(self.recovery))
+        object.__setattr__(self, "node", intern(self.node))
+        object.__setattr__(self, "testbed", intern(self.testbed))
+        object.__setattr__(self, "workload", intern(self.workload))
+        object.__setattr__(self, "phase", intern(self.phase))
 
     @property
     def recovered_by(self) -> Optional[str]:
@@ -103,15 +157,22 @@ class TestLogRecord:
         return sum(a.duration for a in self.recovery)
 
     def to_dict(self) -> Dict[str, Any]:
+        """The record as plain data, with ``recovery`` as a list.
+
+        The serialised shape is list-typed (as it has always been) even
+        though the in-memory field is a tuple, so dumped repositories
+        stay stable across versions.
+        """
         data = asdict(self)
+        data["recovery"] = [attempt.to_dict() for attempt in self.recovery]
         return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "TestLogRecord":
         payload = _known_fields(cls, dict(data))
-        payload["recovery"] = [
-            RecoveryAttempt(**a) for a in payload.get("recovery", [])
-        ]
+        payload["recovery"] = tuple(
+            RecoveryAttempt(**a) for a in payload.get("recovery", ())
+        )
         return cls(**payload)
 
 

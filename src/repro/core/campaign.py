@@ -11,9 +11,11 @@ thousands of failure data items in seconds of CPU.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import contextlib
+import gc
+import warnings
 
 from repro.collection.records import TestLogRecord
 from repro.collection.repository import CentralRepository
@@ -32,6 +34,26 @@ from repro.workload.traffic import (
 DAY = 86_400.0
 #: Default campaign length used by examples and benchmarks.
 DEFAULT_DURATION = 2 * DAY
+
+
+@contextlib.contextmanager
+def _gc_paused() -> Iterator[None]:
+    """Pause cyclic garbage collection around the simulation hot loop.
+
+    A campaign allocates heavily but almost everything dies by reference
+    counting; the generational collector only finds the few cycles left
+    by exception tracebacks, at the price of scanning every young
+    allocation.  Collection resumes (and catches up naturally) as soon
+    as the loop exits.  No-op when the caller already disabled gc.
+    """
+    if not gc.isenabled():
+        yield
+        return
+    gc.disable()
+    try:
+        yield
+    finally:
+        gc.enable()
 
 
 @dataclass(frozen=True)
@@ -57,8 +79,26 @@ class CampaignSpec:
         return replace(self, seed=int(seed))
 
     def run(self, observability: Optional[Observability] = None) -> "CampaignResult":
-        """Execute the campaign this spec describes."""
-        return run_campaign(
+        """Execute the campaign this spec describes.
+
+        .. deprecated:: 1.1
+           Use :class:`repro.api.ExperimentConfig` (or
+           :func:`repro.api.run`) instead; this shim forwards to the
+           same executor and will be removed in 2.0.
+        """
+        warnings.warn(
+            "CampaignSpec.run() is deprecated; use repro.api.ExperimentConfig"
+            "(...).run() (or repro.api.run(...)) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._execute(observability=observability)
+
+    def _execute(
+        self, observability: Optional[Observability] = None
+    ) -> "CampaignResult":
+        """Execute this spec (internal, warning-free entry point)."""
+        return _execute_campaign(
             duration=self.duration,
             seed=self.seed,
             masking=self.masking,
@@ -156,6 +196,40 @@ def run_campaign(
 ) -> CampaignResult:
     """Deploy and run the testbeds for ``duration`` simulated seconds.
 
+    .. deprecated:: 1.1
+       Use :func:`repro.api.run` (or
+       :meth:`repro.api.ExperimentConfig.run`) instead; this shim
+       forwards every argument to the same executor and will be removed
+       in 2.0.
+    """
+    warnings.warn(
+        "run_campaign() is deprecated; use repro.api.run(...) "
+        "(or repro.api.ExperimentConfig(...).run()) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _execute_campaign(
+        duration=duration,
+        seed=seed,
+        masking=masking,
+        workloads=workloads,
+        profiles=profiles,
+        hardware_replacement=hardware_replacement,
+        observability=observability,
+    )
+
+
+def _execute_campaign(
+    duration: float = DEFAULT_DURATION,
+    seed: int = 0,
+    masking: MaskingPolicy = MaskingPolicy.all_off(),
+    workloads: Sequence[str] = ("random", "realistic"),
+    profiles: Sequence[NodeProfile] = ALL_PROFILES,
+    hardware_replacement: bool = True,
+    observability: Optional[Observability] = None,
+) -> CampaignResult:
+    """The campaign executor behind :mod:`repro.api` and the shims.
+
     Pass an :class:`~repro.obs.Observability` bundle to instrument the
     run: it is activated around testbed construction and execution (so
     every layer binds live metrics) and returned on the result for
@@ -194,7 +268,8 @@ def run_campaign(
                 bed.schedule_hardware_replacement(duration / 2.0)
             bed.start()
             testbeds[name] = bed
-        sim.run_until(duration)
+        with _gc_paused():
+            sim.run_until(duration)
         for bed in testbeds.values():
             bed.final_collection()
     return CampaignResult(
@@ -230,7 +305,8 @@ def run_connection_length_experiment(
         profiles=(GIALLO, VERDE, WIN),
     )
     bed.start()
-    sim.run_until(duration)
+    with _gc_paused():
+        sim.run_until(duration)
     bed.final_collection()
     return CampaignResult(
         duration=duration,

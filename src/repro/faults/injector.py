@@ -105,6 +105,15 @@ class FaultInjector:
         self._rng = rng
         self._op_probabilities = _derive_operation_probabilities()
         self.tuning = tuning or InjectorTuning()
+        # Conditioned per-operation probabilities are deterministic in
+        # (operation, node, busy, sdp_performed, tuning); memoised here
+        # because the conditioning runs once per stack operation on the
+        # campaign hot path.  The RNG draw sequence is unchanged: one
+        # uniform draw per candidate failure, in candidate order.  Keys
+        # use the node *name* (unique per testbed, and str hashes are
+        # cached by the interpreter); a tuning swap clears the cache.
+        self._conditioned: Dict[tuple, Tuple[Tuple[UserFailureType, float], ...]] = {}
+        self._conditioned_tuning = self.tuning
 
     # -- operation faults ---------------------------------------------------
 
@@ -121,14 +130,28 @@ class FaultInjector:
         ``l2cap_connect``, ``pan_connect``, ``bind``,
         ``sw_role_request``, ``sw_role_command``.
         """
-        candidates = self._op_probabilities.get(operation)
-        if not candidates:
-            raise ValueError(f"unknown operation: {operation}")
-        for failure, base_p in candidates:
-            p = self._condition_probability(
-                failure, base_p, node, busy=busy, sdp_performed=sdp_performed
+        if self.tuning is not self._conditioned_tuning:
+            self._conditioned.clear()
+            self._conditioned_tuning = self.tuning
+        key = (operation, node.name, busy, sdp_performed)
+        conditioned = self._conditioned.get(key)
+        if conditioned is None:
+            candidates = self._op_probabilities.get(operation)
+            if not candidates:
+                raise ValueError(f"unknown operation: {operation}")
+            conditioned = tuple(
+                (
+                    failure,
+                    self._condition_probability(
+                        failure, base_p, node, busy=busy, sdp_performed=sdp_performed
+                    ),
+                )
+                for failure, base_p in candidates
             )
-            if p > 0 and self._rng.random() < p:
+            self._conditioned[key] = conditioned
+        rng_random = self._rng.random
+        for failure, p in conditioned:
+            if p > 0 and rng_random() < p:
                 return self.activate(failure, node)
         return None
 

@@ -18,7 +18,7 @@ Everything defaults to off: the active registry/tracer are null
 objects, and the engine hook is a single ``None`` check.  Use::
 
     obs = Observability()
-    result = run_campaign(duration=DAY, seed=7, observability=obs)
+    result = repro.api.run(duration=DAY, seed=7, observability=obs)
     print(obs.metrics_text())
     obs.write_trace("trace.jsonl")
 """

@@ -160,7 +160,7 @@ def run_shard(spec: CampaignSpec, with_metrics: bool = False) -> ShardResult:
 
         observability = Observability(metrics=True, tracing=False, profiling=False)
     started = time.perf_counter()
-    result = spec.run(observability=observability)
+    result = spec._execute(observability=observability)
     return ShardResult.from_campaign(result, wall_time=time.perf_counter() - started)
 
 

@@ -20,6 +20,7 @@ Table 1-4 numbers.  :func:`run_campaign_sweep` is that harness:
 from __future__ import annotations
 
 import time
+import warnings
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -181,6 +182,38 @@ def run_campaign_sweep(
     progress: Optional[Callable[[ShardResult, bool], None]] = None,
 ) -> SweepResult:
     """Run one campaign replicate per seed, in parallel, and merge.
+
+    .. deprecated:: 1.1
+       Use :func:`repro.api.sweep` (or
+       :meth:`repro.api.ExperimentConfig.sweep`) instead; this shim
+       forwards every argument to the same executor and will be removed
+       in 2.0.
+    """
+    warnings.warn(
+        "run_campaign_sweep() is deprecated; use repro.api.sweep(...) "
+        "(or repro.api.ExperimentConfig(...).sweep(...)) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _execute_sweep(
+        seeds,
+        jobs=jobs,
+        spec=spec,
+        checkpoint_dir=checkpoint_dir,
+        with_metrics=with_metrics,
+        progress=progress,
+    )
+
+
+def _execute_sweep(
+    seeds: Union[int, Sequence[int]],
+    jobs: int = 1,
+    spec: Optional[CampaignSpec] = None,
+    checkpoint_dir: Optional[Union[str, Path]] = None,
+    with_metrics: bool = False,
+    progress: Optional[Callable[[ShardResult, bool], None]] = None,
+) -> SweepResult:
+    """The sweep executor behind :mod:`repro.api` and the shim.
 
     ``seeds`` is either a count (shard seeds are then derived from
     ``spec.seed``) or an explicit seed sequence.  ``jobs`` caps the

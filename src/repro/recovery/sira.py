@@ -20,7 +20,7 @@ from typing import Callable, Generator, List, Optional
 from repro.bluetooth.errors import BTError
 from repro.collection.records import RecoveryAttempt
 from repro.faults import calibration as cal
-from repro.sim import Timeout
+from repro.sim import SleepUntil, Simulator, Timeout
 
 #: Canonical SIRA names, in cascade order (levels 1..7).
 SIRA_NAMES: List[str] = [
@@ -78,10 +78,12 @@ class RecoveryEngine:
         rng: random.Random,
         side_effect: Optional[Callable[[int], None]] = None,
         actions: Optional[List[SiraAction]] = None,
+        sim: Optional[Simulator] = None,
     ) -> None:
         self._rng = rng
         self._side_effect = side_effect or (lambda level: None)
         self.actions = actions or standard_actions()
+        self._sim = sim
         self.recoveries = 0
         self.unrecovered = 0
 
@@ -90,22 +92,60 @@ class RecoveryEngine:
 
         Returns the list of :class:`RecoveryAttempt` records (empty when
         the failure defines no recovery, e.g. data mismatch).
+
+        When constructed with a simulator, consecutive attempts are
+        *wait-chained*: the cascade's outcome is fully determined by the
+        fault's damage scope, so the durations can be drawn up front (in
+        cascade order, preserving the RNG stream) and slept through in
+        one wake-up at the bit-identical final instant.  State-clearing
+        side effects are applied, in cascade order, at that wake-up; a
+        system reboot (level >= 6) writes a timestamped boot line, so
+        the chain always breaks there to keep that timestamp in place.
         """
         attempts: List[RecoveryAttempt] = []
         scope = getattr(error, "scope", 1)
         if scope <= 0:
             return attempts  # no recovery defined (data mismatch)
+        sim = self._sim
+        if sim is None:
+            # Stepwise cascade for engines wired without a simulator.
+            for action in self.actions:
+                duration = action.sample_duration(self._rng)
+                yield Timeout(duration)
+                self._side_effect(action.level)
+                succeeded = action.level >= scope
+                attempts.append(
+                    RecoveryAttempt(
+                        action=action.name, succeeded=succeeded, duration=duration
+                    )
+                )
+                if succeeded:
+                    self.recoveries += 1
+                    return attempts
+            self.unrecovered += 1
+            return attempts
+        deadline = sim.now
+        pending: List[int] = []  # levels whose side effects are due at the wake
         for action in self.actions:
             duration = action.sample_duration(self._rng)
-            yield Timeout(duration)
-            self._side_effect(action.level)
+            deadline += duration
             succeeded = action.level >= scope
             attempts.append(
                 RecoveryAttempt(action=action.name, succeeded=succeeded, duration=duration)
             )
-            if succeeded:
-                self.recoveries += 1
-                return attempts
+            pending.append(action.level)
+            if succeeded or action.level >= 6:
+                yield SleepUntil(deadline)
+                for level in pending:
+                    self._side_effect(level)
+                pending.clear()
+                if succeeded:
+                    self.recoveries += 1
+                    return attempts
+        if pending:
+            yield SleepUntil(deadline)
+            for level in pending:
+                self._side_effect(level)
         self.unrecovered += 1
         return attempts
 

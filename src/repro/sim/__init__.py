@@ -1,7 +1,7 @@
 """Discrete-event simulation substrate (engine, processes, RNG, distributions)."""
 
 from .engine import EventHandle, SimulationError, Simulator
-from .process import Interrupt, Process, SimEvent, Timeout, spawn
+from .process import Interrupt, Process, SimEvent, SleepUntil, Timeout, spawn
 from .rng import RandomStreams, derive_seed
 from .distributions import (
     BoundedPareto,
@@ -23,6 +23,7 @@ __all__ = [
     "Process",
     "SimEvent",
     "Timeout",
+    "SleepUntil",
     "Interrupt",
     "spawn",
     "RandomStreams",

@@ -176,7 +176,11 @@ def binomial_choice(
         raise ValueError("empty choice sequence")
     if n is None:
         n = len(items) - 1
-    idx = sum(1 for _ in range(n) if rng.random() < p)
+    idx = 0
+    rng_random = rng.random
+    for _ in range(n):
+        if rng_random() < p:
+            idx += 1
     return items[min(idx, len(items) - 1)]
 
 

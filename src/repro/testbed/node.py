@@ -64,15 +64,20 @@ class LogNoise:
     def run(self) -> Generator:
         """The noise process: benign chatter plus rare spurious errors."""
         error_types = [t for t in SystemFailureType]
+        rng = self._rng
+        log = self._log
+        sim = self._sim
+        info_rate = 1.0 / NOISE_INFO_MEAN
+        error_ratio = NOISE_INFO_MEAN / NOISE_ERROR_MEAN
         while True:
-            yield Timeout(self._rng.expovariate(1.0 / NOISE_INFO_MEAN))
-            self._log.set_time(self._sim.now)
-            facility, message = self._rng.choice(BACKGROUND_MESSAGES)
-            self._log.info(facility, message)
-            if self._rng.random() < NOISE_INFO_MEAN / NOISE_ERROR_MEAN:
-                failure_type = self._rng.choice(error_types)
-                variant = self._rng.choice(variants_for(failure_type))
-                self._log.error(failure_type, variant)
+            yield Timeout(rng.expovariate(info_rate))
+            log.set_time(sim.now)
+            facility, message = rng.choice(BACKGROUND_MESSAGES)
+            log.info(facility, message)
+            if rng.random() < error_ratio:
+                failure_type = rng.choice(error_types)
+                variant = rng.choice(variants_for(failure_type))
+                log.error(failure_type, variant)
 
 
 class NapNode:

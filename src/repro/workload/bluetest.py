@@ -25,7 +25,7 @@ from repro.bluetooth.pan import PanConnection
 from repro.bluetooth.stack import BluetoothStack
 from repro.collection.logs import TestLog
 from repro.collection.messages import render_user_message
-from repro.collection.records import TestLogRecord
+from repro.collection.records import TestLogRecord, _add_slots
 from repro.obs.trace import CLASSIFICATION_LAYER, get_tracer
 from repro.recovery.masking import MaskingPolicy, RetryMasker
 from repro.recovery.sira import RecoveryEngine
@@ -37,9 +37,14 @@ from .traffic import CycleParams, WorkloadModel
 STACK_CHOICE = PacketType.DH5
 
 
+@_add_slots
 @dataclass
 class CycleStats:
-    """Aggregate per-client counters for the §6 analyses."""
+    """Aggregate per-client counters for the §6 analyses.
+
+    Mutated once per cycle on the campaign hot path, hence the
+    ``__slots__`` (added post-hoc for py3.9 compatibility).
+    """
 
     cycles: int = 0
     failures: int = 0
@@ -51,7 +56,7 @@ class CycleStats:
     idle_fail_count: int = 0
 
     def note_cycle_type(self, packet_type: PacketType) -> None:
-        key = packet_type.value
+        key = packet_type.code
         self.cycles_by_packet_type[key] = self.cycles_by_packet_type.get(key, 0) + 1
 
     @property
@@ -87,7 +92,9 @@ class BlueTestClient:
         self.testbed_name = testbed_name
         self.stats = CycleStats()
         self.retry_masker = RetryMasker(rng)
-        self.recovery = RecoveryEngine(rng, side_effect=self._recovery_side_effect)
+        self.recovery = RecoveryEngine(
+            rng, side_effect=self._recovery_side_effect, sim=sim
+        )
         self._connection: Optional[PanConnection] = None
         self._cycles_left_on_connection = 0
         self._cycle_index_on_connection = 0
@@ -95,11 +102,77 @@ class BlueTestClient:
     # -- main loop -----------------------------------------------------------
 
     def run(self) -> Generator:
-        """The 24/7 workload process."""
+        """The 24/7 workload process.
+
+        The per-cycle bookkeeping *and* the cycle body of
+        :meth:`run_cycle`/:meth:`_cycle_body` are inlined here (keep
+        them in sync): the loop resumes once per simulated event, so
+        one long-lived generator frame replaces the run -> run_cycle ->
+        _cycle_body delegation chain.  :meth:`run_cycle` remains the
+        entry point for driving a single cycle directly.
+        """
+        stats = self.stats
+        model = self.model
+        rng = self.rng
+        masking = self.masking
+        stack = self.stack
+        pan = stack.pan
+        counts = stats.cycles_by_packet_type
         while True:
-            params = self.model.next_cycle(self.rng)
+            params = model.next_cycle(rng)
             yield Timeout(params.idle_time)
-            yield from self.run_cycle(params)
+            stats.cycles += 1
+            connection = self._connection
+            had_connection = connection is not None and connection.alive
+            packet_type = params.packet_type or STACK_CHOICE
+            key = packet_type.code
+            counts[key] = counts.get(key, 0) + 1
+            failed = False
+            try:
+                if not had_connection:
+                    # Cycles that continue an established connection
+                    # skip the search phases — the point of exploiting
+                    # caching (paper §3).
+                    if params.scan_flag:
+                        yield from stack.inquiry()
+                    did_sdp = False
+                    if params.sdp_flag or masking.sdp_before_pan:
+                        yield from stack.sdp_search_nap()
+                        did_sdp = True
+                    if connection is not None:
+                        connection.force_close()
+                        self._connection = None
+                    connection = yield from pan.connect(sdp_performed=did_sdp)
+                    self._connection = connection
+                    self._cycles_left_on_connection = model.cycles_per_connection(rng)
+                    self._cycle_index_on_connection = 0
+                    # Application set-up work before the socket is bound.
+                    yield Timeout(rng.uniform(0.5, 2.0))
+                    yield from pan.bind(connection, wait_ready=masking.bind_wait)
+                self._cycle_index_on_connection += 1
+                yield from self._connection.transfer(
+                    packet_type,
+                    params.n_logical,
+                    params.send_size,
+                    params.recv_size,
+                    application=params.application,
+                )
+                self._cycles_left_on_connection -= 1
+                if self._cycles_left_on_connection <= 0:
+                    yield from self._connection.disconnect()
+                    self._connection = None
+            except BTError as error:
+                failed = True
+                yield from self._handle_failure(error, params, packet_type)
+            if had_connection:
+                # Idle-time bookkeeping only counts T_W between
+                # consecutive cycles on the same connection (§6, fn. 8).
+                if failed:
+                    stats.idle_fail_sum += params.idle_time
+                    stats.idle_fail_count += 1
+                else:
+                    stats.idle_ok_sum += params.idle_time
+                    stats.idle_ok_count += 1
 
     def start(self, sim: Optional[Simulator] = None):
         """Spawn the client's run loop; returns the process handle."""
@@ -182,7 +255,7 @@ class BlueTestClient:
             masked = yield from self.retry_masker.attempt_mask(failure, self.masking)
         if masked:
             self.stats.masked += 1
-            self._record(error, params, packet_type, masked=True, attempts=[])
+            self._record(error, params, packet_type, masked=True, attempts=())
             return None
         self.stats.failures += 1
         attempts = yield from self.recovery.recover(error)

@@ -18,8 +18,7 @@ Bestavros).  Two model families exist:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import NamedTuple, Optional, Tuple
 
 from repro.bluetooth.packets import PACKET_TYPE_ORDER, PacketType
 from repro.sim.distributions import (
@@ -35,6 +34,7 @@ from repro.sim.distributions import (
 IDLE_SHAPE = 1.5
 IDLE_SCALE = 10.0  # xm, seconds
 IDLE_CAP = 600.0  # cap the heavy tail so cycles keep coming
+_IDLE_PARETO = Pareto(IDLE_SHAPE, IDLE_SCALE)
 
 #: Typical transport PDU on the Internet path (TCP MSS).
 TCP_MSS = 1460
@@ -44,9 +44,13 @@ P_SCAN = 0.5
 P_SDP = 0.5
 
 
-@dataclass(frozen=True)
-class CycleParams:
-    """The random variables of one BlueTest cycle."""
+class CycleParams(NamedTuple):
+    """The random variables of one BlueTest cycle.
+
+    A named tuple rather than a (frozen) dataclass: one is built per
+    cycle on the campaign hot path, and tuple construction skips the
+    per-field ``object.__setattr__`` a frozen dataclass pays.
+    """
 
     scan_flag: bool
     sdp_flag: bool
@@ -73,7 +77,7 @@ class WorkloadModel:
 
     @staticmethod
     def _idle(rng: random.Random) -> float:
-        return min(IDLE_CAP, Pareto(IDLE_SHAPE, IDLE_SCALE).sample(rng))
+        return min(IDLE_CAP, _IDLE_PARETO.sample(rng))
 
 
 class RandomWorkload(WorkloadModel):

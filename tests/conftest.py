@@ -14,7 +14,7 @@ from repro.bluetooth.channel import Channel, ChannelConfig
 from repro.bluetooth.pan import NapService
 from repro.bluetooth.stack import BluetoothStack
 from repro.collection.logs import SystemLog
-from repro.core.campaign import run_campaign
+from repro import api
 from repro.faults.injector import FaultInjector, NodeTraits
 from repro.recovery.masking import MaskingPolicy
 from repro.sim import RandomStreams, Simulator
@@ -85,10 +85,10 @@ def drive(sim, generator):
 @pytest.fixture(scope="session")
 def baseline_campaign():
     """12 simulated hours, both testbeds, masking off."""
-    return run_campaign(duration=12 * HOURS, seed=1001)
+    return api.run(duration=12 * HOURS, seed=1001)
 
 
 @pytest.fixture(scope="session")
 def masked_campaign():
     """12 simulated hours, both testbeds, all masking strategies on."""
-    return run_campaign(duration=12 * HOURS, seed=2002, masking=MaskingPolicy.all_on())
+    return api.run(duration=12 * HOURS, seed=2002, masking=MaskingPolicy.all_on())

@@ -277,5 +277,5 @@ class TestCrossLayerConsistency:
     def test_masked_campaign_reports_have_no_recovery(self, masked_campaign):
         for record in masked_campaign.repository.test_records():
             if record.masked:
-                assert record.recovery == []
+                assert record.recovery == ()
                 assert record.time_to_recover == 0.0

@@ -1,0 +1,167 @@
+"""Property tests for the memoised Channel closed forms.
+
+The perf overhaul memoises :meth:`Channel.loss_profile` per packet type
+and precomputes the Gilbert-Elliott stationary quantities at
+construction.  These tests pin the tentpole's correctness contract: the
+cache returns values *identical* to the uncached closed form across the
+full PacketType × distance grid (including after config mutations), and
+the bit-accurate and batch-analytic query styles agree on loss rates
+within confidence bounds at campaign scale.
+"""
+
+import math
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bluetooth import Channel, ChannelConfig, PacketType
+from repro.bluetooth.packets import PACKET_TYPE_ORDER
+
+DISTANCE_GRID = (0.5, 1.0, 2.0, 5.0, 7.0, 10.0)
+
+
+def fresh_profile(config: ChannelConfig, packet_type: PacketType):
+    """The uncached closed form: computed on a brand-new channel."""
+    return Channel(config, random.Random(0))._compute_profile(packet_type)
+
+
+def profiles_equal(cached, uncached) -> bool:
+    """Field-by-field float equality (bit-for-bit, not approximate)."""
+    return (
+        cached.packet_type is uncached.packet_type
+        and cached.p_hit == uncached.p_hit
+        and cached.p_good_state_failure == uncached.p_good_state_failure
+        and cached.p_drop_given_hit == uncached.p_drop_given_hit
+        and cached.p_undetected == uncached.p_undetected
+        and cached.p_drop == uncached.p_drop
+    )
+
+
+class TestMemoisedClosedForm:
+    def test_full_grid_identical_to_uncached(self):
+        # Exhaustive PacketType × distance grid, querying each channel
+        # repeatedly so every answer after the first comes from cache.
+        for distance in DISTANCE_GRID:
+            config = ChannelConfig(distance=distance)
+            channel = Channel(config, random.Random(1))
+            for packet_type in PACKET_TYPE_ORDER:
+                for _ in range(3):
+                    cached = channel.loss_profile(packet_type)
+                    assert profiles_equal(
+                        cached, fresh_profile(config, packet_type)
+                    ), (packet_type, distance)
+
+    def test_transfer_statistics_identical_to_uncached(self):
+        for distance in DISTANCE_GRID:
+            channel = Channel(
+                ChannelConfig(distance=distance), random.Random(2)
+            )
+            for packet_type in PACKET_TYPE_ORDER:
+                stats = channel.transfer_statistics(packet_type, 1000)
+                profile = fresh_profile(channel.config, packet_type)
+                assert stats.p_hit == profile.p_hit
+                assert stats.p_drop == profile.p_drop
+                assert stats.p_mismatch == profile.p_hit * profile.p_undetected
+
+    @given(
+        distance=st.floats(min_value=0.1, max_value=10.0,
+                           allow_nan=False, allow_infinity=False),
+        factor=st.floats(min_value=0.5, max_value=50.0,
+                         allow_nan=False, allow_infinity=False),
+        packet_index=st.integers(min_value=0, max_value=5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_cache_invalidates_on_interference(self, distance, factor,
+                                               packet_index):
+        packet_type = PACKET_TYPE_ORDER[packet_index]
+        channel = Channel(ChannelConfig(distance=distance), random.Random(3))
+        channel.loss_profile(packet_type)  # warm the cache
+        channel.set_interference(factor)
+        mutated = channel.loss_profile(packet_type)
+        assert profiles_equal(
+            mutated, fresh_profile(channel.config, packet_type)
+        )
+        # Restoring the factor must restore the original values exactly.
+        channel.set_interference(1.0)
+        restored = channel.loss_profile(packet_type)
+        assert profiles_equal(
+            restored, fresh_profile(ChannelConfig(distance=distance),
+                                    packet_type)
+        )
+
+    @given(
+        distance=st.floats(min_value=0.1, max_value=10.0,
+                           allow_nan=False, allow_infinity=False),
+        packet_index=st.integers(min_value=0, max_value=5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_direct_config_mutation_detected(self, distance, packet_index):
+        # loss_profile keys the cache on every config scalar, so even a
+        # raw attribute write (bypassing set_interference) is picked up.
+        packet_type = PACKET_TYPE_ORDER[packet_index]
+        channel = Channel(ChannelConfig(), random.Random(4))
+        channel.loss_profile(packet_type)
+        channel.config.distance = distance
+        assert profiles_equal(
+            channel.loss_profile(packet_type),
+            fresh_profile(channel.config, packet_type),
+        )
+
+
+class TestQueryStyleAgreement:
+    """Bit-accurate vs batch-analytic agreement at campaign scale."""
+
+    def test_burst_occupancy_matches_stationary_probability(self):
+        # Bit-accurate path: drive the Gilbert-Elliott machine across a
+        # campaign-scale horizon and measure BAD-state occupancy.
+        config = ChannelConfig(mean_burst=2.0, burst_rate=1.0 / 40.0)
+        n, dt = 200_000, 1.0
+        hits = 0
+        channel = Channel(config, random.Random(5))
+        for i in range(n):
+            if channel.is_bad(i * dt):
+                hits += 1
+        expected = config.stationary_bad
+        observed = hits / n
+        # Dwells are exponential with means 40 s / 2 s, so the number of
+        # independent occupancy samples is ~ n*dt / (40+2); a 4-sigma
+        # binomial bound on that effective sample size.
+        effective = n * dt / (1.0 / config.burst_rate + config.mean_burst)
+        sigma = math.sqrt(expected * (1.0 - expected) / effective)
+        assert abs(observed - expected) < 4.0 * sigma
+
+    def test_sampled_outcomes_match_analytic_expectations(self):
+        # Batch-analytic sampling vs its own closed-form expectations:
+        # the Monte Carlo drop/mismatch rates must sit inside binomial
+        # confidence bounds of the TransferStatistics values.
+        channel = Channel(
+            ChannelConfig(mean_burst=0.5, burst_rate=1.0 / 200.0),
+            random.Random(6),
+        )
+        packet_type = PacketType.DH5
+        n = 200_000
+        stats = channel.transfer_statistics(packet_type, n)
+        outcomes = {"ok": 0, "retransmitted": 0, "dropped": 0, "mismatch": 0}
+        for _ in range(n):
+            outcomes[channel.sample_payload_outcome(packet_type)] += 1
+        for rate, count in (
+            (stats.p_drop, outcomes["dropped"]),
+            (stats.p_mismatch, outcomes["mismatch"]),
+        ):
+            sigma = math.sqrt(rate * (1.0 - rate) / n)
+            assert abs(count / n - rate) < 4.0 * sigma
+
+    def test_bit_accurate_error_rate_matches_good_state_ber(self):
+        # In the GOOD state the bit-accurate sampler draws Poisson bit
+        # errors at ber_good; across many packets the per-bit error rate
+        # must converge on the closed form's input BER.
+        config = ChannelConfig(burst_rate=1e-12)  # effectively never BAD
+        channel = Channel(config, random.Random(7))
+        air_bits = PacketType.DH5.air_bits
+        n = 50_000
+        total_errors = sum(
+            channel.sample_packet_errors(float(i), air_bits) for i in range(n)
+        )
+        expected = config.ber_good * air_bits * n
+        assert abs(total_errors - expected) < 5.0 * math.sqrt(expected)

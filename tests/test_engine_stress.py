@@ -244,9 +244,9 @@ class TestSeedStability:
 
     @pytest.fixture(scope="class")
     def runs(self):
-        from repro.core.campaign import run_campaign
+        from repro import api
 
-        return [run_campaign(duration=8 * 3600.0, seed=s) for s in (11, 22, 33)]
+        return [api.run(duration=8 * 3600.0, seed=s) for s in (11, 22, 33)]
 
     def test_failure_counts_within_band(self, runs):
         counts = [len(r.unmasked_failures()) for r in runs]

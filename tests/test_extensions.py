@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro.core.campaign import run_campaign
+from repro import api
 from repro.core.dependability import compute_scenario
 from repro.extensions import (
     EnhancedStackConfig,
@@ -78,7 +78,7 @@ class TestEnhancedStackConfig:
 class TestRedundantPiconets:
     @pytest.fixture(scope="class")
     def runs(self):
-        plain = run_campaign(
+        plain = api.run(
             duration=10 * HOURS, seed=400, workloads=("random",)
         )
         redundant = run_redundant_campaign(duration=10 * HOURS, seed=400)

@@ -12,7 +12,7 @@ import json
 
 import pytest
 
-from repro import Observability, build_relationship_table, run_campaign
+from repro import Observability, api, build_relationship_table
 from repro.obs import (
     EngineProfiler,
     MetricsRegistry,
@@ -240,7 +240,7 @@ class TestCampaignIntegration:
     @pytest.fixture(scope="class")
     def observed(self):
         obs = Observability()
-        result = run_campaign(duration=6 * 3600.0, seed=11, observability=obs)
+        result = api.run(duration=6 * 3600.0, seed=11, observability=obs)
         return obs, result
 
     def test_metrics_populated(self, observed):
@@ -294,15 +294,15 @@ class TestCampaignIntegration:
         assert get_tracer() is NULL_TRACER
 
     def test_observability_off_records_nothing(self):
-        result = run_campaign(duration=3600.0, seed=1)
+        result = api.run(duration=3600.0, seed=1)
         assert result.observability is None
         assert get_registry() is NULL_REGISTRY
 
 
 class TestDeterminism:
     def test_observability_does_not_perturb_campaign(self):
-        plain = run_campaign(duration=4 * 3600.0, seed=23)
-        instrumented = run_campaign(
+        plain = api.run(duration=4 * 3600.0, seed=23)
+        instrumented = api.run(
             duration=4 * 3600.0, seed=23, observability=Observability()
         )
         plain_records = [r.to_dict() for r in plain.repository.test_records()]

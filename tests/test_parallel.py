@@ -15,13 +15,13 @@ import pytest
 
 from repro.core.campaign import CampaignSpec
 from repro.core.summary import campaign_statistics
+from repro.api import ExperimentConfig
 from repro.parallel import (
     ShardResult,
     SweepCheckpoint,
     pool_statistics,
     pool_values,
     resolve_seeds,
-    run_campaign_sweep,
     run_shard,
     shard_seed,
     shard_seeds,
@@ -29,6 +29,12 @@ from repro.parallel import (
     t_critical_95,
 )
 import repro.parallel.sweep as sweep_module
+
+
+def run_sweep(seeds, jobs=1, spec=None, **kwargs):
+    """Sweep through the repro.api facade (warning-free test shim)."""
+    config = ExperimentConfig.from_spec(spec) if spec is not None else ExperimentConfig()
+    return config.sweep(seeds, jobs=jobs, **kwargs)
 
 HOURS = 3600.0
 
@@ -39,7 +45,7 @@ SPEC = CampaignSpec(duration=1 * HOURS, seed=5)
 @pytest.fixture(scope="module")
 def serial_sweep():
     """One jobs=1 sweep shared by the determinism assertions."""
-    return run_campaign_sweep(3, jobs=1, spec=SPEC)
+    return run_sweep(3, jobs=1, spec=SPEC)
 
 
 class TestSeedDerivation:
@@ -122,7 +128,7 @@ class TestShardResult:
 
 class TestSweepDeterminism:
     def test_jobs_invariance(self, serial_sweep):
-        pooled = run_campaign_sweep(3, jobs=2, spec=SPEC)
+        pooled = run_sweep(3, jobs=2, spec=SPEC)
         assert pooled.render() == serial_sweep.render()
         assert (
             pooled.repository.to_payload()
@@ -130,7 +136,7 @@ class TestSweepDeterminism:
         )
 
     def test_seed_order_invariance(self, serial_sweep):
-        shuffled = run_campaign_sweep(
+        shuffled = run_sweep(
             list(reversed(serial_sweep.seeds)), jobs=1, spec=SPEC
         )
         assert shuffled.render() == serial_sweep.render()
@@ -151,19 +157,19 @@ class TestSweepDeterminism:
 
     def test_rejects_bad_jobs(self):
         with pytest.raises(ValueError):
-            run_campaign_sweep(2, jobs=0, spec=SPEC)
+            run_sweep(2, jobs=0, spec=SPEC)
 
 
 class TestMetricsMerge:
     """Satellite: merged cross-process counters == single-process ones."""
 
     def test_pool_equals_serial(self):
-        serial = run_campaign_sweep(2, jobs=1, spec=SPEC, with_metrics=True)
-        pooled = run_campaign_sweep(2, jobs=2, spec=SPEC, with_metrics=True)
+        serial = run_sweep(2, jobs=1, spec=SPEC, with_metrics=True)
+        pooled = run_sweep(2, jobs=2, spec=SPEC, with_metrics=True)
         assert serial.metrics.snapshot() == pooled.metrics.snapshot()
 
     def test_merged_counters_are_sums(self):
-        result = run_campaign_sweep(2, jobs=2, spec=SPEC, with_metrics=True)
+        result = run_sweep(2, jobs=2, spec=SPEC, with_metrics=True)
         merged = result.metrics.snapshot()
         assert merged, "instrumented sweep produced no metrics"
         for name, entry in merged.items():
@@ -178,24 +184,24 @@ class TestMetricsMerge:
                 assert value == pytest.approx(expected)
 
     def test_unmetered_shards_carry_no_metrics(self):
-        result = run_campaign_sweep(1, jobs=1, spec=SPEC)
+        result = run_sweep(1, jobs=1, spec=SPEC)
         assert result.shards[0].metrics == {}
         assert result.metrics.families() == []
 
 
 class TestCheckpoint:
     def test_full_resume_skips_all_work(self, tmp_path, monkeypatch):
-        first = run_campaign_sweep(2, jobs=1, spec=SPEC, checkpoint_dir=tmp_path)
+        first = run_sweep(2, jobs=1, spec=SPEC, checkpoint_dir=tmp_path)
         monkeypatch.setattr(
             sweep_module, "run_shard",
             lambda *a, **k: pytest.fail("resume recomputed a finished shard"),
         )
-        second = run_campaign_sweep(2, jobs=1, spec=SPEC, checkpoint_dir=tmp_path)
+        second = run_sweep(2, jobs=1, spec=SPEC, checkpoint_dir=tmp_path)
         assert second.reused == 2
         assert second.render() == first.render()
 
     def test_partial_resume_recomputes_only_missing(self, tmp_path, monkeypatch):
-        first = run_campaign_sweep(3, jobs=1, spec=SPEC, checkpoint_dir=tmp_path)
+        first = run_sweep(3, jobs=1, spec=SPEC, checkpoint_dir=tmp_path)
         victim = sorted(tmp_path.glob("shard-*.json"))[1]
         victim.unlink()
         calls = []
@@ -206,15 +212,15 @@ class TestCheckpoint:
             return original(spec, with_metrics)
 
         monkeypatch.setattr(sweep_module, "run_shard", counting)
-        second = run_campaign_sweep(3, jobs=1, spec=SPEC, checkpoint_dir=tmp_path)
+        second = run_sweep(3, jobs=1, spec=SPEC, checkpoint_dir=tmp_path)
         assert len(calls) == 1
         assert second.reused == 2
         assert second.render() == first.render()
 
     def test_spec_change_invalidates_shards(self, tmp_path):
-        run_campaign_sweep(2, jobs=1, spec=SPEC, checkpoint_dir=tmp_path)
+        run_sweep(2, jobs=1, spec=SPEC, checkpoint_dir=tmp_path)
         other_spec = CampaignSpec(duration=SPEC.duration / 2, seed=SPEC.seed)
-        result = run_campaign_sweep(
+        result = run_sweep(
             2, jobs=1, spec=other_spec, checkpoint_dir=tmp_path
         )
         assert result.reused == 0
@@ -224,10 +230,10 @@ class TestCheckpoint:
         assert sweep_fingerprint(SPEC, False) == sweep_fingerprint(SPEC, False)
 
     def test_corrupt_shard_file_recomputed(self, tmp_path):
-        run_campaign_sweep(1, jobs=1, spec=SPEC, checkpoint_dir=tmp_path)
+        run_sweep(1, jobs=1, spec=SPEC, checkpoint_dir=tmp_path)
         shard_file = next(tmp_path.glob("shard-*.json"))
         shard_file.write_text("{not json", encoding="utf-8")
-        result = run_campaign_sweep(1, jobs=1, spec=SPEC, checkpoint_dir=tmp_path)
+        result = run_sweep(1, jobs=1, spec=SPEC, checkpoint_dir=tmp_path)
         assert result.reused == 0
         checkpoint = SweepCheckpoint(
             tmp_path, sweep_fingerprint(SPEC, False)

@@ -1,0 +1,124 @@
+"""Tests for the perf harness + regression report pair.
+
+The harness (``benchmarks/perf_harness.py``) and the report/checker
+(``tools/bench_report.py``) live outside the package, so they are
+loaded by path here.  Pins the artifact schema, the regression gate
+arithmetic, and the CLI exit codes CI relies on.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parents[1]
+
+
+def load_by_path(relative: str, name: str):
+    spec = importlib.util.spec_from_file_location(name, ROOT / relative)
+    module = importlib.util.module_from_spec(spec)
+    assert spec.loader is not None
+    spec.loader.exec_module(module)
+    return module
+
+
+perf_harness = load_by_path("benchmarks/perf_harness.py", "perf_harness")
+bench_report = load_by_path("tools/bench_report.py", "bench_report")
+
+
+@pytest.fixture(scope="module")
+def payload():
+    """One fast harness collection (0.2 simulated hours, 1 round)."""
+    return perf_harness.collect(rounds=1, duration=720.0, seed=31337)
+
+
+class TestHarnessArtifact:
+    def test_schema_sections_present(self, payload):
+        for section in ("schema_version", "workload", "environment",
+                        "throughput", "memory", "engine"):
+            assert section in payload
+        assert payload["schema_version"] == perf_harness.SCHEMA_VERSION
+
+    def test_throughput_metrics_positive_and_consistent(self, payload):
+        throughput = payload["throughput"]
+        wall = throughput["wall_seconds_best"]
+        assert wall > 0
+        assert throughput["events_processed"] > 0
+        assert throughput["cycles_completed"] > 0
+        assert throughput["events_per_second"] == pytest.approx(
+            throughput["events_processed"] / wall, rel=1e-3
+        )
+        assert throughput["sim_seconds_per_wall_second"] == pytest.approx(
+            720.0 / wall, rel=1e-3
+        )
+        assert wall == min(throughput["wall_seconds_all"])
+
+    def test_peak_rss_is_plausible(self, payload):
+        # More than 10 MiB (a real interpreter) and under 16 GiB.
+        assert 10 * 2**20 < payload["memory"]["peak_rss_bytes"] < 2**34
+
+    def test_stage_breakdown_names_the_hot_loop(self, payload):
+        stages = payload["engine"]["stages"]
+        assert stages, "profiled stage breakdown is empty"
+        assert any("Process._step_send" in key for key in stages)
+        for stage in stages.values():
+            assert stage["calls"] > 0
+            assert stage["seconds"] >= 0.0
+
+    def test_payload_json_round_trips(self, payload, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps(payload, sort_keys=True))
+        assert bench_report.load(path)["throughput"] == payload["throughput"]
+
+
+def scaled(payload, factor):
+    """The payload with every gated throughput metric scaled."""
+    clone = json.loads(json.dumps(payload))
+    for key, _ in bench_report.GATED_METRICS:
+        clone["throughput"][key] = payload["throughput"][key] * factor
+    return clone
+
+
+class TestRegressionGate:
+    def test_equal_payload_passes(self, payload):
+        assert bench_report.check(payload, payload, 0.15) == []
+
+    def test_small_drop_within_threshold_passes(self, payload):
+        assert bench_report.check(payload, scaled(payload, 0.90), 0.15) == []
+
+    def test_large_drop_fails_every_gated_metric(self, payload):
+        failures = bench_report.check(payload, scaled(payload, 0.80), 0.15)
+        assert len(failures) == len(bench_report.GATED_METRICS)
+
+    def test_improvement_never_fails(self, payload):
+        assert bench_report.check(payload, scaled(payload, 2.0), 0.15) == []
+
+    def test_cli_exit_codes(self, payload, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        good = tmp_path / "good.json"
+        bad = tmp_path / "bad.json"
+        baseline.write_text(json.dumps(payload))
+        good.write_text(json.dumps(scaled(payload, 0.95)))
+        bad.write_text(json.dumps(scaled(payload, 0.5)))
+        argv = ["--baseline", str(baseline), "--check", "--current"]
+        assert bench_report.main(argv + [str(good)]) == 0
+        assert bench_report.main(argv + [str(bad)]) == 1
+
+    def test_cli_update_promotes_current(self, payload, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        current = tmp_path / "current.json"
+        baseline.write_text(json.dumps(payload))
+        current.write_text(json.dumps(scaled(payload, 2.0)))
+        assert bench_report.main(
+            ["--baseline", str(baseline), "--current", str(current),
+             "--update"]
+        ) == 0
+        promoted = json.loads(baseline.read_text())
+        assert promoted["throughput"] == scaled(payload, 2.0)["throughput"]
+
+    def test_unknown_schema_rejected(self, tmp_path):
+        path = tmp_path / "weird.json"
+        path.write_text(json.dumps({"schema_version": 99}))
+        with pytest.raises(SystemExit):
+            bench_report.load(path)

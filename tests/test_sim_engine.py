@@ -154,3 +154,71 @@ class TestRunControl:
         assert seen == []
         sim.run()
         assert seen == [5.0]
+
+
+class TestPeriodicAccounting:
+    """Event accounting across the allocation-free periodic path."""
+
+    def test_periodic_keeps_exactly_one_pending_event(self):
+        sim = Simulator()
+        fires = []
+        handle = sim.schedule_periodic(10.0, lambda: fires.append(sim.now))
+        assert sim.pending_events() == 1
+        assert sim.cancelled_pending == 0
+        sim.run_until(35.0)
+        assert fires == [10.0, 20.0, 30.0]
+        # The timer re-arms its single event object: one pending event,
+        # nothing cancelled, nothing parked on the free-list.
+        assert sim.pending_events() == 1
+        assert sim.cancelled_pending == 0
+        assert sim.free_list_size == 0
+
+    def test_cancelled_periodic_drains_in_one_run_until_pass(self):
+        sim = Simulator()
+        fires = []
+        handle = sim.schedule_periodic(10.0, lambda: fires.append(sim.now))
+        sim.run_until(25.0)
+        handle.cancel()
+        assert not handle.active
+        # The cancelled husk lingers in the heap but is excluded from
+        # the O(1) pending count.
+        assert sim.pending_events() == 0
+        assert sim.cancelled_pending == 1
+        processed = sim.run_until(60.0)
+        # The drain pops the husk without treating it as a live event.
+        assert processed == 0
+        assert sim.cancelled_pending == 0
+        assert len(sim._queue) == 0
+        assert fires == [10.0, 20.0]
+
+    def test_cancel_from_inside_callback_stops_rearmed_firing(self):
+        sim = Simulator()
+        fires = []
+        def tick():
+            fires.append(sim.now)
+            if len(fires) == 2:
+                handle.cancel()
+        handle = sim.schedule_periodic(5.0, tick)
+        sim.run_until(50.0)
+        assert fires == [5.0, 10.0]
+        assert sim.pending_events() == 0
+        assert sim.cancelled_pending == 0
+
+    def test_first_delay_offsets_only_the_first_firing(self):
+        sim = Simulator()
+        fires = []
+        sim.schedule_periodic(10.0, lambda: fires.append(sim.now), first_delay=3.0)
+        sim.run_until(35.0)
+        assert fires == [3.0, 13.0, 23.0, 33.0]
+
+    def test_timeout_events_recycle_through_free_list(self):
+        sim = Simulator()
+        sim._schedule_timeout(1.0, lambda: None)
+        sim.run_until(2.0)
+        assert sim.free_list_size == 1
+        # The next timeout reuses the parked husk instead of allocating.
+        handle = sim._schedule_timeout(1.0, lambda: None)
+        assert sim.free_list_size == 0
+        sim.run_until(4.0)
+        assert sim.free_list_size == 1
+        assert handle.popped

@@ -1,0 +1,149 @@
+"""Render and regression-check BENCH_campaign.json perf artifacts.
+
+Companion to ``benchmarks/perf_harness.py``.  Three modes::
+
+    python tools/bench_report.py                       # render the baseline
+    python tools/bench_report.py --current new.json --check
+    python tools/bench_report.py --current new.json --update
+
+``--check`` compares the current artifact against the committed
+baseline and exits non-zero when any gated throughput metric
+(events/sec, cycles/sec, simulated-seconds-per-wall-second) regresses
+by more than ``--threshold`` (default 15%).  Peak RSS and the per-stage
+breakdown are reported but not gated — they vary across interpreter
+versions and allocators.  ``--update`` promotes the current artifact to
+be the new committed baseline after a deliberate perf change.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+DEFAULT_BASELINE = (
+    Path(__file__).parent.parent / "benchmarks" / "results"
+    / "BENCH_campaign.json"
+)
+
+#: (json key under "throughput", human label) of every gated metric.
+#: All are higher-is-better rates.
+GATED_METRICS: List[Tuple[str, str]] = [
+    ("sim_seconds_per_wall_second", "sim s / wall s"),
+    ("events_per_second", "events / s"),
+    ("cycles_per_second", "cycles / s"),
+]
+
+
+def load(path: Path) -> Dict:
+    """Load one BENCH_campaign payload, validating the schema tag."""
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    if payload.get("schema_version") != 1:
+        raise SystemExit(
+            f"{path}: unsupported schema_version "
+            f"{payload.get('schema_version')!r}"
+        )
+    return payload
+
+
+def render(payload: Dict, title: str) -> str:
+    """One artifact as a human-readable block."""
+    throughput = payload["throughput"]
+    workload = payload["workload"]
+    lines = [
+        f"{title}: {workload['duration_simulated_s']:.0f} s simulated, "
+        f"seed {workload['seed']}, best of {workload['rounds']} round(s)",
+        f"  wall (best)     : {throughput['wall_seconds_best']:.3f} s "
+        f"({throughput['sim_seconds_per_wall_second']:,.0f}x real time)",
+        f"  events/sec      : {throughput['events_per_second']:,.0f} "
+        f"({throughput['events_processed']} events)",
+        f"  cycles/sec      : {throughput['cycles_per_second']:,.0f} "
+        f"({throughput['cycles_completed']} cycles)",
+        f"  peak RSS        : {payload['memory']['peak_rss_bytes'] / 2**20:.0f} MiB",
+        f"  queue depth HWM : {payload['engine']['queue_depth_high_water']}",
+        "  top stages (profiled wall time):",
+    ]
+    for key, stage in payload["engine"]["stages"].items():
+        lines.append(
+            f"    {key:<48} {stage['calls']:>8} calls  "
+            f"{1e3 * stage['seconds']:>9.1f} ms  {stage['mean_us']:>8.1f} us"
+        )
+    return "\n".join(lines)
+
+
+def check(baseline: Dict, current: Dict, threshold: float) -> List[str]:
+    """Regression messages for every gated metric past the threshold."""
+    failures = []
+    for key, label in GATED_METRICS:
+        base = float(baseline["throughput"][key])
+        cur = float(current["throughput"][key])
+        if base <= 0:
+            continue
+        drop = 1.0 - cur / base
+        if drop > threshold:
+            failures.append(
+                f"{label}: {cur:,.0f} is {100 * drop:.1f}% below the "
+                f"baseline {base:,.0f} (threshold {100 * threshold:.0f}%)"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Render / regression-check BENCH_campaign.json artifacts."
+    )
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE,
+                        help=f"committed baseline (default: {DEFAULT_BASELINE})")
+    parser.add_argument("--current", type=Path, default=None,
+                        help="freshly measured artifact to compare/promote")
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 if --current regresses past --threshold")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="allowed fractional drop per metric (default 0.15)")
+    parser.add_argument("--update", action="store_true",
+                        help="promote --current to be the new baseline")
+    args = parser.parse_args(argv)
+
+    if args.update:
+        if args.current is None:
+            parser.error("--update requires --current")
+        load(args.current)  # validate before promoting
+        args.baseline.parent.mkdir(parents=True, exist_ok=True)
+        shutil.copyfile(args.current, args.baseline)
+        print(f"baseline updated: {args.baseline}")
+        return 0
+
+    baseline = load(args.baseline)
+    print(render(baseline, "baseline"))
+    if args.current is None:
+        return 0
+
+    current = load(args.current)
+    print()
+    print(render(current, "current"))
+    print()
+    for key, label in GATED_METRICS:
+        base = float(baseline["throughput"][key])
+        cur = float(current["throughput"][key])
+        ratio = cur / base if base > 0 else float("inf")
+        print(f"  {label:<16}: {cur:>12,.0f} vs {base:>12,.0f}  "
+              f"({ratio:,.2f}x baseline)")
+
+    if not args.check:
+        return 0
+    failures = check(baseline, current, args.threshold)
+    if failures:
+        print("\nPERF REGRESSION:", file=sys.stderr)
+        for message in failures:
+            print(f"  {message}", file=sys.stderr)
+        return 1
+    print(f"\nno gated metric regressed more than "
+          f"{100 * args.threshold:.0f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,7 +11,7 @@ import sys
 import time
 from collections import Counter
 
-from repro import run_campaign
+from repro import api
 from repro.core.classification import classify_user_record
 from repro.core.dependability import compute_scenario
 from repro.core.distributions import (
@@ -27,8 +27,8 @@ def main() -> None:
     hours = float(sys.argv[1]) if len(sys.argv) > 1 else 12.0
     seed = int(sys.argv[2]) if len(sys.argv) > 2 else 1
     t0 = time.time()
-    base = run_campaign(duration=hours * 3600, seed=seed)
-    masked = run_campaign(
+    base = api.run(duration=hours * 3600, seed=seed)
+    masked = api.run(
         duration=hours * 3600, seed=seed + 1, masking=MaskingPolicy.all_on()
     )
     print(f"wall: {time.time() - t0:.1f}s  repo: {base.repository.summary()}")

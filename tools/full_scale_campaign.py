@@ -21,8 +21,8 @@ import sys
 import time
 from pathlib import Path
 
+from repro import api
 from repro.cli import _analyses_text
-from repro.core.campaign import CampaignSpec, run_campaign
 from repro.core.export import export_repository
 
 MONTH = 30 * 86_400.0
@@ -62,7 +62,7 @@ def _run_single(args: argparse.Namespace, duration: float) -> None:
     print(f"Simulating {args.months:.0f} months of both testbeds "
           f"(seed {args.seed})...")
     t0 = time.time()
-    result = run_campaign(duration=duration, seed=args.seed)
+    result = api.run(duration=duration, seed=args.seed)
     wall = time.time() - t0
     summary = result.repository.summary()
     print(f"done in {wall / 60:.1f} min "
@@ -81,9 +81,6 @@ def _run_single(args: argparse.Namespace, duration: float) -> None:
 
 
 def _run_sweep(args: argparse.Namespace, duration: float) -> None:
-    from repro.parallel import run_campaign_sweep
-
-    spec = CampaignSpec(duration=duration, seed=args.seed)
     print(f"Simulating {args.seeds} x {args.months:.0f} months "
           f"(root seed {args.seed}, {args.jobs} job(s))...")
 
@@ -93,12 +90,13 @@ def _run_sweep(args: argparse.Namespace, duration: float) -> None:
               f"({shard.total_items} items, {shard.wall_time / 60:.1f} min)")
 
     out = args.out_dir
-    result = run_campaign_sweep(
+    result = api.sweep(
         args.seeds,
         jobs=args.jobs,
-        spec=spec,
         checkpoint_dir=out / "shards",
         progress=progress,
+        duration=duration,
+        seed=args.seed,
     )
     print(f"done in {result.wall_time / 60:.1f} min "
           f"({result.reused} shard(s) reused from checkpoint)")
