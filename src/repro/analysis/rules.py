@@ -156,6 +156,8 @@ class WallClockChecker(ImportTrackingChecker):
     def applies_to(cls, module: Optional[str], config: LintConfig) -> bool:
         if module is None:
             return True
+        if module in config.sim_domain_modules:
+            return True
         return top_subpackage(module, config) in config.sim_domain
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:

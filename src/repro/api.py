@@ -45,6 +45,7 @@ from repro.recovery.masking import MaskingPolicy
 from repro.testbed.nodes import ALL_PROFILES, NodeProfile
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.obs.journal import SweepTelemetry
     from repro.parallel.shard import ShardResult
     from repro.parallel.sweep import SweepResult
 
@@ -162,6 +163,7 @@ class ExperimentConfig:
         checkpoint_dir: Optional[Union[str, Path]] = None,
         with_metrics: bool = False,
         progress: Optional[Callable[["ShardResult", bool], None]] = None,
+        telemetry: Optional["SweepTelemetry"] = None,
     ) -> "SweepResult":
         """Replicate this experiment across seeds and merge canonically.
 
@@ -169,7 +171,12 @@ class ExperimentConfig:
         an explicit seed sequence.  ``jobs=1`` runs serially in-process
         with byte-identical results; ``checkpoint_dir`` makes the sweep
         resumable; ``progress`` is called with ``(shard, reused)`` as
-        shards complete.  See :mod:`repro.parallel` for the guarantees.
+        shards complete.  ``telemetry`` (a
+        :class:`~repro.obs.journal.SweepTelemetry`) turns on the run
+        journal, live monitoring and the stall watchdog — see
+        :mod:`repro.obs.campaign`.  The merged tables are byte-identical
+        with telemetry on or off.  See :mod:`repro.parallel` for the
+        determinism guarantees.
         """
         from repro.parallel.sweep import _execute_sweep
 
@@ -180,6 +187,7 @@ class ExperimentConfig:
             checkpoint_dir=checkpoint_dir,
             with_metrics=with_metrics,
             progress=progress,
+            telemetry=telemetry,
         )
 
 
@@ -203,13 +211,15 @@ def sweep(
     checkpoint_dir: Optional[Union[str, Path]] = None,
     with_metrics: bool = False,
     progress: Optional[Callable[["ShardResult", bool], None]] = None,
+    telemetry: Optional["SweepTelemetry"] = None,
     **config: object,
 ) -> "SweepResult":
     """Build an :class:`ExperimentConfig` from keywords and sweep it.
 
     Sweep-control keywords (``jobs``, ``checkpoint_dir``,
-    ``with_metrics``, ``progress``) go to the pool; everything else
-    describes the campaign, exactly as :func:`run` takes it.
+    ``with_metrics``, ``progress``, ``telemetry``) go to the pool;
+    everything else describes the campaign, exactly as :func:`run`
+    takes it.
     """
     return ExperimentConfig(**config).sweep(  # type: ignore[arg-type]
         seeds,
@@ -217,6 +227,7 @@ def sweep(
         checkpoint_dir=checkpoint_dir,
         with_metrics=with_metrics,
         progress=progress,
+        telemetry=telemetry,
     )
 
 

@@ -4,8 +4,10 @@ Main subcommands::
 
     repro-bt run --hours 24 --seed 7 --out results/        # run + dump
     repro-bt sweep --seeds 8 --jobs 4 --out sweep/          # multi-seed pool
+    repro-bt top sweep/ --follow                            # live sweep status
     repro-bt analyze results/                               # re-analyze a dump
     repro-bt report --hours 24 --seed 7                     # full paper report
+    repro-bt report sweep/ --check                          # journal post-mortem
     repro-bt obs --hours 8 --metrics-out m.txt              # instrumented run
     repro-bt lint src                                       # determinism lint
 
@@ -23,8 +25,14 @@ propagation paths); ``lint`` runs the determinism & sim-safety static
 analysis (rules DET001-DET006, exits non-zero on findings — see
 :mod:`repro.analysis`); ``sweep`` replicates one campaign over N
 deterministically derived seeds on a process pool, checkpoints each
-shard, and writes the pooled mean/CI statistics table.  ``campaign``
-accepts ``--metrics-out`` /
+shard, writes the pooled mean/CI statistics table, and (by default)
+narrates itself to a run journal watched by a stall watchdog — disable
+with ``--no-journal``, tune with ``--heartbeat-interval`` /
+``--stall-after`` / ``--stall-policy`` / ``--max-retries``.  ``top``
+renders a live (or final) single-screen status over that journal;
+``report <dir>`` renders the post-mortem timeline and straggler table
+from it (``--check`` validates the journal against the schema and exits
+non-zero on violations).  ``campaign`` accepts ``--metrics-out`` /
 ``--trace-out`` to instrument a normal run; ``-v/-vv`` raises the
 logging verbosity everywhere.
 """
@@ -32,7 +40,9 @@ logging verbosity everywhere.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+import time
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
@@ -144,6 +154,18 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             f"({shard.total_items} items, {shard.wall_time:.1f} s)"
         )
 
+    telemetry = None
+    if not args.no_journal:
+        from repro.obs.journal import JOURNAL_NAME, SweepTelemetry
+
+        telemetry = SweepTelemetry(
+            journal=out / JOURNAL_NAME,
+            heartbeat_interval=args.heartbeat_interval,
+            heartbeat_deadline=args.stall_after,
+            policy=args.stall_policy,
+            max_retries=args.max_retries,
+            openmetrics_out=args.openmetrics_out,
+        )
     print(
         f"Sweeping {args.seeds} seeds x {args.hours:.0f} h "
         f"(root seed {args.seed}, {args.jobs} job(s))..."
@@ -154,6 +176,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         checkpoint_dir=out / "shards",
         with_metrics=args.metrics_out is not None,
         progress=progress,
+        telemetry=telemetry,
         duration=args.hours * 3600.0,
         seed=args.seed,
         masking=masking,
@@ -175,6 +198,78 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         f"{result.wall_time:.1f} s; sweep table, shard checkpoints and "
         f"merged repository written to {out}/"
     )
+    if result.journal is not None:
+        print(
+            f"Run journal: {result.journal} "
+            f"(inspect with 'repro-bt top {out}' or "
+            f"'repro-bt report {out}')"
+        )
+    return 0
+
+
+def _journal_path(target: str) -> Path:
+    """Resolve a journal target: a journal file or a sweep directory."""
+    from repro.obs.journal import JOURNAL_NAME
+
+    path = Path(target)
+    if path.is_dir():
+        return path / JOURNAL_NAME
+    return path
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Render the live single-screen sweep status over a run journal."""
+    from repro.obs.campaign import SweepMonitor, render_top
+    from repro.obs.journal import JournalReader
+
+    path = _journal_path(args.target)
+    if not path.exists():
+        print(f"no run journal at {path}", file=sys.stderr)
+        return 1
+    reader = JournalReader(path)
+    monitor = SweepMonitor()
+    while True:
+        monitor.feed(reader.poll())
+        text = render_top(monitor, time.time(), deadline=args.stall_after)
+        if not args.follow:
+            print(text)
+            return 0
+        # Home the cursor and clear below: a flicker-free live screen.
+        print(f"\x1b[H\x1b[J{text}", flush=True)
+        if monitor.finished:
+            return 0
+        time.sleep(args.interval)
+
+
+def _journal_report(args: argparse.Namespace) -> int:
+    """The journal branch of ``report``: post-mortem or --check."""
+    from repro.obs.campaign import render_report
+    from repro.obs.journal import JOURNAL_VERSION, read_journal, validate_journal
+
+    path = _journal_path(args.target)
+    errors = validate_journal(path)
+    if args.check:
+        if errors:
+            for error in errors:
+                print(f"{path}: {error}", file=sys.stderr)
+            print(f"journal FAILED validation: {path}", file=sys.stderr)
+            return 1
+        events = read_journal(path)
+        print(
+            f"journal OK: {path} ({len(events)} event(s), "
+            f"schema v{JOURNAL_VERSION})"
+        )
+        return 0
+    if not path.exists():
+        print(f"no run journal at {path}", file=sys.stderr)
+        return 1
+    print(render_report(read_journal(path)))
+    if errors:
+        print(
+            f"\nwarning: {len(errors)} schema violation(s); "
+            f"run 'repro-bt report {args.target} --check' for details",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -206,7 +301,12 @@ def cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def cmd_report(args: argparse.Namespace) -> int:
-    """Run baseline + masked campaigns and print the full report."""
+    """Full paper report — or, given a sweep dir, the journal post-mortem."""
+    if args.target is not None:
+        return _journal_report(args)
+    if args.check:
+        print("--check needs a journal target", file=sys.stderr)
+        return 2
     print(f"Baseline campaign ({args.hours:.0f} h, seed {args.seed})...")
     baseline = api.run(duration=args.hours * 3600.0, seed=args.seed)
     print(f"Masked campaign   ({args.hours:.0f} h, seed {args.seed + 1})...")
@@ -299,7 +399,36 @@ def build_parser() -> argparse.ArgumentParser:
                        help="output + checkpoint directory (re-run to resume)")
     sweep.add_argument("--metrics-out", default=None,
                        help="write the merged Prometheus exposition here")
+    sweep.add_argument("--no-journal", action="store_true",
+                       help="disable the run journal / watchdog telemetry")
+    sweep.add_argument("--heartbeat-interval", type=float, default=2.0,
+                       help="worker liveness ping cadence, wall seconds")
+    sweep.add_argument("--stall-after", type=float, default=30.0,
+                       help="flag a started shard stalled after this much "
+                            "silence (wall seconds)")
+    sweep.add_argument("--stall-policy", choices=("log", "requeue", "abort"),
+                       default="log",
+                       help="what the watchdog does about a stalled shard")
+    sweep.add_argument("--max-retries", type=int, default=1,
+                       help="extra attempts per shard under --stall-policy "
+                            "requeue")
+    sweep.add_argument("--openmetrics-out", default=None,
+                       help="refresh an OpenMetrics textfile here while "
+                            "the sweep runs")
     sweep.set_defaults(func=cmd_sweep)
+
+    top = sub.add_parser(
+        "top", help="single-screen live status of a (running) sweep journal"
+    )
+    top.add_argument("target",
+                     help="sweep output directory or journal.jsonl path")
+    top.add_argument("--follow", action="store_true",
+                     help="keep refreshing until the sweep finishes")
+    top.add_argument("--interval", type=float, default=1.0,
+                     help="refresh period with --follow, seconds")
+    top.add_argument("--stall-after", type=float, default=30.0,
+                     help="highlight shards silent past this many seconds")
+    top.set_defaults(func=cmd_top)
 
     lint = sub.add_parser(
         "lint",
@@ -314,9 +443,19 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("directory")
     analyze.set_defaults(func=cmd_analyze)
 
-    report = sub.add_parser("report", help="full paper-style report")
+    report = sub.add_parser(
+        "report",
+        help="full paper-style report, or a sweep-journal post-mortem",
+    )
+    report.add_argument("target", nargs="?", default=None,
+                        help="sweep output directory or journal.jsonl: "
+                             "render its post-mortem instead of running "
+                             "campaigns")
     report.add_argument("--hours", type=float, default=24.0)
     report.add_argument("--seed", type=int, default=0)
+    report.add_argument("--check", action="store_true",
+                        help="validate the journal against the schema and "
+                             "exit non-zero on violations (needs a target)")
     report.set_defaults(func=cmd_report)
 
     scorecard = sub.add_parser(
@@ -344,7 +483,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     """Console entry point."""
     args = build_parser().parse_args(argv)
     configure_logging(args.verbose)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early — the Unix
+        # convention is to exit quietly, not dump a traceback.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

@@ -95,7 +95,10 @@ class CampaignSpec:
         return self._execute(observability=observability)
 
     def _execute(
-        self, observability: Optional[Observability] = None
+        self,
+        observability: Optional[Observability] = None,
+        on_progress: Optional[Callable[[Simulator], None]] = None,
+        progress_interval: Optional[float] = None,
     ) -> "CampaignResult":
         """Execute this spec (internal, warning-free entry point)."""
         return _execute_campaign(
@@ -106,6 +109,8 @@ class CampaignSpec:
             profiles=self.profiles,
             hardware_replacement=self.hardware_replacement,
             observability=observability,
+            on_progress=on_progress,
+            progress_interval=progress_interval,
         )
 
     def fingerprint_data(self) -> Dict[str, object]:
@@ -143,6 +148,9 @@ class CampaignResult:
     #: the metrics registry, the propagation tracer and the engine
     #: profiler for post-run export.
     observability: Optional[Observability] = None
+    #: Engine events processed during the main run loop (0 when unknown,
+    #: e.g. results built by legacy paths).
+    events_processed: int = 0
 
     # -- convenience accessors -------------------------------------------------
 
@@ -227,6 +235,8 @@ def _execute_campaign(
     profiles: Sequence[NodeProfile] = ALL_PROFILES,
     hardware_replacement: bool = True,
     observability: Optional[Observability] = None,
+    on_progress: Optional[Callable[[Simulator], None]] = None,
+    progress_interval: Optional[float] = None,
 ) -> CampaignResult:
     """The campaign executor behind :mod:`repro.api` and the shims.
 
@@ -235,6 +245,13 @@ def _execute_campaign(
     every layer binds live metrics) and returned on the result for
     export.  ``None`` (the default) runs with the null registry —
     near-zero overhead.
+
+    ``on_progress`` (with a positive ``progress_interval``) arms a
+    read-only periodic probe over the running simulator: called once at
+    t=0 and then every ``progress_interval`` simulated seconds.  The
+    probe fires at maximum tie-break priority — strictly *after* every
+    ordinary event at the same instant — and must not schedule or mutate
+    sim state, so arming it cannot perturb the campaign's event order.
     """
     if duration <= 0:
         raise ValueError("campaign duration must be positive")
@@ -268,8 +285,22 @@ def _execute_campaign(
                 bed.schedule_hardware_replacement(duration / 2.0)
             bed.start()
             testbeds[name] = bed
-        with _gc_paused():
-            sim.run_until(duration)
+        probe = None
+        if on_progress is not None and progress_interval:
+            on_progress(sim)
+            # Maximum tie-break priority: the probe observes each instant
+            # only after every same-time sim event has run.
+            probe = sim.schedule_periodic(
+                progress_interval, lambda: on_progress(sim), priority=1 << 30
+            )
+        try:
+            with _gc_paused():
+                events_processed = sim.run_until(duration)
+        finally:
+            if probe is not None:
+                probe.cancel()
+        if on_progress is not None:
+            on_progress(sim)
         for bed in testbeds.values():
             bed.final_collection()
     return CampaignResult(
@@ -280,6 +311,7 @@ def _execute_campaign(
         testbeds=testbeds,
         sim=sim,
         observability=observability,
+        events_processed=events_processed,
     )
 
 

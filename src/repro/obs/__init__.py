@@ -13,6 +13,11 @@ stack the same backbone:
   :class:`repro.sim.Simulator`.
 * :mod:`repro.obs.export` — Prometheus text exposition, trace JSONL,
   and propagation cross-checks against the relationship analysis.
+* :mod:`repro.obs.journal` — the sweep run journal: append-only JSONL
+  shard lifecycle events with a versioned, determinism-split schema.
+* :mod:`repro.obs.campaign` — sweep-level monitoring over the journal:
+  live progress/ETA, straggler and stall detection, the watchdog, and
+  the ``repro-bt top`` / ``repro-bt report`` renderers.
 
 Everything defaults to off: the active registry/tracer are null
 objects, and the engine hook is a single ``None`` check.  Use::
@@ -38,7 +43,27 @@ from .export import (
     write_metrics,
     write_trace_jsonl,
 )
+from .campaign import (
+    SweepMonitor,
+    SweepWatchdog,
+    monitor_from_journal,
+    render_report,
+    render_sweep_openmetrics,
+    render_top,
+    write_sweep_textfile,
+)
 from .instruments import StackInstruments, stack_instruments
+from .journal import (
+    JournalReader,
+    JournalWriter,
+    NullJournal,
+    NULL_JOURNAL,
+    ShardTelemetry,
+    SweepTelemetry,
+    canonical_journal,
+    read_journal,
+    validate_journal,
+)
 from .metrics import (
     Counter,
     Gauge,
@@ -65,8 +90,8 @@ class Observability:
     """One campaign's observability bundle: registry + tracer + profiler.
 
     Construct with the pieces you want (all on by default), then pass to
-    :func:`repro.core.campaign.run_campaign` — or use :meth:`activate`
-    directly around any simulation you drive yourself.
+    :func:`repro.api.run` — or use :meth:`activate` directly around any
+    simulation you drive yourself.
     """
 
     def __init__(
@@ -151,4 +176,20 @@ __all__ = [
     "propagation_paths",
     "full_stack_spans",
     "cross_check_relationship",
+    "JournalWriter",
+    "JournalReader",
+    "NullJournal",
+    "NULL_JOURNAL",
+    "SweepTelemetry",
+    "ShardTelemetry",
+    "read_journal",
+    "validate_journal",
+    "canonical_journal",
+    "SweepMonitor",
+    "SweepWatchdog",
+    "monitor_from_journal",
+    "render_top",
+    "render_report",
+    "render_sweep_openmetrics",
+    "write_sweep_textfile",
 ]

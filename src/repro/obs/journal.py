@@ -1,0 +1,500 @@
+"""The sweep run journal: append-only JSONL shard lifecycle telemetry.
+
+A multi-seed sweep is a black box between launch and final merge unless
+every worker narrates what it is doing.  The *run journal* is that
+narration: one JSONL file next to the sweep's checkpoint directory, to
+which the orchestrator and every worker append structured lifecycle
+events — shard scheduled / started / heartbeat / progress / completed /
+failed, plus the watchdog's stall verdicts.  The journal is the contract
+a future campaign service will stream, so it is versioned, keyed to the
+sweep fingerprint, and deliberately split into two domains:
+
+**Deterministic fields** (top level).  Everything derived from the
+simulation itself — seeds, sim-time progress marks, Table 1-4
+statistics, metrics snapshots.  Identical runs produce identical
+values; :func:`canonical_journal` projects a journal onto exactly these
+fields (dropping the wall-driven heartbeat stream) and re-serialises
+them in a canonical order, so the projection is byte-stable across
+``--jobs`` counts and shard interleavings.
+
+**The non-deterministic envelope** (the ``"wall"`` key).  Wall-clock
+timestamps, wall durations, events/sec, peak RSS, PIDs.  Every real
+clock read in this module happens inside :func:`_envelope` — the single
+suppressed wall-clock site (``repro.obs.journal`` is lint-scoped into
+the sim domain precisely so the suppression is load-bearing; see
+``repro.analysis.config.LintConfig.sim_domain_modules``).
+
+Concurrent writers are safe: each event is one ``os.write`` on an
+``O_APPEND`` descriptor, so lines from parallel workers interleave but
+never tear on a local filesystem.  Readers tolerate a torn final line
+(a worker killed mid-write) by never consuming past the last newline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from time import time as _wall_clock  # repro: allow[DET002] journal envelope timestamps only
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple, Union
+
+#: Version of the journal schema; bump on any layout change so stream
+#: consumers (and ``repro-bt report --check``) can refuse mis-parses.
+JOURNAL_VERSION = 1
+
+#: Conventional journal file name inside a sweep output directory.
+JOURNAL_NAME = "journal.jsonl"
+
+# -- event types -------------------------------------------------------------
+
+SWEEP_STARTED = "sweep_started"
+SWEEP_COMPLETED = "sweep_completed"
+SWEEP_ABORTED = "sweep_aborted"
+SHARD_SCHEDULED = "shard_scheduled"
+SHARD_STARTED = "shard_started"
+SHARD_HEARTBEAT = "shard_heartbeat"
+SHARD_PROGRESS = "shard_progress"
+SHARD_COMPLETED = "shard_completed"
+SHARD_FAILED = "shard_failed"
+SHARD_STALLED = "shard_stalled"
+SHARD_REQUEUED = "shard_requeued"
+
+#: Deterministic (top-level) fields required per event type, beyond the
+#: base ``{"v", "event", "fp", "wall"}``.  The schema is *closed*: any
+#: other top-level key is a validation error, which is what keeps
+#: nondeterministic data fenced inside the envelope.
+EVENT_SCHEMA: Dict[str, Tuple[FrozenSet[str], FrozenSet[str]]] = {
+    # event: (required extra fields, optional extra fields)
+    SWEEP_STARTED: (frozenset({"root_seed", "seeds"}), frozenset()),
+    SWEEP_COMPLETED: (frozenset({"seeds"}), frozenset()),
+    SWEEP_ABORTED: (frozenset({"reason"}), frozenset()),
+    SHARD_SCHEDULED: (frozenset({"seed", "index"}), frozenset()),
+    SHARD_STARTED: (frozenset({"seed", "index"}), frozenset()),
+    SHARD_HEARTBEAT: (frozenset({"seed"}), frozenset()),
+    SHARD_PROGRESS: (
+        frozenset({"seed", "sim_time", "frac"}),
+        frozenset({"pending"}),
+    ),
+    SHARD_COMPLETED: (
+        frozenset({"seed", "index", "duration", "total_items", "statistics"}),
+        frozenset({"events", "metrics"}),
+    ),
+    SHARD_FAILED: (frozenset({"seed", "index", "error"}), frozenset()),
+    SHARD_STALLED: (frozenset({"seed"}), frozenset()),
+    SHARD_REQUEUED: (frozenset({"seed"}), frozenset()),
+}
+
+#: Events whose deterministic fields are reproduced identically by
+#: identical runs — the canonical projection keeps exactly these.  The
+#: wall-driven heartbeat stream (its cadence depends on worker speed)
+#: and the watchdog/failure events (they only exist when something went
+#: wrong) are excluded.
+CANONICAL_EVENTS: FrozenSet[str] = frozenset(
+    {
+        SWEEP_STARTED,
+        SHARD_SCHEDULED,
+        SHARD_STARTED,
+        SHARD_PROGRESS,
+        SHARD_COMPLETED,
+        SWEEP_COMPLETED,
+    }
+)
+
+#: Watchdog reactions a sweep can be configured with.
+WATCHDOG_POLICIES = ("log", "requeue", "abort")
+
+
+def _envelope(extra: Optional[Dict[str, object]] = None) -> Dict[str, object]:
+    """The non-deterministic envelope of one event.
+
+    The only place this module reads a real clock.  Everything returned
+    here lands under the event's ``"wall"`` key and is stripped by
+    :func:`canonical_events`.
+    """
+    env: Dict[str, object] = {
+        "ts": _wall_clock(),
+        "pid": os.getpid(),
+    }
+    if extra:
+        env.update(extra)
+    return env
+
+
+def peak_rss_kb() -> Optional[int]:
+    """This process's peak resident set size in KiB (None if unknown)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return None
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KiB; macOS reports bytes.
+    if rss > 1 << 32:  # pragma: no cover - macOS
+        rss //= 1024
+    return int(rss)
+
+
+# -- telemetry configuration -------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SweepTelemetry:
+    """Sweep-level telemetry switchboard (pass to ``repro.api.sweep``).
+
+    ``journal`` names the JSONL file; conventionally
+    ``<out>/journal.jsonl`` next to the ``<out>/shards`` checkpoint
+    directory.  ``heartbeat_interval`` is the wall-clock cadence of
+    worker liveness pings, ``heartbeat_deadline`` how long the watchdog
+    tolerates silence from a started shard before flagging it stalled,
+    and ``policy`` what it then does: ``log`` (warn and keep waiting),
+    ``requeue`` (resubmit the shard, up to ``max_retries`` extra
+    attempts), or ``abort`` (tear the sweep down).  ``progress_ticks``
+    sets how many sim-time progress events each shard emits (they fire
+    at fixed fractions of the campaign duration, so their deterministic
+    fields are byte-stable).  ``openmetrics_out``, when set, is
+    refreshed every ``poll_interval`` with an OpenMetrics textfile for
+    node-exporter-style scraping.
+    """
+
+    journal: Union[str, Path]
+    heartbeat_interval: float = 2.0
+    heartbeat_deadline: float = 30.0
+    policy: str = "log"
+    max_retries: int = 1
+    progress_ticks: int = 10
+    poll_interval: float = 0.5
+    openmetrics_out: Optional[Union[str, Path]] = None
+
+    def __post_init__(self) -> None:
+        if self.policy not in WATCHDOG_POLICIES:
+            raise ValueError(
+                f"unknown watchdog policy {self.policy!r}; "
+                f"expected one of {WATCHDOG_POLICIES}"
+            )
+        if self.heartbeat_interval <= 0 or self.heartbeat_deadline <= 0:
+            raise ValueError("heartbeat interval/deadline must be positive")
+        if self.progress_ticks < 1:
+            raise ValueError("progress_ticks must be >= 1")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+
+
+@dataclass(frozen=True)
+class ShardTelemetry:
+    """What one worker needs to narrate its shard (picklable).
+
+    Built by the orchestrator from a :class:`SweepTelemetry` and handed
+    to :func:`repro.parallel.shard.run_shard` across the process
+    boundary.  ``progress_interval`` is in *simulated* seconds (derived
+    from the campaign duration and ``progress_ticks``);
+    ``heartbeat_interval`` is in wall seconds.
+    """
+
+    journal: str
+    fingerprint: str
+    index: int
+    heartbeat_interval: float = 2.0
+    progress_interval: float = 0.0
+
+
+# -- writing -----------------------------------------------------------------
+
+
+class JournalWriter:
+    """Append-only journal emitter; one atomic write per event.
+
+    Safe to share between the worker's main thread and its heartbeat
+    thread, and between concurrent worker processes appending to the
+    same file.
+    """
+
+    def __init__(self, path: Union[str, Path], fingerprint: str) -> None:
+        self.path = Path(path)
+        self.fingerprint = fingerprint
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fd: Optional[int] = os.open(
+            str(self.path), os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644
+        )
+
+    def emit(
+        self,
+        event: str,
+        seed: Optional[int] = None,
+        wall: Optional[Dict[str, object]] = None,
+        **fields: object,
+    ) -> None:
+        """Append one event; deterministic fields as keywords.
+
+        Anything timing-dependent goes in ``wall`` — it is merged into
+        the non-deterministic envelope, never into the top level.
+        """
+        if self._fd is None:
+            raise ValueError("journal writer is closed")
+        record: Dict[str, object] = {
+            "v": JOURNAL_VERSION,
+            "event": event,
+            "fp": self.fingerprint,
+        }
+        if seed is not None:
+            record["seed"] = int(seed)
+        record.update(fields)
+        record["wall"] = _envelope(wall)
+        line = json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+        os.write(self._fd, line.encode("utf-8"))
+
+    def close(self) -> None:
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
+
+    def __enter__(self) -> "JournalWriter":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+class NullJournal:
+    """Journal used when telemetry is off: ``emit`` is a no-op.
+
+    A single shared instance (:data:`NULL_JOURNAL`) keeps the disabled
+    path at one attribute lookup and one empty call, mirroring
+    :data:`repro.obs.metrics.NULL_SERIES`.
+    """
+
+    __slots__ = ()
+
+    path = None
+    fingerprint = ""
+
+    def emit(
+        self,
+        event: str,
+        seed: Optional[int] = None,
+        wall: Optional[Dict[str, object]] = None,
+        **fields: object,
+    ) -> None:
+        """No-op."""
+
+    def close(self) -> None:
+        """No-op."""
+
+
+#: The shared no-op journal.
+NULL_JOURNAL = NullJournal()
+
+
+# -- reading -----------------------------------------------------------------
+
+
+class JournalReader:
+    """Incremental (tail-capable) journal reader.
+
+    ``poll()`` returns every *complete* event line appended since the
+    previous call; a torn trailing line (no newline yet) is left for the
+    next poll.  Unparsable complete lines are skipped — validation, not
+    tailing, is where they are reported.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._offset = 0
+
+    def poll(self) -> List[dict]:
+        """New complete events since the last poll (oldest first)."""
+        if not self.path.exists():
+            return []
+        with open(self.path, "rb") as handle:
+            handle.seek(self._offset)
+            data = handle.read()
+        if not data:
+            return []
+        end = data.rfind(b"\n")
+        if end < 0:
+            return []
+        chunk = data[: end + 1]
+        self._offset += len(chunk)
+        events = []
+        for raw in chunk.splitlines():
+            if not raw.strip():
+                continue
+            try:
+                events.append(json.loads(raw.decode("utf-8")))
+            except ValueError:
+                continue
+        return events
+
+
+def read_journal(path: Union[str, Path]) -> List[dict]:
+    """Every complete event of a journal file, oldest first."""
+    return JournalReader(path).poll()
+
+
+# -- validation --------------------------------------------------------------
+
+_BASE_FIELDS = frozenset({"v", "event", "fp", "seed", "wall"})
+
+
+def validate_events(events: Iterable[dict]) -> List[str]:
+    """Schema-check parsed journal events; returns human-readable errors.
+
+    Checks the version tag, event vocabulary, required/allowed field
+    sets (the closed top-level schema is what confines nondeterministic
+    data to the ``wall`` envelope), fingerprint consistency, and shard
+    lifecycle sanity (completions/failures must follow a start).
+    """
+    errors: List[str] = []
+    fingerprint: Optional[str] = None
+    started_seeds: set = set()
+    for number, event in enumerate(events, start=1):
+        where = f"event {number}"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not a JSON object")
+            continue
+        kind = event.get("event")
+        if event.get("v") != JOURNAL_VERSION:
+            errors.append(
+                f"{where}: journal version {event.get('v')!r} != {JOURNAL_VERSION}"
+            )
+            continue
+        if kind not in EVENT_SCHEMA:
+            errors.append(f"{where}: unknown event type {kind!r}")
+            continue
+        if not isinstance(event.get("fp"), str) or not event["fp"]:
+            errors.append(f"{where}: missing sweep fingerprint 'fp'")
+        elif fingerprint is None:
+            fingerprint = event["fp"]
+        elif kind == SWEEP_STARTED:
+            fingerprint = event["fp"]  # a resumed sweep re-keys the stream
+        elif event["fp"] != fingerprint:
+            errors.append(
+                f"{where}: fingerprint {event['fp']!r} != sweep "
+                f"fingerprint {fingerprint!r}"
+            )
+        wall = event.get("wall")
+        if not isinstance(wall, dict) or "ts" not in wall:
+            errors.append(f"{where}: missing non-deterministic envelope 'wall.ts'")
+        required, optional = EVENT_SCHEMA[kind]
+        missing = sorted(required - set(event))
+        if missing:
+            errors.append(f"{where}: {kind} missing field(s) {', '.join(missing)}")
+        extra = sorted(set(event) - _BASE_FIELDS - required - optional)
+        if extra:
+            errors.append(
+                f"{where}: {kind} carries undeclared top-level field(s) "
+                f"{', '.join(extra)} — nondeterministic data belongs in 'wall'"
+            )
+        if kind.startswith("shard_") and not isinstance(event.get("seed"), int):
+            errors.append(f"{where}: {kind} needs an integer 'seed'")
+            continue
+        if kind == SHARD_STARTED:
+            started_seeds.add(event["seed"])
+        elif kind in (SHARD_COMPLETED, SHARD_FAILED):
+            if event["seed"] not in started_seeds:
+                errors.append(
+                    f"{where}: {kind} for seed {event['seed']} without "
+                    f"a prior {SHARD_STARTED}"
+                )
+    return errors
+
+
+def validate_journal(path: Union[str, Path]) -> List[str]:
+    """Validate a journal file: parse errors plus schema errors."""
+    path = Path(path)
+    if not path.exists():
+        return [f"journal not found: {path}"]
+    errors: List[str] = []
+    events: List[dict] = []
+    text = path.read_bytes()
+    lines = text.split(b"\n")
+    torn = lines[-1] if lines and lines[-1].strip() else b""
+    for number, raw in enumerate(lines, start=1):
+        if not raw.strip():
+            continue
+        try:
+            events.append(json.loads(raw.decode("utf-8")))
+        except ValueError:
+            if raw is torn:
+                # A torn final line means a writer died mid-write;
+                # tolerated by readers, but worth reporting.
+                errors.append(f"line {number}: torn trailing line (no newline)")
+            else:
+                errors.append(f"line {number}: not valid JSON")
+    errors.extend(validate_events(events))
+    return errors
+
+
+# -- canonical projection ----------------------------------------------------
+
+_CANONICAL_RANK = {
+    SHARD_SCHEDULED: 0,
+    SHARD_STARTED: 1,
+    SHARD_PROGRESS: 2,
+    SHARD_COMPLETED: 3,
+}
+
+
+def _canonical_key(event: dict) -> Tuple[int, int, int, float]:
+    phase = {SWEEP_STARTED: 0, SWEEP_COMPLETED: 2}.get(event["event"], 1)
+    seed = event.get("seed", -1)
+    rank = _CANONICAL_RANK.get(event["event"], 9)
+    sim_time = float(event.get("sim_time", 0.0))
+    return (phase, int(seed), rank, sim_time)
+
+
+def canonical_events(events: Iterable[dict]) -> List[dict]:
+    """The deterministic projection of a journal.
+
+    Keeps :data:`CANONICAL_EVENTS` only, strips every ``wall``
+    envelope, and orders by ``(phase, seed, lifecycle rank, sim
+    time)`` — an order independent of worker interleaving, so two
+    identical runs at any ``--jobs`` project to the same sequence.
+    """
+    kept = [
+        {key: value for key, value in event.items() if key != "wall"}
+        for event in events
+        if isinstance(event, dict) and event.get("event") in CANONICAL_EVENTS
+    ]
+    kept.sort(key=_canonical_key)
+    return kept
+
+
+def canonical_journal(events: Iterable[dict]) -> str:
+    """The canonical projection serialised byte-stably (one JSON/line)."""
+    lines = [
+        json.dumps(event, sort_keys=True, separators=(",", ":"))
+        for event in canonical_events(events)
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+__all__ = [
+    "JOURNAL_VERSION",
+    "JOURNAL_NAME",
+    "SWEEP_STARTED",
+    "SWEEP_COMPLETED",
+    "SWEEP_ABORTED",
+    "SHARD_SCHEDULED",
+    "SHARD_STARTED",
+    "SHARD_HEARTBEAT",
+    "SHARD_PROGRESS",
+    "SHARD_COMPLETED",
+    "SHARD_FAILED",
+    "SHARD_STALLED",
+    "SHARD_REQUEUED",
+    "EVENT_SCHEMA",
+    "CANONICAL_EVENTS",
+    "WATCHDOG_POLICIES",
+    "SweepTelemetry",
+    "ShardTelemetry",
+    "JournalWriter",
+    "JournalReader",
+    "NullJournal",
+    "NULL_JOURNAL",
+    "read_journal",
+    "validate_events",
+    "validate_journal",
+    "canonical_events",
+    "canonical_journal",
+    "peak_rss_kb",
+]

@@ -286,13 +286,24 @@ class MetricsRegistry:
         Counters and histograms are additive (sums, counts and bucket
         tallies add); gauges keep the element-wise maximum — across
         shards the only meaningful pooled gauge reading is the
-        high-water mark.  Families absent here are created; schema
-        mismatches raise :class:`MetricError`.  Returns ``self`` so
-        merges chain.
+        high-water mark.  Families absent here are created; any schema
+        collision — conflicting metric kinds, label sets, series keys
+        that do not fit the label schema, or histogram bucket bounds —
+        raises :class:`MetricError` naming the offending family instead
+        of silently mis-merging.  Returns ``self`` so merges chain.
         """
         for name, entry in snapshot.items():
             kind = entry["kind"]
             labels = tuple(entry["labels"])
+            existing = self._families.get(name)
+            if existing is not None and (
+                existing.KIND != kind or existing.label_names != labels
+            ):
+                raise MetricError(
+                    f"{name}: snapshot merge collision — incoming {kind} "
+                    f"family with labels {labels!r} vs registered "
+                    f"{existing.KIND} with labels {existing.label_names!r}"
+                )
             if kind == Counter.KIND:
                 family = self.counter(name, entry.get("help", ""), labels)
             elif kind == Gauge.KIND:
@@ -301,9 +312,24 @@ class MetricsRegistry:
                 family = self.histogram(
                     name, entry.get("help", ""), labels, buckets=entry["buckets"]
                 )
+                # _register hands back the existing family and ignores
+                # the buckets argument, so bound conflicts must be
+                # caught here — merging tallies across different bounds
+                # would silently corrupt every quantile.
+                if family.buckets != tuple(sorted(entry["buckets"])):
+                    raise MetricError(
+                        f"{name}: histogram bucket bounds differ across "
+                        f"shards ({family.buckets!r} vs "
+                        f"{tuple(entry['buckets'])!r})"
+                    )
             else:
                 raise MetricError(f"{name}: cannot merge metric kind {kind!r}")
             for key, value in entry["series"]:
+                if len(key) != len(labels):
+                    raise MetricError(
+                        f"{name}: series key {tuple(key)!r} does not fit "
+                        f"the label schema {labels!r}"
+                    )
                 child = family.labels(**dict(zip(labels, key)))
                 if kind == Histogram.KIND:
                     if len(child.counts) != len(value["counts"]):

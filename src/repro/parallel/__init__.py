@@ -16,13 +16,18 @@ pool with three hard guarantees, all pinned by tests:
   (:mod:`~repro.parallel.checkpoint`); an interrupted sweep re-invoked
   over the same directory recomputes only the missing shards.
 
+A running sweep can also narrate itself to an append-only run journal
+(:mod:`repro.obs.journal`) watched by a stall watchdog — pass a
+``telemetry`` bundle; the journal's canonical projection and the merged
+tables stay byte-identical at any job count.
+
 Typical use::
 
-    from repro.core.campaign import CampaignSpec, DAY
-    from repro.parallel import run_campaign_sweep
+    from repro import api
+    from repro.core.campaign import DAY
 
-    result = run_campaign_sweep(
-        seeds=8, jobs=4, spec=CampaignSpec(duration=2 * DAY, seed=77),
+    result = api.sweep(
+        8, jobs=4, duration=2 * DAY, seed=77,
         checkpoint_dir="sweep_out/shards",
     )
     print(result.render())
@@ -32,13 +37,14 @@ from .checkpoint import SweepCheckpoint, sweep_fingerprint
 from .seeds import resolve_seeds, shard_seed, shard_seeds
 from .shard import ShardResult, run_shard
 from .stats import PooledStat, pool_statistics, pool_values, t_critical_95
-from .sweep import SweepResult, run_campaign_sweep
+from .sweep import SweepResult, SweepStalledError, run_campaign_sweep
 
 __all__ = [
     "PooledStat",
     "ShardResult",
     "SweepCheckpoint",
     "SweepResult",
+    "SweepStalledError",
     "pool_statistics",
     "pool_values",
     "resolve_seeds",

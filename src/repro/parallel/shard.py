@@ -15,17 +15,33 @@ multiprocessing start method (fork, spawn, forkserver).
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.collection.repository import CentralRepository
 from repro.core.campaign import CampaignResult, CampaignSpec
 from repro.core.summary import campaign_statistics
+from repro.obs.journal import (
+    SHARD_COMPLETED,
+    SHARD_FAILED,
+    SHARD_HEARTBEAT,
+    SHARD_PROGRESS,
+    SHARD_STARTED,
+    JournalWriter,
+    ShardTelemetry,
+    peak_rss_kb,
+)
+
+if TYPE_CHECKING:
+    from repro.obs import Observability
+    from repro.sim import Simulator
 
 #: Version tag of the shard payload schema; bumped on layout changes so
 #: stale checkpoint files are recomputed instead of mis-parsed.
-PAYLOAD_VERSION = 1
+#: 2: added the ``events`` engine-event counter.
+PAYLOAD_VERSION = 2
 
 
 @dataclass
@@ -46,6 +62,8 @@ class ShardResult:
     statistics: Dict[str, float]
     #: Metrics registry snapshot (empty when the shard ran unmetered).
     metrics: Dict[str, dict] = field(default_factory=dict)
+    #: Engine events the replicate processed (deterministic per spec+seed).
+    events: int = 0
 
     # -- construction --------------------------------------------------------
 
@@ -69,6 +87,7 @@ class ShardResult:
                 result.repository, pairs, result.duration
             ),
             metrics=metrics,
+            events=result.events_processed,
         )
 
     # -- views ---------------------------------------------------------------
@@ -95,6 +114,7 @@ class ShardResult:
             "cycle_stats": self.cycle_stats,
             "statistics": self.statistics,
             "metrics": self.metrics,
+            "events": self.events,
         }
 
     @classmethod
@@ -114,6 +134,7 @@ class ShardResult:
             cycle_stats=payload["cycle_stats"],
             statistics=payload["statistics"],
             metrics=payload.get("metrics", {}),
+            events=int(payload.get("events", 0)),
         )
 
 
@@ -146,20 +167,153 @@ def _aggregate_cycle_stats(result: CampaignResult) -> Dict[str, Dict[str, object
     return aggregated
 
 
-def run_shard(spec: CampaignSpec, with_metrics: bool = False) -> ShardResult:
+class _Heartbeat:
+    """Wall-clock liveness pings from a worker's daemon thread.
+
+    Emits ``shard_heartbeat`` every ``interval`` wall seconds until
+    stopped.  All payload lands in the non-deterministic envelope; the
+    last sim-time seen by the progress probe rides along so a live
+    monitor can show where a silent-looking shard actually is.
+    """
+
+    def __init__(self, writer: JournalWriter, seed: int, interval: float) -> None:
+        self._writer = writer
+        self._seed = seed
+        self._interval = interval
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._loop, name=f"shard-{seed}-heartbeat", daemon=True
+        )
+        self.sim_time = 0.0
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self._interval):
+            self._writer.emit(
+                SHARD_HEARTBEAT,
+                seed=self._seed,
+                wall={"sim_time": self.sim_time, "rss_peak_kb": peak_rss_kb()},
+            )
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=self._interval + 5.0)
+
+
+class _ProgressProbe:
+    """Read-only sim probe emitting deterministic ``shard_progress``.
+
+    Called from :func:`repro.core.campaign._execute_campaign` at fixed
+    fractions of the campaign duration — sim-time driven, so the
+    deterministic fields (sim_time, frac, pending) are identical across
+    reruns at any job count.
+    """
+
+    def __init__(
+        self,
+        writer: JournalWriter,
+        seed: int,
+        duration: float,
+        heartbeat: Optional[_Heartbeat] = None,
+    ) -> None:
+        self._writer = writer
+        self._seed = seed
+        self._duration = duration
+        self._heartbeat = heartbeat
+
+    def __call__(self, sim: "Simulator") -> None:
+        if self._heartbeat is not None:
+            self._heartbeat.sim_time = sim.now
+        self._writer.emit(
+            SHARD_PROGRESS,
+            seed=self._seed,
+            sim_time=sim.now,
+            frac=round(sim.now / self._duration, 6),
+            pending=sim.pending_events(),
+        )
+
+
+def _instrumented_shard(
+    spec: CampaignSpec,
+    observability: Optional["Observability"],
+    telemetry: ShardTelemetry,
+    started: float,
+) -> ShardResult:
+    """The journaled variant of the worker body."""
+    with JournalWriter(telemetry.journal, telemetry.fingerprint) as writer:
+        writer.emit(SHARD_STARTED, seed=spec.seed, index=telemetry.index)
+        heartbeat = _Heartbeat(writer, spec.seed, telemetry.heartbeat_interval)
+        heartbeat.start()
+        on_progress: Optional[Callable[["Simulator"], None]] = None
+        if telemetry.progress_interval > 0:
+            on_progress = _ProgressProbe(
+                writer, spec.seed, spec.duration, heartbeat
+            )
+        try:
+            result = spec._execute(
+                observability=observability,
+                on_progress=on_progress,
+                progress_interval=telemetry.progress_interval or None,
+            )
+            wall_time = time.perf_counter() - started
+            shard = ShardResult.from_campaign(result, wall_time=wall_time)
+            rate = shard.events / wall_time if wall_time > 0 else 0.0
+            writer.emit(
+                SHARD_COMPLETED,
+                seed=spec.seed,
+                index=telemetry.index,
+                duration=spec.duration,
+                total_items=shard.total_items,
+                statistics=shard.statistics,
+                events=shard.events,
+                metrics=shard.metrics,
+                wall={
+                    "wall_time": round(wall_time, 6),
+                    "events_per_sec": round(rate, 3),
+                    "rss_peak_kb": peak_rss_kb(),
+                },
+            )
+            return shard
+        except BaseException as error:
+            writer.emit(
+                SHARD_FAILED,
+                seed=spec.seed,
+                index=telemetry.index,
+                error=f"{type(error).__name__}: {error}",
+            )
+            raise
+        finally:
+            heartbeat.stop()
+
+
+def run_shard(
+    spec: CampaignSpec,
+    with_metrics: bool = False,
+    telemetry: Optional[ShardTelemetry] = None,
+) -> ShardResult:
     """Run one campaign replicate and summarize it — the pool worker.
 
     ``with_metrics`` attaches a metrics-only
     :class:`~repro.obs.Observability` bundle (no tracer, no profiler:
     those do not merge across processes) and ships the registry
     snapshot back on the shard.
+
+    ``telemetry`` (a picklable :class:`~repro.obs.journal.ShardTelemetry`)
+    makes the worker narrate its lifecycle to the sweep run journal:
+    started / sim-time progress / wall-clock heartbeats / completed or
+    failed.  ``None`` keeps the legacy silent fast path — no journal
+    file is opened, no probe is armed, no thread is spawned.
     """
-    observability: Optional[object] = None
+    observability: Optional["Observability"] = None
     if with_metrics:
         from repro.obs import Observability
 
         observability = Observability(metrics=True, tracing=False, profiling=False)
     started = time.perf_counter()
+    if telemetry is not None:
+        return _instrumented_shard(spec, observability, telemetry, started)
     result = spec._execute(observability=observability)
     return ShardResult.from_campaign(result, wall_time=time.perf_counter() - started)
 

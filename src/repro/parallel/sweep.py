@@ -21,14 +21,30 @@ from __future__ import annotations
 
 import time
 import warnings
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro import get_logger
 from repro.collection.repository import CentralRepository
 from repro.core.campaign import CampaignSpec
+from repro.obs.campaign import SweepMonitor, SweepWatchdog, write_sweep_textfile
+from repro.obs.journal import (
+    SHARD_COMPLETED,
+    SHARD_REQUEUED,
+    SHARD_SCHEDULED,
+    SHARD_STALLED,
+    SHARD_STARTED,
+    SWEEP_ABORTED,
+    SWEEP_COMPLETED,
+    SWEEP_STARTED,
+    JournalReader,
+    JournalWriter,
+    ShardTelemetry,
+    SweepTelemetry,
+)
 from repro.obs.metrics import MetricsRegistry, merge_snapshots
 
 from .checkpoint import SweepCheckpoint, sweep_fingerprint
@@ -37,6 +53,10 @@ from .shard import ShardResult, run_shard
 from .stats import PooledStat, pool_statistics
 
 log = get_logger("parallel.sweep")
+
+
+class SweepStalledError(RuntimeError):
+    """A monitored sweep gave up on a stalled shard (policy decision)."""
 
 #: Per-seed summary columns of the rendered sweep report.  Wall-clock
 #: timing is deliberately absent: render output must be byte-identical
@@ -60,6 +80,8 @@ class SweepResult:
     wall_time: float
     #: How many shards were reused from the checkpoint instead of run.
     reused: int = 0
+    #: Run journal the sweep narrated itself to (None when telemetry off).
+    journal: Optional[Path] = None
     _repository: Optional[CentralRepository] = field(
         default=None, repr=False, compare=False
     )
@@ -205,6 +227,216 @@ def run_campaign_sweep(
     )
 
 
+class _SweepTelemetryContext:
+    """Journal + monitor + watchdog wiring for one monitored sweep."""
+
+    def __init__(
+        self,
+        telemetry: SweepTelemetry,
+        fingerprint: str,
+        resolved: Sequence[int],
+        spec: CampaignSpec,
+    ) -> None:
+        self.telemetry = telemetry
+        self.path = Path(telemetry.journal)
+        self.writer = JournalWriter(self.path, fingerprint)
+        self.fingerprint = fingerprint
+        self.reader = JournalReader(self.path)
+        self.monitor = SweepMonitor()
+        self.watchdog = SweepWatchdog(self.monitor, telemetry.heartbeat_deadline)
+        self.index = {seed: i for i, seed in enumerate(resolved)}
+        #: Progress probes fire at fixed fractions of the campaign — in
+        #: *simulated* seconds, so their payload is run-invariant.
+        self.progress_interval = spec.duration / telemetry.progress_ticks
+        self._aborted = False
+
+    def shard_telemetry(self, seed: int) -> ShardTelemetry:
+        return ShardTelemetry(
+            journal=str(self.path),
+            fingerprint=self.fingerprint,
+            index=self.index[seed],
+            heartbeat_interval=self.telemetry.heartbeat_interval,
+            progress_interval=self.progress_interval,
+        )
+
+    def note_reused(self, shard: ShardResult) -> None:
+        """Narrate a checkpoint-reused shard as a synthetic lifecycle."""
+        reused = {"reused": True}
+        seed, index = shard.seed, self.index[shard.seed]
+        self.writer.emit(SHARD_SCHEDULED, seed=seed, index=index, wall=reused)
+        self.writer.emit(SHARD_STARTED, seed=seed, index=index, wall=reused)
+        self.writer.emit(
+            SHARD_COMPLETED,
+            seed=seed,
+            index=index,
+            duration=shard.duration,
+            total_items=shard.total_items,
+            statistics=shard.statistics,
+            events=shard.events,
+            metrics=shard.metrics,
+            wall=reused,
+        )
+
+    def refresh(self, now: float) -> None:
+        """Tail new journal events into the monitor; refresh exports."""
+        self.monitor.feed(self.reader.poll())
+        if self.telemetry.openmetrics_out is not None:
+            write_sweep_textfile(self.monitor, self.telemetry.openmetrics_out, now)
+
+    def abort(self, reason: str) -> None:
+        """Emit the terminal ``sweep_aborted`` marker (first cause wins)."""
+        if self._aborted:
+            return
+        self._aborted = True
+        self.writer.emit(SWEEP_ABORTED, reason=reason)
+
+    def close(self) -> None:
+        self.writer.close()
+
+
+def _run_monitored_pool(
+    spec: CampaignSpec,
+    pending: Sequence[int],
+    with_metrics: bool,
+    workers: int,
+    ctx: _SweepTelemetryContext,
+    complete: Callable[[ShardResult], None],
+) -> None:
+    """The journal-tailing, watchdog-supervised pool loop.
+
+    Stall handling per the telemetry policy:
+
+    * ``log`` — warn and keep waiting; a dead worker process (broken
+      pool) is still fatal, since nothing can complete anymore.
+    * ``requeue`` — resubmit the stalled shard (first completion wins;
+      a straggler's late duplicate result is discarded), up to
+      ``max_retries`` extra attempts per seed; a broken pool is rebuilt
+      and every incomplete shard resubmitted under the same budget.
+    * ``abort`` — emit ``sweep_aborted`` and raise
+      :class:`SweepStalledError` at the first stall verdict.
+    """
+    telemetry = ctx.telemetry
+    incomplete: Set[int] = set(pending)
+    attempts: Dict[int, int] = {seed: 0 for seed in pending}
+    pool = ProcessPoolExecutor(max_workers=workers)
+
+    def _launch(
+        target: ProcessPoolExecutor, seeds: Sequence[int]
+    ) -> Dict["Future[ShardResult]", int]:
+        out: Dict["Future[ShardResult]", int] = {}
+        for seed in seeds:
+            attempts[seed] += 1
+            out[
+                target.submit(
+                    run_shard,
+                    spec.with_seed(seed),
+                    with_metrics,
+                    ctx.shard_telemetry(seed),
+                )
+            ] = seed
+        return out
+
+    def _retry_budget_left(seed: int) -> bool:
+        # attempts[] counts submissions so far; the first one is free.
+        return attempts[seed] <= telemetry.max_retries
+
+    def _requeue(target: ProcessPoolExecutor, seed: int) -> Dict["Future[ShardResult]", int]:
+        ctx.writer.emit(
+            SHARD_REQUEUED, seed=seed, wall={"attempt": attempts[seed] + 1}
+        )
+        log.warning(
+            "sweep: requeueing shard seed=%d (attempt %d)", seed, attempts[seed] + 1
+        )
+        return _launch(target, [seed])
+
+    for seed in pending:
+        ctx.writer.emit(SHARD_SCHEDULED, seed=seed, index=ctx.index[seed])
+    futures = _launch(pool, list(pending))
+    try:
+        while incomplete:
+            done, _ = wait(
+                set(futures),
+                timeout=telemetry.poll_interval,
+                return_when=FIRST_COMPLETED,
+            )
+            broken: Optional[BrokenProcessPool] = None
+            for future in done:
+                seed = futures.pop(future)
+                try:
+                    shard = future.result()
+                except BrokenProcessPool as error:
+                    broken = error
+                    continue
+                except Exception:
+                    ctx.abort(f"shard seed={seed} raised")
+                    raise
+                if seed in incomplete:
+                    incomplete.discard(seed)
+                    complete(shard)
+            now = time.time()
+            ctx.refresh(now)
+            if broken is not None:
+                # The whole pool died with the worker; every in-flight
+                # future is lost, so rebuild-and-resubmit is the only
+                # way to keep the sweep alive.
+                if telemetry.policy != "requeue":
+                    ctx.abort("worker process died (pool broken)")
+                    raise broken
+                pool.shutdown(wait=False)
+                stranded = sorted(incomplete)
+                for seed in stranded:
+                    ctx.writer.emit(
+                        SHARD_STALLED, seed=seed, wall={"cause": "worker_exit"}
+                    )
+                    if not _retry_budget_left(seed):
+                        ctx.abort(
+                            f"shard seed={seed} lost after "
+                            f"{attempts[seed]} attempt(s)"
+                        )
+                        raise SweepStalledError(
+                            f"shard seed={seed} lost its worker "
+                            f"{attempts[seed]} time(s); retry budget exhausted"
+                        ) from broken
+                pool = ProcessPoolExecutor(max_workers=workers)
+                futures = {}
+                for seed in stranded:
+                    futures.update(_requeue(pool, seed))
+                continue
+            for action in ctx.watchdog.check(now):
+                if action.seed not in incomplete:
+                    continue
+                ctx.writer.emit(
+                    SHARD_STALLED,
+                    seed=action.seed,
+                    wall={"silent_for": round(action.silent_for, 3)},
+                )
+                log.warning(
+                    "sweep: shard seed=%d silent for %.1f s (policy=%s)",
+                    action.seed,
+                    action.silent_for,
+                    telemetry.policy,
+                )
+                if telemetry.policy == "log":
+                    continue
+                if telemetry.policy == "abort" or not _retry_budget_left(
+                    action.seed
+                ):
+                    ctx.abort(
+                        f"shard seed={action.seed} stalled "
+                        f"(silent {action.silent_for:.1f} s)"
+                    )
+                    raise SweepStalledError(
+                        f"shard seed={action.seed} silent past the "
+                        f"{telemetry.heartbeat_deadline:.1f} s deadline "
+                        f"(attempt {attempts[action.seed]})"
+                    )
+                futures.update(_requeue(pool, action.seed))
+    finally:
+        # Late duplicates from requeued-but-alive stragglers may still
+        # be running; don't block the merge on them.
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
 def _execute_sweep(
     seeds: Union[int, Sequence[int]],
     jobs: int = 1,
@@ -212,6 +444,7 @@ def _execute_sweep(
     checkpoint_dir: Optional[Union[str, Path]] = None,
     with_metrics: bool = False,
     progress: Optional[Callable[[ShardResult, bool], None]] = None,
+    telemetry: Optional[SweepTelemetry] = None,
 ) -> SweepResult:
     """The sweep executor behind :mod:`repro.api` and the shim.
 
@@ -223,19 +456,36 @@ def _execute_sweep(
     every shard whose file matches the sweep fingerprint.  ``progress``
     (if given) is called with ``(shard, reused)`` as each shard becomes
     available.
+
+    ``telemetry`` (a :class:`~repro.obs.journal.SweepTelemetry`) makes
+    the sweep narrate itself to an append-only run journal: the
+    orchestrator logs scheduling decisions, every worker streams
+    lifecycle/heartbeat/progress events, and a watchdog flags shards
+    that go silent past the heartbeat deadline — logging, requeueing or
+    aborting per ``telemetry.policy``.  The journal's deterministic
+    projection (:func:`repro.obs.journal.canonical_journal`) and the
+    merged tables stay byte-identical at any ``jobs``.
     """
     if spec is None:
         spec = CampaignSpec()
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
     resolved = resolve_seeds(seeds, spec.seed)
+    fingerprint = sweep_fingerprint(spec, with_metrics)
 
     checkpoint: Optional[SweepCheckpoint] = None
     if checkpoint_dir is not None:
-        checkpoint = SweepCheckpoint(
-            checkpoint_dir, sweep_fingerprint(spec, with_metrics)
-        )
+        checkpoint = SweepCheckpoint(checkpoint_dir, fingerprint)
         checkpoint.write_manifest(resolved, spec.seed)
+
+    ctx: Optional[_SweepTelemetryContext] = None
+    if telemetry is not None:
+        ctx = _SweepTelemetryContext(telemetry, fingerprint, resolved, spec)
+        ctx.writer.emit(
+            SWEEP_STARTED,
+            root_seed=spec.seed,
+            seeds=[int(seed) for seed in resolved],
+        )
 
     started = time.perf_counter()
     shards: Dict[int, ShardResult] = {}
@@ -246,6 +496,8 @@ def _execute_sweep(
             if loaded is not None:
                 shards[seed] = loaded
                 reused += 1
+                if ctx is not None:
+                    ctx.note_reused(loaded)
                 if progress is not None:
                     progress(loaded, True)
     pending = [seed for seed in resolved if seed not in shards]
@@ -259,21 +511,55 @@ def _execute_sweep(
         if progress is not None:
             progress(shard, False)
 
-    if jobs == 1 or len(pending) <= 1:
-        for seed in pending:
-            _complete(run_shard(spec.with_seed(seed), with_metrics))
-    else:
-        workers = min(jobs, len(pending))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {
-                pool.submit(run_shard, spec.with_seed(seed), with_metrics): seed
-                for seed in pending
-            }
-            remaining = set(futures)
-            while remaining:
-                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
-                for future in done:
-                    _complete(future.result())
+    try:
+        if jobs == 1 or len(pending) <= 1:
+            for seed in pending:
+                if ctx is not None:
+                    ctx.writer.emit(
+                        SHARD_SCHEDULED, seed=seed, index=ctx.index[seed]
+                    )
+                    _complete(
+                        run_shard(
+                            spec.with_seed(seed),
+                            with_metrics,
+                            telemetry=ctx.shard_telemetry(seed),
+                        )
+                    )
+                    ctx.refresh(time.time())
+                else:
+                    # Telemetry off: call with the historical two-argument
+                    # shape so test doubles wrapping run_shard keep working.
+                    _complete(run_shard(spec.with_seed(seed), with_metrics))
+        elif ctx is None:
+            workers = min(jobs, len(pending))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    pool.submit(run_shard, spec.with_seed(seed), with_metrics): seed
+                    for seed in pending
+                }
+                remaining = set(futures)
+                while remaining:
+                    done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        _complete(future.result())
+        else:
+            _run_monitored_pool(
+                spec, pending, with_metrics, min(jobs, len(pending)), ctx, _complete
+            )
+        if ctx is not None:
+            ctx.writer.emit(
+                SWEEP_COMPLETED, seeds=[int(seed) for seed in resolved]
+            )
+            ctx.refresh(time.time())
+    except BaseException as error:
+        if ctx is not None and not isinstance(error, SweepStalledError):
+            # Stall aborts already narrated themselves with a precise
+            # reason; anything else gets a generic terminal marker.
+            ctx.abort(f"{type(error).__name__}: {error}")
+        raise
+    finally:
+        if ctx is not None:
+            ctx.close()
 
     ordered = [shards[seed] for seed in sorted(resolved)]
     return SweepResult(
@@ -283,7 +569,8 @@ def _execute_sweep(
         jobs=jobs,
         wall_time=time.perf_counter() - started,
         reused=reused,
+        journal=ctx.path if ctx is not None else None,
     )
 
 
-__all__ = ["SweepResult", "run_campaign_sweep"]
+__all__ = ["SweepResult", "SweepStalledError", "run_campaign_sweep"]

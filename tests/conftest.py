@@ -7,6 +7,7 @@ session-scoped runs: a masking-off baseline and a masking-on variant.
 from __future__ import annotations
 
 import random
+import warnings
 
 import pytest
 
@@ -20,6 +21,32 @@ from repro.recovery.masking import MaskingPolicy
 from repro.sim import RandomStreams, Simulator
 
 HOURS = 3600.0
+
+
+def pytest_configure(config):
+    """Assert warning-free collection: importing the tree is silent.
+
+    Every internal caller is migrated off the 1.x deprecation shims, so
+    importing the whole package under ``error::DeprecationWarning`` must
+    not raise.  Tests that exercise the shims on purpose use
+    ``pytest.warns``, which overrides the session filters.
+    """
+    import importlib
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        for module in (
+            "repro",
+            "repro.api",
+            "repro.cli",
+            "repro.core.campaign",
+            "repro.obs",
+            "repro.obs.campaign",
+            "repro.obs.journal",
+            "repro.parallel",
+            "repro.analysis",
+        ):
+            importlib.import_module(module)
 
 
 @pytest.fixture

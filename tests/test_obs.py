@@ -310,3 +310,119 @@ class TestDeterminism:
             r.to_dict() for r in instrumented.repository.test_records()
         ]
         assert plain_records == obs_records
+
+
+class TestSnapshotMergeCollisions:
+    """merge_snapshot refuses to mis-merge: every schema drift is an error."""
+
+    def _snapshot_with(self, **overrides):
+        base = {
+            "kind": "counter",
+            "help": "",
+            "labels": ["kind"],
+            "series": [[["crc"], 2.0]],
+        }
+        base.update(overrides)
+        return {"bt_errors_total": base}
+
+    def test_kind_collision_raises_naming_family(self):
+        registry = MetricsRegistry()
+        registry.gauge("bt_errors_total", labels=("kind",))
+        with pytest.raises(MetricError, match="bt_errors_total"):
+            registry.merge_snapshot(self._snapshot_with())
+
+    def test_label_schema_collision_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("bt_errors_total", labels=("layer",))
+        with pytest.raises(MetricError, match="collision"):
+            registry.merge_snapshot(self._snapshot_with())
+
+    def test_histogram_bucket_bounds_collision_raises(self):
+        registry = MetricsRegistry()
+        registry.histogram("bt_latency", labels=(), buckets=(0.1, 1.0))
+        incoming = {
+            "bt_latency": {
+                "kind": "histogram",
+                "help": "",
+                "labels": [],
+                "buckets": [0.5, 5.0],
+                "series": [[[], {"counts": [1, 0, 0], "sum": 0.2, "count": 1}]],
+            }
+        }
+        with pytest.raises(MetricError, match="bucket bounds"):
+            registry.merge_snapshot(incoming)
+
+    def test_series_key_arity_mismatch_raises(self):
+        registry = MetricsRegistry()
+        bad = self._snapshot_with(series=[[["crc", "extra"], 2.0]])
+        with pytest.raises(MetricError, match="label schema"):
+            registry.merge_snapshot(bad)
+
+    def test_unknown_kind_raises(self):
+        registry = MetricsRegistry()
+        with pytest.raises(MetricError, match="kind"):
+            registry.merge_snapshot(self._snapshot_with(kind="summary"))
+
+    def test_clean_merge_still_adds(self):
+        registry = MetricsRegistry()
+        registry.counter("bt_errors_total", labels=("kind",)).labels(kind="crc").inc()
+        registry.merge_snapshot(self._snapshot_with())
+        assert registry.value("bt_errors_total", kind="crc") == 3.0
+
+
+class TestJournalDisabledPath:
+    """Telemetry off must cost nothing: no files, no hooks, no-op emits."""
+
+    def test_sweep_without_telemetry_writes_no_journal(self, tmp_path):
+        result = api.sweep(
+            2, jobs=1, duration=1800.0, seed=11, checkpoint_dir=tmp_path
+        )
+        assert result.journal is None
+        assert list(tmp_path.glob("*.jsonl")) == []
+
+    def test_run_shard_without_telemetry_installs_no_progress_hook(self):
+        from repro.core.campaign import CampaignSpec
+        from repro.parallel import run_shard
+
+        seen = []
+        original = CampaignSpec._execute
+
+        def spy(self, *args, **kwargs):
+            seen.append(kwargs)
+            return original(self, *args, **kwargs)
+
+        CampaignSpec._execute = spy
+        try:
+            run_shard(CampaignSpec(duration=1800.0, seed=3))
+        finally:
+            CampaignSpec._execute = original
+        assert len(seen) == 1
+        assert seen[0].get("on_progress") is None
+        assert not seen[0].get("progress_interval")
+
+    def test_null_journal_is_shared_and_silent(self, tmp_path):
+        from repro.obs.journal import NULL_JOURNAL, NullJournal
+
+        assert isinstance(NULL_JOURNAL, NullJournal)
+        assert NULL_JOURNAL.path is None
+        # emit/close accept the full writer signature and do nothing.
+        NULL_JOURNAL.emit("shard_started", seed=1, wall={"ts": 0.0}, index=0)
+        NULL_JOURNAL.close()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_disabled_emit_has_no_measurable_cost(self):
+        # Mirrors DISABLED_BUDGET in benchmarks/test_bench_obs_overhead.py:
+        # the disabled path must stay within noise.  The absolute bound
+        # here is deliberately generous (CI boxes are slow and shared);
+        # the point is catching accidental I/O or formatting on the
+        # disabled path, which would cost 10-100x more than this.
+        import time as _time
+
+        from repro.obs.journal import NULL_JOURNAL
+
+        rounds = 10_000
+        start = _time.perf_counter()
+        for index in range(rounds):
+            NULL_JOURNAL.emit("shard_progress", seed=1, sim_time=float(index))
+        per_event = (_time.perf_counter() - start) / rounds
+        assert per_event < 50e-6, f"disabled emit costs {per_event * 1e6:.1f}us"
