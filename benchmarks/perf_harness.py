@@ -1,8 +1,8 @@
 """Timed perf harness: measure the campaign hot path, emit BENCH_campaign.json.
 
-Runs the canonical benchmark campaign (the same 2-simulated-hour,
-seed-31337 workload as ``test_bench_simulator_throughput.py``) in two
-modes and folds the measurements into one machine-readable artifact:
+Runs the canonical benchmark campaign (seed-31337, the same workload as
+``test_bench_simulator_throughput.py``) in two modes and folds the
+measurements into one machine-readable artifact:
 
 * **timed mode** — several uninstrumented rounds through
   :func:`repro.api.run`; the best round gives the canonical wall time
@@ -14,13 +14,23 @@ modes and folds the measurements into one machine-readable artifact:
   mark.  Profiled wall time is *not* used for throughput (the hook
   inflates call-heavy stages).
 
+Both execution fidelities are measurable: ``--fidelity bit`` (the
+default) exercises the per-packet event engine over 2 simulated hours;
+``--fidelity batch`` exercises the vectorised fast path over 96
+simulated hours (its fixed numpy setup cost amortises over long
+campaigns, which is what batch mode exists for) and skips the profiled
+round — the engine profiler is per-event instrumentation the batch
+executor rejects.  Per-fidelity artifacts are committed side by side
+(``BENCH_campaign.json`` / ``BENCH_campaign_batch.json``).
+
 Peak RSS comes from ``resource.getrusage`` — no external profiler
 dependency.  Usage::
 
     PYTHONPATH=src python benchmarks/perf_harness.py \
         --out benchmarks/results/BENCH_campaign.json [--rounds 5]
+    PYTHONPATH=src python benchmarks/perf_harness.py --fidelity batch
 
-Compare or update the committed baseline with ``tools/bench_report.py``.
+Compare or update the committed baselines with ``tools/bench_report.py``.
 """
 
 from __future__ import annotations
@@ -32,19 +42,27 @@ import resource
 import sys
 import time
 from pathlib import Path
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 from repro import api
 from repro.obs import Observability
 
-#: Canonical workload: matches the simulator-throughput benchmark.
+#: Canonical workloads: bit matches the simulator-throughput benchmark;
+#: batch runs long (its per-campaign setup cost amortises at scale).
 BENCH_DURATION = 2 * 3600.0
+BENCH_DURATION_BATCH = 96 * 3600.0
 BENCH_SEED = 31337
 DEFAULT_ROUNDS = 5
-DEFAULT_OUT = Path(__file__).parent / "results" / "BENCH_campaign.json"
+RESULTS_DIR = Path(__file__).parent / "results"
+DEFAULT_OUTS = {
+    "bit": RESULTS_DIR / "BENCH_campaign.json",
+    "batch": RESULTS_DIR / "BENCH_campaign_batch.json",
+}
+DEFAULT_OUT = DEFAULT_OUTS["bit"]
 
 #: Schema version of the emitted JSON; bump on layout changes.
-SCHEMA_VERSION = 1
+#: v2 added ``workload.fidelity`` (v1 artifacts are implicitly "bit").
+SCHEMA_VERSION = 2
 
 
 def peak_rss_bytes() -> int:
@@ -59,14 +77,17 @@ def peak_rss_bytes() -> int:
     return int(rss) * 1024
 
 
-def run_timed_rounds(rounds: int, duration: float, seed: int) -> List[float]:
-    """Wall seconds of ``rounds`` uninstrumented campaign runs."""
+def run_timed_rounds(
+    rounds: int, duration: float, seed: int, fidelity: str = "bit"
+) -> Tuple[List[float], object]:
+    """Wall seconds of ``rounds`` uninstrumented runs, plus one result."""
     walls = []
+    result = None
     for _ in range(rounds):
         started = time.perf_counter()
-        api.run(duration=duration, seed=seed)
+        result = api.run(duration=duration, seed=seed, fidelity=fidelity)
         walls.append(time.perf_counter() - started)
-    return walls
+    return walls, result
 
 
 def run_profiled_round(duration: float, seed: int):
@@ -79,28 +100,44 @@ def run_profiled_round(duration: float, seed: int):
 
 def collect(rounds: int = DEFAULT_ROUNDS,
             duration: float = BENCH_DURATION,
-            seed: int = BENCH_SEED) -> Dict[str, object]:
+            seed: int = BENCH_SEED,
+            fidelity: str = "bit") -> Dict[str, object]:
     """Run both modes and assemble the BENCH_campaign payload."""
-    walls = run_timed_rounds(rounds, duration, seed)
+    walls, result = run_timed_rounds(rounds, duration, seed, fidelity)
     wall_best = min(walls)
-    result, profiler = run_profiled_round(duration, seed)
+    if fidelity == "bit":
+        result, profiler = run_profiled_round(duration, seed)
+        events = profiler.events_processed
+        engine = {
+            "queue_depth_high_water": profiler.queue_depth_hwm,
+            "callback_seconds_profiled": round(profiler.callback_seconds, 6),
+            "stages": {
+                key: {
+                    "calls": stats.calls,
+                    "seconds": round(stats.seconds, 6),
+                    "mean_us": round(stats.mean_us, 3),
+                }
+                for key, stats in profiler.top_callsites(12)
+            },
+        }
+    else:
+        # Batch fidelity has no event engine to profile; its "events"
+        # are the connection cycles the vectorised executor consumed.
+        events = result.events_processed
+        engine = {
+            "queue_depth_high_water": 0,
+            "callback_seconds_profiled": 0.0,
+            "stages": {},
+        }
 
     cycles = sum(stats.cycles for stats in result.client_stats())
-    events = profiler.events_processed
-    stages = {
-        key: {
-            "calls": stats.calls,
-            "seconds": round(stats.seconds, 6),
-            "mean_us": round(stats.mean_us, 3),
-        }
-        for key, stats in profiler.top_callsites(12)
-    }
     return {
         "schema_version": SCHEMA_VERSION,
         "workload": {
             "duration_simulated_s": duration,
             "seed": seed,
             "rounds": rounds,
+            "fidelity": fidelity,
         },
         "environment": {
             "python": platform.python_version(),
@@ -119,11 +156,7 @@ def collect(rounds: int = DEFAULT_ROUNDS,
         "memory": {
             "peak_rss_bytes": peak_rss_bytes(),
         },
-        "engine": {
-            "queue_depth_high_water": profiler.queue_depth_hwm,
-            "callback_seconds_profiled": round(profiler.callback_seconds, 6),
-            "stages": stages,
-        },
+        "engine": engine,
     }
 
 
@@ -132,27 +165,37 @@ def main(argv=None) -> int:
         description="Run the timed campaign perf harness and emit "
                     "BENCH_campaign.json.",
     )
-    parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
-                        help=f"output path (default: {DEFAULT_OUT})")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="output path (default: the per-fidelity "
+                             f"artifact under {RESULTS_DIR})")
     parser.add_argument("--rounds", type=int, default=DEFAULT_ROUNDS,
                         help="timed rounds; the best one is canonical "
                              f"(default: {DEFAULT_ROUNDS})")
-    parser.add_argument("--hours", type=float,
-                        default=BENCH_DURATION / 3600.0,
-                        help="simulated hours per round (default: 2)")
+    parser.add_argument("--hours", type=float, default=None,
+                        help="simulated hours per round "
+                             "(default: 2 for bit, 96 for batch)")
     parser.add_argument("--seed", type=int, default=BENCH_SEED)
+    parser.add_argument("--fidelity", choices=("bit", "batch"),
+                        default="bit",
+                        help="execution mode to benchmark (default: bit)")
     args = parser.parse_args(argv)
     if args.rounds < 1:
         parser.error("--rounds must be >= 1")
-    if args.hours <= 0:
+    if args.hours is not None and args.hours <= 0:
         parser.error("--hours must be positive")
+    if args.hours is None:
+        duration = (BENCH_DURATION if args.fidelity == "bit"
+                    else BENCH_DURATION_BATCH)
+    else:
+        duration = args.hours * 3600.0
+    out = args.out if args.out is not None else DEFAULT_OUTS[args.fidelity]
 
-    payload = collect(args.rounds, args.hours * 3600.0, args.seed)
-    args.out.parent.mkdir(parents=True, exist_ok=True)
-    args.out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
-                        encoding="utf-8")
+    payload = collect(args.rounds, duration, args.seed, args.fidelity)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                   encoding="utf-8")
     throughput = payload["throughput"]
-    print(f"BENCH_campaign written to {args.out}")
+    print(f"BENCH_campaign ({args.fidelity}) written to {out}")
     print(f"  best of {args.rounds}: {throughput['wall_seconds_best']:.3f} s wall "
           f"({throughput['sim_seconds_per_wall_second']:,.0f}x real time)")
     print(f"  events/sec: {throughput['events_per_second']:,.0f}   "

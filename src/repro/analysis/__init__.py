@@ -8,7 +8,7 @@ order-sensitive aggregation, and all event scheduling goes through the
 engine API.  This package makes those invariants machine-checked: an
 AST lint engine (rule registry, per-rule :class:`ast.NodeVisitor`
 checkers, path-scoped configuration, inline ``# repro: allow[RULE]``
-suppressions with unused-suppression detection) plus the DET001-DET006
+suppressions with unused-suppression detection) plus the DET001-DET007
 rule pack encoding the contract.
 
 Run it as ``repro-bt lint [paths]`` or ``python -m repro.analysis``;

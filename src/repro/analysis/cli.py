@@ -77,7 +77,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
         description="Determinism & sim-safety static analysis "
-        "(rules DET001-DET006; exits 1 on findings).",
+        "(rules DET001-DET007; exits 1 on findings).",
     )
     add_lint_arguments(parser)
     args = parser.parse_args(argv)

@@ -374,12 +374,102 @@ class HiddenSeedChecker(ImportTrackingChecker):
         self.generic_visit(node)
 
 
+@register
+class NumpyRandomChecker(ImportTrackingChecker):
+    """DET007: no global or entropy-seeded numpy RNG in sim-domain code.
+
+    The batch-fidelity executor draws in bulk from *injected*
+    ``numpy.random.Generator`` substreams (see
+    :func:`repro.sim.rng.numpy_generator`).  ``numpy.random.<draw>()``
+    calls hit numpy's hidden process-global ``RandomState`` — the exact
+    failure mode DET001 bans for stdlib ``random`` — and a bare
+    ``default_rng()`` / ``RandomState()`` seeds from OS entropy, so
+    batch sweeps would stop being merge-stable.  Constructing the
+    building blocks (``Generator``, bit generators, ``SeedSequence``)
+    is the sanctioned path and stays legal.
+    """
+
+    rule_id = "DET007"
+    summary = "no global numpy.random.* draws or entropy-seeded generators in sim code"
+
+    #: Sanctioned constructors on ``numpy.random`` — these take explicit
+    #: seed material and never touch global or OS-entropy state.
+    _ALLOWED_ATTRS = frozenset(
+        {
+            "Generator",
+            "BitGenerator",
+            "SeedSequence",
+            "PCG64",
+            "PCG64DXSM",
+            "MT19937",
+            "Philox",
+            "SFC64",
+        }
+    )
+    #: Generator factories that seed from OS entropy when called bare.
+    _ENTROPY_FACTORIES = frozenset({"default_rng", "RandomState"})
+
+    def __init__(self, path: str, module: Optional[str], config: LintConfig) -> None:
+        super().__init__(path, module, config)
+        self._flagged_from_imports: Set[str] = set()
+
+    @classmethod
+    def applies_to(cls, module: Optional[str], config: LintConfig) -> bool:
+        if module is None:
+            return True
+        if module in config.sim_domain_modules:
+            return True
+        return top_subpackage(module, config) in config.sim_domain
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "numpy.random" and node.level == 0:
+            for alias in node.names:
+                allowed = (
+                    alias.name in self._ALLOWED_ATTRS
+                    or alias.name in self._ENTROPY_FACTORIES
+                )
+                if not allowed and alias.name != "*":
+                    local = alias.asname or alias.name
+                    self._flagged_from_imports.add(local)
+                    self.add(
+                        node,
+                        f"'from numpy.random import {alias.name}' binds the "
+                        "global numpy RNG; inject a Generator substream "
+                        "(repro.sim.rng.numpy_generator) instead",
+                    )
+        super().visit_ImportFrom(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = self.canonical(node.func)
+        if name is not None and name.startswith("numpy.random."):
+            attr = name.split(".", 2)[2]
+            local = dotted_name(node.func)
+            already = local in self._flagged_from_imports
+            if "." not in attr and not already:
+                if attr in self._ENTROPY_FACTORIES:
+                    if not node.args and not node.keywords:
+                        self.add(
+                            node,
+                            f"numpy.random.{attr}() seeds from OS entropy — "
+                            "derive the generator with "
+                            "repro.sim.rng.numpy_generator instead",
+                        )
+                elif attr not in self._ALLOWED_ATTRS:
+                    self.add(
+                        node,
+                        f"call to global numpy.random.{attr}() — draw from an "
+                        "injected numpy.random.Generator substream instead",
+                    )
+        self.generic_visit(node)
+
+
 __all__ = [
     "GlobalRandomChecker",
     "HeapqChecker",
     "HiddenSeedChecker",
     "IdentityOrderingChecker",
     "ImportTrackingChecker",
+    "NumpyRandomChecker",
     "UnsortedSetIterationChecker",
     "WallClockChecker",
     "dotted_name",

@@ -71,7 +71,11 @@ class ExperimentConfig:
         "workloads",
         "profiles",
         "hardware_replacement",
+        "fidelity",
     )
+
+    #: Valid :attr:`fidelity` values.
+    FIDELITIES = ("bit", "batch")
 
     def __init__(
         self,
@@ -82,9 +86,14 @@ class ExperimentConfig:
         workloads: Sequence[str] = ("random", "realistic"),
         profiles: Sequence[NodeProfile] = ALL_PROFILES,
         hardware_replacement: bool = True,
+        fidelity: str = "bit",
     ) -> None:
         if duration <= 0:
             raise ValueError("experiment duration must be positive")
+        if fidelity not in self.FIDELITIES:
+            raise ValueError(
+                f"unknown fidelity: {fidelity!r} (expected 'bit' or 'batch')"
+            )
         #: Simulated seconds each replicate runs for.
         self.duration = float(duration)
         #: Root seed (sweeps derive per-shard seeds from it).
@@ -97,13 +106,18 @@ class ExperimentConfig:
         self.profiles: Tuple[NodeProfile, ...] = tuple(profiles)
         #: Replace Bluetooth dongles at the campaign midpoint (§3).
         self.hardware_replacement = bool(hardware_replacement)
+        #: Execution mode: ``"bit"`` (per-packet oracle, the default) or
+        #: ``"batch"`` (vectorised fast path, ~10x faster, statistically
+        #: equivalent within 4 sigma, no per-packet observability).
+        self.fidelity = fidelity
 
     def __repr__(self) -> str:
         return (
             f"ExperimentConfig(duration={self.duration!r}, seed={self.seed!r}, "
             f"masking={self.masking!r}, workloads={self.workloads!r}, "
             f"profiles={tuple(p.name for p in self.profiles)!r}, "
-            f"hardware_replacement={self.hardware_replacement!r})"
+            f"hardware_replacement={self.hardware_replacement!r}, "
+            f"fidelity={self.fidelity!r})"
         )
 
     def __eq__(self, other: object) -> bool:
@@ -122,6 +136,7 @@ class ExperimentConfig:
             workloads=self.workloads,
             profiles=self.profiles,
             hardware_replacement=self.hardware_replacement,
+            fidelity=self.fidelity,
         )
 
     @classmethod
@@ -134,6 +149,7 @@ class ExperimentConfig:
             workloads=spec.workloads,
             profiles=spec.profiles,
             hardware_replacement=spec.hardware_replacement,
+            fidelity=spec.fidelity,
         )
 
     def replace(self, **changes: object) -> "ExperimentConfig":

@@ -1,0 +1,216 @@
+"""Vectorised Gilbert–Elliott sampling for the batch-fidelity fast path.
+
+The bit-accurate engine walks every Baseband payload through
+:meth:`repro.bluetooth.channel.Channel._advance` and the per-attempt ARQ
+loop.  Batch fidelity replaces that walk with bulk draws against the
+*same* memoised closed forms (:meth:`Channel.loss_profile`): whole
+arrays of state-occupancy samples, per-payload outcomes and
+transfer-level first-event indices, one numpy call per connection-cycle
+chunk instead of one Python event per packet.
+
+Everything here is a pure function of (pre-drawn uniforms, profile
+scalars): the batch executor draws its randomness positionally from
+prefix-stable substreams (see :func:`repro.sim.rng.numpy_generator`)
+and hands slices in, so outcomes are deterministic and merge-stable at
+any ``--jobs``.
+
+The scalar bit-level path stays the oracle: the property tests compare
+every sampler in this module against it within 4 sigma.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Optional, Tuple
+
+import numpy as np
+
+from .channel import ChannelConfig, LossProfile
+
+#: Transfer status codes of :func:`bulk_transfer_outcomes` (int8 arrays).
+TRANSFER_COMPLETED = 0
+TRANSFER_LOSS = 1
+TRANSFER_MISMATCH = 2
+
+#: Per-payload outcome codes of :func:`bulk_payload_outcomes`, matching
+#: the string vocabulary of ``Channel.sample_payload_outcome``.
+PAYLOAD_OK = 0
+PAYLOAD_RETRANSMITTED = 1
+PAYLOAD_DROPPED = 2
+PAYLOAD_MISMATCH = 3
+PAYLOAD_OUTCOME_CODES: Tuple[str, ...] = ("ok", "retransmitted", "dropped", "mismatch")
+
+#: Floor applied to uniforms before ``-log(u)``, as in the bit path.
+_LOG_FLOOR = 1e-300
+
+
+def bulk_state_occupancy(gen: Any, config: ChannelConfig, n: int) -> Any:
+    """``n`` stationary BAD-state indicator samples (boolean array).
+
+    The bit-accurate chain alternates exponential GOOD/BAD sojourns; at
+    a uniformly random observation instant the occupancy is exactly the
+    stationary probability ``config.stationary_bad``.
+    """
+    return gen.random(n) < config.stationary_bad
+
+
+def bulk_payload_outcomes(gen: Any, profile: LossProfile, n: int) -> Any:
+    """``n`` per-payload outcome codes from the stationary closed forms.
+
+    Mirrors the decision tree of ``Channel.sample_payload_outcome``
+    (hit -> undetected -> dropped, else good-state CRC retransmission)
+    with independent uniform planes instead of sequential scalar draws.
+    """
+    u_hit = gen.random(n)
+    u_kind = gen.random(n)
+    u_drop = gen.random(n)
+    hit = u_hit < profile.p_hit
+    out = np.zeros(n, dtype=np.int8)
+    out[~hit & (u_kind < profile.p_good_state_failure)] = PAYLOAD_RETRANSMITTED
+    mismatch = hit & (u_kind < profile.p_undetected)
+    dropped = hit & ~mismatch & (u_drop < profile.p_drop_given_hit)
+    out[hit & ~mismatch & ~dropped] = PAYLOAD_RETRANSMITTED
+    out[dropped] = PAYLOAD_DROPPED
+    out[mismatch] = PAYLOAD_MISMATCH
+    return out
+
+
+def bulk_retransmission_counts(
+    gen: Any, profile: LossProfile, config: ChannelConfig, n: int
+) -> Any:
+    """Retransmissions-per-payload samples under the closed-form model.
+
+    * GOOD state: every (re)transmission fails independently with the
+      good-state CRC probability, so the count is geometric.
+    * Hit payloads: retries fail while the burst persists; with
+      exponential bursts of mean ``config.mean_burst`` and one retry per
+      packet slot, ``P(count > k) = exp(-k * duration / mean_burst)`` —
+      the same expression whose ``k = retransmit_limit`` tail is the
+      memoised ``p_drop_given_hit``.
+
+    Counts are capped at ``config.retransmit_limit`` (the ARQ gives up
+    and drops the payload there, as the bit-level loop does).
+    """
+    limit = int(config.retransmit_limit)
+    duration = profile.packet_type.duration
+    hit = gen.random(n) < profile.p_hit
+    counts = np.zeros(n, dtype=np.int64)
+    n_hit = int(hit.sum())
+    if n_hit:
+        burst_left = gen.exponential(config.mean_burst, n_hit)
+        counts[hit] = np.ceil(burst_left / duration).astype(np.int64)
+    n_good = n - n_hit
+    if n_good:
+        p_fail = profile.p_good_state_failure
+        if p_fail > 0.0:
+            # numpy's geometric counts trials to first success; the
+            # success probability is the per-attempt pass rate.
+            counts[~hit] = gen.geometric(1.0 - p_fail, n_good) - 1
+    return np.minimum(counts, limit)
+
+
+def bulk_transfer_outcomes(
+    u_break: Any,
+    u_mismatch: Any,
+    n_payloads: Any,
+    h_const: Any,
+    p_mismatch: Any,
+    per_payload: Any,
+) -> Tuple[Any, Any, Any]:
+    """Vectorised constant-hazard mirror of ``baseband.sample_transfer``.
+
+    All inputs are arrays over cycles (pre-drawn uniforms plus per-cycle
+    scalars); returns ``(status, event_index, duration)`` arrays where
+    status uses the ``TRANSFER_*`` codes, ``event_index`` is the number
+    of payloads exchanged before the event (``n_payloads`` when the
+    transfer completes) and ``duration`` is the on-air transfer time.
+
+    Latent-defect connections have an age-dependent hazard and must go
+    through :func:`latent_break_index` instead; the executor routes the
+    (rare) latent cycles around this fast path.
+    """
+    n = np.asarray(n_payloads, dtype=np.float64)
+    target = -np.log(np.maximum(u_break, _LOG_FLOOR))
+    with np.errstate(divide="ignore", invalid="ignore"):
+        break_pos = np.where(h_const > 0.0, np.floor(target / h_const), np.inf)
+    has_break = h_const * n >= target
+    break_index = np.minimum(break_pos, n - 1.0)
+
+    log_keep = np.log1p(-p_mismatch)
+    log_u = np.log(np.maximum(u_mismatch, _LOG_FLOOR))
+    # No mismatch when u < (1-p)^n, i.e. log u < n * log(1-p).
+    has_mismatch = log_u >= n * log_keep
+    with np.errstate(divide="ignore", invalid="ignore"):
+        mismatch_index = np.minimum(np.floor(log_u / log_keep), n - 1.0)
+
+    mismatch_wins = has_mismatch & (~has_break | (mismatch_index < break_index))
+    loss_wins = has_break & ~mismatch_wins
+
+    status = np.zeros(len(n), dtype=np.int8)
+    status[loss_wins] = TRANSFER_LOSS
+    status[mismatch_wins] = TRANSFER_MISMATCH
+
+    event_index = n.copy()
+    event_index[loss_wins] = break_index[loss_wins]
+    event_index[mismatch_wins] = mismatch_index[mismatch_wins]
+    event_index = event_index.astype(np.int64)
+
+    payloads_on_air = np.where(status == TRANSFER_COMPLETED, n, event_index + 1.0)
+    duration = payloads_on_air * per_payload
+    return status, event_index, duration
+
+
+def latent_break_index(
+    u: float,
+    h_const: float,
+    break_hazard: float,
+    latent_multiplier: float,
+    latent_tau: float,
+    start_age: float,
+    n: int,
+) -> Optional[int]:
+    """Scalar break-position sample under the infant-mortality hazard.
+
+    Identical arithmetic to the oracle's ``_sample_break_index`` latent
+    branch, except the uniform is supplied (positionally pre-drawn)
+    instead of pulled from an ``random.Random``.
+    """
+    target = -math.log(max(u, _LOG_FLOOR))
+
+    def cumulative(k: float) -> float:
+        total = h_const * k
+        if latent_multiplier > 1.0 and break_hazard > 0.0:
+            extra_rate = break_hazard * (latent_multiplier - 1.0)
+            total += extra_rate * latent_tau * (
+                math.exp(-start_age / latent_tau)
+                - math.exp(-(start_age + k) / latent_tau)
+            )
+        return total
+
+    if cumulative(n) < target:
+        return None
+    lo, hi = 0.0, float(n)
+    for _ in range(60):
+        mid = (lo + hi) / 2.0
+        if cumulative(mid) < target:
+            lo = mid
+        else:
+            hi = mid
+    return min(int(hi), n - 1)
+
+
+__all__ = [
+    "TRANSFER_COMPLETED",
+    "TRANSFER_LOSS",
+    "TRANSFER_MISMATCH",
+    "PAYLOAD_OK",
+    "PAYLOAD_RETRANSMITTED",
+    "PAYLOAD_DROPPED",
+    "PAYLOAD_MISMATCH",
+    "PAYLOAD_OUTCOME_CODES",
+    "bulk_state_occupancy",
+    "bulk_payload_outcomes",
+    "bulk_retransmission_counts",
+    "bulk_transfer_outcomes",
+    "latent_break_index",
+]

@@ -114,6 +114,10 @@ class FaultInjector:
         # cached by the interpreter); a tuning swap clears the cache.
         self._conditioned: Dict[tuple, Tuple[Tuple[UserFailureType, float], ...]] = {}
         self._conditioned_tuning = self.tuning
+        # Cause-evidence weights are deterministic in (failure, node
+        # traits); memoised for the same hot-path reason.  Draw order is
+        # unchanged: zero or one uniform per sample_cause call.
+        self._cause_weights: Dict[tuple, Optional[List[float]]] = {}
 
     # -- operation faults ---------------------------------------------------
 
@@ -222,20 +226,28 @@ class FaultInjector:
         self, failure: UserFailureType, node: NodeTraits
     ) -> List[Evidence]:
         """Sample the system-level evidence for one failure on ``node``."""
+        key = (failure, node.name)
         causes = cal.CAUSE_WEIGHTS[failure]
-        weights = []
-        for weight, evidence in causes:
-            adjusted = weight
-            if _mentions(evidence, SystemFailureType.BCSP):
-                adjusted = weight * PDA_BCSP_EVIDENCE_BOOST if node.uses_bcsp else 0.0
-            elif _mentions(evidence, SystemFailureType.USB) and not node.uses_usb:
-                adjusted = 0.0
-            elif _mentions(evidence, SystemFailureType.HOTPLUG) and not node.bind_prone:
-                # The hotplug race exists everywhere but is only slow
-                # enough to be observed on the bind-prone hosts.
-                adjusted = weight * 0.25
-            weights.append(adjusted)
-        if sum(weights) <= 0:
+        try:
+            weights = self._cause_weights[key]
+        except KeyError:
+            computed = []
+            for weight, evidence in causes:
+                adjusted = weight
+                if _mentions(evidence, SystemFailureType.BCSP):
+                    adjusted = (
+                        weight * PDA_BCSP_EVIDENCE_BOOST if node.uses_bcsp else 0.0
+                    )
+                elif _mentions(evidence, SystemFailureType.USB) and not node.uses_usb:
+                    adjusted = 0.0
+                elif _mentions(evidence, SystemFailureType.HOTPLUG) and not node.bind_prone:
+                    # The hotplug race exists everywhere but is only slow
+                    # enough to be observed on the bind-prone hosts.
+                    adjusted = weight * 0.25
+                computed.append(adjusted)
+            weights = computed if sum(computed) > 0 else None
+            self._cause_weights[key] = weights
+        if weights is None:
             return []
         _, evidence = weighted_choice(self._rng, causes, weights)
         return list(evidence)
@@ -245,7 +257,7 @@ class FaultInjector:
         row = cal.SCOPE_WEIGHTS[failure]
         if not row:
             return 0
-        scope = weighted_choice(self._rng, list(range(1, 8)), row)
+        scope = weighted_choice(self._rng, _SCOPE_LEVELS, row)
         return int(scope)
 
     # -- data-transfer hazards ------------------------------------------------
@@ -260,6 +272,10 @@ class FaultInjector:
             latent_multiplier=cal.LATENT_HAZARD_MULTIPLIER,
             latent_packets=cal.LATENT_DEFECT_PACKETS,
         )
+
+
+#: Damage-depth levels of sample_scope (allocated once, hot path).
+_SCOPE_LEVELS: Tuple[int, ...] = tuple(range(1, 8))
 
 
 def _mentions(evidence: List[Evidence], failure_type: SystemFailureType) -> bool:

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import hashlib
 import random
-from typing import Dict
+from typing import Any, Dict
 
 
 def derive_seed(master_seed: int, name: str) -> int:
@@ -23,6 +23,21 @@ def derive_seed(master_seed: int, name: str) -> int:
     return int.from_bytes(digest[:8], "big")
 
 
+def numpy_generator(master_seed: int, name: str) -> Any:
+    """A ``numpy.random.Generator`` on the named substream.
+
+    This is the sanctioned constructor for bulk (vectorised) draws: the
+    PCG64 bit generator is seeded with the same prefix-stable SHA-256
+    derivation as the scalar :class:`random.Random` streams, so batch
+    and bit executors share one seed space and sweeps stay merge-stable
+    at any ``--jobs``.  numpy is imported lazily so the scalar engine
+    keeps zero hard dependency on it.
+    """
+    from numpy.random import Generator, PCG64
+
+    return Generator(PCG64(derive_seed(master_seed, name)))
+
+
 class RandomStreams:
     """A factory of named, independently seeded :class:`random.Random` streams.
 
@@ -33,6 +48,7 @@ class RandomStreams:
     def __init__(self, master_seed: int = 0) -> None:
         self.master_seed = int(master_seed)
         self._streams: Dict[str, random.Random] = {}
+        self._numpy_streams: Dict[str, Any] = {}
 
     def stream(self, name: str) -> random.Random:
         """Return the stream for ``name``, creating it on first use."""
@@ -50,8 +66,20 @@ class RandomStreams:
         """
         return RandomStreams(derive_seed(self.master_seed, name))
 
+    def numpy_stream(self, name: str) -> Any:
+        """The memoised ``numpy.random.Generator`` for ``name``.
+
+        Sequential bulk draws continue the stream, mirroring
+        :meth:`stream` for the vectorised (batch-fidelity) path.
+        """
+        gen = self._numpy_streams.get(name)
+        if gen is None:
+            gen = numpy_generator(self.master_seed, name)
+            self._numpy_streams[name] = gen
+        return gen
+
     def __contains__(self, name: str) -> bool:
-        return name in self._streams
+        return name in self._streams or name in self._numpy_streams
 
 
-__all__ = ["RandomStreams", "derive_seed"]
+__all__ = ["RandomStreams", "derive_seed", "numpy_generator"]

@@ -98,6 +98,21 @@ RULE_CASES = [
         "import random\nrng = random.Random()\n",
         "import random\ndef f(rng: random.Random):\n    return rng\n",
     ),
+    (
+        "DET007",
+        "import numpy as np\nx = np.random.random(5)\n",
+        "def f(gen):\n    return gen.random(5)\n",
+    ),
+    (
+        "DET007",
+        "from numpy.random import default_rng\ngen = default_rng()\n",
+        "from numpy.random import Generator, PCG64\ngen = Generator(PCG64(7))\n",
+    ),
+    (
+        "DET007",
+        "from numpy.random import rand\n",
+        "from repro.sim.rng import numpy_generator\ngen = numpy_generator(0, 'x')\n",
+    ),
 ]
 
 
@@ -329,6 +344,7 @@ def test_every_rule_detectable_in_shipped_config():
         "DET004": "import heapq\n",
         "DET005": "k = id(object())\n",
         "DET006": "import random\nr = random.Random(7)\n",
+        "DET007": "import numpy as np\nx = np.random.rand()\n",
     }
     config = LintConfig()
     for rule, source in seeded.items():

@@ -122,3 +122,60 @@ class TestRegressionGate:
         path.write_text(json.dumps({"schema_version": 99}))
         with pytest.raises(SystemExit):
             bench_report.load(path)
+
+
+@pytest.fixture(scope="module")
+def batch_payload():
+    """One fast batch-fidelity collection (1 simulated hour, 1 round)."""
+    return perf_harness.collect(rounds=1, duration=3600.0, seed=31337,
+                                fidelity="batch")
+
+
+class TestFidelityArtifacts:
+    def test_bit_payload_records_fidelity(self, payload):
+        assert payload["workload"]["fidelity"] == "bit"
+
+    def test_batch_payload_shape(self, batch_payload):
+        assert batch_payload["schema_version"] == perf_harness.SCHEMA_VERSION
+        assert batch_payload["workload"]["fidelity"] == "batch"
+        throughput = batch_payload["throughput"]
+        assert throughput["events_processed"] > 0
+        assert throughput["cycles_completed"] > 0
+        # No event engine in batch mode: the profiled breakdown is empty.
+        assert batch_payload["engine"]["stages"] == {}
+
+    def test_v1_artifact_reads_as_bit(self, payload, tmp_path):
+        clone = json.loads(json.dumps(payload))
+        clone["schema_version"] = 1
+        del clone["workload"]["fidelity"]
+        path = tmp_path / "v1.json"
+        path.write_text(json.dumps(clone))
+        loaded = bench_report.load(path)
+        assert bench_report.fidelity_of(loaded) == "bit"
+
+    def test_fidelity_mismatch_is_an_error_not_a_regression(
+        self, payload, batch_payload, tmp_path
+    ):
+        baseline = tmp_path / "baseline.json"
+        current = tmp_path / "current.json"
+        baseline.write_text(json.dumps(payload))
+        current.write_text(json.dumps(batch_payload))
+        assert bench_report.main(
+            ["--baseline", str(baseline), "--current", str(current),
+             "--check"]
+        ) == 2
+
+    def test_per_fidelity_default_baselines_are_distinct(self):
+        assert (bench_report.DEFAULT_BASELINES["bit"]
+                != bench_report.DEFAULT_BASELINES["batch"])
+        assert bench_report.DEFAULT_BASELINE == \
+            bench_report.DEFAULT_BASELINES["bit"]
+
+    def test_committed_batch_baseline_meets_speedup_target(self):
+        """Acceptance: committed batch >= 10x the committed bit baseline."""
+        bit = bench_report.load(bench_report.DEFAULT_BASELINES["bit"])
+        batch = bench_report.load(bench_report.DEFAULT_BASELINES["batch"])
+        assert bench_report.fidelity_of(batch) == "batch"
+        ratio = (batch["throughput"]["sim_seconds_per_wall_second"]
+                 / bit["throughput"]["sim_seconds_per_wall_second"])
+        assert ratio >= 10.0, f"batch baseline only {ratio:.2f}x bit"

@@ -13,6 +13,12 @@ by more than ``--threshold`` (default 15%).  Peak RSS and the per-stage
 breakdown are reported but not gated — they vary across interpreter
 versions and allocators.  ``--update`` promotes the current artifact to
 be the new committed baseline after a deliberate perf change.
+
+Baselines are per execution fidelity: ``--fidelity bit`` (default)
+reads/writes ``BENCH_campaign.json``, ``--fidelity batch`` reads/writes
+``BENCH_campaign_batch.json``.  Schema v1 artifacts (which predate the
+fidelity field) are read as fidelity "bit"; comparing artifacts of
+different fidelities is an error, not a regression.
 """
 
 from __future__ import annotations
@@ -24,10 +30,15 @@ import sys
 from pathlib import Path
 from typing import Dict, List, Tuple
 
-DEFAULT_BASELINE = (
-    Path(__file__).parent.parent / "benchmarks" / "results"
-    / "BENCH_campaign.json"
-)
+RESULTS_DIR = Path(__file__).parent.parent / "benchmarks" / "results"
+DEFAULT_BASELINES = {
+    "bit": RESULTS_DIR / "BENCH_campaign.json",
+    "batch": RESULTS_DIR / "BENCH_campaign_batch.json",
+}
+DEFAULT_BASELINE = DEFAULT_BASELINES["bit"]
+
+#: Schema versions this reader understands (v1 = pre-fidelity layout).
+SUPPORTED_SCHEMAS = (1, 2)
 
 #: (json key under "throughput", human label) of every gated metric.
 #: All are higher-is-better rates.
@@ -39,14 +50,24 @@ GATED_METRICS: List[Tuple[str, str]] = [
 
 
 def load(path: Path) -> Dict:
-    """Load one BENCH_campaign payload, validating the schema tag."""
+    """Load one BENCH_campaign payload, validating the schema tag.
+
+    v1 payloads predate ``workload.fidelity`` and are normalised to
+    fidelity "bit" on read, so every consumer sees the v2 shape.
+    """
     payload = json.loads(path.read_text(encoding="utf-8"))
-    if payload.get("schema_version") != 1:
+    if payload.get("schema_version") not in SUPPORTED_SCHEMAS:
         raise SystemExit(
             f"{path}: unsupported schema_version "
             f"{payload.get('schema_version')!r}"
         )
+    payload.setdefault("workload", {}).setdefault("fidelity", "bit")
     return payload
+
+
+def fidelity_of(payload: Dict) -> str:
+    """The execution fidelity an artifact was measured under."""
+    return payload["workload"].get("fidelity", "bit")
 
 
 def render(payload: Dict, title: str) -> str:
@@ -55,7 +76,8 @@ def render(payload: Dict, title: str) -> str:
     workload = payload["workload"]
     lines = [
         f"{title}: {workload['duration_simulated_s']:.0f} s simulated, "
-        f"seed {workload['seed']}, best of {workload['rounds']} round(s)",
+        f"seed {workload['seed']}, fidelity {fidelity_of(payload)}, "
+        f"best of {workload['rounds']} round(s)",
         f"  wall (best)     : {throughput['wall_seconds_best']:.3f} s "
         f"({throughput['sim_seconds_per_wall_second']:,.0f}x real time)",
         f"  events/sec      : {throughput['events_per_second']:,.0f} "
@@ -64,13 +86,14 @@ def render(payload: Dict, title: str) -> str:
         f"({throughput['cycles_completed']} cycles)",
         f"  peak RSS        : {payload['memory']['peak_rss_bytes'] / 2**20:.0f} MiB",
         f"  queue depth HWM : {payload['engine']['queue_depth_high_water']}",
-        "  top stages (profiled wall time):",
     ]
-    for key, stage in payload["engine"]["stages"].items():
-        lines.append(
-            f"    {key:<48} {stage['calls']:>8} calls  "
-            f"{1e3 * stage['seconds']:>9.1f} ms  {stage['mean_us']:>8.1f} us"
-        )
+    if payload["engine"]["stages"]:
+        lines.append("  top stages (profiled wall time):")
+        for key, stage in payload["engine"]["stages"].items():
+            lines.append(
+                f"    {key:<48} {stage['calls']:>8} calls  "
+                f"{1e3 * stage['seconds']:>9.1f} ms  {stage['mean_us']:>8.1f} us"
+            )
     return "\n".join(lines)
 
 
@@ -95,8 +118,12 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Render / regression-check BENCH_campaign.json artifacts."
     )
-    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE,
-                        help=f"committed baseline (default: {DEFAULT_BASELINE})")
+    parser.add_argument("--fidelity", choices=("bit", "batch"), default="bit",
+                        help="which per-fidelity committed baseline to use "
+                             "when --baseline is not given (default: bit)")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="committed baseline (default: the per-fidelity "
+                             f"artifact under {RESULTS_DIR})")
     parser.add_argument("--current", type=Path, default=None,
                         help="freshly measured artifact to compare/promote")
     parser.add_argument("--check", action="store_true",
@@ -106,22 +133,39 @@ def main(argv=None) -> int:
     parser.add_argument("--update", action="store_true",
                         help="promote --current to be the new baseline")
     args = parser.parse_args(argv)
+    baseline_path = (args.baseline if args.baseline is not None
+                     else DEFAULT_BASELINES[args.fidelity])
 
     if args.update:
         if args.current is None:
             parser.error("--update requires --current")
-        load(args.current)  # validate before promoting
-        args.baseline.parent.mkdir(parents=True, exist_ok=True)
-        shutil.copyfile(args.current, args.baseline)
-        print(f"baseline updated: {args.baseline}")
+        current = load(args.current)  # validate before promoting
+        if args.baseline is None and fidelity_of(current) != args.fidelity:
+            parser.error(
+                f"--current was measured at fidelity "
+                f"'{fidelity_of(current)}' but would be promoted to the "
+                f"'{args.fidelity}' baseline; pass the matching --fidelity"
+            )
+        baseline_path.parent.mkdir(parents=True, exist_ok=True)
+        shutil.copyfile(args.current, baseline_path)
+        print(f"baseline updated: {baseline_path}")
         return 0
 
-    baseline = load(args.baseline)
+    baseline = load(baseline_path)
     print(render(baseline, "baseline"))
     if args.current is None:
         return 0
 
     current = load(args.current)
+    if fidelity_of(baseline) != fidelity_of(current):
+        print(
+            f"fidelity mismatch: baseline is "
+            f"'{fidelity_of(baseline)}', current is "
+            f"'{fidelity_of(current)}' — compare like with like "
+            f"(see --fidelity)",
+            file=sys.stderr,
+        )
+        return 2
     print()
     print(render(current, "current"))
     print()
