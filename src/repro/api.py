@@ -46,6 +46,7 @@ from repro.testbed.nodes import ALL_PROFILES, NodeProfile
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.obs.journal import SweepTelemetry
+    from repro.parallel.backends import SweepBackend
     from repro.parallel.shard import ShardResult
     from repro.parallel.sweep import SweepResult
 
@@ -72,6 +73,7 @@ class ExperimentConfig:
         "profiles",
         "hardware_replacement",
         "fidelity",
+        "backend",
     )
 
     #: Valid :attr:`fidelity` values.
@@ -87,6 +89,7 @@ class ExperimentConfig:
         profiles: Sequence[NodeProfile] = ALL_PROFILES,
         hardware_replacement: bool = True,
         fidelity: str = "bit",
+        backend: Union[None, str, "SweepBackend"] = None,
     ) -> None:
         if duration <= 0:
             raise ValueError("experiment duration must be positive")
@@ -94,6 +97,11 @@ class ExperimentConfig:
             raise ValueError(
                 f"unknown fidelity: {fidelity!r} (expected 'bit' or 'batch')"
             )
+        if isinstance(backend, str):
+            # Fail at config time, not mid-sweep.
+            from repro.parallel.backends import resolve_backend
+
+            resolve_backend(backend)
         #: Simulated seconds each replicate runs for.
         self.duration = float(duration)
         #: Root seed (sweeps derive per-shard seeds from it).
@@ -110,6 +118,13 @@ class ExperimentConfig:
         #: ``"batch"`` (vectorised fast path, ~10x faster, statistically
         #: equivalent within 4 sigma, no per-packet observability).
         self.fidelity = fidelity
+        #: Where :meth:`sweep` executes its shards: ``None`` (the local
+        #: process pool), ``"serial"``, ``"process"``, ``"subprocess"``,
+        #: ``"ssh:host1,host2"``, or a
+        #: :class:`~repro.parallel.backends.SweepBackend` instance.
+        #: Deliberately *not* part of :meth:`spec` or the sweep
+        #: fingerprint — the backend cannot change a result byte.
+        self.backend = backend
 
     def __repr__(self) -> str:
         return (
@@ -117,7 +132,7 @@ class ExperimentConfig:
             f"masking={self.masking!r}, workloads={self.workloads!r}, "
             f"profiles={tuple(p.name for p in self.profiles)!r}, "
             f"hardware_replacement={self.hardware_replacement!r}, "
-            f"fidelity={self.fidelity!r})"
+            f"fidelity={self.fidelity!r}, backend={self.backend!r})"
         )
 
     def __eq__(self, other: object) -> bool:
@@ -180,19 +195,36 @@ class ExperimentConfig:
         with_metrics: bool = False,
         progress: Optional[Callable[["ShardResult", bool], None]] = None,
         telemetry: Optional["SweepTelemetry"] = None,
+        backend: Union[None, str, "SweepBackend"] = None,
+        cache_dir: Optional[Union[str, Path]] = None,
+        rare_boost: float = 1.0,
+        boost_seeds: int = 0,
+        target_ci: Optional[float] = None,
+        max_seeds: int = 64,
     ) -> "SweepResult":
         """Replicate this experiment across seeds and merge canonically.
 
         ``seeds`` is a count (shard seeds derive from :attr:`seed`) or
-        an explicit seed sequence.  ``jobs=1`` runs serially in-process
-        with byte-identical results; ``checkpoint_dir`` makes the sweep
-        resumable; ``progress`` is called with ``(shard, reused)`` as
-        shards complete.  ``telemetry`` (a
+        an explicit seed sequence.  ``jobs`` caps backend concurrency;
+        ``backend`` overrides :attr:`backend` for this sweep (every
+        backend produces byte-identical results).  ``checkpoint_dir``
+        makes the sweep resumable; ``cache_dir`` layers the
+        content-addressed shard cache on top, so repeated or
+        overlapping sweeps reuse completed shards byte-identically.
+        ``progress`` is called with ``(shard, reused)`` as shards
+        complete.  ``telemetry`` (a
         :class:`~repro.obs.journal.SweepTelemetry`) turns on the run
         journal, live monitoring and the stall watchdog — see
-        :mod:`repro.obs.campaign`.  The merged tables are byte-identical
-        with telemetry on or off.  See :mod:`repro.parallel` for the
-        determinism guarantees.
+        :mod:`repro.obs.campaign`.
+
+        ``rare_boost`` > 1 adds ``boost_seeds`` importance-sampled
+        replicates (default: the nominal stratum size) that tighten the
+        rare failure-class statistics without biasing them;
+        ``target_ci`` keeps growing the strata (up to ``max_seeds``)
+        until every pooled statistic's 95% CI is under that relative
+        width.  The merged tables are byte-identical with telemetry on
+        or off.  See :mod:`repro.parallel` for the determinism
+        guarantees.
         """
         from repro.parallel.sweep import _execute_sweep
 
@@ -204,6 +236,12 @@ class ExperimentConfig:
             with_metrics=with_metrics,
             progress=progress,
             telemetry=telemetry,
+            backend=self.backend if backend is None else backend,
+            cache=cache_dir,
+            rare_boost=rare_boost,
+            boost_seeds=boost_seeds,
+            target_ci=target_ci,
+            max_seeds=max_seeds,
         )
 
 
@@ -228,14 +266,21 @@ def sweep(
     with_metrics: bool = False,
     progress: Optional[Callable[["ShardResult", bool], None]] = None,
     telemetry: Optional["SweepTelemetry"] = None,
+    backend: Union[None, str, "SweepBackend"] = None,
+    cache_dir: Optional[Union[str, Path]] = None,
+    rare_boost: float = 1.0,
+    boost_seeds: int = 0,
+    target_ci: Optional[float] = None,
+    max_seeds: int = 64,
     **config: object,
 ) -> "SweepResult":
     """Build an :class:`ExperimentConfig` from keywords and sweep it.
 
     Sweep-control keywords (``jobs``, ``checkpoint_dir``,
-    ``with_metrics``, ``progress``, ``telemetry``) go to the pool;
-    everything else describes the campaign, exactly as :func:`run`
-    takes it.
+    ``with_metrics``, ``progress``, ``telemetry``, ``backend``,
+    ``cache_dir``, ``rare_boost``, ``boost_seeds``, ``target_ci``,
+    ``max_seeds``) go to the orchestrator; everything else describes
+    the campaign, exactly as :func:`run` takes it.
     """
     return ExperimentConfig(**config).sweep(  # type: ignore[arg-type]
         seeds,
@@ -244,6 +289,12 @@ def sweep(
         with_metrics=with_metrics,
         progress=progress,
         telemetry=telemetry,
+        backend=backend,
+        cache_dir=cache_dir,
+        rare_boost=rare_boost,
+        boost_seeds=boost_seeds,
+        target_ci=target_ci,
+        max_seeds=max_seeds,
     )
 
 

@@ -4,11 +4,14 @@ Main subcommands::
 
     repro-bt run --hours 24 --seed 7 --out results/        # run + dump
     repro-bt sweep --seeds 8 --jobs 4 --out sweep/          # multi-seed pool
+    repro-bt sweep --backend serial --cache-dir ~/.cache/bt # pluggable exec
+    repro-bt sweep --rare-boost 8 --target-ci 0.1           # adaptive strata
     repro-bt top sweep/ --follow                            # live sweep status
     repro-bt analyze results/                               # re-analyze a dump
     repro-bt report --hours 24 --seed 7                     # full paper report
     repro-bt report sweep/ --check                          # journal post-mortem
     repro-bt obs --hours 8 --metrics-out m.txt              # instrumented run
+    repro-bt cache info --cache-dir ~/.cache/bt             # shard cache admin
     repro-bt lint src                                       # determinism lint
 
 Every campaign-executing subcommand routes through the unified
@@ -28,7 +31,14 @@ deterministically derived seeds on a process pool, checkpoints each
 shard, writes the pooled mean/CI statistics table, and (by default)
 narrates itself to a run journal watched by a stall watchdog — disable
 with ``--no-journal``, tune with ``--heartbeat-interval`` /
-``--stall-after`` / ``--stall-policy`` / ``--max-retries``.  ``top``
+``--stall-after`` / ``--stall-policy`` / ``--max-retries``.  ``sweep``
+also takes ``--backend`` (serial / process pool / subprocess / SSH, all
+byte-identical), ``--cache-dir`` (content-addressed shard reuse across
+runs; ``cache info`` / ``cache prune`` administer the store),
+``--rare-boost`` / ``--boost-seeds`` (an importance-sampled stratum
+that tightens the rare failure classes without bias) and
+``--target-ci`` (an adaptive stopping rule on the pooled 95% CIs).
+``top``
 renders a live (or final) single-screen status over that journal;
 ``report <dir>`` renders the post-mortem timeline and straggler table
 from it (``--check`` validates the journal against the schema and exits
@@ -163,7 +173,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
-    """Run a deterministic multi-seed sweep across a process pool."""
+    """Run a deterministic multi-seed sweep across a pluggable backend."""
     if args.seeds < 1:
         print("--seeds must be >= 1", file=sys.stderr)
         return 2
@@ -173,6 +183,29 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     error = _reject_batch_observability(args)
     if error:
         print(error, file=sys.stderr)
+        return 2
+    backend = args.backend
+    if backend is not None:
+        from repro.parallel.backends import resolve_backend
+
+        try:
+            backend = resolve_backend(backend)
+        except ValueError as bad:
+            print(bad, file=sys.stderr)
+            return 2
+    try:
+        if args.rare_boost < 1.0:
+            raise ValueError("--rare-boost must be >= 1")
+        if args.boost_seeds < 0:
+            raise ValueError("--boost-seeds must be >= 0")
+        if args.boost_seeds and args.rare_boost == 1.0:
+            raise ValueError("--boost-seeds needs --rare-boost > 1")
+        if args.target_ci is not None and args.target_ci <= 0:
+            raise ValueError("--target-ci must be > 0")
+        if args.target_ci is not None and args.max_seeds < max(args.seeds, 2):
+            raise ValueError("--max-seeds must be >= max(--seeds, 2)")
+    except ValueError as bad:
+        print(bad, file=sys.stderr)
         return 2
     masking = MaskingPolicy.all_on() if args.masking else MaskingPolicy.all_off()
     out = Path(args.out)
@@ -207,6 +240,12 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         with_metrics=args.metrics_out is not None,
         progress=progress,
         telemetry=telemetry,
+        backend=backend,
+        cache_dir=args.cache_dir,
+        rare_boost=args.rare_boost,
+        boost_seeds=args.boost_seeds,
+        target_ci=args.target_ci,
+        max_seeds=args.max_seeds,
         duration=args.hours * 3600.0,
         seed=args.seed,
         masking=masking,
@@ -225,16 +264,54 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     print()
     print(text)
     print(
-        f"\n{len(result.shards)} shard(s) ({result.reused} reused) in "
+        f"\n{len(result.shards)} shard(s) ({result.reused} reused, "
+        f"{result.cached} from cache) on backend '{result.backend}' in "
         f"{result.wall_time:.1f} s; sweep table, shard checkpoints and "
         f"merged repository written to {out}/"
     )
+    if result.target_ci is not None:
+        verdict = "converged" if result.converged else "NOT converged"
+        print(
+            f"Adaptive stop: {verdict} at {len(result.shards)} seed(s) "
+            f"(target 95% CI width {result.target_ci:g})"
+        )
     if result.journal is not None:
         print(
             f"Run journal: {result.journal} "
             f"(inspect with 'repro-bt top {out}' or "
             f"'repro-bt report {out}')"
         )
+    return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    """Administer the content-addressed shard cache (info / prune)."""
+    from repro.parallel.cache import CACHE_ENV, ShardCache
+
+    root = args.cache_dir or os.environ.get(CACHE_ENV)
+    if not root:
+        print(
+            f"no cache directory: pass --cache-dir or set ${CACHE_ENV}",
+            file=sys.stderr,
+        )
+        return 2
+    cache = ShardCache(root)
+    if args.action == "info":
+        stats = cache.stats()
+        print(f"Shard cache at {cache.root}")
+        print(f"  entries: {stats.entries}")
+        print(f"  size:    {stats.total_bytes} bytes")
+        return 0
+    # prune
+    if args.max_bytes is None or args.max_bytes < 0:
+        print("prune needs --max-bytes >= 0", file=sys.stderr)
+        return 2
+    report = cache.prune(args.max_bytes)
+    print(
+        f"pruned {report['dropped']} entr{'y' if report['dropped'] == 1 else 'ies'} "
+        f"({report['freed_bytes']} bytes freed, "
+        f"{report['kept_bytes']} bytes kept)"
+    )
     return 0
 
 
@@ -455,7 +532,39 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--openmetrics-out", default=None,
                        help="refresh an OpenMetrics textfile here while "
                             "the sweep runs")
+    sweep.add_argument("--backend", default=None,
+                       help="execution backend: 'process' (default), "
+                            "'serial', 'subprocess', or 'ssh:host1,host2' — "
+                            "all byte-identical")
+    sweep.add_argument("--cache-dir", default=os.environ.get("REPRO_BT_CACHE"),
+                       help="content-addressed shard cache root (default: "
+                            "$REPRO_BT_CACHE); repeated/overlapping sweeps "
+                            "reuse completed shards")
+    sweep.add_argument("--rare-boost", type=float, default=1.0,
+                       help="importance-sampling boost (> 1) for the rare "
+                            "failure classes in a second seed stratum")
+    sweep.add_argument("--boost-seeds", type=int, default=0,
+                       help="boosted-stratum size (default: matches --seeds "
+                            "when --rare-boost > 1)")
+    sweep.add_argument("--target-ci", type=float, default=None,
+                       help="grow the seed strata until every pooled "
+                            "statistic's 95%% CI is under this relative "
+                            "width (e.g. 0.1 = 10%%)")
+    sweep.add_argument("--max-seeds", type=int, default=64,
+                       help="seed budget for --target-ci growth")
     sweep.set_defaults(func=cmd_sweep)
+
+    cache = sub.add_parser(
+        "cache", help="inspect or prune the content-addressed shard cache"
+    )
+    cache.add_argument("action", choices=("info", "prune"),
+                       help="info: entry count and size; prune: drop "
+                            "oldest entries down to --max-bytes")
+    cache.add_argument("--cache-dir", default=None,
+                       help="cache root (default: $REPRO_BT_CACHE)")
+    cache.add_argument("--max-bytes", type=int, default=None,
+                       help="size budget the store is pruned down to")
+    cache.set_defaults(func=cmd_cache)
 
     top = sub.add_parser(
         "top", help="single-screen live status of a (running) sweep journal"

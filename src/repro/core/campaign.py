@@ -11,7 +11,16 @@ thousands of failure data items in seconds of CPU.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import contextlib
 import gc
@@ -30,6 +39,9 @@ from repro.workload.traffic import (
     RandomWorkload,
     RealisticWorkload,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.injector import InjectorTuning
 
 DAY = 86_400.0
 #: Default campaign length used by examples and benchmarks.
@@ -79,10 +91,34 @@ class CampaignSpec:
     #: (:mod:`repro.sim.batch`) — statistically equivalent (4-sigma gate)
     #: and ~10x faster, but without per-packet observability.
     fidelity: str = "bit"
+    #: Rare-event importance-sampling boost: > 1 multiplies the
+    #: activation probability of the low-rate operation-drawn failure
+    #: classes (:func:`repro.faults.calibration.rare_failure_types`).
+    #: A boosted replicate's raw tables are *tilted*; the sweep pool
+    #: reweights them (:func:`repro.core.summary.importance_estimates`)
+    #: so pooled count estimates stay unbiased.
+    rare_boost: float = 1.0
 
     def with_seed(self, seed: int) -> "CampaignSpec":
         """This spec re-rooted on another seed (all else equal)."""
         return replace(self, seed=int(seed))
+
+    def with_boost(self, rare_boost: float) -> "CampaignSpec":
+        """This spec with the importance-sampling boost replaced."""
+        if rare_boost < 1.0:
+            raise ValueError("rare_boost must be >= 1")
+        return replace(self, rare_boost=float(rare_boost))
+
+    def injector_tuning(self) -> Optional["InjectorTuning"]:
+        """The fault-injector tuning this spec implies (None = default)."""
+        if self.rare_boost == 1.0:
+            return None
+        from repro.faults.calibration import rare_failure_types
+        from repro.faults.injector import InjectorTuning
+
+        return InjectorTuning(
+            rare_boost=self.rare_boost, boosted=rare_failure_types()
+        )
 
     def run(self, observability: Optional[Observability] = None) -> "CampaignResult":
         """Execute the campaign this spec describes.
@@ -131,6 +167,7 @@ class CampaignSpec:
             observability=observability,
             on_progress=on_progress,
             progress_interval=progress_interval,
+            tuning=self.injector_tuning(),
         )
 
     def fingerprint_data(self) -> Dict[str, object]:
@@ -156,6 +193,12 @@ class CampaignSpec:
         # sweep checkpoints written before fidelity existed stay valid.
         if self.fidelity != "bit":
             data["fidelity"] = self.fidelity
+        # Same back-compat rule for the importance-sampling boost: a
+        # boosted spec computes a genuinely different (tilted) shard, so
+        # it must never share a fingerprint — or a cache key — with the
+        # nominal spec, while unboosted fingerprints stay unchanged.
+        if self.rare_boost != 1.0:
+            data["rare_boost"] = self.rare_boost
         return data
 
 
@@ -262,6 +305,7 @@ def _execute_campaign(
     observability: Optional[Observability] = None,
     on_progress: Optional[Callable[[Simulator], None]] = None,
     progress_interval: Optional[float] = None,
+    tuning: Optional["InjectorTuning"] = None,
 ) -> CampaignResult:
     """The campaign executor behind :mod:`repro.api` and the shims.
 
@@ -305,6 +349,7 @@ def _execute_campaign(
                 streams,
                 masking=masking,
                 profiles=profiles,
+                tuning=tuning,
             )
             if hardware_replacement:
                 bed.schedule_hardware_replacement(duration / 2.0)

@@ -134,6 +134,71 @@ def campaign_statistics(
     return stats
 
 
+def importance_estimates(
+    repository: CentralRepository,
+    duration: float,
+    boost: float,
+    boosted_types: Tuple["UserFailureType", ...],
+) -> Dict[str, float]:
+    """Reweighted Table 1-4 estimates from one *boosted* replicate.
+
+    A replicate run with ``CampaignSpec.rare_boost = boost`` activates
+    every failure class in ``boosted_types`` ``boost`` times more often,
+    so its raw tables over-count them by the same factor.  This is the
+    estimator half of that importance-sampling scheme: each classified
+    unmasked failure report carries the per-trial likelihood ratio as a
+    weight — ``1 / boost`` for boosted classes, ``1`` otherwise — and
+    the weighted counts are unbiased Horvitz-Thompson estimates of the
+    *nominal* expected counts (``E_q[w · 1{fail}] = q · p/q = p`` per
+    stack-operation trial).  Shares are the self-normalised ratio of
+    weighted counts, mirroring the plain pipeline's ratio of raw counts.
+
+    Only the statistics a tilted replicate can estimate are returned:
+    count/rate keys and the per-class shares.  Path-dependent keys
+    (MTTF, availability, coverage, workload split) are deliberately
+    absent — boosting changes recovery dynamics, so a boosted replicate
+    is simply not a valid sample of them; the sweep pool takes those
+    keys from the nominal stratum alone.
+
+    All reductions use :func:`math.fsum`, so pooled merges of these
+    estimates keep the sweep's byte-identity guarantees.
+    """
+    import math
+
+    from .classification import classify_user_record
+    from .failure_model import UserFailureType
+
+    if boost < 1.0:
+        raise ValueError("boost must be >= 1")
+    boosted = frozenset(boosted_types)
+    inverse = 1.0 / boost
+    per_type: Dict[UserFailureType, List[float]] = {}
+    for record in repository.test_records():
+        if record.masked:
+            continue
+        failure_type = classify_user_record(record)
+        if failure_type is None:
+            continue
+        weight = inverse if failure_type in boosted else 1.0
+        per_type.setdefault(failure_type, []).append(weight)
+    type_counts = {
+        failure_type: math.fsum(weights)
+        for failure_type, weights in per_type.items()
+    }
+    total = math.fsum(type_counts[t] for t in UserFailureType if t in type_counts)
+    estimates: Dict[str, float] = {
+        "unmasked_user_failures": total,
+    }
+    if duration:
+        estimates["failures_per_day"] = total / (duration / 86_400.0)
+    for failure_type in UserFailureType:
+        share = (
+            100.0 * type_counts.get(failure_type, 0.0) / total if total else 0.0
+        )
+        estimates[f"failure_share_pct.{failure_type.name}"] = share
+    return estimates
+
+
 def summarize_repository(
     repository: CentralRepository,
     node_nap_pairs: List[Tuple[str, str]],
@@ -158,4 +223,9 @@ def summarize_repository(
     )
 
 
-__all__ = ["AnalysisSummary", "campaign_statistics", "summarize_repository"]
+__all__ = [
+    "AnalysisSummary",
+    "campaign_statistics",
+    "importance_estimates",
+    "summarize_repository",
+]

@@ -250,6 +250,32 @@ def normalized_shares() -> Dict[UserFailureType, float]:
     return {k: v / total for k, v in USER_FAILURE_SHARES.items()}
 
 
+#: Failure types whose activation is hazard-driven (sampled per
+#: baseband packet during the transfer phase) rather than drawn per
+#: stack operation; the importance-sampling boost cannot tilt them.
+HAZARD_DRIVEN_TYPES = frozenset(
+    {UserFailureType.PACKET_LOSS, UserFailureType.DATA_MISMATCH}
+)
+
+
+def rare_failure_types(threshold_pct: float = 1.0) -> Tuple[UserFailureType, ...]:
+    """The operation-drawn failure types below ``threshold_pct`` share.
+
+    These are the low-rate SIRA classes whose confidence intervals need
+    enormous plain-sampling budgets (a 0.1 % class appears once per
+    thousand failures); they are the default target set of the
+    rare-event importance sampling in :mod:`repro.parallel`.  Hazard-
+    driven transfer-phase types are excluded: the boost tilts the
+    per-operation activation draw, not the per-packet hazards.
+    """
+    return tuple(
+        failure
+        for failure in UserFailureType
+        if failure not in HAZARD_DRIVEN_TYPES
+        and USER_FAILURE_SHARES[failure] < threshold_pct
+    )
+
+
 def validate() -> None:
     """Sanity-check the calibration tables; raises ValueError on drift."""
     share_total = sum(USER_FAILURE_SHARES.values())
@@ -296,6 +322,8 @@ __all__ = [
     "RETRY_MASK_ATTEMPTS",
     "RETRY_MASK_WAIT",
     "RETRY_MASK_EFFECTIVENESS",
+    "HAZARD_DRIVEN_TYPES",
     "normalized_shares",
+    "rare_failure_types",
     "validate",
 ]

@@ -73,9 +73,22 @@ class InjectorTuning:
     timeout in the API helps to reduce the switch role request failure
     occurrence".  A factor of f keeps only 1/f of the timeout-caused
     share.
+
+    ``rare_boost`` / ``boosted`` implement rare-event importance
+    sampling: the per-operation activation probability of every failure
+    type in ``boosted`` is multiplied by ``rare_boost`` (capped at 1).
+    A boosted campaign samples the rare failure classes ``rare_boost``
+    times more often; the estimator side
+    (:func:`repro.core.summary.importance_estimates`) reweights each
+    boosted occurrence by ``1 / rare_boost`` — the per-trial likelihood
+    ratio — so expected-count estimates stay unbiased.
     """
 
     sw_role_timeout_factor: float = 1.0
+    #: Importance-sampling rate multiplier for the ``boosted`` classes.
+    rare_boost: float = 1.0
+    #: Failure types whose activation probability is boosted.
+    boosted: Tuple[UserFailureType, ...] = ()
 
     #: Share of switch-role-request failures that are timeout-caused
     #: (the paper's 91.1 %).
@@ -191,6 +204,11 @@ class FaultInjector:
                 p *= 2.0 * (1.0 - frac)
             else:
                 p *= 2.0 * frac
+        # Importance-sampling tilt, applied last so the boost multiplies
+        # the fully conditioned probability (the likelihood ratio of an
+        # activation is then exactly 1/rare_boost while boosted p < 1).
+        if self.tuning.rare_boost != 1.0 and failure in self.tuning.boosted:
+            p *= self.tuning.rare_boost
         return min(p, 1.0)
 
     # -- activation assembly ------------------------------------------------

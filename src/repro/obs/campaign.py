@@ -64,6 +64,8 @@ class ShardView:
     total_items: Optional[int] = None
     error: Optional[str] = None
     reused: bool = False
+    #: Served byte-identical from the content-addressed shard cache.
+    cached: bool = False
     attempts: int = 0
     heartbeats: int = 0
 
@@ -201,6 +203,9 @@ class SweepMonitor:
                 view.status = STALLED
         elif kind == jn.SHARD_REQUEUED:
             view.status = REQUEUED
+        elif kind == jn.SHARD_CACHE_HIT:
+            view.cached = True
+            view.index = int(event.get("index", view.index))
 
     # -- aggregate views -----------------------------------------------------
 

@@ -59,6 +59,7 @@ SHARD_COMPLETED = "shard_completed"
 SHARD_FAILED = "shard_failed"
 SHARD_STALLED = "shard_stalled"
 SHARD_REQUEUED = "shard_requeued"
+SHARD_CACHE_HIT = "shard_cache_hit"
 
 #: Deterministic (top-level) fields required per event type, beyond the
 #: base ``{"v", "event", "fp", "wall"}``.  The schema is *closed*: any
@@ -66,7 +67,14 @@ SHARD_REQUEUED = "shard_requeued"
 #: nondeterministic data fenced inside the envelope.
 EVENT_SCHEMA: Dict[str, Tuple[FrozenSet[str], FrozenSet[str]]] = {
     # event: (required extra fields, optional extra fields)
-    SWEEP_STARTED: (frozenset({"root_seed", "seeds"}), frozenset()),
+    # The stratification fields are deterministic (they change what is
+    # simulated); the *backend* that ran the shards is machinery and
+    # rides in the wall envelope, keeping canonical journals identical
+    # across backends.
+    SWEEP_STARTED: (
+        frozenset({"root_seed", "seeds"}),
+        frozenset({"boost", "boost_seeds"}),
+    ),
     SWEEP_COMPLETED: (frozenset({"seeds"}), frozenset()),
     SWEEP_ABORTED: (frozenset({"reason"}), frozenset()),
     SHARD_SCHEDULED: (frozenset({"seed", "index"}), frozenset()),
@@ -83,6 +91,12 @@ EVENT_SCHEMA: Dict[str, Tuple[FrozenSet[str], FrozenSet[str]]] = {
     SHARD_FAILED: (frozenset({"seed", "index", "error"}), frozenset()),
     SHARD_STALLED: (frozenset({"seed"}), frozenset()),
     SHARD_REQUEUED: (frozenset({"seed"}), frozenset()),
+    # Cache hits are real (the CI smoke job counts them) but whether a
+    # shard was simulated or served from cache is an artifact of prior
+    # runs, not of the sweep itself — so the event stays out of the
+    # canonical projection, keeping fresh and fully-cached runs
+    # byte-identical there.
+    SHARD_CACHE_HIT: (frozenset({"seed", "index"}), frozenset()),
 }
 
 #: Events whose deterministic fields are reproduced identically by
@@ -482,6 +496,7 @@ __all__ = [
     "SHARD_FAILED",
     "SHARD_STALLED",
     "SHARD_REQUEUED",
+    "SHARD_CACHE_HIT",
     "EVENT_SCHEMA",
     "CANONICAL_EVENTS",
     "WATCHDOG_POLICIES",

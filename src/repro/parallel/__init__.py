@@ -2,8 +2,8 @@
 
 Multi-seed replication is what makes the reproduced Tables 1-4
 statistically defensible, and a serial 18-month replay is the wall-clock
-bottleneck.  This package shards replicate campaigns across a process
-pool with three hard guarantees, all pinned by tests:
+bottleneck.  This package shards replicate campaigns across a pluggable
+execution backend with four hard guarantees, all pinned by tests:
 
 * **Deterministic sharding** — shard seeds derive from the root seed
   alone (:mod:`~repro.parallel.seeds`), so the same sweep at ``jobs=1``
@@ -12,9 +12,22 @@ pool with three hard guarantees, all pinned by tests:
   pooled mean/CI reductions use correctly rounded sums
   (:mod:`~repro.parallel.stats`), so seed *ordering* cannot change a
   result either.
-* **Resumability** — each completed shard is checkpointed to disk
-  (:mod:`~repro.parallel.checkpoint`); an interrupted sweep re-invoked
-  over the same directory recomputes only the missing shards.
+* **Backend invariance** — *where* shards run
+  (:mod:`~repro.parallel.backends`: serial in-process, the local
+  process pool, standalone workers local or over SSH) can change
+  wall-clock time but never a byte of the merged output.
+* **Reuse before recompute** — each completed shard is checkpointed to
+  disk (:mod:`~repro.parallel.checkpoint`) and stored in a
+  content-addressed, digest-validated cache
+  (:mod:`~repro.parallel.cache`); an interrupted, repeated or
+  overlapping sweep simulates only the shards no prior run produced.
+
+On top of the replication core, a sweep can carry a *boosted stratum*
+of rare-event importance-sampled replicates (``rare_boost``) whose
+reweighted estimates tighten the low-rate failure classes without
+biasing them, and a ``target_ci`` stopping rule that grows the seed
+strata until every pooled statistic's 95% CI is under a requested
+relative width.
 
 A running sweep can also narrate itself to an append-only run journal
 (:mod:`repro.obs.journal`) watched by a stall watchdog — pass a
@@ -29,24 +42,50 @@ Typical use::
     result = api.sweep(
         8, jobs=4, duration=2 * DAY, seed=77,
         checkpoint_dir="sweep_out/shards",
+        cache_dir="~/.cache/repro-bt",
+        backend="process",
     )
     print(result.render())
 """
 
+from .backends import (
+    ProcessPoolBackend,
+    SerialBackend,
+    SubprocessBackend,
+    SweepBackend,
+    SweepBackendError,
+    resolve_backend,
+)
+from .cache import CacheStats, ShardCache
 from .checkpoint import SweepCheckpoint, sweep_fingerprint
 from .seeds import resolve_seeds, shard_seed, shard_seeds
 from .shard import ShardResult, run_shard
-from .stats import PooledStat, pool_statistics, pool_values, t_critical_95
+from .stats import (
+    PooledStat,
+    pool_statistics,
+    pool_stratified,
+    pool_values,
+    t_critical_95,
+)
 from .sweep import SweepResult, SweepStalledError, run_campaign_sweep
 
 __all__ = [
+    "CacheStats",
     "PooledStat",
+    "ProcessPoolBackend",
+    "SerialBackend",
+    "ShardCache",
     "ShardResult",
+    "SubprocessBackend",
+    "SweepBackend",
+    "SweepBackendError",
     "SweepCheckpoint",
     "SweepResult",
     "SweepStalledError",
     "pool_statistics",
+    "pool_stratified",
     "pool_values",
+    "resolve_backend",
     "resolve_seeds",
     "run_campaign_sweep",
     "run_shard",

@@ -7,22 +7,24 @@ them.  Validity is decided per shard file against the sweep
 *fingerprint* — a hash of everything that changes a shard's outcome
 (campaign spec, metrics on/off, payload schema version) — so a resumed
 sweep reuses exactly the shards that would be recomputed identically,
-and silently recomputes everything else.  Writes are atomic
-(temp file + rename): a shard killed mid-write is recomputed, never
-half-read.
+and silently recomputes everything else.  Writes go through
+:func:`repro.parallel.cache.atomic_write_json` (per-process temp name,
+``fsync``, ``os.replace``): a shard killed mid-write leaves at worst an
+orphaned temp file that no reader — neither resume nor the shard cache
+seeded from checkpoints — can ever mistake for a completed shard.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
-import os
 from pathlib import Path
 from typing import Dict, Optional, Sequence, Union
 
 from repro import get_logger
 from repro.core.campaign import CampaignSpec
 
+from .cache import atomic_write_json
 from .shard import PAYLOAD_VERSION, ShardResult
 
 log = get_logger("parallel.checkpoint")
@@ -105,11 +107,7 @@ class SweepCheckpoint:
         return found
 
     def _write_json(self, path: Path, document: dict) -> None:
-        self.directory.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(".tmp")
-        with open(tmp, "w", encoding="utf-8") as handle:
-            json.dump(document, handle, separators=(",", ":"))
-        os.replace(tmp, path)
+        atomic_write_json(path, document)
 
 
 __all__ = ["MANIFEST_NAME", "SweepCheckpoint", "sweep_fingerprint"]

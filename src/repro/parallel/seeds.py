@@ -19,16 +19,33 @@ from repro.sim.rng import derive_seed
 _SEED_BITS = 48
 
 
-def shard_seed(root_seed: int, index: int) -> int:
-    """The seed of shard ``index`` of a sweep rooted at ``root_seed``."""
-    return derive_seed(int(root_seed), f"sweep/shard/{int(index)}") % (1 << _SEED_BITS)
+def shard_seed(root_seed: int, index: int, stratum: int = 0) -> int:
+    """The seed of shard ``index`` in ``stratum`` of a sweep.
+
+    Stratum 0 is the *nominal* stratum and keeps the historical label
+    ``sweep/shard/{index}`` — every pre-strata checkpoint and cache
+    entry stays valid.  Higher strata (e.g. the rare-event boosted
+    replicates) get their own label namespace, so no seed is ever
+    shared between strata: replicates stay independent across the
+    whole stratified sweep.
+    """
+    if stratum == 0:
+        label = f"sweep/shard/{int(index)}"
+    else:
+        label = f"sweep/stratum/{int(stratum)}/shard/{int(index)}"
+    return derive_seed(int(root_seed), label) % (1 << _SEED_BITS)
 
 
-def shard_seeds(root_seed: int, count: int) -> Tuple[int, ...]:
-    """The first ``count`` shard seeds of a sweep rooted at ``root_seed``."""
+def shard_seeds(root_seed: int, count: int, stratum: int = 0) -> Tuple[int, ...]:
+    """The first ``count`` shard seeds of one stratum of a sweep.
+
+    The derivation is prefix-stable: growing ``count`` extends the
+    tuple without changing earlier entries, which is what lets the
+    ``--target-ci`` loop and cache reuse shards across extensions.
+    """
     if count < 1:
         raise ValueError("a sweep needs at least one seed")
-    return tuple(shard_seed(root_seed, index) for index in range(count))
+    return tuple(shard_seed(root_seed, index, stratum) for index in range(count))
 
 
 def resolve_seeds(

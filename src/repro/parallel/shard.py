@@ -22,7 +22,7 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.collection.repository import CentralRepository
 from repro.core.campaign import CampaignResult, CampaignSpec
-from repro.core.summary import campaign_statistics
+from repro.core.summary import campaign_statistics, importance_estimates
 from repro.obs.journal import (
     SHARD_COMPLETED,
     SHARD_FAILED,
@@ -41,7 +41,8 @@ if TYPE_CHECKING:
 #: Version tag of the shard payload schema; bumped on layout changes so
 #: stale checkpoint files are recomputed instead of mis-parsed.
 #: 2: added the ``events`` engine-event counter.
-PAYLOAD_VERSION = 2
+#: 3: added ``boost`` and the importance-sampling ``estimates`` dict.
+PAYLOAD_VERSION = 3
 
 
 @dataclass
@@ -64,18 +65,40 @@ class ShardResult:
     metrics: Dict[str, dict] = field(default_factory=dict)
     #: Engine events the replicate processed (deterministic per spec+seed).
     events: int = 0
+    #: Importance-sampling boost the replicate ran under (1.0 = nominal).
+    boost: float = 1.0
+    #: Reweighted Table 1-4 estimates when ``boost != 1`` (see
+    #: :func:`repro.core.summary.importance_estimates`); empty otherwise.
+    estimates: Dict[str, float] = field(default_factory=dict)
 
     # -- construction --------------------------------------------------------
 
     @classmethod
     def from_campaign(
-        cls, result: CampaignResult, wall_time: float = 0.0
+        cls,
+        result: CampaignResult,
+        wall_time: float = 0.0,
+        spec: Optional[CampaignSpec] = None,
     ) -> "ShardResult":
-        """Summarize a finished campaign into shippable form."""
+        """Summarize a finished campaign into shippable form.
+
+        ``spec`` lets a boosted replicate attach its reweighted
+        estimates; without it (or at ``rare_boost == 1``) the shard is
+        nominal and byte-identical to the pre-boost payload semantics.
+        """
         pairs = result.node_nap_pairs()
         metrics: Dict[str, dict] = {}
         if result.observability is not None:
             metrics = result.observability.registry.snapshot()
+        boost = 1.0
+        estimates: Dict[str, float] = {}
+        if spec is not None and spec.rare_boost != 1.0:
+            boost = spec.rare_boost
+            tuning = spec.injector_tuning()
+            assert tuning is not None
+            estimates = importance_estimates(
+                result.repository, result.duration, boost, tuning.boosted
+            )
         return cls(
             seed=result.seed,
             duration=result.duration,
@@ -88,6 +111,8 @@ class ShardResult:
             ),
             metrics=metrics,
             events=result.events_processed,
+            boost=boost,
+            estimates=estimates,
         )
 
     # -- views ---------------------------------------------------------------
@@ -115,6 +140,8 @@ class ShardResult:
             "statistics": self.statistics,
             "metrics": self.metrics,
             "events": self.events,
+            "boost": self.boost,
+            "estimates": self.estimates,
         }
 
     @classmethod
@@ -135,6 +162,8 @@ class ShardResult:
             statistics=payload["statistics"],
             metrics=payload.get("metrics", {}),
             events=int(payload.get("events", 0)),
+            boost=float(payload.get("boost", 1.0)),
+            estimates=payload.get("estimates", {}),
         )
 
 
@@ -258,7 +287,7 @@ def _instrumented_shard(
                 progress_interval=telemetry.progress_interval or None,
             )
             wall_time = time.perf_counter() - started
-            shard = ShardResult.from_campaign(result, wall_time=wall_time)
+            shard = ShardResult.from_campaign(result, wall_time=wall_time, spec=spec)
             rate = shard.events / wall_time if wall_time > 0 else 0.0
             writer.emit(
                 SHARD_COMPLETED,
@@ -315,7 +344,9 @@ def run_shard(
     if telemetry is not None:
         return _instrumented_shard(spec, observability, telemetry, started)
     result = spec._execute(observability=observability)
-    return ShardResult.from_campaign(result, wall_time=time.perf_counter() - started)
+    return ShardResult.from_campaign(
+        result, wall_time=time.perf_counter() - started, spec=spec
+    )
 
 
 __all__ = ["PAYLOAD_VERSION", "ShardResult", "run_shard"]

@@ -91,4 +91,47 @@ def pool_statistics(
     return pooled
 
 
-__all__ = ["PooledStat", "pool_statistics", "pool_values", "t_critical_95"]
+def pool_stratified(
+    nominal: Sequence[Dict[str, float]],
+    boosted: Sequence[Dict[str, float]],
+) -> Dict[str, PooledStat]:
+    """Pool nominal replicates with a boosted importance-sampled stratum.
+
+    Boosted replicates carry *estimates*
+    (:func:`repro.core.summary.importance_estimates`) — a strict subset
+    of the nominal statistic schema, because path-dependent keys are
+    not estimable from a tilted replicate.  For every key the boosted
+    stratum can estimate, its unbiased per-replicate values join the
+    nominal ones in a single pool (each replicate, nominal or boosted,
+    is an independent unbiased estimate of the same quantity, so the
+    combined Student-t interval is valid and typically much tighter for
+    the rare classes); every other key is pooled from the nominal
+    stratum alone.  Key order follows the nominal schema, keeping
+    rendered tables aligned with the plain sweep.
+    """
+    pooled = pool_statistics(nominal)
+    if not boosted:
+        return pooled
+    estimable = set(boosted[0])
+    for estimates in boosted[1:]:
+        if set(estimates) != estimable:
+            raise ValueError("boosted replicates disagree on estimate schema")
+    unknown = estimable - set(pooled)
+    if unknown:
+        raise ValueError(f"boosted estimates outside statistic schema: {sorted(unknown)}")
+    for key in pooled:
+        if key not in estimable:
+            continue
+        values = [float(stats[key]) for stats in nominal]
+        values += [float(estimates[key]) for estimates in boosted]
+        pooled[key] = pool_values(values)
+    return pooled
+
+
+__all__ = [
+    "PooledStat",
+    "pool_statistics",
+    "pool_stratified",
+    "pool_values",
+    "t_critical_95",
+]

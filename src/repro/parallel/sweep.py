@@ -3,39 +3,47 @@
 The paper's statistics come from one 18-month deployment; statistically
 defensible reproduction needs *replicates* — the same campaign re-run on
 independent seeds, pooled into mean / confidence-interval views of the
-Table 1-4 numbers.  :func:`run_campaign_sweep` is that harness:
+Table 1-4 numbers.  This module is that harness:
 
 * shard seeds derive deterministically from the root seed
   (:mod:`repro.parallel.seeds`) — never from worker count or timing;
-* shards run on a :class:`concurrent.futures.ProcessPoolExecutor`
-  (``jobs=1`` bypasses the pool entirely and runs in-process);
-* each shard ships back a compact :class:`~repro.parallel.shard.ShardResult`
-  and is checkpointed to disk as it completes, so an interrupted sweep
-  resumes instead of recomputing;
+* *where* shards run is pluggable (:mod:`repro.parallel.backends`):
+  serial in-process, the local process pool, or standalone worker
+  interpreters dispatched locally or over SSH;
+* shards are reused before they are run: first from the sweep's own
+  checkpoint directory, then from the content-addressed shard cache
+  (:mod:`repro.parallel.cache`), which any sweep with the same
+  fingerprint x seed shares — repeated or overlapping sweeps simulate
+  only what no prior run has;
+* a *boosted stratum* of rare-event importance-sampled replicates
+  (``rare_boost``/``boost_seeds``) can ride along; its reweighted
+  estimates join the pooled view without biasing it
+  (:func:`repro.parallel.stats.pool_stratified`);
+* ``target_ci`` turns the sweep into a stopping rule: seed strata keep
+  growing (prefix-stably, so every earlier shard is reused) until every
+  pooled statistic's 95% CI is within the requested relative width;
 * merging is canonical — shards are folded in ascending-seed order and
   pooled reductions use correctly rounded sums — so the merged tables
-  are byte-identical at any ``jobs`` and for any ordering of ``seeds``.
+  are byte-identical at any ``jobs``, for any ordering of ``seeds``,
+  and under every backend.
 """
 
 from __future__ import annotations
 
 import time
 import warnings
-from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro import get_logger
 from repro.collection.repository import CentralRepository
 from repro.core.campaign import CampaignSpec
 from repro.obs.campaign import SweepMonitor, SweepWatchdog, write_sweep_textfile
 from repro.obs.journal import (
+    SHARD_CACHE_HIT,
     SHARD_COMPLETED,
-    SHARD_REQUEUED,
     SHARD_SCHEDULED,
-    SHARD_STALLED,
     SHARD_STARTED,
     SWEEP_ABORTED,
     SWEEP_COMPLETED,
@@ -47,16 +55,19 @@ from repro.obs.journal import (
 )
 from repro.obs.metrics import MetricsRegistry, merge_snapshots
 
+from .backends import (
+    ShardPlan,
+    SweepBackend,
+    SweepStalledError,
+    resolve_backend,
+)
+from .cache import ShardCache
 from .checkpoint import SweepCheckpoint, sweep_fingerprint
-from .seeds import resolve_seeds
+from .seeds import resolve_seeds, shard_seeds
 from .shard import ShardResult, run_shard
-from .stats import PooledStat, pool_statistics
+from .stats import PooledStat, pool_statistics, pool_stratified
 
 log = get_logger("parallel.sweep")
-
-
-class SweepStalledError(RuntimeError):
-    """A monitored sweep gave up on a stalled shard (policy decision)."""
 
 #: Per-seed summary columns of the rendered sweep report.  Wall-clock
 #: timing is deliberately absent: render output must be byte-identical
@@ -80,6 +91,20 @@ class SweepResult:
     wall_time: float
     #: How many shards were reused from the checkpoint instead of run.
     reused: int = 0
+    #: How many shards the content-addressed cache served byte-identical.
+    cached: int = 0
+    #: Name of the backend that executed the fresh shards.
+    backend: str = "process"
+    #: Rare-event stratum: importance-sampled replicates (ascending
+    #: seed), tilted by ``boost``.  Their reweighted estimates join
+    #: :meth:`pooled`; their raw repositories/metrics stay out of the
+    #: merged views (they are deliberately non-nominal samples).
+    boosted_shards: List[ShardResult] = field(default_factory=list)
+    boost: float = 1.0
+    #: The ``target_ci`` stopping rule this sweep ran under (None = off)
+    #: and whether it was met before ``max_seeds`` capped the growth.
+    target_ci: Optional[float] = None
+    converged: Optional[bool] = None
     #: Run journal the sweep narrated itself to (None when telemetry off).
     journal: Optional[Path] = None
     _repository: Optional[CentralRepository] = field(
@@ -90,7 +115,7 @@ class SweepResult:
 
     @property
     def repository(self) -> CentralRepository:
-        """All shards' records in one repository (union, cached)."""
+        """All nominal shards' records in one repository (union, cached)."""
         if self._repository is None:
             merged = CentralRepository()
             for shard in self.shards:
@@ -100,7 +125,7 @@ class SweepResult:
 
     @property
     def metrics(self) -> MetricsRegistry:
-        """All shards' metric snapshots merged into one registry."""
+        """All nominal shards' metric snapshots merged into one registry."""
         return merge_snapshots(shard.metrics for shard in self.shards)
 
     def node_nap_pairs(self) -> List[Tuple[str, str]]:
@@ -115,7 +140,7 @@ class SweepResult:
         return pairs
 
     def merged_cycle_stats(self) -> Dict[str, Dict[str, object]]:
-        """Per-testbed cycle counters summed across every shard."""
+        """Per-testbed cycle counters summed across every nominal shard."""
         merged: Dict[str, Dict[str, object]] = {}
         for shard in self.shards:
             for testbed, entry in shard.cycle_stats.items():
@@ -146,12 +171,23 @@ class SweepResult:
     # -- pooled statistics ---------------------------------------------------
 
     def per_seed_statistics(self) -> List[Tuple[int, Dict[str, float]]]:
-        """(seed, Table 1-4 scalars) per shard, in canonical order."""
+        """(seed, Table 1-4 scalars) per nominal shard, in canonical order."""
         return [(shard.seed, shard.statistics) for shard in self.shards]
 
     def pooled(self) -> Dict[str, PooledStat]:
-        """Mean / 95% CI of every statistic across the replicates."""
-        return pool_statistics([shard.statistics for shard in self.shards])
+        """Mean / 95% CI of every statistic across the replicates.
+
+        With a boosted stratum present, its unbiased reweighted
+        estimates join the pool for every key they can estimate
+        (:func:`repro.parallel.stats.pool_stratified`); a plain sweep
+        pools the nominal statistics exactly as before.
+        """
+        per_seed = [shard.statistics for shard in self.shards]
+        if not self.boosted_shards:
+            return pool_statistics(per_seed)
+        return pool_stratified(
+            per_seed, [shard.estimates for shard in self.boosted_shards]
+        )
 
     # -- rendering -----------------------------------------------------------
 
@@ -159,7 +195,7 @@ class SweepResult:
         """The pooled Table 1-4 statistics as a fixed-width table.
 
         Deterministic to the byte for a given spec + seed set: shard
-        order and job count cannot change a character of it.
+        order, job count and backend cannot change a character of it.
         """
         lines = [
             f"{'statistic':<42}  {'mean':>14}  {'95% CI':>12}  "
@@ -179,9 +215,14 @@ class SweepResult:
             f"Campaign sweep: {len(self.shards)} seeds x "
             f"{self.spec.duration:.0f} s simulated, masking {mask} "
             f"(root seed {self.spec.seed})",
-            "",
-            _PER_SEED_HEADER,
         ]
+        if self.boosted_shards:
+            lines.append(
+                f"Boosted stratum: {len(self.boosted_shards)} seeds x "
+                f"rare-event boost {self.boost:g} (reweighted estimates "
+                f"pooled; path statistics from the nominal stratum)"
+            )
+        lines.extend(["", _PER_SEED_HEADER])
         for shard in self.shards:
             stats = shard.statistics
             lines.append(
@@ -259,9 +300,17 @@ class _SweepTelemetryContext:
             progress_interval=self.progress_interval,
         )
 
-    def note_reused(self, shard: ShardResult) -> None:
-        """Narrate a checkpoint-reused shard as a synthetic lifecycle."""
-        reused = {"reused": True}
+    def note_reused(self, shard: ShardResult, source: str = "checkpoint") -> None:
+        """Narrate a reused shard as a synthetic lifecycle.
+
+        Whether the shard came from the checkpoint or the shard cache
+        only shows in the wall envelope: the canonical scheduled /
+        started / completed lifecycle of a fully-reused sweep is
+        byte-identical to a fresh one.  (In-flight ``shard_progress``
+        ticks belong to execution and are absent from a reused shard —
+        the one canonical difference.)
+        """
+        reused = {"reused": True, "source": source}
         seed, index = shard.seed, self.index[shard.seed]
         self.writer.emit(SHARD_SCHEDULED, seed=seed, index=index, wall=reused)
         self.writer.emit(SHARD_STARTED, seed=seed, index=index, wall=reused)
@@ -294,257 +343,142 @@ class _SweepTelemetryContext:
         self.writer.close()
 
 
-def _run_monitored_pool(
+def _run_stratum(
     spec: CampaignSpec,
-    pending: Sequence[int],
+    stratum_seeds: Sequence[int],
+    jobs: int,
     with_metrics: bool,
-    workers: int,
-    ctx: _SweepTelemetryContext,
-    complete: Callable[[ShardResult], None],
-) -> None:
-    """The journal-tailing, watchdog-supervised pool loop.
+    backend: SweepBackend,
+    checkpoint_dir: Optional[Union[str, Path]],
+    cache: Optional[ShardCache],
+    ctx: Optional[_SweepTelemetryContext],
+    progress: Optional[Callable[[ShardResult, bool], None]],
+    counters: Dict[str, int],
+) -> List[ShardResult]:
+    """Run one stratum: reuse checkpoint, then cache, then simulate.
 
-    Stall handling per the telemetry policy:
-
-    * ``log`` — warn and keep waiting; a dead worker process (broken
-      pool) is still fatal, since nothing can complete anymore.
-    * ``requeue`` — resubmit the stalled shard (first completion wins;
-      a straggler's late duplicate result is discarded), up to
-      ``max_retries`` extra attempts per seed; a broken pool is rebuilt
-      and every incomplete shard resubmitted under the same budget.
-    * ``abort`` — emit ``sweep_aborted`` and raise
-      :class:`SweepStalledError` at the first stall verdict.
+    Reuse sources agree on ownership by construction: both stores are
+    written atomically after a shard *completes* (a killed worker leaves
+    only orphaned temp files), both are keyed to the stratum fingerprint,
+    and the cache additionally digest-validates its payloads.  A
+    checkpoint hit back-fills the cache; a cache hit back-fills the
+    checkpoint so ``--resume`` sees it too.
     """
-    telemetry = ctx.telemetry
-    incomplete: Set[int] = set(pending)
-    attempts: Dict[int, int] = {seed: 0 for seed in pending}
-    pool = ProcessPoolExecutor(max_workers=workers)
-
-    def _launch(
-        target: ProcessPoolExecutor, seeds: Sequence[int]
-    ) -> Dict["Future[ShardResult]", int]:
-        out: Dict["Future[ShardResult]", int] = {}
-        for seed in seeds:
-            attempts[seed] += 1
-            out[
-                target.submit(
-                    run_shard,
-                    spec.with_seed(seed),
-                    with_metrics,
-                    ctx.shard_telemetry(seed),
-                )
-            ] = seed
-        return out
-
-    def _retry_budget_left(seed: int) -> bool:
-        # attempts[] counts submissions so far; the first one is free.
-        return attempts[seed] <= telemetry.max_retries
-
-    def _requeue(target: ProcessPoolExecutor, seed: int) -> Dict["Future[ShardResult]", int]:
-        ctx.writer.emit(
-            SHARD_REQUEUED, seed=seed, wall={"attempt": attempts[seed] + 1}
-        )
-        log.warning(
-            "sweep: requeueing shard seed=%d (attempt %d)", seed, attempts[seed] + 1
-        )
-        return _launch(target, [seed])
-
-    for seed in pending:
-        ctx.writer.emit(SHARD_SCHEDULED, seed=seed, index=ctx.index[seed])
-    futures = _launch(pool, list(pending))
-    try:
-        while incomplete:
-            done, _ = wait(
-                set(futures),
-                timeout=telemetry.poll_interval,
-                return_when=FIRST_COMPLETED,
-            )
-            broken: Optional[BrokenProcessPool] = None
-            for future in done:
-                seed = futures.pop(future)
-                try:
-                    shard = future.result()
-                except BrokenProcessPool as error:
-                    broken = error
-                    continue
-                except Exception:
-                    ctx.abort(f"shard seed={seed} raised")
-                    raise
-                if seed in incomplete:
-                    incomplete.discard(seed)
-                    complete(shard)
-            now = time.time()
-            ctx.refresh(now)
-            if broken is not None:
-                # The whole pool died with the worker; every in-flight
-                # future is lost, so rebuild-and-resubmit is the only
-                # way to keep the sweep alive.
-                if telemetry.policy != "requeue":
-                    ctx.abort("worker process died (pool broken)")
-                    raise broken
-                pool.shutdown(wait=False)
-                stranded = sorted(incomplete)
-                for seed in stranded:
-                    ctx.writer.emit(
-                        SHARD_STALLED, seed=seed, wall={"cause": "worker_exit"}
-                    )
-                    if not _retry_budget_left(seed):
-                        ctx.abort(
-                            f"shard seed={seed} lost after "
-                            f"{attempts[seed]} attempt(s)"
-                        )
-                        raise SweepStalledError(
-                            f"shard seed={seed} lost its worker "
-                            f"{attempts[seed]} time(s); retry budget exhausted"
-                        ) from broken
-                pool = ProcessPoolExecutor(max_workers=workers)
-                futures = {}
-                for seed in stranded:
-                    futures.update(_requeue(pool, seed))
-                continue
-            for action in ctx.watchdog.check(now):
-                if action.seed not in incomplete:
-                    continue
-                ctx.writer.emit(
-                    SHARD_STALLED,
-                    seed=action.seed,
-                    wall={"silent_for": round(action.silent_for, 3)},
-                )
-                log.warning(
-                    "sweep: shard seed=%d silent for %.1f s (policy=%s)",
-                    action.seed,
-                    action.silent_for,
-                    telemetry.policy,
-                )
-                if telemetry.policy == "log":
-                    continue
-                if telemetry.policy == "abort" or not _retry_budget_left(
-                    action.seed
-                ):
-                    ctx.abort(
-                        f"shard seed={action.seed} stalled "
-                        f"(silent {action.silent_for:.1f} s)"
-                    )
-                    raise SweepStalledError(
-                        f"shard seed={action.seed} silent past the "
-                        f"{telemetry.heartbeat_deadline:.1f} s deadline "
-                        f"(attempt {attempts[action.seed]})"
-                    )
-                futures.update(_requeue(pool, action.seed))
-    finally:
-        # Late duplicates from requeued-but-alive stragglers may still
-        # be running; don't block the merge on them.
-        pool.shutdown(wait=False, cancel_futures=True)
-
-
-def _execute_sweep(
-    seeds: Union[int, Sequence[int]],
-    jobs: int = 1,
-    spec: Optional[CampaignSpec] = None,
-    checkpoint_dir: Optional[Union[str, Path]] = None,
-    with_metrics: bool = False,
-    progress: Optional[Callable[[ShardResult, bool], None]] = None,
-    telemetry: Optional[SweepTelemetry] = None,
-) -> SweepResult:
-    """The sweep executor behind :mod:`repro.api` and the shim.
-
-    ``seeds`` is either a count (shard seeds are then derived from
-    ``spec.seed``) or an explicit seed sequence.  ``jobs`` caps the
-    worker processes; ``jobs=1`` runs serially in-process and produces
-    *the same result to the byte*.  With ``checkpoint_dir``, completed
-    shards are written there as they finish and a re-invocation reuses
-    every shard whose file matches the sweep fingerprint.  ``progress``
-    (if given) is called with ``(shard, reused)`` as each shard becomes
-    available.
-
-    ``telemetry`` (a :class:`~repro.obs.journal.SweepTelemetry`) makes
-    the sweep narrate itself to an append-only run journal: the
-    orchestrator logs scheduling decisions, every worker streams
-    lifecycle/heartbeat/progress events, and a watchdog flags shards
-    that go silent past the heartbeat deadline — logging, requeueing or
-    aborting per ``telemetry.policy``.  The journal's deterministic
-    projection (:func:`repro.obs.journal.canonical_journal`) and the
-    merged tables stay byte-identical at any ``jobs``.
-    """
-    if spec is None:
-        spec = CampaignSpec()
-    if jobs < 1:
-        raise ValueError("jobs must be >= 1")
-    resolved = resolve_seeds(seeds, spec.seed)
+    if not stratum_seeds:
+        return []
     fingerprint = sweep_fingerprint(spec, with_metrics)
-
     checkpoint: Optional[SweepCheckpoint] = None
     if checkpoint_dir is not None:
         checkpoint = SweepCheckpoint(checkpoint_dir, fingerprint)
-        checkpoint.write_manifest(resolved, spec.seed)
+        checkpoint.write_manifest(stratum_seeds, spec.seed)
 
-    ctx: Optional[_SweepTelemetryContext] = None
-    if telemetry is not None:
-        ctx = _SweepTelemetryContext(telemetry, fingerprint, resolved, spec)
-        ctx.writer.emit(
-            SWEEP_STARTED,
-            root_seed=spec.seed,
-            seeds=[int(seed) for seed in resolved],
-        )
-
-    started = time.perf_counter()
     shards: Dict[int, ShardResult] = {}
-    reused = 0
-    if checkpoint is not None:
-        for seed in resolved:
-            loaded = checkpoint.load(seed)
+    for seed in stratum_seeds:
+        loaded = checkpoint.load(seed) if checkpoint is not None else None
+        if loaded is not None:
+            counters["reused"] += 1
+            if cache is not None and not cache.has(fingerprint, seed):
+                cache.put(fingerprint, seed, loaded)
+            if ctx is not None:
+                ctx.note_reused(loaded, source="checkpoint")
+        elif cache is not None:
+            loaded = cache.get(fingerprint, seed)
             if loaded is not None:
-                shards[seed] = loaded
-                reused += 1
+                counters["cached"] += 1
+                if checkpoint is not None:
+                    checkpoint.store(loaded)
                 if ctx is not None:
-                    ctx.note_reused(loaded)
-                if progress is not None:
-                    progress(loaded, True)
-    pending = [seed for seed in resolved if seed not in shards]
-    if reused:
-        log.info("sweep: reusing %d checkpointed shard(s)", reused)
+                    ctx.writer.emit(
+                        SHARD_CACHE_HIT, seed=seed, index=ctx.index[seed]
+                    )
+                    ctx.note_reused(loaded, source="cache")
+        if loaded is not None:
+            shards[seed] = loaded
+            if progress is not None:
+                progress(loaded, True)
+
+    pending = tuple(seed for seed in stratum_seeds if seed not in shards)
 
     def _complete(shard: ShardResult) -> None:
         shards[shard.seed] = shard
         if checkpoint is not None:
             checkpoint.store(shard)
+        if cache is not None:
+            cache.put(fingerprint, shard.seed, shard)
         if progress is not None:
             progress(shard, False)
 
+    if pending:
+        backend.run(
+            ShardPlan(
+                spec=spec,
+                pending=pending,
+                with_metrics=with_metrics,
+                jobs=jobs,
+                runner=run_shard,
+                complete=_complete,
+                ctx=ctx,
+            )
+        )
+    return [shards[seed] for seed in sorted(stratum_seeds)]
+
+
+def _sweep_pass(
+    seeds: Union[int, Sequence[int]],
+    jobs: int,
+    spec: CampaignSpec,
+    checkpoint_dir: Optional[Union[str, Path]],
+    with_metrics: bool,
+    progress: Optional[Callable[[ShardResult, bool], None]],
+    telemetry: Optional[SweepTelemetry],
+    backend: SweepBackend,
+    cache: Optional[ShardCache],
+    rare_boost: float,
+    boost_seeds: int,
+) -> SweepResult:
+    """One full sweep execution: nominal stratum plus optional boosted."""
+    resolved = resolve_seeds(seeds, spec.seed)
+    boost_list: Tuple[int, ...] = ()
+    boosted_spec: Optional[CampaignSpec] = None
+    if boost_seeds:
+        boost_list = shard_seeds(spec.seed, boost_seeds, stratum=1)
+        boosted_spec = spec.with_boost(rare_boost)
+    fingerprint = sweep_fingerprint(spec, with_metrics)
+
+    ctx: Optional[_SweepTelemetryContext] = None
+    if telemetry is not None:
+        ctx = _SweepTelemetryContext(
+            telemetry, fingerprint, tuple(resolved) + boost_list, spec
+        )
+        extra: Dict[str, object] = {}
+        if boost_list:
+            extra = {
+                "boost": rare_boost,
+                "boost_seeds": [int(seed) for seed in boost_list],
+            }
+        ctx.writer.emit(
+            SWEEP_STARTED,
+            root_seed=spec.seed,
+            seeds=[int(seed) for seed in resolved],
+            wall={"backend": backend.name},
+            **extra,
+        )
+
+    started = time.perf_counter()
+    counters = {"reused": 0, "cached": 0}
     try:
-        if jobs == 1 or len(pending) <= 1:
-            for seed in pending:
-                if ctx is not None:
-                    ctx.writer.emit(
-                        SHARD_SCHEDULED, seed=seed, index=ctx.index[seed]
-                    )
-                    _complete(
-                        run_shard(
-                            spec.with_seed(seed),
-                            with_metrics,
-                            telemetry=ctx.shard_telemetry(seed),
-                        )
-                    )
-                    ctx.refresh(time.time())
-                else:
-                    # Telemetry off: call with the historical two-argument
-                    # shape so test doubles wrapping run_shard keep working.
-                    _complete(run_shard(spec.with_seed(seed), with_metrics))
-        elif ctx is None:
-            workers = min(jobs, len(pending))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = {
-                    pool.submit(run_shard, spec.with_seed(seed), with_metrics): seed
-                    for seed in pending
-                }
-                remaining = set(futures)
-                while remaining:
-                    done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
-                    for future in done:
-                        _complete(future.result())
-        else:
-            _run_monitored_pool(
-                spec, pending, with_metrics, min(jobs, len(pending)), ctx, _complete
+        shards = _run_stratum(
+            spec, resolved, jobs, with_metrics, backend,
+            checkpoint_dir, cache, ctx, progress, counters,
+        )
+        boosted: List[ShardResult] = []
+        if boosted_spec is not None:
+            boost_dir = (
+                Path(checkpoint_dir) / "boost" if checkpoint_dir is not None else None
+            )
+            boosted = _run_stratum(
+                boosted_spec, boost_list, jobs, with_metrics, backend,
+                boost_dir, cache, ctx, progress, counters,
             )
         if ctx is not None:
             ctx.writer.emit(
@@ -561,16 +495,166 @@ def _execute_sweep(
         if ctx is not None:
             ctx.close()
 
-    ordered = [shards[seed] for seed in sorted(resolved)]
+    if counters["reused"]:
+        log.info("sweep: reused %d checkpointed shard(s)", counters["reused"])
+    if counters["cached"]:
+        log.info("sweep: served %d shard(s) from the cache", counters["cached"])
     return SweepResult(
         spec=spec,
         seeds=resolved,
-        shards=ordered,
+        shards=shards,
         jobs=jobs,
         wall_time=time.perf_counter() - started,
-        reused=reused,
+        reused=counters["reused"],
+        cached=counters["cached"],
+        backend=backend.name,
+        boosted_shards=boosted,
+        boost=rare_boost if boosted else 1.0,
         journal=ctx.path if ctx is not None else None,
     )
+
+
+def _ci_converged(pooled: Dict[str, PooledStat], target: float) -> bool:
+    """Whether every pooled statistic's 95% CI meets the target width.
+
+    The gate is on *relative* half-width (``ci95 / |mean|``); a
+    zero-mean statistic is gated on absolute half-width instead, so an
+    all-zero key (e.g. a class the campaign never produced) passes
+    rather than stalling the loop forever.
+    """
+    for stat in pooled.values():
+        if stat.n < 2:
+            return False
+        scale = abs(stat.mean)
+        if scale > 0.0:
+            if stat.ci95 / scale > target:
+                return False
+        elif stat.ci95 > target:
+            return False
+    return True
+
+
+def _execute_sweep(
+    seeds: Union[int, Sequence[int]],
+    jobs: int = 1,
+    spec: Optional[CampaignSpec] = None,
+    checkpoint_dir: Optional[Union[str, Path]] = None,
+    with_metrics: bool = False,
+    progress: Optional[Callable[[ShardResult, bool], None]] = None,
+    telemetry: Optional[SweepTelemetry] = None,
+    backend: Union[None, str, SweepBackend] = None,
+    cache: Union[None, str, Path, ShardCache] = None,
+    rare_boost: float = 1.0,
+    boost_seeds: int = 0,
+    target_ci: Optional[float] = None,
+    max_seeds: int = 64,
+) -> SweepResult:
+    """The sweep executor behind :mod:`repro.api` and the shim.
+
+    ``seeds`` is either a count (shard seeds are then derived from
+    ``spec.seed``) or an explicit seed sequence.  ``jobs`` caps the
+    backend's concurrency; ``backend`` picks where shards execute
+    (:func:`repro.parallel.backends.resolve_backend` — the default is
+    the historical local process pool, and every backend produces *the
+    same result to the byte*).  With ``checkpoint_dir``, completed
+    shards are written there as they finish and a re-invocation reuses
+    every shard whose file matches the sweep fingerprint; ``cache``
+    layers the cross-sweep content-addressed store on top.  ``progress``
+    (if given) is called with ``(shard, reused)`` as each shard becomes
+    available.
+
+    ``rare_boost`` > 1 adds a boosted stratum of ``boost_seeds``
+    importance-sampled replicates (default: as many as the nominal
+    stratum) whose reweighted estimates tighten the rare-class
+    statistics without biasing them.  ``target_ci`` keeps doubling the
+    nominal stratum (and growing the boosted stratum with it) until
+    every pooled statistic's 95% CI is within that relative width or
+    ``max_seeds`` is reached — prefix-stable seed derivation plus the
+    checkpoint/cache mean each extension only simulates the new seeds.
+
+    ``telemetry`` (a :class:`~repro.obs.journal.SweepTelemetry`) makes
+    the sweep narrate itself to an append-only run journal: the
+    orchestrator logs scheduling decisions, every worker streams
+    lifecycle/heartbeat/progress events, and a watchdog flags shards
+    that go silent past the heartbeat deadline — logging, requeueing or
+    aborting per ``telemetry.policy``.  The journal's deterministic
+    projection (:func:`repro.obs.journal.canonical_journal`) and the
+    merged tables stay byte-identical at any ``jobs``.
+    """
+    if spec is None:
+        spec = CampaignSpec()
+    if spec.rare_boost != 1.0:
+        raise ValueError(
+            "sweep spec must be nominal (rare_boost=1); pass the sweep's "
+            "rare_boost argument instead so the nominal stratum stays unbiased"
+        )
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    if rare_boost < 1.0:
+        raise ValueError("rare_boost must be >= 1")
+    if boost_seeds < 0:
+        raise ValueError("boost_seeds must be >= 0")
+    if boost_seeds and rare_boost == 1.0:
+        raise ValueError("boost_seeds requires rare_boost > 1")
+    backend_obj = resolve_backend(backend)
+    shard_cache: Optional[ShardCache]
+    if cache is None or isinstance(cache, ShardCache):
+        shard_cache = cache
+    else:
+        shard_cache = ShardCache(cache)
+
+    def _boost_count(nominal_count: int) -> int:
+        if rare_boost == 1.0:
+            return 0
+        return boost_seeds if boost_seeds else nominal_count
+
+    if target_ci is None:
+        nominal = seeds if isinstance(seeds, int) else len(tuple(seeds))
+        return _sweep_pass(
+            seeds, jobs, spec, checkpoint_dir, with_metrics, progress,
+            telemetry, backend_obj, shard_cache, rare_boost,
+            _boost_count(nominal),
+        )
+
+    if not isinstance(seeds, int):
+        raise ValueError(
+            "target_ci grows the seed count and needs `seeds` as a count, "
+            "not an explicit seed list"
+        )
+    if target_ci <= 0:
+        raise ValueError("target_ci must be > 0")
+    if max_seeds < max(seeds, 2):
+        raise ValueError("max_seeds must be >= the initial seed count (and >= 2)")
+
+    count = max(seeds, 2)  # one replicate has no interval to gate on
+    total_wall = 0.0
+    while True:
+        result = _sweep_pass(
+            count, jobs, spec, checkpoint_dir, with_metrics, progress,
+            telemetry, backend_obj, shard_cache, rare_boost,
+            _boost_count(count),
+        )
+        total_wall += result.wall_time
+        converged = _ci_converged(result.pooled(), target_ci)
+        if converged or count >= max_seeds:
+            if not converged:
+                log.warning(
+                    "sweep: target CI %.4g not reached at the %d-seed cap",
+                    target_ci,
+                    count,
+                )
+            result.target_ci = target_ci
+            result.converged = converged
+            result.wall_time = total_wall
+            return result
+        grown = min(max_seeds, count * 2)
+        log.info(
+            "sweep: CI target %.4g not met with %d seeds; growing to %d",
+            target_ci,
+            count,
+            grown,
+        )
+        count = grown
 
 
 __all__ = ["SweepResult", "SweepStalledError", "run_campaign_sweep"]

@@ -1309,7 +1309,9 @@ def execute_batch_campaign(
             if name not in ("random", "realistic"):
                 raise ValueError(f"unknown workload: {name!r}")
             scoped = streams.fork(f"testbed/{name}")
-            injector = FaultInjector(scoped.stream("injector"))
+            injector = FaultInjector(
+                scoped.stream("injector"), tuning=spec.injector_tuning()
+            )
             nap_profile = next(p for p in spec.profiles if p.is_nap)
             panu_profiles = [p for p in spec.profiles if not p.is_nap]
             nap_node = node_id(name, nap_profile.name)

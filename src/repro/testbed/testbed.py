@@ -14,7 +14,7 @@ from typing import Callable, List, Optional, Sequence
 
 from repro.bluetooth.channel import ChannelConfig
 from repro.collection.repository import CentralRepository
-from repro.faults.injector import FaultInjector
+from repro.faults.injector import FaultInjector, InjectorTuning
 from repro.recovery.masking import MaskingPolicy
 from repro.sim import RandomStreams, Simulator
 from repro.workload.traffic import WorkloadModel
@@ -36,6 +36,7 @@ class Testbed:
         masking: MaskingPolicy = MaskingPolicy.all_off(),
         profiles: Sequence[NodeProfile] = ALL_PROFILES,
         channel_config_factory: Optional[Callable[[NodeProfile], ChannelConfig]] = None,
+        tuning: Optional[InjectorTuning] = None,
     ) -> None:
         self.sim = sim
         self.name = name
@@ -43,7 +44,7 @@ class Testbed:
         self.masking = masking
         scoped = streams.fork(f"testbed/{name}")
         self._streams = scoped
-        self.injector = FaultInjector(scoped.stream("injector"))
+        self.injector = FaultInjector(scoped.stream("injector"), tuning=tuning)
         nap_profiles = [p for p in profiles if p.is_nap]
         if len(nap_profiles) != 1:
             raise ValueError("a testbed needs exactly one NAP profile")
