@@ -11,17 +11,39 @@ checkers, path-scoped configuration, inline ``# repro: allow[RULE]``
 suppressions with unused-suppression detection) plus the DET001-DET007
 rule pack encoding the contract.
 
+On top of the per-file rules sits a *whole-program* suite (``--deep``)
+built on a shared project graph (:mod:`.graph`): interprocedural
+sim-domain wall-clock/entropy taint (DET010, :mod:`.taint`), RNG
+stream-lineage analysis (DET011/DET012, :mod:`.lineage`), and
+wire-contract drift detection across the shard/worker/cache/journal
+serialisation boundaries (WIRE001-WIRE003, :mod:`.contracts`).  A
+committed baseline file (:mod:`.baseline`) lets the deep suite gate on
+new findings while recorded debt is paid down, and ``--fix-unused``
+(:mod:`.autofix`) mechanically removes allowances LNT001 proved dead.
+
 Run it as ``repro-bt lint [paths]`` or ``python -m repro.analysis``;
 both exit non-zero when findings remain.
 """
 
 from __future__ import annotations
 
+from . import contracts as _contracts  # noqa: F401  (registers the deep passes)
+from . import lineage as _lineage  # noqa: F401
 from . import rules as _rules  # noqa: F401  (importing registers the rule pack)
+from . import taint as _taint  # noqa: F401
+from .baseline import apply_baseline, load_baseline, write_baseline
 from .config import LintConfig, module_for_path
 from .engine import LintResult, iter_python_files, lint_paths, lint_source
 from .findings import Finding
-from .registry import all_rules, get_rule, rule_ids
+from .graph import ProjectGraph, build_graph
+from .registry import (
+    all_rules,
+    deep_passes,
+    deep_rule_ids,
+    deep_rule_summaries,
+    get_rule,
+    rule_ids,
+)
 from .report import render_json, render_text
 from .suppressions import SUPPRESSION_SYNTAX, Suppression, collect_suppressions
 
@@ -29,16 +51,24 @@ __all__ = [
     "Finding",
     "LintConfig",
     "LintResult",
+    "ProjectGraph",
     "SUPPRESSION_SYNTAX",
     "Suppression",
     "all_rules",
+    "apply_baseline",
+    "build_graph",
     "collect_suppressions",
+    "deep_passes",
+    "deep_rule_ids",
+    "deep_rule_summaries",
     "get_rule",
     "iter_python_files",
     "lint_paths",
     "lint_source",
+    "load_baseline",
     "module_for_path",
     "render_json",
     "render_text",
     "rule_ids",
+    "write_baseline",
 ]

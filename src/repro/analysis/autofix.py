@@ -1,0 +1,137 @@
+"""``--fix-unused``: auto-remove suppressions LNT001 proved dead.
+
+LNT001 keeps ``# repro: allow[...]`` comments honest — an allowance
+that suppresses nothing is itself a finding.  This module closes the
+loop mechanically: given a lint run's findings, it plans the minimal
+edit for every unused allowance (drop just the dead rule ids from the
+bracket; drop the whole comment when none remain) and, on request,
+applies the edits.  Planning and applying are split so the default is
+a dry run — the gate never rewrites the tree unless asked.
+
+Edits are anchored at the finding's column (the comment's start, as
+tokenised by the engine), so a ``# repro: allow[...]`` lookalike inside
+a string literal earlier on the line is never touched.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Set, Tuple
+
+from .engine import UNUSED_SUPPRESSION_RULE
+from .findings import Finding
+
+_ALLOW_RE = re.compile(r"allow\[([A-Za-z0-9_,\s]+)\]")
+_UNUSED_MSG_RE = re.compile(r"unused suppression: no ([A-Za-z0-9_]+) finding")
+_UNKNOWN_MSG_RE = re.compile(r"suppression names unknown rule ([A-Za-z0-9_]+)")
+
+
+@dataclass(frozen=True)
+class FixPlan:
+    """One line rewrite removing dead allowance rules."""
+
+    path: str
+    line: int
+    #: Rule ids being removed from the allowance.
+    removed: Tuple[str, ...]
+    before: str
+    after: str
+
+    def describe(self) -> str:
+        what = ",".join(self.removed)
+        return f"{self.path}:{self.line}: remove unused allow[{what}]"
+
+
+def _dead_rule(finding: Finding) -> str:
+    for pattern in (_UNUSED_MSG_RE, _UNKNOWN_MSG_RE):
+        match = pattern.search(finding.message)
+        if match is not None:
+            return match.group(1)
+    return ""
+
+
+def plan_fixes(findings: List[Finding]) -> List[FixPlan]:
+    """Edits for every LNT001 finding whose file is still readable.
+
+    Findings are re-anchored against the file's *current* contents: a
+    line that changed since the lint run (or a rule no longer in the
+    bracket) is skipped rather than mis-edited.
+    """
+    #: (path, line, comment col) -> dead rule ids.
+    dead: Dict[Tuple[str, int, int], Set[str]] = {}
+    for finding in findings:
+        if finding.rule != UNUSED_SUPPRESSION_RULE:
+            continue
+        rule = _dead_rule(finding)
+        if rule:
+            dead.setdefault((finding.path, finding.line, finding.col), set()).add(
+                rule
+            )
+    plans: List[FixPlan] = []
+    cache: Dict[str, List[str]] = {}
+    for (path, line, col) in sorted(dead):
+        if path not in cache:
+            try:
+                cache[path] = Path(path).read_text(encoding="utf-8").split("\n")
+            except (OSError, UnicodeDecodeError):
+                cache[path] = []
+        lines = cache[path]
+        if not (1 <= line <= len(lines)):
+            continue
+        text = lines[line - 1]
+        start = col - 1
+        if start < 0 or start >= len(text) or text[start] != "#":
+            continue  # the file moved under us; skip rather than guess
+        match = _ALLOW_RE.search(text, start)
+        if match is None:
+            continue
+        rules = [
+            part.strip().upper()
+            for part in match.group(1).split(",")
+            if part.strip()
+        ]
+        drop = dead[(path, line, col)]
+        kept = [rule for rule in rules if rule not in drop]
+        removed = tuple(rule for rule in rules if rule in drop)
+        if not removed:
+            continue
+        if kept:
+            after = text[: match.start(1)] + ",".join(kept) + text[match.end(1) :]
+        else:
+            after = text[:start].rstrip()
+        plans.append(
+            FixPlan(path=path, line=line, removed=removed, before=text, after=after)
+        )
+    return plans
+
+
+def apply_fixes(plans: List[FixPlan]) -> int:
+    """Rewrite the planned lines in place; returns lines changed.
+
+    A plan whose line no longer matches ``before`` is skipped — the
+    file changed between planning and applying.
+    """
+    by_path: Dict[str, List[FixPlan]] = {}
+    for plan in plans:
+        by_path.setdefault(plan.path, []).append(plan)
+    applied = 0
+    for path in sorted(by_path):
+        try:
+            lines = Path(path).read_text(encoding="utf-8").split("\n")
+        except (OSError, UnicodeDecodeError):
+            continue
+        changed = False
+        for plan in by_path[path]:
+            index = plan.line - 1
+            if 0 <= index < len(lines) and lines[index] == plan.before:
+                lines[index] = plan.after
+                changed = True
+                applied += 1
+        if changed:
+            Path(path).write_text("\n".join(lines), encoding="utf-8")
+    return applied
+
+
+__all__ = ["FixPlan", "apply_fixes", "plan_fixes"]

@@ -1,0 +1,106 @@
+"""Committed lint baselines: adopt the deep suite without a flag day.
+
+A whole-program pass switched on over a grown tree may surface findings
+that are real but not fixable in the enabling change.  A *baseline*
+records them — ``repro-bt lint --deep --baseline lint-baseline.json
+--write-baseline`` — so CI can gate on *new* findings immediately while
+the recorded debt is paid down.  Matching is by ``(path, rule,
+message)`` multiset, deliberately ignoring line numbers: unrelated
+edits that shift a baselined finding up or down do not break the gate,
+while any change to the finding itself (or a second instance of it)
+does.
+
+A baseline entry that no longer matches anything is *stale*; stale
+entries are reported so the file shrinks monotonically toward empty,
+mirroring the LNT001 discipline for inline suppressions.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from .findings import Finding
+
+#: Schema version of the baseline file.
+BASELINE_VERSION = 1
+
+_Key = Tuple[str, str, str]
+
+
+def _key(finding: Finding) -> _Key:
+    return (finding.path, finding.rule, finding.message)
+
+
+def load_baseline(path: Union[str, Path]) -> "Counter[_Key]":
+    """The baseline file as a ``(path, rule, message)`` multiset.
+
+    Raises ``ValueError`` for an unreadable, unparsable, or
+    wrong-version file — a corrupt baseline must fail the gate loudly,
+    not silently admit every finding.
+    """
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        raise ValueError(f"cannot read baseline {path}: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"baseline {path}: version "
+            f"{payload.get('version') if isinstance(payload, dict) else None!r} "
+            f"!= {BASELINE_VERSION}"
+        )
+    entries = payload.get("findings")
+    if not isinstance(entries, list):
+        raise ValueError(f"baseline {path}: 'findings' must be a list")
+    counts: "Counter[_Key]" = Counter()
+    for entry in entries:
+        if not isinstance(entry, dict):
+            raise ValueError(f"baseline {path}: non-object finding entry")
+        try:
+            counts[
+                (str(entry["path"]), str(entry["rule"]), str(entry["message"]))
+            ] += 1
+        except KeyError as exc:
+            raise ValueError(
+                f"baseline {path}: finding entry missing {exc}"
+            ) from exc
+    return counts
+
+
+def apply_baseline(
+    findings: List[Finding], baseline: "Counter[_Key]"
+) -> Tuple[List[Finding], List[_Key]]:
+    """(findings not covered by the baseline, stale baseline entries)."""
+    remaining = Counter(baseline)
+    kept: List[Finding] = []
+    for finding in findings:
+        key = _key(finding)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+        else:
+            kept.append(finding)
+    stale = sorted(key for key, count in remaining.items() for _ in range(count))
+    return kept, stale
+
+
+def write_baseline(path: Union[str, Path], findings: List[Finding]) -> int:
+    """Record ``findings`` as the new baseline; returns the entry count."""
+    entries: List[Dict[str, str]] = [
+        {"path": f.path, "rule": f.rule, "message": f.message}
+        for f in sorted(findings)
+    ]
+    payload = {"version": BASELINE_VERSION, "findings": entries}
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return len(entries)
+
+
+__all__ = [
+    "BASELINE_VERSION",
+    "apply_baseline",
+    "load_baseline",
+    "write_baseline",
+]

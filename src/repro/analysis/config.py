@@ -60,6 +60,12 @@ class LintConfig:
         "repro.collection.repository",
     )
 
+    #: Modules that *implement* the named-substream factory itself
+    #: (:mod:`repro.sim.rng`).  The stream-lineage rules (DET011/012)
+    #: skip derivation sites inside them: the factory necessarily
+    #: handles labels as plain parameters.
+    rng_factory_modules: Tuple[str, ...] = ("repro.sim.rng",)
+
     #: Directory names never descended into when walking a tree.
     skip_dirs: Tuple[str, ...] = field(
         default=("__pycache__", ".git", ".venv", "repro.egg-info", "build", "dist")
@@ -109,10 +115,25 @@ def in_scopes(module: Optional[str], scopes: Tuple[str, ...]) -> bool:
     return any(module == scope or module.startswith(scope + ".") for scope in scopes)
 
 
+def sim_domain_module(module: Optional[str], config: LintConfig = DEFAULT_CONFIG) -> bool:
+    """Whether ``module`` is held to sim-domain determinism discipline.
+
+    The scope DET002/DET007/DET010 share: the configured sim-domain
+    sub-packages, the individually-enrolled modules, and (fail closed)
+    every file outside the package.
+    """
+    if module is None:
+        return True
+    if module in config.sim_domain_modules:
+        return True
+    return top_subpackage(module, config) in config.sim_domain
+
+
 __all__ = [
     "DEFAULT_CONFIG",
     "LintConfig",
     "in_scopes",
     "module_for_path",
+    "sim_domain_module",
     "top_subpackage",
 ]

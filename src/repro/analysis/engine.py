@@ -1,21 +1,41 @@
-"""The lint engine: file discovery, per-file runs, suppression filtering."""
+"""The lint engine: file discovery, per-file runs, the deep stage,
+suppression filtering, and baseline application.
+
+A lint run has up to two stages.  The *per-file* stage parses each file
+independently and runs the DET001-DET007 checkers.  The *deep* stage
+(``--deep``, or any deep rule named in ``--select``) builds one
+:class:`~repro.analysis.graph.ProjectGraph` over every file of the run
+— re-using the sources the per-file stage already read — and hands it
+to the registered whole-program passes (DET010-DET012, WIRE001-WIRE003).
+
+Both stages honour ``# repro: allow[RULE]`` and feed LNT001: an inline
+allowance for a deep rule that suppresses nothing (and sanctions no
+taint source or edge) is itself a finding, judged by whichever stage
+owns the rule.  An optional baseline file absorbs known findings by
+``(path, rule, message)``; baseline entries that no longer match
+anything are reported as LNT003 so recorded debt only shrinks.
+"""
 
 from __future__ import annotations
 
 import ast
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
+from .baseline import apply_baseline, load_baseline
 from .config import DEFAULT_CONFIG, LintConfig, module_for_path
 from .findings import Finding
-from .registry import all_rules, rule_ids
+from .graph import build_graph
+from .registry import all_rules, deep_passes, deep_rule_ids, rule_ids
 from .suppressions import collect_suppressions
 
 #: Rule id of the unused-suppression meta-finding.
 UNUSED_SUPPRESSION_RULE = "LNT001"
 #: Rule id reported for files the parser rejects.
 SYNTAX_ERROR_RULE = "LNT002"
+#: Rule id reported for baseline entries matching no current finding.
+STALE_BASELINE_RULE = "LNT003"
 
 
 @dataclass(frozen=True)
@@ -53,15 +73,36 @@ def iter_python_files(
     return sorted(set(files))
 
 
-def _select_rules(select: Optional[Sequence[str]]) -> List[str]:
-    """Normalize a ``--select`` list; ValueError on unknown rule ids."""
+def _resolve_selection(
+    select: Optional[Sequence[str]], deep: bool
+) -> Tuple[List[str], List[str]]:
+    """(per-file rules, deep rules) this run executes.
+
+    ``--select`` is exact: naming a deep rule runs its pass with or
+    without ``--deep``, and with ``--select`` given, ``--deep`` adds
+    nothing beyond what was named.  Unknown ids raise ``ValueError``
+    listing the full valid vocabulary.
+    """
+    file_ids = rule_ids()
+    deep_ids = deep_rule_ids()
     if select is None:
-        return rule_ids()
+        return list(file_ids), (list(deep_ids) if deep else [])
     wanted = [rule.strip().upper() for rule in select if rule.strip()]
-    unknown = sorted(set(wanted) - set(rule_ids()))
+    unknown = sorted(set(wanted) - set(file_ids) - set(deep_ids))
     if unknown:
-        raise ValueError(f"unknown rule id(s): {', '.join(unknown)}")
-    return wanted
+        raise ValueError(
+            f"unknown rule id(s): {', '.join(unknown)} — "
+            f"valid rules: {', '.join(file_ids + deep_ids)}"
+        )
+    return (
+        [rule for rule in wanted if rule in set(file_ids)],
+        [rule for rule in wanted if rule in set(deep_ids)],
+    )
+
+
+def _select_rules(select: Optional[Sequence[str]]) -> List[str]:
+    """Normalize a ``--select`` list to the per-file rules it names."""
+    return _resolve_selection(select, deep=False)[0]
 
 
 def lint_source(
@@ -70,7 +111,7 @@ def lint_source(
     config: LintConfig = DEFAULT_CONFIG,
     select: Optional[Sequence[str]] = None,
 ) -> List[Finding]:
-    """Lint one file's contents; returns sorted findings."""
+    """Lint one file's contents (per-file rules only); sorted findings."""
     path_str = str(path)
     selected = _select_rules(select)
     try:
@@ -106,7 +147,7 @@ def lint_source(
         else:
             kept.append(finding)
 
-    known = set(rule_ids())
+    known = set(rule_ids()) | set(deep_rule_ids())
     for line in sorted(suppressions):
         suppression = suppressions[line]
         for rule in suppression.unused_rules():
@@ -128,14 +169,70 @@ def lint_source(
     return sorted(kept)
 
 
+def _run_deep(
+    files: List[Path],
+    sources: Dict[str, str],
+    config: LintConfig,
+    selected: Set[str],
+) -> List[Finding]:
+    """The whole-program stage: one shared graph, every selected pass."""
+    graph = build_graph([str(f) for f in files], config, sources=sources)
+    raw: List[Finding] = []
+    for pass_cls in deep_passes():
+        if not set(pass_cls.rules) & selected:
+            continue
+        raw.extend(pass_cls().run(graph, config, selected))
+    kept: List[Finding] = []
+    for finding in sorted(raw):
+        mod = graph.by_path.get(finding.path)
+        suppression = (
+            mod.suppressions.get(finding.line) if mod is not None else None
+        )
+        if suppression is not None and finding.rule in suppression.rules:
+            suppression.used.add(finding.rule)
+        else:
+            kept.append(finding)
+    # Deep-rule allowances that neither suppressed a finding nor (for
+    # DET010) sanctioned a source/edge are dead weight — report them.
+    for path in sorted(graph.by_path):
+        mod = graph.by_path[path]
+        for line in sorted(mod.suppressions):
+            suppression = mod.suppressions[line]
+            for rule in suppression.unused_rules():
+                if rule in selected:
+                    kept.append(
+                        Finding(
+                            path=path,
+                            line=line,
+                            col=suppression.col,
+                            rule=UNUSED_SUPPRESSION_RULE,
+                            message=(
+                                f"unused suppression: no {rule} finding "
+                                "on this line"
+                            ),
+                        )
+                    )
+    return kept
+
+
 def lint_paths(
     paths: Iterable[Union[str, Path]],
     config: LintConfig = DEFAULT_CONFIG,
     select: Optional[Sequence[str]] = None,
+    deep: bool = False,
+    baseline: Optional[Union[str, Path]] = None,
 ) -> LintResult:
-    """Lint every Python file under ``paths``."""
+    """Lint every Python file under ``paths``.
+
+    ``deep=True`` adds the whole-program passes; ``baseline`` names a
+    committed findings file to subtract (stale entries become LNT003).
+    May raise ``ValueError`` for an unknown ``--select`` id or an
+    unusable baseline file.
+    """
+    file_sel, deep_sel = _resolve_selection(select, deep)
     findings: List[Finding] = []
     files = iter_python_files(paths, config)
+    sources: Dict[str, str] = {}
     for file_path in files:
         try:
             source = file_path.read_text(encoding="utf-8")
@@ -150,12 +247,35 @@ def lint_paths(
                 )
             )
             continue
-        findings.extend(lint_source(source, file_path, config, select))
-    return LintResult(findings=sorted(findings), files=len(files))
+        sources[str(file_path)] = source
+        findings.extend(lint_source(source, file_path, config, file_sel))
+    if deep_sel:
+        findings.extend(_run_deep(files, sources, config, set(deep_sel)))
+    findings = sorted(findings)
+    if baseline is not None:
+        entries = load_baseline(baseline)
+        findings, stale = apply_baseline(findings, entries)
+        for path, rule, message in stale:
+            findings.append(
+                Finding(
+                    path=str(baseline),
+                    line=1,
+                    col=1,
+                    rule=STALE_BASELINE_RULE,
+                    message=(
+                        f"stale baseline entry: no current {rule} finding "
+                        f"in {path} matching {message!r} — refresh with "
+                        "--write-baseline"
+                    ),
+                )
+            )
+        findings = sorted(findings)
+    return LintResult(findings=findings, files=len(files))
 
 
 __all__ = [
     "LintResult",
+    "STALE_BASELINE_RULE",
     "SYNTAX_ERROR_RULE",
     "UNUSED_SUPPRESSION_RULE",
     "iter_python_files",

@@ -1,0 +1,332 @@
+"""The whole-program model shared by the deep analysis passes.
+
+The per-file rules (DET001-DET007) are deliberately local: one AST, one
+visitor, no knowledge of the rest of the tree.  The deep passes
+(:mod:`.taint`, :mod:`.lineage`, :mod:`.contracts`) need the opposite —
+a project-wide view built *once* and shared: every module parsed, every
+function indexed under a stable qualified name, every call site resolved
+through import aliases (absolute and relative) to the project function
+it targets where that is statically knowable.
+
+Resolution is conservative name-based linking, not type inference:
+
+* bare names resolve to same-module functions, then through the import
+  alias map to functions of other project modules;
+* ``self.x()`` / ``cls.x()`` resolve inside the enclosing class;
+* ``obj.method()`` on an unknown receiver resolves only when exactly one
+  class in the whole project defines ``method`` — ambiguous method names
+  stay unresolved rather than guessing, so downstream passes
+  over-approximate as little as possible.
+
+Module-level statements are modelled as a pseudo-function named
+``<module>`` so taint entering at import time is tracked like any other
+call chain.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from .config import DEFAULT_CONFIG, LintConfig, module_for_path
+from .rules import dotted_name
+from .suppressions import Suppression, collect_suppressions
+
+#: Name of the pseudo-function holding a module's top-level statements.
+MODULE_BODY = "<module>"
+
+
+@dataclass
+class CallSite:
+    """One call expression inside a function body."""
+
+    line: int
+    col: int
+    #: The callee as written at the use site (``self._writer.emit``).
+    written: str
+    #: The callee through the module's import aliases (``time.time``),
+    #: or the written name when no alias applies.
+    canonical: str
+    #: Qualified name of the project function this call resolves to,
+    #: or None when the target is outside the project / ambiguous.
+    callee: Optional[str]
+    #: The AST node, for passes that inspect arguments.
+    node: ast.Call
+
+
+@dataclass
+class FunctionInfo:
+    """One function (or the module body) and its outgoing calls."""
+
+    qname: str
+    #: Dotted module path, or None for out-of-package files.
+    module: Optional[str]
+    #: Bare function name (``emit``; ``<module>`` for the module body).
+    name: str
+    #: Enclosing class name, or None for module-level functions.
+    cls: Optional[str]
+    path: str
+    line: int
+    node: Optional[ast.AST]
+    calls: List[CallSite] = field(default_factory=list)
+
+
+@dataclass
+class ModuleGraph:
+    """One parsed module inside the project graph."""
+
+    path: str
+    #: Dotted module path, or None for out-of-package files.
+    module: Optional[str]
+    #: Stable key the module's functions are qualified under (the
+    #: dotted path, or the file path for out-of-package files).
+    key: str
+    source: str
+    tree: ast.Module
+    #: Import alias map: local name -> (canonical target, import line).
+    aliases: Dict[str, Tuple[str, int]]
+    suppressions: Dict[int, Suppression]
+    #: Functions defined here, keyed by qualified name.
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+
+
+class ProjectGraph:
+    """All modules of one lint run, with calls resolved across them."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleGraph] = {}  # keyed by ModuleGraph.key
+        self.by_path: Dict[str, ModuleGraph] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        #: Method name -> qnames of every class method with that name.
+        self.methods_by_name: Dict[str, List[str]] = {}
+        #: Callee qname -> [(caller qname, call site), ...].
+        self.callers: Dict[str, List[Tuple[str, CallSite]]] = {}
+
+    def sorted_functions(self) -> List[FunctionInfo]:
+        return [self.functions[qname] for qname in sorted(self.functions)]
+
+
+class _AliasCollector(ast.NodeVisitor):
+    """Collect the import alias map of one module (absolute + relative)."""
+
+    def __init__(self, module: Optional[str], is_package: bool) -> None:
+        self.module = module
+        self.is_package = is_package
+        self.aliases: Dict[str, Tuple[str, int]] = {}
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.asname:
+                self.aliases[alias.asname] = (alias.name, node.lineno)
+            else:
+                head = alias.name.split(".")[0]
+                self.aliases[head] = (head, node.lineno)
+
+    def _base_package(self, level: int) -> Optional[str]:
+        """The package a level-``level`` relative import resolves against."""
+        if self.module is None:
+            return None
+        parts = self.module.split(".")
+        if not self.is_package:
+            parts = parts[:-1]
+        drop = level - 1
+        if drop >= len(parts) > 0 or (drop and not parts):
+            return None
+        return ".".join(parts[: len(parts) - drop]) if drop else ".".join(parts)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.level == 0:
+            base = node.module
+        else:
+            package = self._base_package(node.level)
+            if package is None:
+                return
+            base = f"{package}.{node.module}" if node.module else package
+        if not base:
+            return
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            local = alias.asname or alias.name
+            self.aliases[local] = (f"{base}.{alias.name}", node.lineno)
+
+
+class _FunctionIndexer(ast.NodeVisitor):
+    """Index functions and their call sites, one module at a time."""
+
+    def __init__(self, mod: ModuleGraph) -> None:
+        self.mod = mod
+        self._class_stack: List[str] = []
+        self._fn_stack: List[FunctionInfo] = []
+        body = FunctionInfo(
+            qname=f"{mod.key}.{MODULE_BODY}",
+            module=mod.module,
+            name=MODULE_BODY,
+            cls=None,
+            path=mod.path,
+            line=1,
+            node=mod.tree,
+        )
+        mod.functions[body.qname] = body
+        self._module_body = body
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._class_stack.append(node.name)
+        self.generic_visit(node)
+        self._class_stack.pop()
+
+    def _visit_function(
+        self, node: Union[ast.FunctionDef, ast.AsyncFunctionDef]
+    ) -> None:
+        cls = self._class_stack[-1] if self._class_stack else None
+        prefix = f"{self.mod.key}." + (f"{cls}." if cls else "")
+        if self._fn_stack:  # nested function: qualify under the outer one
+            prefix = self._fn_stack[-1].qname + "."
+            cls = None
+        info = FunctionInfo(
+            qname=f"{prefix}{node.name}",
+            module=self.mod.module,
+            name=node.name,
+            cls=cls,
+            path=self.mod.path,
+            line=node.lineno,
+            node=node,
+        )
+        self.mod.functions.setdefault(info.qname, info)
+        self._fn_stack.append(info)
+        self.generic_visit(node)
+        self._fn_stack.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        written = dotted_name(node.func)
+        if written is not None:
+            owner = self._fn_stack[-1] if self._fn_stack else self._module_body
+            head, _, rest = written.partition(".")
+            target = self.mod.aliases.get(head)
+            canonical = written
+            if target is not None:
+                canonical = f"{target[0]}.{rest}" if rest else target[0]
+            owner.calls.append(
+                CallSite(
+                    line=node.lineno,
+                    col=node.col_offset + 1,
+                    written=written,
+                    canonical=canonical,
+                    callee=None,
+                    node=node,
+                )
+            )
+        self.generic_visit(node)
+
+
+def build_graph(
+    paths: Iterable[Union[str, Path]],
+    config: LintConfig = DEFAULT_CONFIG,
+    sources: Optional[Dict[str, str]] = None,
+) -> ProjectGraph:
+    """Parse and link every readable, parsable file into one graph.
+
+    ``sources`` optionally supplies already-read file contents (keyed by
+    ``str(path)``); unreadable or unparsable files are skipped — the
+    per-file engine reports those (LNT002), the graph simply omits them.
+    """
+    graph = ProjectGraph()
+    for raw in sorted({str(p) for p in paths}):
+        path = Path(raw)
+        if sources is not None and raw in sources:
+            source = sources[raw]
+        else:
+            try:
+                source = path.read_text(encoding="utf-8")
+            except (OSError, UnicodeDecodeError):
+                continue
+        try:
+            tree = ast.parse(source, filename=raw)
+        except SyntaxError:
+            continue
+        module = module_for_path(raw, config)
+        is_package = path.name == "__init__.py"
+        collector = _AliasCollector(module, is_package)
+        collector.visit(tree)
+        mod = ModuleGraph(
+            path=raw,
+            module=module,
+            key=module or raw,
+            source=source,
+            tree=tree,
+            aliases=collector.aliases,
+            suppressions=collect_suppressions(source),
+        )
+        # Last parse wins on key collision (mirrors Python's import rules).
+        graph.modules[mod.key] = mod
+        graph.by_path[mod.path] = mod
+        _FunctionIndexer(mod).visit(tree)
+    for mod in graph.modules.values():
+        graph.functions.update(mod.functions)
+    for qname in sorted(graph.functions):
+        info = graph.functions[qname]
+        if info.cls is not None:
+            graph.methods_by_name.setdefault(info.name, []).append(qname)
+    _resolve_calls(graph)
+    return graph
+
+
+def _resolve_calls(graph: ProjectGraph) -> None:
+    """Fill in ``CallSite.callee`` and the reverse-caller index."""
+    for mod_key in sorted(graph.modules):
+        mod = graph.modules[mod_key]
+        for qname in sorted(mod.functions):
+            info = mod.functions[qname]
+            for site in info.calls:
+                site.callee = _resolve_one(graph, mod, info, site)
+                if site.callee is not None:
+                    graph.callers.setdefault(site.callee, []).append((qname, site))
+
+
+def _resolve_one(
+    graph: ProjectGraph,
+    mod: ModuleGraph,
+    caller: FunctionInfo,
+    site: CallSite,
+) -> Optional[str]:
+    parts = site.written.split(".")
+    # self.method() / cls.method(): the enclosing class's namespace.
+    if parts[0] in ("self", "cls") and len(parts) == 2 and caller.cls:
+        candidate = f"{mod.key}.{caller.cls}.{parts[1]}"
+        if candidate in graph.functions:
+            return candidate
+    # Bare or dotted name in this module (helper(), Class.method()).
+    candidate = f"{mod.key}.{site.written}"
+    if candidate in graph.functions:
+        return candidate
+    # Alias-canonical absolute name (imported project function/method).
+    if site.canonical in graph.functions:
+        return site.canonical
+    # A canonical module.attr where the module is in the graph.
+    head, _, attr = site.canonical.rpartition(".")
+    if head and head in graph.modules and f"{head}.{attr}" in graph.functions:
+        return f"{head}.{attr}"
+    # Method-name fallback: unique across the whole project only.
+    if "." in site.written and parts[0] not in ("self", "cls"):
+        candidates = graph.methods_by_name.get(parts[-1], [])
+        if len(candidates) == 1:
+            return candidates[0]
+    return None
+
+
+__all__ = [
+    "MODULE_BODY",
+    "CallSite",
+    "FunctionInfo",
+    "ModuleGraph",
+    "ProjectGraph",
+    "build_graph",
+]

@@ -1,0 +1,328 @@
+"""DET011/DET012: RNG stream-lineage analysis.
+
+The named-substream design (:mod:`repro.sim.rng`) keeps sweeps
+merge-stable only while every derivation label is unique within its
+factory and every derived generator stays owned by the scope that
+derived it.  Two lineage hazards defeat that silently:
+
+* **Label aliasing (DET011).**  Two call sites deriving the same
+  constant label from the same factory method get the *same* seed —
+  their "independent" streams draw identical values.  And a label
+  computed entirely at runtime (a bare variable, a literal-free
+  f-string) cannot be audited for uniqueness at all, so collisions
+  across shards/strata can appear without any code looking wrong.
+  Fully-dynamic labels and same-module constant duplicates are flagged;
+  f-strings with a literal anchor (``f"syslog/{self.id}"``) are the
+  sanctioned naming idiom and pass.  Cross-module duplicates are
+  deliberately allowed: the bit and batch executors *share* one label
+  namespace so both fidelities consume the same seed space.
+
+* **Scope escape (DET012).**  A ``Random``/``Generator``/
+  ``RandomStreams`` bound at module scope (or published through a
+  ``global``) outlives every campaign in the process and is shared by
+  every shard a pool worker runs — exactly the hidden-global-state
+  failure DET001 bans for the stdlib RNG, reintroduced through the
+  project's own factory.  Streams must be derived per run and injected.
+
+This pass collects every derivation site across the whole tree
+(``.stream(...)``, ``.numpy_stream(...)``, ``.fork(...)``,
+``.substream(...)``, plus direct :func:`repro.sim.rng.derive_seed` /
+``numpy_generator`` calls) from the shared project graph.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from .config import LintConfig
+from .findings import Finding
+from .graph import CallSite, ModuleGraph, ProjectGraph
+from .registry import DeepPass, register_deep
+
+DUPLICATE_LABEL_RULE = "DET011"
+GLOBAL_ESCAPE_RULE = "DET012"
+
+#: Attribute names that derive a stream from a factory object.
+DERIVATION_METHODS = frozenset({"stream", "numpy_stream", "fork", "substream"})
+
+#: Module-level factory functions whose *second* argument is the label.
+DERIVATION_FUNCTIONS = frozenset(
+    {
+        "repro.sim.rng.derive_seed",
+        "repro.sim.rng.numpy_generator",
+    }
+)
+
+#: Canonical callables whose result is an RNG object (for DET012).
+RNG_CONSTRUCTORS = frozenset(
+    {
+        "random.Random",
+        "random.SystemRandom",
+        "numpy.random.default_rng",
+        "numpy.random.RandomState",
+        "repro.sim.rng.numpy_generator",
+    }
+)
+
+#: Class names (last path component) whose instances are stream factories.
+RNG_FACTORY_CLASSES = frozenset({"RandomStreams"})
+
+
+def _derivation(site: CallSite) -> Optional[Tuple[str, ast.expr]]:
+    """(method name, label expression) when ``site`` derives a stream."""
+    parts = site.written.split(".")
+    args = site.node.args
+    if len(parts) >= 2 and parts[-1] in DERIVATION_METHODS and len(args) >= 1:
+        return parts[-1], args[0]
+    if site.canonical in DERIVATION_FUNCTIONS and len(args) >= 2:
+        return site.canonical.rsplit(".", 1)[-1], args[1]
+    return None
+
+
+def _label_shape(label: ast.expr) -> Tuple[str, str]:
+    """Classify a label expression: ('const'|'template'|'dynamic', text).
+
+    A *template* is an f-string with at least one literal fragment — the
+    auditable ``f"channel/{self.id}"`` idiom; its text keeps the literal
+    parts with ``{}`` placeholders.  Everything else computed at runtime
+    is *dynamic*.
+    """
+    if isinstance(label, ast.Constant) and isinstance(label.value, str):
+        return "const", label.value
+    if isinstance(label, ast.JoinedStr):
+        parts: List[str] = []
+        literal = False
+        for piece in label.values:
+            if isinstance(piece, ast.Constant) and isinstance(piece.value, str):
+                if piece.value:
+                    literal = True
+                parts.append(piece.value)
+            else:
+                parts.append("{}")
+        if literal:
+            return "template", "".join(parts)
+        return "dynamic", "f-string with no literal part"
+    try:
+        return "dynamic", ast.unparse(label)[:60]
+    except ValueError:  # pragma: no cover - malformed synthetic node
+        return "dynamic", ast.dump(label)[:60]
+
+
+def _effective_shape(label: ast.expr, fn_node: Optional[ast.AST]) -> Tuple[str, str]:
+    """Like :func:`_label_shape`, with one level of local dataflow.
+
+    A bare ``Name`` is resolved against the enclosing function: when
+    every binding of that local is itself a constant or
+    literal-anchored template (``label = f"sweep/shard/{i}"`` in both
+    branches), the site is auditable and passes as a template.  A name
+    with no visible binding (a parameter, a nonlocal) or any dynamic
+    binding stays dynamic.
+    """
+    shape, text = _label_shape(label)
+    if shape != "dynamic" or not isinstance(label, ast.Name) or fn_node is None:
+        return shape, text
+    values: List[ast.expr] = []
+    for node in ast.walk(fn_node):
+        if isinstance(node, ast.Assign):
+            if any(
+                isinstance(target, ast.Name) and target.id == label.id
+                for target in node.targets
+            ):
+                values.append(node.value)
+        elif isinstance(node, ast.AnnAssign):
+            if (
+                isinstance(node.target, ast.Name)
+                and node.target.id == label.id
+                and node.value is not None
+            ):
+                values.append(node.value)
+        elif isinstance(node, ast.AugAssign):
+            if isinstance(node.target, ast.Name) and node.target.id == label.id:
+                return "dynamic", f"local {label.id!r} augmented at runtime"
+    if values and all(_label_shape(value)[0] != "dynamic" for value in values):
+        return "template", f"local {label.id!r} bound to literal-anchored labels"
+    return "dynamic", f"{label.id!r} is not provably literal-anchored"
+
+
+def _is_rng_expr(site: CallSite) -> bool:
+    """Whether this call constructs or derives an RNG object."""
+    if site.canonical in RNG_CONSTRUCTORS:
+        return True
+    if site.written.rsplit(".", 1)[-1] in RNG_FACTORY_CLASSES:
+        return True
+    parts = site.written.split(".")
+    return len(parts) >= 2 and parts[-1] in DERIVATION_METHODS
+
+
+@register_deep
+class StreamLineagePass(DeepPass):
+    """The DET011/DET012 whole-program pass."""
+
+    rules = {
+        DUPLICATE_LABEL_RULE: (
+            "RNG substream labels must be unique constants or "
+            "literal-anchored templates (no aliased or unauditable labels)"
+        ),
+        GLOBAL_ESCAPE_RULE: (
+            "RNG/stream-factory objects must not escape into module "
+            "globals; derive per run and inject"
+        ),
+    }
+
+    def run(
+        self, graph: ProjectGraph, config: LintConfig, selected: Set[str]
+    ) -> List[Finding]:
+        findings: List[Finding] = []
+        for key in sorted(graph.modules):
+            mod = graph.modules[key]
+            if DUPLICATE_LABEL_RULE in selected and not self._factory_module(
+                mod, config
+            ):
+                findings.extend(self._label_findings(mod))
+            if GLOBAL_ESCAPE_RULE in selected:
+                findings.extend(self._escape_findings(mod))
+        return findings
+
+    @staticmethod
+    def _factory_module(mod: ModuleGraph, config: LintConfig) -> bool:
+        return mod.module is not None and mod.module in config.rng_factory_modules
+
+    # -- DET011 --------------------------------------------------------------
+
+    def _label_findings(self, mod: ModuleGraph) -> List[Finding]:
+        findings: List[Finding] = []
+        #: (method, constant label) -> first derivation site line.
+        first_seen: Dict[Tuple[str, str], CallSite] = {}
+        sites: List[Tuple[CallSite, str, ast.expr, Optional[ast.AST]]] = []
+        for qname in sorted(mod.functions):
+            info = mod.functions[qname]
+            for site in info.calls:
+                derived = _derivation(site)
+                if derived is not None:
+                    sites.append((site, derived[0], derived[1], info.node))
+        sites.sort(key=lambda entry: (entry[0].line, entry[0].col))
+        for site, method, label, fn_node in sites:
+            shape, text = _effective_shape(label, fn_node)
+            if shape == "dynamic":
+                findings.append(
+                    Finding(
+                        path=mod.path,
+                        line=site.line,
+                        col=site.col,
+                        rule=DUPLICATE_LABEL_RULE,
+                        message=(
+                            f"dynamically-computed stream label for "
+                            f".{method}() ({text}) cannot be audited for "
+                            "uniqueness and can alias streams across "
+                            "shards/strata — anchor the label with a "
+                            "literal prefix"
+                        ),
+                    )
+                )
+                continue
+            if shape != "const":
+                continue  # literal-anchored templates are the idiom
+            earlier = first_seen.get((method, text))
+            if earlier is None:
+                first_seen[(method, text)] = site
+            else:
+                findings.append(
+                    Finding(
+                        path=mod.path,
+                        line=site.line,
+                        col=site.col,
+                        rule=DUPLICATE_LABEL_RULE,
+                        message=(
+                            f"duplicate stream label {text!r} for "
+                            f".{method}(): already derived at line "
+                            f"{earlier.line} — aliased streams draw "
+                            "identical values"
+                        ),
+                    )
+                )
+        return findings
+
+    # -- DET012 --------------------------------------------------------------
+
+    def _escape_findings(self, mod: ModuleGraph) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in mod.tree.body:
+            value = getattr(node, "value", None)
+            if isinstance(node, (ast.Assign, ast.AnnAssign)) and value is not None:
+                site = self._rng_call(mod, value)
+                if site is not None:
+                    findings.append(self._escape_finding(mod, node, site))
+        for qname in sorted(mod.functions):
+            info = mod.functions[qname]
+            if info.node is None or isinstance(info.node, ast.Module):
+                continue
+            globals_declared: Set[str] = set()
+            for inner in ast.walk(info.node):
+                if isinstance(inner, ast.Global):
+                    globals_declared.update(inner.names)
+            if not globals_declared:
+                continue
+            for inner in ast.walk(info.node):
+                if not isinstance(inner, ast.Assign):
+                    continue
+                targets = {
+                    t.id for t in inner.targets if isinstance(t, ast.Name)
+                }
+                if not (targets & globals_declared):
+                    continue
+                site = self._rng_call(mod, inner.value)
+                if site is not None:
+                    findings.append(self._escape_finding(mod, inner, site))
+        return findings
+
+    @staticmethod
+    def _rng_call(mod: ModuleGraph, value: ast.expr) -> Optional[ast.Call]:
+        if not isinstance(value, ast.Call):
+            return None
+        from .rules import dotted_name
+
+        written = dotted_name(value.func)
+        if written is None:
+            return None
+        head, _, rest = written.partition(".")
+        target = mod.aliases.get(head)
+        canonical = written
+        if target is not None:
+            canonical = f"{target[0]}.{rest}" if rest else target[0]
+        fake = CallSite(
+            line=value.lineno,
+            col=value.col_offset + 1,
+            written=written,
+            canonical=canonical,
+            callee=None,
+            node=value,
+        )
+        return value if _is_rng_expr(fake) else None
+
+    @staticmethod
+    def _escape_finding(
+        mod: ModuleGraph, node: ast.stmt, call: ast.Call
+    ) -> Finding:
+        return Finding(
+            path=mod.path,
+            line=node.lineno,
+            col=node.col_offset + 1,
+            rule=GLOBAL_ESCAPE_RULE,
+            message=(
+                "RNG object escapes its deriving scope into a module "
+                "global — process-wide stream state aliases shards; "
+                "derive streams per run and inject them"
+            ),
+        )
+
+
+__all__ = [
+    "DERIVATION_FUNCTIONS",
+    "DERIVATION_METHODS",
+    "DUPLICATE_LABEL_RULE",
+    "GLOBAL_ESCAPE_RULE",
+    "RNG_CONSTRUCTORS",
+    "RNG_FACTORY_CLASSES",
+    "StreamLineagePass",
+]

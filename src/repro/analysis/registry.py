@@ -9,7 +9,7 @@ is in the rule's scope, and collects :class:`Finding` objects from it.
 from __future__ import annotations
 
 import ast
-from typing import Dict, List, Optional, Type, TypeVar
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Type, TypeVar
 
 from .config import LintConfig
 from .findings import Finding
@@ -47,9 +47,35 @@ class Checker(ast.NodeVisitor):
         )
 
 
+class DeepPass:
+    """Base class for one whole-program pass over a :class:`ProjectGraph`.
+
+    Unlike :class:`Checker` (one instance per file), a deep pass runs
+    once per lint invocation against the shared project graph and may
+    emit findings under several related rule ids.  ``rules`` maps each
+    id to its one-line summary; ``run`` returns raw findings — the
+    engine applies suppressions and the baseline afterwards.
+    """
+
+    #: Rule id -> one-line summary for every rule this pass emits.
+    rules: Dict[str, str] = {}
+
+    def run(
+        self, graph: "ProjectGraph", config: LintConfig, selected: Set[str]
+    ) -> List[Finding]:
+        """Findings for the rules in ``selected`` that this pass owns."""
+        raise NotImplementedError
+
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle is type-only
+    from .graph import ProjectGraph
+
+
 _REGISTRY: Dict[str, Type[Checker]] = {}
+_DEEP_REGISTRY: Dict[str, Type[DeepPass]] = {}
 
 CheckerT = TypeVar("CheckerT", bound=Type[Checker])
+DeepPassT = TypeVar("DeepPassT", bound=Type[DeepPass])
 
 
 def register(cls: CheckerT) -> CheckerT:
@@ -60,6 +86,40 @@ def register(cls: CheckerT) -> CheckerT:
         raise ValueError(f"duplicate rule id {cls.rule_id}")
     _REGISTRY[cls.rule_id] = cls
     return cls
+
+
+def register_deep(cls: DeepPassT) -> DeepPassT:
+    """Class decorator adding a whole-program pass to the registry."""
+    if not cls.rules:
+        raise ValueError(f"{cls.__name__} declares no rules")
+    taken = set(_REGISTRY) | {
+        rule for pass_cls in _DEEP_REGISTRY.values() for rule in pass_cls.rules
+    }
+    clash = sorted(set(cls.rules) & taken)
+    if clash:
+        raise ValueError(f"duplicate rule id(s) {', '.join(clash)}")
+    _DEEP_REGISTRY[min(cls.rules)] = cls
+    return cls
+
+
+def deep_passes() -> List[Type[DeepPass]]:
+    """Every registered deep pass, ordered by lowest owned rule id."""
+    return [_DEEP_REGISTRY[key] for key in sorted(_DEEP_REGISTRY)]
+
+
+def deep_rule_ids() -> List[str]:
+    """Sorted rule ids owned by the deep (whole-program) passes."""
+    return sorted(
+        rule for pass_cls in _DEEP_REGISTRY.values() for rule in pass_cls.rules
+    )
+
+
+def deep_rule_summaries() -> Dict[str, str]:
+    """Rule id -> summary for every deep rule."""
+    merged: Dict[str, str] = {}
+    for pass_cls in _DEEP_REGISTRY.values():
+        merged.update(pass_cls.rules)
+    return merged
 
 
 def all_rules() -> List[Type[Checker]]:
@@ -77,4 +137,15 @@ def get_rule(rule_id: str) -> Type[Checker]:
     return _REGISTRY[rule_id.upper()]
 
 
-__all__ = ["Checker", "all_rules", "get_rule", "register", "rule_ids"]
+__all__ = [
+    "Checker",
+    "DeepPass",
+    "all_rules",
+    "deep_passes",
+    "deep_rule_ids",
+    "deep_rule_summaries",
+    "get_rule",
+    "register",
+    "register_deep",
+    "rule_ids",
+]

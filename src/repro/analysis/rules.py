@@ -13,7 +13,7 @@ from __future__ import annotations
 import ast
 from typing import Dict, Optional, Set
 
-from .config import LintConfig, in_scopes, top_subpackage
+from .config import LintConfig, in_scopes, sim_domain_module
 from .registry import Checker, register
 
 
@@ -154,11 +154,7 @@ class WallClockChecker(ImportTrackingChecker):
 
     @classmethod
     def applies_to(cls, module: Optional[str], config: LintConfig) -> bool:
-        if module is None:
-            return True
-        if module in config.sim_domain_modules:
-            return True
-        return top_subpackage(module, config) in config.sim_domain
+        return sim_domain_module(module, config)
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
         if node.module in ("time", "datetime") and node.level == 0:
@@ -415,11 +411,7 @@ class NumpyRandomChecker(ImportTrackingChecker):
 
     @classmethod
     def applies_to(cls, module: Optional[str], config: LintConfig) -> bool:
-        if module is None:
-            return True
-        if module in config.sim_domain_modules:
-            return True
-        return top_subpackage(module, config) in config.sim_domain
+        return sim_domain_module(module, config)
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
         if node.module == "numpy.random" and node.level == 0:

@@ -1,0 +1,243 @@
+"""DET010: interprocedural sim-domain wall-clock/entropy taint.
+
+DET002 flags a *direct* wall-clock read in sim-domain code; a read
+wrapped in a helper — in the same module or three imports away — sails
+past it.  This pass closes that hole: starting from every call whose
+canonical name is a wall-clock or OS-entropy source, taint is propagated
+backwards through the project call graph, and every **sim-domain**
+function whose call chain reaches a source is reported with the full
+chain (``repro.sim.foo.step -> repro.obs.util.stamp -> time.time``).
+
+Suppressions stay load-bearing: a source read whose own line — or whose
+binding import line — carries ``# repro: allow[DET002]`` (or
+``allow[DET010]``) is a *declared* source and does not seed taint; that
+is precisely how the journal's fenced ``_envelope`` clock stays
+sanctioned for its sim-scoped callers.  Likewise a call site suppressed
+with ``allow[DET010]`` sanctions the whole chain through that edge, so
+one documented allowance does not cascade into findings at every caller.
+
+Direct reads are left to DET002 where it already governs them
+(wall-clock names); direct reads of entropy sources DET002 does not
+cover (``os.urandom``, ``uuid.uuid4``, ``secrets.*``) are reported here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from .config import LintConfig, sim_domain_module
+from .findings import Finding
+from .graph import CallSite, FunctionInfo, ModuleGraph, ProjectGraph
+from .registry import DeepPass, register_deep
+
+TAINT_RULE = "DET010"
+
+#: Wall-clock sources (DET002's set — direct reads stay DET002's call).
+WALL_CLOCK_SOURCES = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: OS-entropy sources no per-file rule covers; direct reads in the sim
+#: domain are reported by this pass as well.
+ENTROPY_SOURCES = frozenset(
+    {
+        "os.urandom",
+        "os.getrandom",
+        "uuid.uuid1",
+        "uuid.uuid4",
+        "secrets.token_bytes",
+        "secrets.token_hex",
+        "secrets.token_urlsafe",
+        "secrets.randbits",
+        "secrets.randbelow",
+        "secrets.choice",
+    }
+)
+
+TAINT_SOURCES = WALL_CLOCK_SOURCES | ENTROPY_SOURCES
+
+#: Rules whose inline allowance sanctions a source or a chain edge.
+_SANCTIONING_RULES = (TAINT_RULE, "DET002")
+
+
+def _sanctioned(mod: ModuleGraph, site: CallSite) -> bool:
+    """Whether this call site is covered by a load-bearing allowance.
+
+    Either the call line itself, or the import line that bound the
+    callee's head name (``from time import time as _wall_clock``), names
+    DET010 or DET002 in a ``# repro: allow[...]`` comment.
+    """
+    lines = [site.line]
+    head = site.written.partition(".")[0]
+    alias = mod.aliases.get(head)
+    if alias is not None:
+        lines.append(alias[1])
+    for line in lines:
+        suppression = mod.suppressions.get(line)
+        if suppression is not None and any(
+            rule in suppression.rules for rule in _SANCTIONING_RULES
+        ):
+            if TAINT_RULE in suppression.rules:
+                # Sanctioning a source/edge is this allowance's job —
+                # count it as used so the deep stage's LNT001 sweep
+                # does not flag a load-bearing comment.
+                suppression.used.add(TAINT_RULE)
+            return True
+    return False
+
+
+class _TaintState:
+    """Per-function taint facts plus the witness chain to a source."""
+
+    def __init__(self) -> None:
+        #: fn qname -> (source canonical name, site of the direct read).
+        self.direct: Dict[str, Tuple[str, CallSite]] = {}
+        #: fn qname -> (call site in fn, tainted callee qname).
+        self.via_call: Dict[str, Tuple[CallSite, str]] = {}
+
+    def tainted(self, qname: str) -> bool:
+        return qname in self.direct or qname in self.via_call
+
+    def chain(self, qname: str) -> Tuple[List[str], str]:
+        """(function qnames from ``qname`` down, source name)."""
+        names = [qname]
+        seen = {qname}
+        current = qname
+        while current in self.via_call:
+            current = self.via_call[current][1]
+            if current in seen:  # recursion cycle; stop at the loop
+                break
+            seen.add(current)
+            names.append(current)
+        source = self.direct.get(current, ("<recursive>", None))[0]
+        return names, source
+
+
+def _seed_direct(graph: ProjectGraph, state: _TaintState) -> None:
+    for mod_key in sorted(graph.modules):
+        mod = graph.modules[mod_key]
+        for qname in sorted(mod.functions):
+            info = mod.functions[qname]
+            for site in info.calls:
+                if site.canonical in TAINT_SOURCES and not _sanctioned(mod, site):
+                    state.direct.setdefault(qname, (site.canonical, site))
+
+
+def _propagate(graph: ProjectGraph, state: _TaintState) -> None:
+    """Backward fixpoint over the caller index (deterministic order)."""
+    frontier = sorted(state.direct)
+    while frontier:
+        next_frontier: Set[str] = set()
+        for callee in frontier:
+            for caller, site in graph.callers.get(callee, []):
+                if state.tainted(caller):
+                    continue
+                mod = _module_of(graph, caller)
+                if mod is not None and _sanctioned(mod, site):
+                    continue  # documented allowance: chain stops here
+                state.via_call[caller] = (site, callee)
+                next_frontier.add(caller)
+        frontier = sorted(next_frontier)
+
+
+def _module_of(graph: ProjectGraph, qname: str) -> Optional[ModuleGraph]:
+    info = graph.functions.get(qname)
+    return None if info is None else graph.by_path.get(info.path)
+
+
+def _render_chain(names: List[str], source: str) -> str:
+    return " -> ".join(names + [f"{source}()"])
+
+
+@register_deep
+class SimDomainTaintPass(DeepPass):
+    """The DET010 whole-program pass."""
+
+    rules = {
+        TAINT_RULE: (
+            "sim-domain call chains must not reach wall-clock/entropy "
+            "reads (interprocedural DET002)"
+        ),
+    }
+
+    def run(
+        self, graph: ProjectGraph, config: LintConfig, selected: Set[str]
+    ) -> List[Finding]:
+        if TAINT_RULE not in selected:
+            return []
+        state = _TaintState()
+        _seed_direct(graph, state)
+        _propagate(graph, state)
+        findings: List[Finding] = []
+        for info in graph.sorted_functions():
+            if not sim_domain_module(info.module, config):
+                continue
+            findings.extend(self._function_findings(info, state))
+        return findings
+
+    def _function_findings(
+        self, info: FunctionInfo, state: _TaintState
+    ) -> List[Finding]:
+        findings: List[Finding] = []
+        if info.qname in state.via_call:
+            site, callee = state.via_call[info.qname]
+            names, source = state.chain(info.qname)
+            findings.append(
+                self._finding(
+                    info,
+                    site,
+                    f"call chain reaches {self._kind(source)} {source}(): "
+                    f"{_render_chain(names, source)} — route the value in "
+                    "from outside the sim domain, or declare the chain with "
+                    f"'# repro: allow[{TAINT_RULE}]'",
+                )
+            )
+        elif info.qname in state.direct:
+            source, site = state.direct[info.qname]
+            if source in ENTROPY_SOURCES:  # wall-clock directs are DET002's
+                findings.append(
+                    self._finding(
+                        info,
+                        site,
+                        f"direct {self._kind(source)} read {source}() in "
+                        "sim-domain code — derive randomness from an "
+                        "injected named substream",
+                    )
+                )
+        return findings
+
+    @staticmethod
+    def _kind(source: str) -> str:
+        return "OS-entropy" if source in ENTROPY_SOURCES else "wall-clock"
+
+    @staticmethod
+    def _finding(info: FunctionInfo, site: CallSite, message: str) -> Finding:
+        return Finding(
+            path=info.path,
+            line=site.line,
+            col=site.col,
+            rule=TAINT_RULE,
+            message=message,
+        )
+
+
+__all__ = [
+    "ENTROPY_SOURCES",
+    "TAINT_RULE",
+    "TAINT_SOURCES",
+    "WALL_CLOCK_SOURCES",
+    "SimDomainTaintPass",
+]
