@@ -1,0 +1,353 @@
+"""Out-of-core analysis harness: measure the store path, emit BENCH_store.json.
+
+The storage-layer acceptance workload: the failure stream of a
+1000-seed sweep, spilled shard by shard into a columnar SQLite failure
+store, then analysed end to end (``campaign_statistics`` plus the full
+``summarize_repository`` render) **in a fresh subprocess** whose peak
+RSS is the gated metric.  The analysis pipeline streams every table off
+store cursors, so its memory footprint must stay bounded no matter how
+many seeds were swept — that bound is the committed budget this harness
+enforces.
+
+The stream is synthesised rather than simulated: a thousand real
+campaigns would take hours, while the storage layer only cares about
+record volume and vocabulary.  Each shard draws a deterministic batch
+of user-level reports and correlated system-level errors from its own
+``random.Random(shard_seed)``, using the same message vocabulary the
+classifier pins, so every analysis stage does real work.
+
+Modes::
+
+    # Measure and write the artifact (the default paths are canonical):
+    PYTHONPATH=src python benchmarks/store_harness.py \
+        --out benchmarks/results/BENCH_store.json
+
+    # Gate against the committed budget (CI):
+    PYTHONPATH=src python benchmarks/store_harness.py --check
+
+    # Small-scale byte-identity audit against the in-memory oracle:
+    PYTHONPATH=src python benchmarks/store_harness.py --verify
+
+Peak RSS comes from ``resource.getrusage`` in the analysis subprocess —
+no external profiler dependency.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import random
+import resource
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+RESULTS_DIR = Path(__file__).parent / "results"
+DEFAULT_OUT = RESULTS_DIR / "BENCH_store.json"
+BASELINE = RESULTS_DIR / "BENCH_store.json"
+
+SCHEMA_VERSION = 1
+
+#: Canonical workload: the record volume of a 1000-seed sweep.  Each
+#: shard occupies its own window of the shared campaign clock (as if
+#: the sweep's seeds ran back to back), so coalescence and trend
+#: analysis see realistic densities at any shard count.
+DEFAULT_SHARDS = 1000
+DEFAULT_REPORTS_PER_SHARD = 96
+SHARD_DURATION = 16 * 3600.0
+ROOT_SEED = 9000
+
+#: The synthetic testbed inventory (PANU, NAP) — two testbeds, like the
+#: paper's, so workload-split and relationship tables are non-trivial.
+PANUS: Tuple[Tuple[str, str], ...] = (
+    ("random", "Verde"),
+    ("random", "Win"),
+    ("random", "Miseno"),
+    ("realistic", "Ipaq H3870"),
+    ("realistic", "Zaurus"),
+)
+PAIRS: List[Tuple[str, str]] = [
+    (f"{testbed}:{name}", f"{testbed}:Giallo") for testbed, name in PANUS
+]
+
+USER_MESSAGES = (
+    "bluetest: pan connection cannot be created",
+    "bluetest: timeout waiting for expected packet (30 s)",
+    "bluetest: nap service not found on access point",
+    "bluetest: sdp search terminated abnormally",
+    "bluetest: bind on bnep0 failed",
+    "bluetest: received payload does not match expected data",
+)
+SYSTEM_MESSAGES = (
+    "hci: command tx timeout (opcode 0x0405)",
+    "sdp: request timed out",
+    "bnep: device bnep0 occupied",
+    "l2cap: connection refused by peer",
+)
+PACKET_TYPES = (None, "DM1", "DM3", "DM5", "DH1", "DH3", "DH5")
+WORKLOADS = {"random": ("random",), "realistic": ("web", "p2p", "streaming")}
+
+
+def shard_records(shard: int, reports: int):
+    """One shard's deterministic synthetic stream (tests, systems)."""
+    from repro.collection.records import (
+        RecoveryAttempt,
+        SystemLogRecord,
+        TestLogRecord,
+    )
+    from repro.recovery.sira import SIRA_NAMES
+
+    rng = random.Random(ROOT_SEED + shard)
+    base = shard * SHARD_DURATION
+    tests, systems = [], []
+    for _ in range(reports):
+        testbed, name = rng.choice(PANUS)
+        node = f"{testbed}:{name}"
+        when = base + rng.uniform(0.0, SHARD_DURATION)
+        masked = rng.random() < 0.1
+        if masked:
+            cascade = ()
+        else:
+            severity = rng.randint(1, 7)
+            cascade = tuple(
+                RecoveryAttempt(SIRA_NAMES[i], i == severity - 1,
+                                rng.uniform(0.5, 60.0))
+                for i in range(severity)
+            )
+        tests.append(TestLogRecord(
+            time=when,
+            node=node,
+            testbed=testbed,
+            workload=rng.choice(WORKLOADS[testbed]),
+            message=rng.choice(USER_MESSAGES),
+            phase="Data Transfer",
+            packet_type=rng.choice(PACKET_TYPES),
+            packets_sent=rng.randint(0, 400),
+            packets_expected=400,
+            scan_flag=rng.random() < 0.5,
+            sdp_flag=rng.random() < 0.5,
+            distance=rng.choice((1.0, 5.0, 10.0)),
+            cycle_on_connection=rng.randint(1, 5),
+            idle_before_cycle=rng.uniform(0.0, 60.0),
+            masked=masked,
+            recovery=cascade,
+        ))
+        # Correlated system-level evidence near the failure, from the
+        # PANU itself or its NAP — what the relationship miner digs up.
+        for _ in range(rng.randint(1, 2)):
+            source = node if rng.random() < 0.6 else f"{testbed}:Giallo"
+            systems.append(SystemLogRecord(
+                time=max(base, when - rng.uniform(0.0, 8.0)),
+                node=source,
+                facility=rng.choice(("hcid", "sdpd", "kernel")),
+                severity="error",
+                message=rng.choice(SYSTEM_MESSAGES),
+            ))
+    return tests, systems
+
+
+def build_store(path: Path, shards: int, reports: int) -> dict:
+    """Spill the synthetic sweep into a store, shard by shard."""
+    from repro.collection.store import SQLiteStore
+
+    started = time.perf_counter()
+    with SQLiteStore(path) as store:
+        for shard in range(shards):
+            tests, systems = shard_records(shard, reports)
+            store.ingest_test(tests)
+            store.ingest_system(systems)
+        totals = store.summary()
+    wall = time.perf_counter() - started
+    return {
+        "wall_seconds": round(wall, 3),
+        "records_per_second": round(totals["total_failure_data_items"] / wall, 1),
+        "store_bytes": path.stat().st_size,
+        **totals,
+    }
+
+
+def analyze_only(path: Path) -> int:
+    """Subprocess body: full analysis over the store, report own RSS."""
+    from repro.collection.store import SQLiteStore
+    from repro.core.summary import campaign_statistics, summarize_repository
+
+    started = time.perf_counter()
+    with SQLiteStore.open(path) as store:
+        stats = campaign_statistics(store, PAIRS)
+        rendered = summarize_repository(store, PAIRS).render()
+    wall = time.perf_counter() - started
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+    print(json.dumps({
+        "wall_seconds": round(wall, 3),
+        "peak_rss_bytes": peak,
+        "render_chars": len(rendered),
+        "statistics": stats,
+    }))
+    return 0
+
+
+def run_analysis_subprocess(path: Path) -> dict:
+    """Fresh interpreter → its ru_maxrss measures the analysis alone."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(REPO_ROOT / "src"), env.get("PYTHONPATH")) if p
+    )
+    proc = subprocess.run(
+        [sys.executable, str(Path(__file__).resolve()), "--analyze-only", str(path)],
+        capture_output=True, text=True, env=env, check=True,
+    )
+    return json.loads(proc.stdout)
+
+
+def statistics_fingerprint(stats: dict) -> str:
+    """Stable digest of the pooled statistics, for drift detection."""
+    canonical = json.dumps(stats, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+def verify(shards: int, reports: int) -> int:
+    """Byte-identity audit: SQLite backend vs the in-memory oracle."""
+    from repro.collection.repository import CentralRepository
+    from repro.collection.store import SQLiteStore
+    from repro.core.summary import campaign_statistics
+
+    memory = CentralRepository()
+    store = SQLiteStore()
+    for shard in range(shards):
+        tests, systems = shard_records(shard, reports)
+        memory.ingest_test(tests)
+        memory.ingest_system(systems)
+        store.ingest_test(tests)
+        store.ingest_system(systems)
+    failures = []
+    if list(store.iter_records(kind="test")) != list(memory.iter_records(kind="test")):
+        failures.append("test streams differ")
+    if list(store.iter_records(kind="system")) != list(memory.iter_records(kind="system")):
+        failures.append("system streams differ")
+    if store.summary() != memory.summary():
+        failures.append("summaries differ")
+    stats_store = campaign_statistics(store, PAIRS)
+    stats_memory = campaign_statistics(memory, PAIRS)
+    if stats_store != stats_memory:
+        failures.append("campaign statistics differ")
+    store.close()
+    if failures:
+        for failure in failures:
+            print(f"VERIFY FAILED: {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"verify OK: {shards} shard(s) x {reports} report(s) — both "
+        f"backends byte-identical ({memory.total_items} records, "
+        f"fingerprint {statistics_fingerprint(stats_memory)})"
+    )
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--shards", type=int, default=DEFAULT_SHARDS,
+                        help="synthetic sweep size (default: 1000 seeds)")
+    parser.add_argument("--records", type=int, default=DEFAULT_REPORTS_PER_SHARD,
+                        help="user-level reports per shard (default: 96)")
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
+                        help="artifact path (default: the committed baseline)")
+    parser.add_argument("--store", type=Path, default=None,
+                        help="store path (default: a temporary file)")
+    parser.add_argument("--check", action="store_true",
+                        help="gate peak analysis RSS and the statistics "
+                             "fingerprint against the committed baseline")
+    parser.add_argument("--verify", action="store_true",
+                        help="small-scale byte-identity audit vs the "
+                             "in-memory oracle, then exit")
+    parser.add_argument("--analyze-only", type=Path, default=None,
+                        help=argparse.SUPPRESS)  # internal subprocess mode
+    args = parser.parse_args(argv)
+
+    if args.analyze_only is not None:
+        return analyze_only(args.analyze_only)
+    if args.verify:
+        return verify(min(args.shards, 40), min(args.records, 24))
+
+    with tempfile.TemporaryDirectory(prefix="store-bench-") as scratch:
+        store_path = args.store or Path(scratch) / "sweep.store"
+        print(f"Spilling {args.shards} shard(s) x {args.records} report(s) "
+              f"into {store_path} ...")
+        ingest = build_store(store_path, args.shards, args.records)
+        print(f"  {ingest['total_failure_data_items']} records in "
+              f"{ingest['wall_seconds']} s "
+              f"({ingest['records_per_second']:.0f} rec/s, "
+              f"{ingest['store_bytes']} bytes on disk)")
+        print("Analysing out-of-core in a fresh subprocess ...")
+        analysis = run_analysis_subprocess(store_path)
+
+    fingerprint = statistics_fingerprint(analysis["statistics"])
+    peak = analysis["peak_rss_bytes"]
+    print(f"  Table 1-4 statistics in {analysis['wall_seconds']} s, "
+          f"peak RSS {peak / 1e6:.1f} MB, fingerprint {fingerprint}")
+
+    if args.check:
+        baseline = json.loads(BASELINE.read_text())
+        budget = baseline["budget"]["analyze_peak_rss_bytes"]
+        failures = []
+        if peak > budget:
+            failures.append(
+                f"peak analysis RSS {peak} exceeds the committed budget "
+                f"{budget} ({peak / budget:.2f}x) — the streaming analysis "
+                f"path is no longer out-of-core"
+            )
+        expected = baseline.get("analysis", {}).get("statistics_fingerprint")
+        if (
+            expected
+            and args.shards == baseline["workload"]["shards"]
+            and args.records == baseline["workload"]["reports_per_shard"]
+            and fingerprint != expected
+        ):
+            failures.append(
+                f"statistics fingerprint {fingerprint} != committed "
+                f"{expected} — the store analysis path changed results"
+            )
+        if failures:
+            for failure in failures:
+                print(f"CHECK FAILED: {failure}", file=sys.stderr)
+            return 1
+        print(f"check OK: peak RSS within budget "
+              f"({peak / budget:.2f}x of {budget / 1e6:.0f} MB)")
+        return 0
+
+    document = {
+        "schema_version": SCHEMA_VERSION,
+        "workload": {
+            "shards": args.shards,
+            "reports_per_shard": args.records,
+            "shard_duration_simulated_s": SHARD_DURATION,
+            "root_seed": ROOT_SEED,
+        },
+        "ingest": ingest,
+        "analysis": {
+            "wall_seconds": analysis["wall_seconds"],
+            "peak_rss_bytes": peak,
+            "statistics_fingerprint": fingerprint,
+        },
+        # The gate: analysis RSS must stay under this no matter the
+        # sweep size.  Set with ~2x headroom over the measured peak so
+        # interpreter/platform jitter never trips it, while a return to
+        # materialise-everything analysis (which scales with record
+        # count) blows straight through.
+        "budget": {
+            "analyze_peak_rss_bytes": int(peak * 2),
+        },
+    }
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    print(f"Artifact written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -45,7 +45,7 @@ def test_interference_ablation(benchmark, interfered_run):
 
     def analyse():
         losses = [
-            r for r in repo.test_records()
+            r for r in repo.iter_records(kind="test")
             if classify_user_record(r) is UserFailureType.PACKET_LOSS
         ]
         inside = sum(1 for r in losses if source.was_active_at(r.time))

@@ -15,7 +15,9 @@ ORDER = ("DM1", "DH1", "DM3", "DH3", "DM5", "DH5")
 
 
 def test_fig3a_packet_loss_by_type(benchmark, baseline_campaign):
-    records = baseline_campaign.repository.test_records(testbed="random")
+    records = list(
+        baseline_campaign.repository.iter_records(kind="test", testbed="random")
+    )
     cycles = baseline_campaign.cycles_by_packet_type("random")
 
     result = benchmark(packet_loss_by_packet_type, records, cycles)

@@ -15,7 +15,7 @@ BINS = (0, 100, 250, 500, 1000, 2000, 4000, 7000, 10000)
 
 
 def test_fig3b_connection_age(benchmark, fig3b_campaign):
-    records = fig3b_campaign.repository.test_records()
+    records = list(fig3b_campaign.repository.iter_records(kind="test"))
 
     series = benchmark(packet_loss_by_connection_age, records, BINS)
 

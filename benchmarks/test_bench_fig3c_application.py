@@ -12,7 +12,9 @@ from conftest import save_artifact
 
 
 def test_fig3c_loss_by_application(benchmark, baseline_campaign):
-    records = baseline_campaign.repository.test_records(testbed="realistic")
+    records = list(
+        baseline_campaign.repository.iter_records(kind="test", testbed="realistic")
+    )
 
     result = benchmark(packet_loss_by_application, records)
 

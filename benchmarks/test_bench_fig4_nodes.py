@@ -22,7 +22,9 @@ SHOWN_TYPES = [
 
 
 def test_fig4_failures_by_node(benchmark, baseline_campaign):
-    records = baseline_campaign.repository.test_records(testbed="realistic")
+    records = list(
+        baseline_campaign.repository.iter_records(kind="test", testbed="realistic")
+    )
 
     result = benchmark(failures_by_node, records)
 

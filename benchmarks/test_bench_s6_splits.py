@@ -25,7 +25,7 @@ def test_s6_workload_split_idle_and_distance(benchmark, baseline_campaign):
             workload_split(records),
             idle_time_analysis(baseline_campaign.client_stats("realistic")),
             failures_by_distance(
-                baseline_campaign.repository.test_records(), testbed=None
+                baseline_campaign.repository.iter_records(kind="test"), testbed=None
             ),
         )
 

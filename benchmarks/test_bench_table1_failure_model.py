@@ -17,8 +17,8 @@ from conftest import save_artifact
 
 def test_table1_failure_model(benchmark, baseline_campaign):
     repo = baseline_campaign.repository
-    user_records = repo.test_records()
-    system_records = repo.system_records()
+    user_records = list(repo.iter_records(kind="test"))
+    system_records = list(repo.iter_records(kind="system"))
 
     def classify_all():
         users = [classify_user_record(r) for r in user_records]

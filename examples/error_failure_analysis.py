@@ -33,7 +33,7 @@ def main() -> None:
 
     # --- Step 1+2: merge one node's logs, sweep the window (fig. 2) ----
     node, nap = max(
-        pairs, key=lambda p: len(repo.test_records(node=p[0]))
+        pairs, key=lambda p: sum(1 for _ in repo.iter_records(kind="test", node=p[0]))
     )
     merged = merge_node_logs(repo, node, nap)
     print(f"\nMerged log of {node}: {len(merged)} entries "

@@ -45,7 +45,7 @@ def main() -> None:
 
     # --- fig. 3a: packet type ------------------------------------------
     rates = packet_loss_by_packet_type(
-        result.repository.test_records(testbed="random"),
+        result.repository.iter_records(kind="test", testbed="random"),
         result.cycles_by_packet_type("random"),
     )
     print()
@@ -55,7 +55,7 @@ def main() -> None:
     ))
 
     # --- fig. 3b: connection age ---------------------------------------
-    series = packet_loss_by_connection_age(fig3b.repository.test_records())
+    series = packet_loss_by_connection_age(fig3b.repository.iter_records(kind="test"))
     print()
     print(format_bar_chart(
         series, title="Losses vs packets sent before the loss (young fail more)"
@@ -63,7 +63,7 @@ def main() -> None:
 
     # --- fig. 3c: applications -----------------------------------------
     by_app = packet_loss_by_application(
-        result.repository.test_records(testbed="realistic")
+        result.repository.iter_records(kind="test", testbed="realistic")
     )
     print()
     print(format_bar_chart(

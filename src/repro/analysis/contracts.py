@@ -121,6 +121,21 @@ DEFAULT_CONTRACTS: Tuple[ContractSpec, ...] = (
         producer="repro.parallel.cache.ShardCache.put",
         consumer="repro.parallel.cache.ShardCache.get",
     ),
+    ContractSpec(
+        name="store-test-row",
+        producer="repro.collection.store._test_row",
+        consumer="repro.collection.store._test_record",
+    ),
+    ContractSpec(
+        name="store-system-row",
+        producer="repro.collection.store._system_row",
+        consumer="repro.collection.store._system_record",
+    ),
+    ContractSpec(
+        name="store-meta",
+        producer="repro.collection.store._meta_document",
+        consumer="repro.collection.store._check_meta",
+    ),
 )
 
 DEFAULT_VERSION_SPECS: Tuple[VersionSpec, ...] = (
@@ -158,6 +173,13 @@ DEFAULT_VERSION_SPECS: Tuple[VersionSpec, ...] = (
         key="v",
         producer="repro.obs.journal.JournalWriter.emit",
         consumer="repro.obs.journal.validate_events",
+    ),
+    VersionSpec(
+        name="store-meta",
+        constant="STORE_VERSION",
+        key="version",
+        producer="repro.collection.store._meta_document",
+        consumer="repro.collection.store._check_meta",
     ),
 )
 

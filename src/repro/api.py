@@ -74,6 +74,7 @@ class ExperimentConfig:
         "hardware_replacement",
         "fidelity",
         "backend",
+        "store",
     )
 
     #: Valid :attr:`fidelity` values.
@@ -90,6 +91,7 @@ class ExperimentConfig:
         hardware_replacement: bool = True,
         fidelity: str = "bit",
         backend: Union[None, str, "SweepBackend"] = None,
+        store: Union[None, str, Path] = None,
     ) -> None:
         if duration <= 0:
             raise ValueError("experiment duration must be positive")
@@ -125,6 +127,18 @@ class ExperimentConfig:
         #: Deliberately *not* part of :meth:`spec` or the sweep
         #: fingerprint — the backend cannot change a result byte.
         self.backend = backend
+        if store is not None and not isinstance(store, (str, Path)):
+            raise ValueError(
+                f"store must be a path to a SQLite failure store, got {store!r}"
+            )
+        #: Optional path to a columnar SQLite failure store
+        #: (:class:`repro.collection.store.SQLiteStore`).  :meth:`run`
+        #: spills the replicate's records there; :meth:`sweep` spills
+        #: every nominal shard's records shard-by-shard, so the merged
+        #: stream never has to materialise in RAM.  Like ``backend``,
+        #: deliberately *not* part of :meth:`spec` or the sweep
+        #: fingerprint — where records land cannot change a result byte.
+        self.store = None if store is None else Path(store)
 
     def __repr__(self) -> str:
         return (
@@ -132,7 +146,8 @@ class ExperimentConfig:
             f"masking={self.masking!r}, workloads={self.workloads!r}, "
             f"profiles={tuple(p.name for p in self.profiles)!r}, "
             f"hardware_replacement={self.hardware_replacement!r}, "
-            f"fidelity={self.fidelity!r}, backend={self.backend!r})"
+            f"fidelity={self.fidelity!r}, backend={self.backend!r}, "
+            f"store={self.store!r})"
         )
 
     def __eq__(self, other: object) -> bool:
@@ -183,8 +198,19 @@ class ExperimentConfig:
         Pass an :class:`~repro.obs.Observability` bundle to instrument
         the run (metrics, propagation tracing, engine profiling); it is
         activated around the whole campaign and returned on the result.
+
+        With :attr:`store` set, the replicate's records are also
+        appended to the columnar SQLite store at that path (created on
+        first use) and ``result.store_path`` records where.
         """
-        return self.spec()._execute(observability=observability)
+        result = self.spec()._execute(observability=observability)
+        if self.store is not None:
+            from repro.collection.store import SQLiteStore
+
+            with SQLiteStore(self.store) as store:
+                store.ingest_store(result.repository)
+            result.store_path = self.store
+        return result
 
     def sweep(
         self,
@@ -201,6 +227,7 @@ class ExperimentConfig:
         boost_seeds: int = 0,
         target_ci: Optional[float] = None,
         max_seeds: int = 64,
+        store: Union[None, str, Path] = None,
     ) -> "SweepResult":
         """Replicate this experiment across seeds and merge canonically.
 
@@ -225,6 +252,12 @@ class ExperimentConfig:
         width.  The merged tables are byte-identical with telemetry on
         or off.  See :mod:`repro.parallel` for the determinism
         guarantees.
+
+        ``store`` (overriding :attr:`store`) spills every nominal
+        shard's records into the columnar SQLite store at that path as
+        the sweep completes — shard by shard, in canonical seed order,
+        so the merged record stream is queryable and analysable
+        out-of-core without ever materialising in RAM.
         """
         from repro.parallel.sweep import _execute_sweep
 
@@ -242,6 +275,7 @@ class ExperimentConfig:
             boost_seeds=boost_seeds,
             target_ci=target_ci,
             max_seeds=max_seeds,
+            store=self.store if store is None else store,
         )
 
 
@@ -272,6 +306,7 @@ def sweep(
     boost_seeds: int = 0,
     target_ci: Optional[float] = None,
     max_seeds: int = 64,
+    store: Union[None, str, Path] = None,
     **config: object,
 ) -> "SweepResult":
     """Build an :class:`ExperimentConfig` from keywords and sweep it.
@@ -279,8 +314,8 @@ def sweep(
     Sweep-control keywords (``jobs``, ``checkpoint_dir``,
     ``with_metrics``, ``progress``, ``telemetry``, ``backend``,
     ``cache_dir``, ``rare_boost``, ``boost_seeds``, ``target_ci``,
-    ``max_seeds``) go to the orchestrator; everything else describes
-    the campaign, exactly as :func:`run` takes it.
+    ``max_seeds``, ``store``) go to the orchestrator; everything else
+    describes the campaign, exactly as :func:`run` takes it.
     """
     return ExperimentConfig(**config).sweep(  # type: ignore[arg-type]
         seeds,
@@ -295,6 +330,7 @@ def sweep(
         boost_seeds=boost_seeds,
         target_ci=target_ci,
         max_seeds=max_seeds,
+        store=store,
     )
 
 

@@ -58,6 +58,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro import api, configure_logging
 from repro.collection.repository import CentralRepository
+from repro.collection.store import FailureStore
 from repro.core.dependability import build_dependability_report
 from repro.core.distributions import packet_loss_by_connection_age
 from repro.obs import Observability
@@ -69,14 +70,16 @@ from repro.reporting import (
 )
 
 
-def infer_node_nap_pairs(repository: CentralRepository) -> List[Tuple[str, str]]:
-    """Recover (PANU, NAP) pairs from a repository's node inventory.
+def infer_node_nap_pairs(repository: FailureStore) -> List[Tuple[str, str]]:
+    """Recover (PANU, NAP) pairs from a store's node inventory.
 
     The NAP of each testbed is the host that never writes user-level
-    reports (it only records system-level data).
+    reports (it only records system-level data).  Works against any
+    :class:`~repro.collection.store.FailureStore` backend; only the
+    node-name set is held in memory.
     """
     nodes = repository.nodes()
-    test_nodes = {r.node for r in repository.test_records()}
+    test_nodes = {r.node for r in repository.iter_records(kind="test")}
     naps: Dict[str, str] = {}
     for node in nodes:
         testbed = node.split(":", 1)[0]
@@ -91,16 +94,15 @@ def infer_node_nap_pairs(repository: CentralRepository) -> List[Tuple[str, str]]
 
 
 def _analyses_text(
-    repository: CentralRepository,
+    repository: FailureStore,
     pairs: List[Tuple[str, str]],
 ) -> str:
-    """Render every analysis derivable from a repository alone."""
+    """Render every analysis derivable from a failure store alone."""
     from repro.core.summary import summarize_repository
 
     summary = summarize_repository(repository, pairs)
     sections = [summary.render()]
-    records = [r for r in repository.test_records() if not r.masked]
-    age = packet_loss_by_connection_age(records)
+    age = packet_loss_by_connection_age(repository.iter_records(kind="test"))
     if any(v for _, v in age):
         sections.append("")
         sections.append(format_bar_chart(age, title="Packet losses vs connection age"))
@@ -161,14 +163,17 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         masking=masking,
         fidelity=args.fidelity,
         observability=obs,
+        store=args.store,
     )
     out = Path(args.out)
-    result.repository.dump(out)
+    result.repository.flush(out)
     text = _analyses_text(result.repository, result.node_nap_pairs())
     (out / "analysis.txt").write_text(text + "\n", encoding="utf-8")
     print(text)
     _export_obs(obs, args)
     print(f"\nRepository and analysis written to {out}/")
+    if result.store_path is not None:
+        print(f"Columnar failure store written to {result.store_path}")
     return 0
 
 
@@ -250,10 +255,15 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         seed=args.seed,
         masking=masking,
         fidelity=args.fidelity,
+        store=args.store,
     )
     text = result.render()
     (out / "sweep.txt").write_text(text + "\n", encoding="utf-8")
-    result.repository.dump(out / "repository")
+    if args.store is None:
+        # Legacy JSONL materialisation: forces the full merge in memory.
+        result.repository.flush(out / "repository")
+    else:
+        print(f"Columnar failure store written to {result.store_path}")
     if args.metrics_out:
         from repro.obs import render_prometheus
 
@@ -397,15 +407,102 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return run_lint(args)
 
 
+def _open_failure_store(target: str) -> FailureStore:
+    """Open either persisted backend: a JSONL directory or a SQLite file."""
+    path = Path(target)
+    if path.is_file():
+        from repro.collection.store import SQLiteStore
+
+        return SQLiteStore.open(path)
+    return CentralRepository.open(path)
+
+
 def cmd_analyze(args: argparse.Namespace) -> int:
-    """Re-analyze a previously dumped repository."""
-    repository = CentralRepository.load(args.directory)
+    """Re-analyze a previously persisted repository or columnar store."""
+    from repro.collection.store import StoreError
+
+    try:
+        repository = _open_failure_store(args.directory)
+    except StoreError as bad:
+        print(f"{args.directory}: {bad}", file=sys.stderr)
+        return 1
     if repository.total_items == 0:
         print(f"no records found under {args.directory}", file=sys.stderr)
         return 1
     pairs = infer_node_nap_pairs(repository)
     print(_analyses_text(repository, pairs))
+    repository.close()
     return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    """Query a columnar failure store: records, counters, tables, pairs."""
+    import json
+
+    from repro.collection.store import StoreError
+
+    path = Path(args.store)
+    if not path.exists():
+        print(f"no failure store at {path}", file=sys.stderr)
+        return 2
+    try:
+        store = _open_failure_store(args.store)
+    except StoreError as bad:
+        print(f"{path}: {bad}", file=sys.stderr)
+        return 2
+    try:
+        if args.summary:
+            for key, value in sorted(store.summary().items()):
+                print(f"{key}: {value}")
+            return 0
+        if args.tables:
+            pairs = infer_node_nap_pairs(store)
+            print(_analyses_text(store, pairs))
+            return 0
+        if args.relationships:
+            from repro.core.relationship import build_relationship_table
+            from repro.reporting import render_relationship_table
+
+            pairs = infer_node_nap_pairs(store)
+            table = build_relationship_table(store, pairs)
+            print(render_relationship_table(table))
+            lines = []
+            for user_type in sorted(table.observed, key=lambda u: u.name):
+                cause = table.strongest_cause(user_type)
+                if cause is None:
+                    continue
+                pct = table.row_percentages(user_type).get(cause, 0.0)
+                lines.append(f"  {user_type.value} <- {cause} ({pct:.1f}% of evidence)")
+            if lines:
+                print("\nStrongest error->failure pairs:")
+                print("\n".join(lines))
+            return 0
+        if args.kind != "test" and args.sira is not None:
+            print("--sira filters user-level (test) records only", file=sys.stderr)
+            return 2
+        severity_of = None
+        if args.sira is not None:
+            from repro.core.sira_analysis import record_severity
+
+            severity_of = record_severity
+        shown = 0
+        for record in store.iter_records(
+            kind=args.kind,
+            node=args.node,
+            testbed=args.testbed,
+            start=args.start,
+            end=args.end,
+        ):
+            if severity_of is not None and severity_of(record) != args.sira:
+                continue
+            print(json.dumps(record.to_dict(), sort_keys=True))
+            shown += 1
+            if args.limit is not None and shown >= args.limit:
+                break
+        print(f"{shown} record(s)", file=sys.stderr)
+        return 0
+    finally:
+        store.close()
 
 
 def cmd_report(args: argparse.Namespace) -> int:
@@ -495,6 +592,10 @@ def build_parser() -> argparse.ArgumentParser:
                               help="write Prometheus text exposition here")
         campaign.add_argument("--trace-out", default=None,
                               help="write the JSONL propagation trace here")
+        campaign.add_argument("--store", default=None,
+                              help="also spill the repository into a columnar "
+                                   "SQLite failure store at this path "
+                                   "(query it with 'repro-bt query')")
         campaign.set_defaults(func=cmd_campaign)
 
     sweep = sub.add_parser(
@@ -552,6 +653,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "width (e.g. 0.1 = 10%%)")
     sweep.add_argument("--max-seeds", type=int, default=64,
                        help="seed budget for --target-ci growth")
+    sweep.add_argument("--store", default=None,
+                       help="spill every shard into a columnar SQLite "
+                            "failure store at this path instead of "
+                            "materialising the merged JSONL repository "
+                            "(query it with 'repro-bt query')")
     sweep.set_defaults(func=cmd_sweep)
 
     cache = sub.add_parser(
@@ -588,9 +694,48 @@ def build_parser() -> argparse.ArgumentParser:
     add_lint_arguments(lint)
     lint.set_defaults(func=cmd_lint)
 
-    analyze = sub.add_parser("analyze", help="re-analyze a dumped repository")
-    analyze.add_argument("directory")
+    analyze = sub.add_parser(
+        "analyze",
+        help="re-analyze a persisted repository (JSONL dir or SQLite store)",
+    )
+    analyze.add_argument("directory",
+                         help="JSONL repository directory or columnar "
+                              "SQLite store file")
     analyze.set_defaults(func=cmd_analyze)
+
+    query = sub.add_parser(
+        "query",
+        help="query a persisted failure store: records, counters, tables",
+    )
+    query.add_argument("store",
+                       help="columnar SQLite store file (from --store) or "
+                            "JSONL repository directory")
+    query.add_argument("--kind", choices=("test", "system"), default="test",
+                       help="record stream to list (default: test)")
+    query.add_argument("--node", default=None,
+                       help="only records from this node, e.g. random:panu-1")
+    query.add_argument("--testbed", default=None,
+                       help="only records from this testbed ('random' or "
+                            "'realistic')")
+    query.add_argument("--start", type=float, default=None,
+                       help="window start, sim seconds (inclusive)")
+    query.add_argument("--end", type=float, default=None,
+                       help="window end, sim seconds (inclusive)")
+    query.add_argument("--sira", type=int, default=None,
+                       help="only user failures cleared by this SIRA level "
+                            "(1-7); test records only")
+    query.add_argument("--limit", type=int, default=None,
+                       help="stop after this many records")
+    query.add_argument("--summary", action="store_true",
+                       help="print the headline counters instead of records")
+    query.add_argument("--tables", action="store_true",
+                       help="render the full Table 1-4 analysis text "
+                            "(byte-identical to 'repro-bt analyze')")
+    query.add_argument("--relationships", action="store_true",
+                       help="render the mined error->failure relationship "
+                            "pairs (Table 2) with the strongest cause per "
+                            "failure class")
+    query.set_defaults(func=cmd_query)
 
     report = sub.add_parser(
         "report",

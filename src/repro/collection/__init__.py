@@ -4,6 +4,14 @@ from .records import RecoveryAttempt, SystemLogRecord, TestLogRecord
 from .logs import AppendOnlyLog, SystemLog, TestLog
 from .filtering import FilterStats, filter_system_records
 from .repository import CentralRepository
+from .store import (
+    STORE_VERSION,
+    FailureStore,
+    SQLiteStore,
+    StoreError,
+    StoreVersionError,
+    open_store,
+)
 from .log_analyzer import LogAnalyzer
 
 __all__ = [
@@ -16,5 +24,11 @@ __all__ = [
     "FilterStats",
     "filter_system_records",
     "CentralRepository",
+    "FailureStore",
+    "SQLiteStore",
+    "StoreError",
+    "StoreVersionError",
+    "STORE_VERSION",
+    "open_store",
     "LogAnalyzer",
 ]

@@ -5,14 +5,26 @@ repository is the single input of the analysis pipeline
 (:mod:`repro.core`): it can be queried by node, by time window and by
 record kind, and reports the same headline counters the paper does
 (user-level reports vs system-level entries).
+
+Since the storage-layer redesign this class is one of two conforming
+:class:`repro.collection.store.FailureStore` backends — the in-memory
+oracle, with :class:`repro.collection.store.SQLiteStore` as the
+out-of-core columnar twin.  Both stream records through the
+keyword-only :meth:`iter_records` surface in the same order
+(time-sorted, ingestion-stable ties), which is what makes Table 1–4
+byte-identical across backends.
 """
 
 from __future__ import annotations
 
+import json
+import warnings
 from bisect import bisect_left, bisect_right
-from typing import Dict, List, Optional, Sequence
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Union
 
 from .records import SystemLogRecord, TestLogRecord
+from .store import atomic_writer, testbed_of
 
 
 class CentralRepository:
@@ -22,20 +34,28 @@ class CentralRepository:
         self._test: List[TestLogRecord] = []
         self._system: List[SystemLogRecord] = []
         self._sorted = True
+        # Cached bisect key arrays, rebuilt together with the sort (so
+        # repeated windowed queries stop paying an O(n) list build each).
+        self._test_times: List[float] = []
+        self._system_times: List[float] = []
+        # Directory bound by open()/flush(directory) for persistence.
+        self._path: Optional[Path] = None
 
     # -- ingestion ---------------------------------------------------------
 
-    def ingest_test(self, records: Sequence[TestLogRecord]) -> int:
+    def ingest_test(self, records: Iterable[TestLogRecord]) -> int:
         """Store user-level reports; returns the number ingested."""
+        before = len(self._test)
         self._test.extend(records)
         self._sorted = False
-        return len(records)
+        return len(self._test) - before
 
-    def ingest_system(self, records: Sequence[SystemLogRecord]) -> int:
+    def ingest_system(self, records: Iterable[SystemLogRecord]) -> int:
         """Store system-level entries; returns the number ingested."""
+        before = len(self._system)
         self._system.extend(records)
         self._sorted = False
-        return len(records)
+        return len(self._system) - before
 
     def merge(self, other: "CentralRepository") -> "CentralRepository":
         """Ingest every record of ``other`` into this repository.
@@ -50,7 +70,7 @@ class CentralRepository:
         return self
 
     @classmethod
-    def from_shards(cls, repositories: Sequence["CentralRepository"]) -> "CentralRepository":
+    def from_shards(cls, repositories: Iterable["CentralRepository"]) -> "CentralRepository":
         """One repository holding every record of ``repositories``."""
         merged = cls()
         for repository in repositories:
@@ -61,6 +81,8 @@ class CentralRepository:
         if not self._sorted:
             self._test.sort(key=lambda r: r.time)
             self._system.sort(key=lambda r: r.time)
+            self._test_times = [r.time for r in self._test]
+            self._system_times = [r.time for r in self._system]
             self._sorted = True
 
     # -- queries -----------------------------------------------------------
@@ -78,6 +100,52 @@ class CentralRepository:
         """Total failure data items collected (paper: 356,551)."""
         return len(self._test) + len(self._system)
 
+    def iter_records(
+        self,
+        *,
+        kind: str,
+        node: Optional[str] = None,
+        testbed: Optional[str] = None,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+    ) -> Iterator:
+        """Stream records of ``kind`` (``"test"`` / ``"system"``).
+
+        The :class:`repro.collection.store.FailureStore` query surface:
+        keyword-only filters (exact ``node``, exact ``testbed``,
+        inclusive ``[start, end]`` window), records yielded time-ordered
+        with ingestion-stable ties.  System records match ``testbed``
+        on their node's testbed prefix.
+        """
+        if kind == "test":
+            self._ensure_sorted()
+            records: List = self._test
+            times = self._test_times
+        elif kind == "system":
+            self._ensure_sorted()
+            records = self._system
+            times = self._system_times
+        else:
+            raise ValueError(f"unknown record kind {kind!r} (expected 'test' or 'system')")
+        lo = bisect_left(times, start) if start is not None else 0
+        hi = bisect_right(times, end) if end is not None else len(records)
+        if kind == "test":
+            for index in range(lo, hi):
+                record = records[index]
+                if node is not None and record.node != node:
+                    continue
+                if testbed is not None and record.testbed != testbed:
+                    continue
+                yield record
+        else:
+            for index in range(lo, hi):
+                record = records[index]
+                if node is not None and record.node != node:
+                    continue
+                if testbed is not None and testbed_of(record.node) != testbed:
+                    continue
+                yield record
+
     def test_records(
         self,
         node: Optional[str] = None,
@@ -85,14 +153,20 @@ class CentralRepository:
         start: Optional[float] = None,
         end: Optional[float] = None,
     ) -> List[TestLogRecord]:
-        """User-level reports, optionally restricted by node/testbed/time."""
-        self._ensure_sorted()
-        records = self._slice_by_time(self._test, start, end)
-        if node is not None:
-            records = [r for r in records if r.node == node]
-        if testbed is not None:
-            records = [r for r in records if r.testbed == testbed]
-        return records
+        """User-level reports, optionally restricted by node/testbed/time.
+
+        .. deprecated:: 1.3
+           Use :meth:`iter_records` (``kind="test"``) instead.
+        """
+        warnings.warn(
+            "CentralRepository.test_records() is deprecated. use iter_records("
+            "kind='test', node=..., testbed=..., start=..., end=...) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return list(
+            self.iter_records(kind="test", node=node, testbed=testbed, start=start, end=end)
+        )
 
     def system_records(
         self,
@@ -100,26 +174,23 @@ class CentralRepository:
         start: Optional[float] = None,
         end: Optional[float] = None,
     ) -> List[SystemLogRecord]:
-        """System-level entries, optionally restricted by node/time."""
-        self._ensure_sorted()
-        records = self._slice_by_time(self._system, start, end)
-        if node is not None:
-            records = [r for r in records if r.node == node]
-        return records
+        """System-level entries, optionally restricted by node/time.
+
+        .. deprecated:: 1.3
+           Use :meth:`iter_records` (``kind="system"``) instead.
+        """
+        warnings.warn(
+            "CentralRepository.system_records() is deprecated. use iter_records("
+            "kind='system', node=..., start=..., end=...) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return list(self.iter_records(kind="system", node=node, start=start, end=end))
 
     def nodes(self) -> List[str]:
         """All node names present in either record stream, sorted."""
         names = {r.node for r in self._test} | {r.node for r in self._system}
         return sorted(names)
-
-    @staticmethod
-    def _slice_by_time(records: List, start: Optional[float], end: Optional[float]):
-        if start is None and end is None:
-            return list(records)
-        times = [r.time for r in records]
-        lo = bisect_left(times, start) if start is not None else 0
-        hi = bisect_right(times, end) if end is not None else len(records)
-        return records[lo:hi]
 
     def summary(self) -> Dict[str, int]:
         """Headline counters, analogous to the paper's §3 totals."""
@@ -155,29 +226,43 @@ class CentralRepository:
         )
         return repo
 
-    def dump(self, directory) -> None:
-        """Persist the repository as two JSONL files in ``directory``."""
-        import json
-        from pathlib import Path
+    def flush(self, directory: Union[None, str, Path] = None) -> None:
+        """Persist the repository as two JSONL files, atomically.
 
+        ``directory`` binds (and rebinds) the backing location; once
+        bound — by :meth:`open` or a previous flush — plain ``flush()``
+        re-publishes to the same place.  Files are written through the
+        shared atomic-rename + fsync discipline, so a crashed flush
+        never leaves a truncated repository behind.
+        """
+        if directory is not None:
+            self._path = Path(directory)
+        if self._path is None:
+            raise ValueError(
+                "no directory bound: pass flush(directory) or open the "
+                "repository with CentralRepository.open(directory)"
+            )
         self._ensure_sorted()
-        path = Path(directory)
-        path.mkdir(parents=True, exist_ok=True)
-        with open(path / "test_records.jsonl", "w", encoding="utf-8") as handle:
+        self._path.mkdir(parents=True, exist_ok=True)
+        with atomic_writer(self._path / "test_records.jsonl") as handle:
             for record in self._test:
                 handle.write(json.dumps(record.to_dict()) + "\n")
-        with open(path / "system_records.jsonl", "w", encoding="utf-8") as handle:
-            for record in self._system:
-                handle.write(json.dumps(record.to_dict()) + "\n")
+        with atomic_writer(self._path / "system_records.jsonl") as handle:
+            for entry in self._system:
+                handle.write(json.dumps(entry.to_dict()) + "\n")
 
     @classmethod
-    def load(cls, directory) -> "CentralRepository":
-        """Rebuild a repository dumped with :meth:`dump`."""
-        import json
-        from pathlib import Path
+    def open(cls, directory: Union[str, Path]) -> "CentralRepository":
+        """Open a JSONL-backed repository (empty if nothing is there yet).
 
+        The in-memory counterpart of
+        :meth:`repro.collection.store.SQLiteStore.open`: reads any
+        records previously flushed to ``directory`` and binds the path
+        so later :meth:`flush` calls persist back to it.
+        """
         path = Path(directory)
         repo = cls()
+        repo._path = path
         test_path = path / "test_records.jsonl"
         system_path = path / "system_records.jsonl"
         if test_path.exists():
@@ -191,6 +276,37 @@ class CentralRepository:
                     [SystemLogRecord.from_dict(json.loads(line)) for line in handle if line.strip()]
                 )
         return repo
+
+    def close(self) -> None:
+        """Protocol parity with on-disk stores; nothing to release."""
+
+    def dump(self, directory: Union[str, Path]) -> None:
+        """Persist the repository as two JSONL files in ``directory``.
+
+        .. deprecated:: 1.3
+           Use :meth:`flush` (the :class:`FailureStore` surface) instead.
+        """
+        warnings.warn(
+            "CentralRepository.dump() is deprecated. use flush(directory) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self.flush(directory)
+
+    @classmethod
+    def load(cls, directory: Union[str, Path]) -> "CentralRepository":
+        """Rebuild a repository dumped with :meth:`dump`.
+
+        .. deprecated:: 1.3
+           Use :meth:`open` (the :class:`FailureStore` surface) instead.
+        """
+        warnings.warn(
+            "CentralRepository.load() is deprecated. use CentralRepository.open(directory)"
+            " instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return cls.open(directory)
 
 
 __all__ = ["CentralRepository"]

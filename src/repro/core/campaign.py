@@ -25,6 +25,7 @@ from typing import (
 import contextlib
 import gc
 import warnings
+from pathlib import Path
 
 from repro.collection.records import TestLogRecord
 from repro.collection.repository import CentralRepository
@@ -219,6 +220,9 @@ class CampaignResult:
     #: Engine events processed during the main run loop (0 when unknown,
     #: e.g. results built by legacy paths).
     events_processed: int = 0
+    #: Columnar store the run's records were spilled to when
+    #: ``ExperimentConfig(store=...)`` asked for one (None otherwise).
+    store_path: Optional[Path] = None
 
     # -- convenience accessors -------------------------------------------------
 
@@ -226,13 +230,16 @@ class CampaignResult:
         """Failure reports that actually manifested (masked ones excluded)."""
         return [
             r
-            for r in self.repository.test_records(testbed=testbed)
+            for r in self.repository.iter_records(kind="test", testbed=testbed)
             if not r.masked
         ]
 
     def masked_count(self, testbed: Optional[str] = None) -> int:
+        """How many failures the masking strategies absorbed."""
         return sum(
-            1 for r in self.repository.test_records(testbed=testbed) if r.masked
+            1
+            for r in self.repository.iter_records(kind="test", testbed=testbed)
+            if r.masked
         )
 
     def node_nap_pairs(self) -> List[Tuple[str, str]]:

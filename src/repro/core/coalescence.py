@@ -13,7 +13,7 @@ after it cause *collapses* (distinct errors merged).  The paper picks
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence
+from typing import Iterable, Iterator, List, Sequence
 
 from .merge import MergedEntry
 
@@ -43,6 +43,29 @@ class Tuple_:
         return len(self.entries)
 
 
+def iter_coalesce(entries: Iterable[MergedEntry], window: float) -> Iterator[Tuple_]:
+    """Stream tuples off a time-ordered entry stream.
+
+    The generator form of :func:`coalesce`: only the open tuple is held
+    in memory, so merge-and-coalesce composes into a single bounded
+    pass over an out-of-core record stream.
+    """
+    if window < 0:
+        raise ValueError(f"negative coalescence window: {window}")
+    current: List[MergedEntry] = []
+    last_time = None
+    for entry in entries:
+        if last_time is not None and entry.time < last_time - 1e-9:
+            raise ValueError("entries must be time-ordered; merge them first")
+        if current and entry.time - current[-1].time > window:
+            yield Tuple_(current)
+            current = []
+        current.append(entry)
+        last_time = entry.time
+    if current:
+        yield Tuple_(current)
+
+
 def coalesce(entries: Sequence[MergedEntry], window: float) -> List[Tuple_]:
     """Group a time-ordered entry stream into tuples.
 
@@ -50,22 +73,7 @@ def coalesce(entries: Sequence[MergedEntry], window: float) -> List[Tuple_]:
     tuple (the standard tupling scheme: gaps, not tuple spans, are
     compared to the window).
     """
-    if window < 0:
-        raise ValueError(f"negative coalescence window: {window}")
-    tuples: List[Tuple_] = []
-    current: List[MergedEntry] = []
-    last_time = None
-    for entry in entries:
-        if last_time is not None and entry.time < last_time - 1e-9:
-            raise ValueError("entries must be time-ordered; merge them first")
-        if current and entry.time - current[-1].time > window:
-            tuples.append(Tuple_(current))
-            current = []
-        current.append(entry)
-        last_time = entry.time
-    if current:
-        tuples.append(Tuple_(current))
-    return tuples
+    return list(iter_coalesce(entries, window))
 
 
 @dataclass(frozen=True)

@@ -17,6 +17,7 @@ The user thinking time is assumed zero, giving upper-bound figures.
 
 from __future__ import annotations
 
+import math
 import statistics
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence
@@ -142,6 +143,121 @@ def compute_scenario(
     )
 
 
+class _RunningStats:
+    """Streaming count/sum/min/max plus Welford variance accumulator."""
+
+    __slots__ = ("count", "total", "minimum", "maximum", "_mean", "_m2")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum = 0.0
+        self.maximum = 0.0
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    def add(self, value: float) -> None:
+        if self.count == 0:
+            self.minimum = value
+            self.maximum = value
+        else:
+            if value < self.minimum:
+                self.minimum = value
+            if value > self.maximum:
+                self.maximum = value
+        self.count += 1
+        self.total += value
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def std(self) -> float:
+        if self.count < 2:
+            return 0.0
+        # Welford's M2 can round a hair below zero for constant samples.
+        return math.sqrt(max(0.0, self._m2 / self.count))
+
+
+class ScenarioAccumulator:
+    """Single-pass Table 4 metrics over a time-ordered failure stream.
+
+    The streaming counterpart of :func:`compute_scenario`: feed it the
+    *unmasked* failure reports of one campaign in global time order
+    (which implies the per-node order the TTF recurrence needs) and
+    read :meth:`result`.  State is one ``previous_end`` entry per node
+    plus O(1) running statistics, so a 1000-seed sweep's record stream
+    folds at constant memory instead of materialising sample lists.
+
+    Variance uses Welford's recurrence and the mean a running sum, so
+    figures can differ from the materialised :func:`compute_scenario`
+    in the last ulp — but they are exactly reproducible for a fixed
+    feed order, and the :class:`repro.collection.store.FailureStore`
+    iteration contract (time-ordered, ingestion-stable ties) pins that
+    order down for every backend.  Identical streams therefore yield
+    byte-identical metrics whichever store produced them.
+    """
+
+    def __init__(self, scenario: str, campaign_start: float = 0.0) -> None:
+        if scenario not in SCENARIOS:
+            raise ValueError(f"unknown scenario: {scenario!r}")
+        self.scenario = scenario
+        self.campaign_start = campaign_start
+        self._previous_end: Dict[str, float] = {}
+        self._ttf = _RunningStats()
+        self._ttr = _RunningStats()
+        self._failures = 0
+        self._cheap = 0
+
+    def add(self, record: TestLogRecord) -> None:
+        """Fold one unmasked failure report into the running metrics."""
+        previous_end = self._previous_end.get(record.node, self.campaign_start)
+        self._ttf.add(max(MIN_TTF_FLOOR, record.time - previous_end))
+        ttr = scenario_ttr(record, self.scenario)
+        severity = record_severity(record)
+        if severity is not None:
+            # Failures with no recovery defined (data mismatch) are
+            # not repairs: they carry no TTR sample in any scenario.
+            self._ttr.add(ttr)
+            if severity <= 3:
+                self._cheap += 1
+        self._failures += 1
+        self._previous_end[record.node] = record.time + ttr
+
+    @property
+    def failures(self) -> int:
+        return self._failures
+
+    def result(self, masked_count: int = 0) -> ScenarioMetrics:
+        """The Table 4 column for everything folded in so far."""
+        total_incidents = self._failures + masked_count
+        if self.scenario in ("siras", "siras_masking"):
+            coverage = (
+                100.0 * (self._cheap + masked_count) / total_incidents if total_incidents else 0.0
+            )
+        else:
+            coverage = 0.0  # manual scenarios recover nothing without user action
+        masking_pct = 100.0 * masked_count / total_incidents if total_incidents else 0.0
+        return ScenarioMetrics(
+            name=self.scenario,
+            mttf=self._ttf.mean,
+            mttr=self._ttr.mean,
+            coverage_pct=coverage,
+            masking_pct=masking_pct,
+            min_ttf=self._ttf.minimum,
+            max_ttf=self._ttf.maximum,
+            std_ttf=self._ttf.std,
+            min_ttr=self._ttr.minimum,
+            max_ttr=self._ttr.maximum,
+            std_ttr=self._ttr.std,
+            failures=self._failures,
+        )
+
+
 @dataclass(frozen=True)
 class DependabilityReport:
     """All four Table 4 columns plus the headline improvements."""
@@ -205,6 +321,7 @@ def _std(samples: List[float]) -> float:
 
 __all__ = [
     "ScenarioMetrics",
+    "ScenarioAccumulator",
     "DependabilityReport",
     "compute_scenario",
     "scenario_ttr",

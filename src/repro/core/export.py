@@ -14,7 +14,7 @@ from pathlib import Path
 from typing import Iterable
 
 from repro.collection.records import SystemLogRecord, TestLogRecord
-from repro.collection.repository import CentralRepository
+from repro.collection.store import FailureStore
 from .classification import classify_system_record, classify_user_record
 from .sira_analysis import record_severity
 
@@ -83,16 +83,20 @@ def export_system_records(records: Iterable[SystemLogRecord], path) -> int:
     return count
 
 
-def export_repository(repository: CentralRepository, directory) -> dict:
-    """Export both record streams as CSV files; returns row counts."""
+def export_repository(repository: FailureStore, directory) -> dict:
+    """Export both record streams as CSV files; returns row counts.
+
+    Streams straight off the store's cursors, so arbitrarily large
+    stores export at constant memory.
+    """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     return {
         "test_rows": export_test_records(
-            repository.test_records(), directory / "user_failures.csv"
+            repository.iter_records(kind="test"), directory / "user_failures.csv"
         ),
         "system_rows": export_system_records(
-            repository.system_records(), directory / "system_entries.csv"
+            repository.iter_records(kind="system"), directory / "system_entries.csv"
         ),
     }
 

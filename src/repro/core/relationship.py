@@ -12,14 +12,15 @@ each row reads as "what causes this user failure".
 from __future__ import annotations
 
 import re
+from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.collection.repository import CentralRepository
+from repro.collection.store import FailureStore
 from .classification import classify_system_record, classify_user_record
-from .coalescence import PAPER_WINDOW, coalesce
+from .coalescence import PAPER_WINDOW, iter_coalesce
 from .failure_model import SystemFailureType, UserFailureType
-from .merge import Source, merge_node_logs
+from .merge import Source, iter_node_logs
 
 #: Column key for tuples with no system-level evidence at all.
 NO_EVIDENCE = "none"
@@ -113,22 +114,26 @@ class RelationshipTable:
 
 
 def build_relationship_table(
-    repository: CentralRepository,
+    repository: FailureStore,
     node_nap_pairs: Sequence[Tuple[str, str]],
     window: float = PAPER_WINDOW,
 ) -> RelationshipTable:
-    """Mine the error-failure relationship from the repository.
+    """Mine the error-failure relationship from any failure store.
 
     ``node_nap_pairs`` lists every PANU with its testbed's NAP, e.g.
     ``[("random:Verde", "random:Giallo"), ...]``.  For each PANU the
     merged (Test + local System + NAP System) log is coalesced and the
-    tuples containing user reports are mined for evidence.
+    tuples containing user reports are mined for evidence.  The merge
+    and the coalescence both stream off the store's cursors, so only
+    one open tuple per node is ever in memory — the evidence counts
+    (and therefore every derived percentage) are identical whichever
+    backend holds the records.
     """
     table = RelationshipTable()
     for node, nap in node_nap_pairs:
         host = node.split(":", 1)[-1]
-        merged = merge_node_logs(repository, node, nap)
-        for tpl in coalesce(merged, window):
+        merged = iter_node_logs(repository, node, nap)
+        for tpl in iter_coalesce(merged, window):
             users = []  # (time, type) of every user report in the tuple
             systems = []  # (time, column) of every classified error
             for entry in tpl.entries:
@@ -157,13 +162,25 @@ def build_relationship_table(
             # When a tuple collapses several failures together, each
             # error entry is attributed to the *nearest* user report in
             # time; otherwise collapses smear every cause over every
-            # failure and the relationship washes out.
+            # failure and the relationship washes out.  The user reports
+            # arrive time-ordered, so the nearest one is found by
+            # bisection (ties go to the earlier report) — a dense tuple
+            # costs O((U+S) log U), not O(U*S).
+            user_times = [when for when, _ in users]
             per_user = {index: set() for index in range(len(users))}
             for sys_time, column in systems:
-                nearest = min(
-                    range(len(users)), key=lambda i: abs(users[i][0] - sys_time)
-                )
-                per_user[nearest].add(column)
+                after = bisect_left(user_times, sys_time)
+                left = user_times[after - 1] if after else None
+                right = user_times[after] if after < len(users) else None
+                if right is None or (
+                    left is not None and sys_time - left <= right - sys_time
+                ):
+                    winner = left
+                else:
+                    winner = right
+                # First report carrying the winning timestamp, so ties
+                # resolve exactly as a full first-minimum scan would.
+                per_user[bisect_left(user_times, winner)].add(column)
             for index, (_, user_type) in enumerate(users):
                 table.note_failure(user_type)
                 evidence = per_user[index]

@@ -232,7 +232,7 @@ def evaluate(
 
     # --- fig. 3a: packet-type orderings --------------------------------------------
     rates = packet_loss_by_packet_type(
-        baseline.repository.test_records(testbed="random"),
+        baseline.repository.iter_records(kind="test", testbed="random"),
         baseline.cycles_by_packet_type("random"),
     )
     rate = {k: v.get("loss_rate_pct", 0.0) for k, v in rates.items()}
@@ -248,7 +248,7 @@ def evaluate(
 
     # --- fig. 3c: applications --------------------------------------------------------
     by_app = packet_loss_by_application(
-        baseline.repository.test_records(testbed="realistic")
+        baseline.repository.iter_records(kind="test", testbed="realistic")
     )
     if by_app:
         worst = max(by_app, key=by_app.get)
@@ -271,7 +271,7 @@ def evaluate(
             f"{idle.mean_idle_before_failure:.1f} s vs {idle.mean_idle_before_ok:.1f} s",
             0.5 <= ratio <= 2.0,
         )
-    distance = failures_by_distance(baseline.repository.test_records(), testbed=None)
+    distance = failures_by_distance(baseline.repository.iter_records(kind="test"), testbed=None)
     if len(distance) == 3:
         add(
             "s6/distance",

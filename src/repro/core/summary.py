@@ -12,14 +12,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.collection.repository import CentralRepository
+from repro.collection.store import FailureStore
 from repro.reporting import (
     format_bar_chart,
     render_relationship_table,
     render_sira_table,
 )
-from .classification import classification_report
-from .dependability import ScenarioMetrics, compute_scenario
+from .classification import classification_report, classify_user_record
+from .dependability import ScenarioAccumulator, ScenarioMetrics
 from .distributions import packet_loss_by_application, workload_split
 from .failure_model import FailureModel
 from .relationship import RelationshipTable, build_relationship_table
@@ -82,7 +82,7 @@ class AnalysisSummary:
 
 
 def campaign_statistics(
-    repository: CentralRepository,
+    repository: FailureStore,
     node_nap_pairs: List[Tuple[str, str]],
     duration: Optional[float] = None,
 ) -> Dict[str, float]:
@@ -94,33 +94,48 @@ def campaign_statistics(
     schema, and every value is a plain float so the dict crosses
     process boundaries and JSON checkpoints unchanged.  Key order is
     deterministic — pooled tables render identically run to run.
+
+    Works against any :class:`FailureStore`: the scalar statistics fold
+    in one streaming pass over the test-record cursor (classification,
+    masking split, workload split and the Table 4 accumulator all share
+    it), and the relationship table streams per node — so a 1000-seed
+    sweep's record stream is analysed out-of-core, never materialised.
+    The store iteration contract (time order, ingestion-stable ties)
+    makes the result byte-identical whichever backend holds the data.
     """
     from .failure_model import UserFailureType
 
-    records = [r for r in repository.test_records() if not r.masked]
     totals = repository.summary()
+    user_classified = 0
+    unmasked = 0
+    split_counts: Dict[str, int] = {}
+    scenario = ScenarioAccumulator("siras")
+    for record in repository.iter_records(kind="test"):
+        if classify_user_record(record) is not None:
+            user_classified += 1
+        if record.masked:
+            continue
+        unmasked += 1
+        split_counts[record.testbed] = split_counts.get(record.testbed, 0) + 1
+        scenario.add(record)
     stats: Dict[str, float] = {
         "total_failure_data_items": float(totals["total_failure_data_items"]),
         "user_level_reports": float(totals["user_level_reports"]),
         "system_level_entries": float(totals["system_level_entries"]),
-        "unmasked_user_failures": float(len(records)),
-        "masked_user_failures": float(totals["user_level_reports"] - len(records)),
+        "unmasked_user_failures": float(unmasked),
+        "masked_user_failures": float(totals["user_level_reports"] - unmasked),
     }
     if duration:
-        stats["failures_per_day"] = len(records) / (duration / 86_400.0)
-    classification = classification_report(
-        repository.test_records(), repository.system_records()
-    )
+        stats["failures_per_day"] = unmasked / (duration / 86_400.0)
+    user_total = totals["user_level_reports"]
     stats["user_classified_pct"] = (
-        100.0 * classification["user_classified"] / classification["user_total"]
-        if classification["user_total"]
-        else 0.0
+        100.0 * user_classified / user_total if user_total else 0.0
     )
     shares = build_relationship_table(repository, node_nap_pairs).shares()
     for failure_type in UserFailureType:
         stats[f"failure_share_pct.{failure_type.name}"] = shares.get(failure_type, 0.0)
-    if records:
-        metrics = compute_scenario(records, "siras")
+    if unmasked:
+        metrics = scenario.result()
         stats["mttf_s"] = metrics.mttf
         stats["mttr_s"] = metrics.mttr
         stats["availability"] = metrics.availability
@@ -128,14 +143,17 @@ def campaign_statistics(
     else:
         stats["mttf_s"] = stats["mttr_s"] = 0.0
         stats["availability"] = stats["coverage_pct"] = 0.0
-    split = workload_split(records)
+    split_total = sum(split_counts.values())
     for testbed in ("random", "realistic"):
-        stats[f"workload_split_pct.{testbed}"] = split.get(testbed, 0.0)
+        count = split_counts.get(testbed, 0)
+        stats[f"workload_split_pct.{testbed}"] = (
+            100.0 * count / split_total if split_total else 0.0
+        )
     return stats
 
 
 def importance_estimates(
-    repository: CentralRepository,
+    repository: FailureStore,
     duration: float,
     boost: float,
     boosted_types: Tuple["UserFailureType", ...],
@@ -165,7 +183,6 @@ def importance_estimates(
     """
     import math
 
-    from .classification import classify_user_record
     from .failure_model import UserFailureType
 
     if boost < 1.0:
@@ -173,7 +190,7 @@ def importance_estimates(
     boosted = frozenset(boosted_types)
     inverse = 1.0 / boost
     per_type: Dict[UserFailureType, List[float]] = {}
-    for record in repository.test_records():
+    for record in repository.iter_records(kind="test"):
         if record.masked:
             continue
         failure_type = classify_user_record(record)
@@ -200,25 +217,38 @@ def importance_estimates(
 
 
 def summarize_repository(
-    repository: CentralRepository,
+    repository: FailureStore,
     node_nap_pairs: List[Tuple[str, str]],
     duration: Optional[float] = None,
 ) -> AnalysisSummary:
-    """Run every single-repository analysis."""
-    records = [r for r in repository.test_records() if not r.masked]
+    """Run every single-repository analysis.
+
+    Every analysis consumes its own streaming cursor off the store
+    (each filters masked records itself), so the report is computed in
+    a handful of bounded-memory passes and works against the on-disk
+    columnar store as well as the in-memory oracle.
+    """
+
+    def test_stream():
+        return repository.iter_records(kind="test")
+
     trend = None
     if duration:
-        trend = campaign_trend(records, duration)
+        trend = campaign_trend(test_stream(), duration)
+    scenario = ScenarioAccumulator("siras")
+    for record in test_stream():
+        if not record.masked:
+            scenario.add(record)
     return AnalysisSummary(
         repository_summary=repository.summary(),
         classification=classification_report(
-            repository.test_records(), repository.system_records()
+            test_stream(), repository.iter_records(kind="system")
         ),
         relationship=build_relationship_table(repository, node_nap_pairs),
-        sira=build_sira_table(records),
-        siras_metrics=compute_scenario(records, "siras"),
-        split=workload_split(records),
-        by_application=packet_loss_by_application(records),
+        sira=build_sira_table(test_stream()),
+        siras_metrics=scenario.result(),
+        split=workload_split(test_stream()),
+        by_application=packet_loss_by_application(test_stream()),
         trend=trend,
     )
 

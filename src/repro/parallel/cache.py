@@ -41,6 +41,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro import get_logger
+from repro.collection.store import atomic_writer
 
 from .shard import ShardResult
 
@@ -63,21 +64,14 @@ def atomic_write_json(path: Path, document: dict) -> None:
     makes the publish atomic: any reader ever sees either the old
     complete file or the new complete file, never a torn one.  A writer
     killed at any point leaves at worst an orphaned ``*.tmp`` file.
+
+    The discipline itself lives in
+    :func:`repro.collection.store.atomic_writer` so every on-disk
+    artifact — cache entries, JSONL repositories, the columnar store's
+    sidecar files — publishes the same way.
     """
-    path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.parent / f".{path.name}.{os.getpid()}.tmp"
-    try:
-        with open(tmp, "w", encoding="utf-8") as handle:
-            json.dump(document, handle, separators=(",", ":"))
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp, path)
-    finally:
-        if tmp.exists():
-            try:
-                tmp.unlink()
-            except OSError:  # pragma: no cover - lost the race, fine
-                pass
+    with atomic_writer(path) as handle:
+        json.dump(document, handle, separators=(",", ":"))
 
 
 def payload_digest(payload: dict) -> str:

@@ -38,6 +38,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro import get_logger
 from repro.collection.repository import CentralRepository
+from repro.collection.store import SQLiteStore
 from repro.core.campaign import CampaignSpec
 from repro.obs.campaign import SweepMonitor, SweepWatchdog, write_sweep_textfile
 from repro.obs.journal import (
@@ -107,6 +108,10 @@ class SweepResult:
     converged: Optional[bool] = None
     #: Run journal the sweep narrated itself to (None when telemetry off).
     journal: Optional[Path] = None
+    #: Columnar store the nominal record stream was spilled to
+    #: (:meth:`into_store` / ``store=``; None when the sweep kept
+    #: everything in memory).
+    store_path: Optional[Path] = None
     _repository: Optional[CentralRepository] = field(
         default=None, repr=False, compare=False
     )
@@ -122,6 +127,29 @@ class SweepResult:
                 merged.merge(shard.repository())
             self._repository = merged
         return self._repository
+
+    def into_store(self, target: Union[str, Path]) -> Path:
+        """Spill every nominal shard's records into a columnar SQLite store.
+
+        The out-of-core replacement for :attr:`repository`: shards are
+        ingested in canonical (ascending-seed) order, one shard's
+        repository at a time, so peak memory is a single shard — never
+        the merged stream.  Because the in-memory merge concatenates
+        shard record lists in exactly this order before its stable
+        time-sort, the store's iteration order (``ORDER BY time, id``)
+        matches the merged repository record for record, and every
+        streaming analysis is byte-identical over either.  Returns the
+        store path (also recorded on :attr:`store_path`).
+        """
+        store = SQLiteStore(target)
+        try:
+            for shard in self.shards:
+                store.ingest_store(shard.repository())
+            store.flush()
+        finally:
+            store.close()
+        self.store_path = Path(target)
+        return self.store_path
 
     @property
     def metrics(self) -> MetricsRegistry:
@@ -548,6 +576,7 @@ def _execute_sweep(
     boost_seeds: int = 0,
     target_ci: Optional[float] = None,
     max_seeds: int = 64,
+    store: Union[None, str, Path] = None,
 ) -> SweepResult:
     """The sweep executor behind :mod:`repro.api` and the shim.
 
@@ -580,6 +609,10 @@ def _execute_sweep(
     aborting per ``telemetry.policy``.  The journal's deterministic
     projection (:func:`repro.obs.journal.canonical_journal`) and the
     merged tables stay byte-identical at any ``jobs``.
+
+    ``store`` spills the final nominal record stream into the columnar
+    SQLite store at that path (:meth:`SweepResult.into_store`) once the
+    sweep — including any ``target_ci`` growth — has settled.
     """
     if spec is None:
         spec = CampaignSpec()
@@ -610,11 +643,14 @@ def _execute_sweep(
 
     if target_ci is None:
         nominal = seeds if isinstance(seeds, int) else len(tuple(seeds))
-        return _sweep_pass(
+        result = _sweep_pass(
             seeds, jobs, spec, checkpoint_dir, with_metrics, progress,
             telemetry, backend_obj, shard_cache, rare_boost,
             _boost_count(nominal),
         )
+        if store is not None:
+            result.into_store(store)
+        return result
 
     if not isinstance(seeds, int):
         raise ValueError(
@@ -646,6 +682,8 @@ def _execute_sweep(
             result.target_ci = target_ci
             result.converged = converged
             result.wall_time = total_wall
+            if store is not None:
+                result.into_store(store)
             return result
         grown = min(max_seeds, count * 2)
         log.info(

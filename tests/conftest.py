@@ -39,6 +39,7 @@ def pytest_configure(config):
             "repro",
             "repro.api",
             "repro.cli",
+            "repro.collection.store",
             "repro.core.campaign",
             "repro.obs",
             "repro.obs.campaign",

@@ -168,19 +168,19 @@ class TestBatchExecutorDeterminism:
     def test_same_seed_same_repository(self):
         first = api.run(duration=self.DURATION, seed=11, fidelity="batch")
         second = api.run(duration=self.DURATION, seed=11, fidelity="batch")
-        assert [repr(r) for r in first.repository.test_records()] == [
-            repr(r) for r in second.repository.test_records()
+        assert [repr(r) for r in first.repository.iter_records(kind="test")] == [
+            repr(r) for r in second.repository.iter_records(kind="test")
         ]
-        assert [repr(r) for r in first.repository.system_records()] == [
-            repr(r) for r in second.repository.system_records()
+        assert [repr(r) for r in first.repository.iter_records(kind="system")] == [
+            repr(r) for r in second.repository.iter_records(kind="system")
         ]
         assert first.events_processed == second.events_processed > 0
 
     def test_different_seeds_diverge(self):
         a = api.run(duration=self.DURATION, seed=1, fidelity="batch")
         b = api.run(duration=self.DURATION, seed=2, fidelity="batch")
-        assert [repr(r) for r in a.repository.test_records()] != [
-            repr(r) for r in b.repository.test_records()
+        assert [repr(r) for r in a.repository.iter_records(kind="test")] != [
+            repr(r) for r in b.repository.iter_records(kind="test")
         ]
 
     def test_sweep_merge_is_byte_stable_across_jobs(self, tmp_path):
@@ -191,8 +191,8 @@ class TestBatchExecutorDeterminism:
         pooled = api.sweep(4, jobs=4, **kwargs)
         assert serial.render() == pooled.render()
         assert serial.render_statistics() == pooled.render_statistics()
-        serial.repository.dump(tmp_path / "serial")
-        pooled.repository.dump(tmp_path / "pooled")
+        serial.repository.flush(tmp_path / "serial")
+        pooled.repository.flush(tmp_path / "pooled")
         for name in sorted(
             p.name for p in (tmp_path / "serial").iterdir()
         ):

@@ -30,7 +30,7 @@ class TestCollectionPipeline:
         assert summary["system_level_entries"] > summary["user_level_reports"]
 
     def test_all_reports_classify(self, baseline_campaign):
-        records = baseline_campaign.repository.test_records()
+        records = list(baseline_campaign.repository.iter_records(kind="test"))
         assert records
         assert all(classify_user_record(r) is not None for r in records)
 
@@ -42,7 +42,7 @@ class TestCollectionPipeline:
     def test_shipped_system_entries_are_errors_only(self, baseline_campaign):
         assert all(
             r.severity == "error"
-            for r in baseline_campaign.repository.system_records()
+            for r in baseline_campaign.repository.iter_records(kind="system")
         )
 
 
@@ -216,7 +216,7 @@ class TestDependabilityImprovement:
 class TestSection6Distributions:
     def test_packet_loss_rate_ordering(self, baseline_campaign):
         rates = packet_loss_by_packet_type(
-            baseline_campaign.repository.test_records(testbed="random"),
+            baseline_campaign.repository.iter_records(kind="test", testbed="random"),
             baseline_campaign.cycles_by_packet_type("random"),
         )
         # Per-cycle loss rate: single-slot DM1 must beat multi-slot DH5,
@@ -226,7 +226,7 @@ class TestSection6Distributions:
 
     def test_distance_does_not_dominate(self, baseline_campaign):
         result = failures_by_distance(
-            baseline_campaign.repository.test_records(), testbed=None
+            baseline_campaign.repository.iter_records(kind="test"), testbed=None
         )
         if result and len(result) == 3:
             # Paper: 33.3 / 37.1 / 29.6 — no distance exceeds half.
@@ -259,8 +259,8 @@ class TestCrossLayerConsistency:
 
     def test_every_report_node_exists_in_system_stream(self, baseline_campaign):
         repo = baseline_campaign.repository
-        system_nodes = {r.node for r in repo.system_records()}
-        for record in repo.test_records():
+        system_nodes = {r.node for r in repo.iter_records(kind="system")}
+        for record in repo.iter_records(kind="test"):
             assert record.node in system_nodes
 
     def test_cli_pair_inference_matches_campaign(self, baseline_campaign):
@@ -270,12 +270,14 @@ class TestCrossLayerConsistency:
         actual = set(baseline_campaign.node_nap_pairs())
         # Inference works from log structure alone; every actual pair
         # whose PANU reported at least one failure must be recovered.
-        reporting_nodes = {r.node for r in baseline_campaign.repository.test_records()}
+        reporting_nodes = {
+            r.node for r in baseline_campaign.repository.iter_records(kind="test")
+        }
         expected = {p for p in actual if p[0] in reporting_nodes}
         assert expected <= inferred
 
     def test_masked_campaign_reports_have_no_recovery(self, masked_campaign):
-        for record in masked_campaign.repository.test_records():
+        for record in masked_campaign.repository.iter_records(kind="test"):
             if record.masked:
                 assert record.recovery == ()
                 assert record.time_to_recover == 0.0

@@ -32,24 +32,24 @@ def small_repo():
 
 
 class TestPersistence:
-    def test_dump_load_roundtrip(self, tmp_path):
+    def test_flush_open_roundtrip(self, tmp_path):
         repo = small_repo()
-        repo.dump(tmp_path / "dump")
-        loaded = CentralRepository.load(tmp_path / "dump")
+        repo.flush(tmp_path / "dump")
+        loaded = CentralRepository.open(tmp_path / "dump")
         assert loaded.summary() == repo.summary()
-        assert [r.time for r in loaded.test_records()] == [
-            r.time for r in repo.test_records()
+        assert [r.time for r in loaded.iter_records(kind="test")] == [
+            r.time for r in repo.iter_records(kind="test")
         ]
         assert loaded.nodes() == repo.nodes()
 
-    def test_load_empty_directory(self, tmp_path):
-        loaded = CentralRepository.load(tmp_path)
+    def test_open_empty_directory(self, tmp_path):
+        loaded = CentralRepository.open(tmp_path)
         assert loaded.total_items == 0
 
-    def test_dump_creates_directory(self, tmp_path):
+    def test_flush_creates_directory(self, tmp_path):
         repo = small_repo()
         target = tmp_path / "deep" / "nested"
-        repo.dump(target)
+        repo.flush(target)
         assert (target / "test_records.jsonl").exists()
         assert (target / "system_records.jsonl").exists()
 

@@ -163,7 +163,7 @@ class TestRepository:
     def test_queries_sorted_by_time(self):
         repo = CentralRepository()
         repo.ingest_test([make_report(time=5.0), make_report(time=1.0)])
-        times = [r.time for r in repo.test_records()]
+        times = [r.time for r in repo.iter_records(kind="test")]
         assert times == [1.0, 5.0]
 
     def test_query_filters(self):
@@ -172,14 +172,14 @@ class TestRepository:
             make_report(node="a:x", testbed="random"),
             make_report(node="b:y", testbed="realistic"),
         ])
-        assert len(repo.test_records(node="a:x")) == 1
-        assert len(repo.test_records(testbed="realistic")) == 1
+        assert len(list(repo.iter_records(kind="test", node="a:x"))) == 1
+        assert len(list(repo.iter_records(kind="test", testbed="realistic"))) == 1
         assert repo.nodes() == ["a:x", "b:y"]
 
     def test_time_window_query(self):
         repo = CentralRepository()
         repo.ingest_system([system_record(time=t) for t in (0.0, 10.0, 20.0)])
-        assert len(repo.system_records(start=5.0, end=15.0)) == 1
+        assert len(list(repo.iter_records(kind="system", start=5.0, end=15.0))) == 1
 
 
 class TestLogAnalyzer:

@@ -133,5 +133,5 @@ class TestRedundantPiconets:
     def test_both_naps_log_system_data(self, runs):
         _, redundant = runs
         repo = redundant.repository
-        assert repo.system_records(node="random:Giallo")
-        assert repo.system_records(node="random:Secondo")
+        assert list(repo.iter_records(kind="system", node="random:Giallo"))
+        assert list(repo.iter_records(kind="system", node="random:Secondo"))

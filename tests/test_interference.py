@@ -91,7 +91,7 @@ class TestTestbedIntegration:
 
             return sum(
                 1
-                for r in repo.test_records()
+                for r in repo.iter_records(kind="test")
                 if classify_user_record(r) is UserFailureType.PACKET_LOSS
             )
 

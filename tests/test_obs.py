@@ -305,9 +305,11 @@ class TestDeterminism:
         instrumented = api.run(
             duration=4 * 3600.0, seed=23, observability=Observability()
         )
-        plain_records = [r.to_dict() for r in plain.repository.test_records()]
+        plain_records = [
+            r.to_dict() for r in plain.repository.iter_records(kind="test")
+        ]
         obs_records = [
-            r.to_dict() for r in instrumented.repository.test_records()
+            r.to_dict() for r in instrumented.repository.iter_records(kind="test")
         ]
         assert plain_records == obs_records
 

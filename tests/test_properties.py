@@ -144,7 +144,7 @@ class TestRepositoryProperties:
         repo.ingest_test(tests)
         repo.ingest_system(systems)
         assert repo.total_items == len(tests) + len(systems)
-        times = [r.time for r in repo.test_records()]
+        times = [r.time for r in repo.iter_records(kind="test")]
         assert times == sorted(times)
 
     @given(
@@ -157,7 +157,7 @@ class TestRepositoryProperties:
         start, end = min(a, b), max(a, b)
         repo = CentralRepository()
         repo.ingest_test(tests)
-        window = repo.test_records(start=start, end=end)
+        window = list(repo.iter_records(kind="test", start=start, end=end))
         assert all(start <= r.time <= end for r in window)
         expected = sum(1 for r in tests if start <= r.time <= end)
         assert len(window) == expected

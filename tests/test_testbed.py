@@ -108,8 +108,8 @@ class TestTestbedDeployment:
         bed.start()
         sim.run_until(4 * 3600.0)
         bed.final_collection()
-        assert repo.test_records(node=bed.nap.id) == []
-        assert repo.system_records(node=bed.nap.id)
+        assert list(repo.iter_records(kind="test", node=bed.nap.id)) == []
+        assert list(repo.iter_records(kind="system", node=bed.nap.id))
 
     def test_hardware_replacement_resets_stacks(self):
         sim, _, bed = self.make_testbed(seed=4)
@@ -123,7 +123,7 @@ class TestTestbedDeployment:
         bed.start()
         sim.run_until(6 * 3600.0)
         bed.final_collection()
-        shipped = repo.system_records()
+        shipped = list(repo.iter_records(kind="system"))
         assert all(r.severity == "error" for r in shipped)
 
     def test_distinct_seeds_distinct_outcomes(self):
@@ -147,6 +147,6 @@ class TestTestbedDeployment:
         sim_b.run_until(2 * 3600.0)
         bed_b.final_collection()
         assert repo_a.total_items == repo_b.total_items
-        assert [r.time for r in repo_a.test_records()] == [
-            r.time for r in repo_b.test_records()
+        assert [r.time for r in repo_a.iter_records(kind="test")] == [
+            r.time for r in repo_b.iter_records(kind="test")
         ]

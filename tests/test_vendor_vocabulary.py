@@ -82,9 +82,9 @@ class TestBroadcomSystemLog:
 
 class TestEndToEndWinNode:
     def test_win_system_entries_use_broadcom_dialect(self, baseline_campaign):
-        win_entries = baseline_campaign.repository.system_records(
-            node="random:Win"
-        )
+        win_entries = list(baseline_campaign.repository.iter_records(
+            kind="system", node="random:Win"
+        ))
         if win_entries:
             classified = [
                 r for r in win_entries

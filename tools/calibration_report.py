@@ -59,14 +59,14 @@ def main() -> None:
 
     print("\nfig3a (loss rate per type, normalised):")
     f3a = packet_loss_by_packet_type(
-        base.repository.test_records(testbed="random"),
+        base.repository.iter_records(kind="test", testbed="random"),
         base.cycles_by_packet_type("random"),
     )
     for name, entry in f3a.items():
         print(f"  {name}: share {entry['share_pct']:.1f}%  rate {entry.get('loss_rate_pct', 0):.2f}%")
 
     print("\nfig3c (losses by app):", packet_loss_by_application(
-        base.repository.test_records(testbed="realistic")))
+        base.repository.iter_records(kind="test", testbed="realistic")))
 
 
 if __name__ == "__main__":

@@ -73,7 +73,7 @@ def _run_single(args: argparse.Namespace, duration: float) -> None:
 
     out = args.out_dir
     out.mkdir(parents=True, exist_ok=True)
-    result.repository.dump(out / "repository")
+    result.repository.flush(out / "repository")
     export_repository(result.repository, out / "csv")
     report = _analyses_text(result.repository, result.node_nap_pairs())
     (out / "analysis.txt").write_text(report + "\n", encoding="utf-8")
@@ -105,7 +105,7 @@ def _run_sweep(args: argparse.Namespace, duration: float) -> None:
           f"({summary['user_level_reports']} user-level; "
           "paper, one run: 356,551 / 20,854)")
     out.mkdir(parents=True, exist_ok=True)
-    result.repository.dump(out / "repository")
+    result.repository.flush(out / "repository")
     export_repository(result.repository, out / "csv")
     (out / "sweep.txt").write_text(result.render() + "\n", encoding="utf-8")
     print(f"merged repository, CSV exports and sweep table written to {out}/")
